@@ -1,0 +1,169 @@
+// Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+// RAID-group size, the SDR mismatch cap, skewed hashing without SDR,
+// CRC width, inner-ECC strength, and the write-error-rate sensitivity.
+// Each reports its headline metric so `go test -bench Ablation` prints
+// a design-space sheet.
+package sudoku
+
+import (
+	"fmt"
+	"testing"
+
+	"sudoku/internal/analytic"
+	"sudoku/internal/core"
+	"sudoku/internal/faultsim"
+	"sudoku/internal/sttram"
+)
+
+// BenchmarkAblationGroupSize sweeps the RAID-group size (§III-D): a
+// bigger group shrinks the PLT but slows repair (more lines to read)
+// and weakens reliability (more lines share one parity).
+func BenchmarkAblationGroupSize(b *testing.B) {
+	for _, group := range []int{128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("group%d", group), func(b *testing.B) {
+			cfg := analytic.Default()
+			cfg.GroupSize = group
+			var fit float64
+			for i := 0; i < b.N; i++ {
+				fit = cfg.SuDokuZ().FIT
+			}
+			pltKB := float64(cfg.NumGroups()) * 553 / 8 / 1024 * 2
+			repairUs := float64(group) * 9e-3 // 9 ns per line read
+			b.ReportMetric(fit, "Z-FIT")
+			b.ReportMetric(pltKB, "PLT-KB")
+			b.ReportMetric(repairUs, "repair-µs")
+		})
+	}
+}
+
+// BenchmarkAblationMismatchCap sweeps the SDR candidate cap (§IV-C
+// stops at six mismatches).
+func BenchmarkAblationMismatchCap(b *testing.B) {
+	for _, cap := range []int{4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			cfg := analytic.Default()
+			cfg.MaxMismatch = cap
+			var fit float64
+			for i := 0; i < b.N; i++ {
+				fit = cfg.SuDokuY().FIT
+			}
+			b.ReportMetric(fit, "Y-FIT")
+		})
+	}
+}
+
+// BenchmarkAblationZWithoutSDR evaluates footnote 4: skewed hashing
+// layered directly on SuDoku-X ("such a design will not be effective
+// because of the high DUE rate, causing a FIT rate of 4 Million").
+func BenchmarkAblationZWithoutSDR(b *testing.B) {
+	cfg := analytic.Default()
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		fit = cfg.SuDokuZNoSDR().FIT
+	}
+	b.ReportMetric(fit, "FIT")
+	b.ReportMetric(cfg.SuDokuZ().FIT, "withSDR-FIT")
+}
+
+// BenchmarkAblationCRCWidth compares the silent-corruption exposure of
+// CRC-16 against CRC-31: the misdetection probability scales as 2^−w,
+// and a 16-bit code no longer guarantees 7-error detection, so the
+// ≥4-error events join the vulnerable set.
+func BenchmarkAblationCRCWidth(b *testing.B) {
+	cfg := analytic.Default()
+	for _, tc := range []struct {
+		name      string
+		misdetect float64
+		vulnFrom  int // smallest undetectable-by-guarantee weight
+	}{
+		{"crc16", 1.0 / (1 << 16), 4},
+		{"crc31", 1.0 / (1 << 31), 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var sdc float64
+			for i := 0; i < b.N; i++ {
+				vuln := cfg.CacheFromLine(cfg.LineErrorAtLeast(tc.vulnFrom - 1))
+				sdc = cfg.FITFromIntervalProb(vuln * tc.misdetect)
+			}
+			b.ReportMetric(sdc, "SDC-FIT")
+		})
+	}
+}
+
+// BenchmarkAblationECCStrength compares the paper's ECC-1 against the
+// §VII-G ECC-2 variant at nominal and degraded Δ.
+func BenchmarkAblationECCStrength(b *testing.B) {
+	for _, delta := range []float64{35, 33} {
+		m, err := sttram.New(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ber := m.BER(0.020)
+		for _, t := range []int{1, 2} {
+			b.Run(fmt.Sprintf("delta%.0f/ecc%d", delta, t), func(b *testing.B) {
+				cfg := analytic.Default()
+				cfg.BER = ber
+				cfg.ECCT = t
+				cfg.ECCBits = 10 * t
+				if t == 2 {
+					cfg.MaxMismatch = 8
+				}
+				var fit float64
+				for i := 0; i < b.N; i++ {
+					fit = cfg.SuDokuZ().FIT
+				}
+				b.ReportMetric(fit, "Z-FIT")
+				b.ReportMetric(float64(cfg.StorageOverheads()[0].BitsPerLine), "bits/line")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationWriteErrors folds a write error rate equal to the
+// retention BER into the operating point (§VIII-B) and re-evaluates
+// the ladder.
+func BenchmarkAblationWriteErrors(b *testing.B) {
+	m, err := sttram.New(35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	combined, err := m.CombinedBER(0.020, m.BER(0.020), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := analytic.Default()
+	cfg.BER = combined
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		fit = cfg.SuDokuZ().FIT
+	}
+	b.ReportMetric(fit, "Z-FIT-with-WER")
+	base := analytic.Default()
+	base.BER = m.BER(0.020)
+	b.ReportMetric(base.SuDokuZ().FIT, "Z-FIT-retention-only")
+}
+
+// BenchmarkAblationSDRMonteCarlo measures, by conditioned simulation,
+// how the SDR repair rate of three 2-fault lines responds to the
+// mismatch cap (the cap matters exactly at 3×2 = 6 candidates).
+func BenchmarkAblationSDRMonteCarlo(b *testing.B) {
+	for _, cap := range []int{4, 6} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res, err := faultsim.Conditional(faultsim.ConditionalConfig{
+					Level:         core.ProtectionY,
+					FaultsPerLine: []int{2, 2, 2},
+					Trials:        200,
+					Seed:          uint64(i + 1),
+					MaxMismatch:   cap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = float64(res.Repaired) / float64(res.Trials)
+			}
+			b.ReportMetric(rate, "repair-rate")
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"sudoku/internal/core"
+)
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]core.Protection{
+		"X": core.ProtectionX, "y": core.ProtectionY, "Z": core.ProtectionZ,
+	} {
+		got, err := parseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseLevel("w"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	err := run([]string{
+		"-level", "Y", "-ber", "1e-4", "-intervals", "20",
+		"-cachemb", "1", "-group", "64", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConditional(t *testing.T) {
+	if err := run([]string{"-conditional", "2,2", "-trials", "50", "-level", "Y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-conditional", "3,3", "-trials", "20", "-level", "Z", "-poison", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-level", "q"}); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if err := run([]string{"-conditional", "2,x"}); err == nil {
+		t.Fatal("bad conditional spec accepted")
+	}
+	if err := run([]string{"-ber", "0", "-intervals", "1"}); err == nil {
+		t.Fatal("zero BER accepted")
+	}
+}

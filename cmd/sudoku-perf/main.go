@@ -1,0 +1,84 @@
+// Command sudoku-perf runs the full-system performance simulation
+// behind Figure 8 (execution time of SuDoku-Z normalized to an ideal
+// error-free cache) and Figure 9 (normalized system EDP).
+//
+// Usage:
+//
+//	sudoku-perf [-workload all|<name>|mix1..mix4] [-instructions 200000]
+//	            [-cores 8] [-cachemb 64] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sudoku/internal/perfsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sudoku-perf", flag.ContinueOnError)
+	workload := fs.String("workload", "all", "workload name, mixN, or all")
+	instructions := fs.Int64("instructions", 200_000, "instructions per core")
+	cores := fs.Int("cores", 8, "number of cores")
+	cachemb := fs.Int("cachemb", 64, "LLC size in MB")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := perfsim.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.InstructionsPerCore = *instructions
+	cfg.Cache.Lines = *cachemb << 20 / 64
+	cfg.Seed = *seed
+	// Skewed hashing needs Lines ≥ GroupSize²; shrink groups for small
+	// caches.
+	for cfg.Cache.Lines < cfg.Cache.GroupSize*cfg.Cache.GroupSize {
+		cfg.Cache.GroupSize /= 2
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	names := []string{*workload}
+	if *workload == "all" {
+		names = perfsim.WorkloadNames()
+	}
+
+	fmt.Printf("%-20s %-7s %12s %12s %10s %10s\n",
+		"workload", "suite", "ideal", "sudoku-z", "slowdown", "EDP ratio")
+	var results []perfsim.WorkloadResult
+	for _, name := range names {
+		start := time.Now()
+		res, err := perfsim.RunWorkload(cfg, name)
+		if err != nil {
+			return err
+		}
+		_ = start
+		fmt.Printf("%-20s %-7s %12s %12s %9.4f%% %9.4f%%\n",
+			res.Name, res.Suite,
+			res.IdealTime.Round(time.Microsecond),
+			res.SuDokuTime.Round(time.Microsecond),
+			(res.Slowdown-1)*100, (res.EDPRatio-1)*100)
+		results = append(results, res)
+	}
+	if len(results) > 1 {
+		fmt.Println()
+		for _, s := range perfsim.SummarizeBySuite(results) {
+			fmt.Printf("%-8s (%2d workloads): slowdown %.4f%%, EDP %.4f%%\n",
+				s.Suite, s.Workloads, (s.MeanSlowdown-1)*100, (s.MeanEDPRatio-1)*100)
+		}
+		gm := perfsim.GeoMeanSlowdown(results)
+		fmt.Printf("geomean slowdown: %.4f%% (paper Figure 8: ≈0.1%%, \"on average 0.15%%\")\n", (gm-1)*100)
+	}
+	return nil
+}

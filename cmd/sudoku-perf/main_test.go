@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunSingleWorkload(t *testing.T) {
+	err := run([]string{
+		"-workload", "povray-like", "-instructions", "5000",
+		"-cores", "2", "-cachemb", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	err := run([]string{
+		"-workload", "mix2", "-instructions", "5000",
+		"-cores", "2", "-cachemb", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-workload", "nope", "-instructions", "100"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run([]string{"-instructions", "0"}); err == nil {
+		t.Fatal("zero instructions accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command sudoku-repro regenerates the paper's entire evaluation in
+// one shot: every analytical table and figure, a Monte Carlo
+// cross-validation of the SuDoku-X MTTF and the SDR scenario rates,
+// and a performance-simulation pass over a workload subset (or the
+// full Figure 8 set with -full).
+//
+// Its output is the measured side of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sudoku/internal/analytic"
+	"sudoku/internal/core"
+	"sudoku/internal/faultsim"
+	"sudoku/internal/perfsim"
+	"sudoku/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sudoku-repro", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run the full workload set and longer Monte Carlo")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Println("==============================================================")
+	fmt.Println(" SuDoku (DSN 2019) — full evaluation reproduction")
+	fmt.Println("==============================================================")
+	fmt.Println()
+
+	// 1. Analytical tables (the paper's own methodology, §VII-A).
+	cfg := analytic.Default()
+	tables, err := report.All(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+
+	// 2. Monte Carlo cross-validation.
+	fmt.Println("--------------------------------------------------------------")
+	fmt.Println(" Monte Carlo cross-validation (event-driven fault injection)")
+	fmt.Println("--------------------------------------------------------------")
+	intervals := 2000
+	if *full {
+		intervals = 10000
+	}
+	start := time.Now()
+	res, err := faultsim.RunParallel(faultsim.Config{
+		Params: core.DefaultParams(),
+		Level:  core.ProtectionX,
+		BER:    cfg.BER,
+		Seed:   *seed,
+	}, intervals, 1)
+	if err != nil {
+		return err
+	}
+	mttf := res.MTTFSeconds(20 * time.Millisecond)
+	fmt.Printf("SuDoku-X, 64 MB, BER %.3g, %d intervals (%v):\n", cfg.BER, intervals, time.Since(start).Round(time.Second))
+	fmt.Printf("  faults/interval: %.0f (paper: 2880)\n", float64(res.FaultsInjected)/float64(res.Intervals))
+	fmt.Printf("  multi-bit lines/interval: %.2f (paper: ~4)\n", float64(res.MultiBitLines)/float64(res.Intervals))
+	fmt.Printf("  measured MTTF: %.2f s (paper: 3.71 s; analytic: %.2f s)\n",
+		mttf, cfg.SuDokuX().MTTFSeconds)
+	fmt.Printf("  SDC lines: %d (expected ~0 at these sample sizes)\n\n", res.SDCLines)
+
+	trials := 20000
+	if *full {
+		trials = 200000
+	}
+	cond, err := faultsim.Conditional(faultsim.ConditionalConfig{
+		Level:         core.ProtectionY,
+		FaultsPerLine: []int{2, 2},
+		Trials:        trials,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Conditional SDR study, two 2-fault lines, SuDoku-Y, %d trials:\n", cond.Trials)
+	fmt.Printf("  repaired %d, DUE %d (rate %.3g; analytic both-overlap rate %.3g)\n",
+		cond.Repaired, cond.DUE, cond.DUERate(), 1/(553.0*552/2))
+	cond33, err := faultsim.Conditional(faultsim.ConditionalConfig{
+		Level:         core.ProtectionZ,
+		FaultsPerLine: []int{3, 3},
+		Trials:        2000,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Conditional (3,3) study at SuDoku-Z: DUE rate %.3g (SuDoku-Y would be ~1)\n\n", cond33.DUERate())
+
+	// 3. Performance simulation (Figures 8 and 9).
+	fmt.Println("--------------------------------------------------------------")
+	fmt.Println(" Performance simulation (Figure 8 / Figure 9)")
+	fmt.Println("--------------------------------------------------------------")
+	pcfg := perfsim.DefaultConfig()
+	pcfg.Seed = *seed
+	names := []string{"gcc-like", "mcf-like", "povray-like", "libquantum-like", "lbm-like",
+		"canneal-like", "mummer-like", "comm1-like", "mix1", "mix3"}
+	if *full {
+		names = perfsim.WorkloadNames()
+		pcfg.InstructionsPerCore = 500_000
+	} else {
+		pcfg.Cache.Lines = 1 << 17 // 8 MB cache keeps the quick pass fast
+		pcfg.Cache.GroupSize = 256
+	}
+	var results []perfsim.WorkloadResult
+	fmt.Printf("%-20s %10s %10s\n", "workload", "slowdown", "EDP ratio")
+	for _, name := range names {
+		r, err := perfsim.RunWorkload(pcfg, name)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("%-20s %9.4f%% %9.4f%%\n", r.Name, (r.Slowdown-1)*100, (r.EDPRatio-1)*100)
+	}
+	for _, s := range perfsim.SummarizeBySuite(results) {
+		fmt.Printf("%-8s (%2d workloads): slowdown %.4f%%, EDP %.4f%%\n",
+			s.Suite, s.Workloads, (s.MeanSlowdown-1)*100, (s.MeanEDPRatio-1)*100)
+	}
+	gm := perfsim.GeoMeanSlowdown(results)
+	fmt.Printf("geomean slowdown: %.4f%% (paper: ≈0.1%% mean, ≤0.15%%)\n", (gm-1)*100)
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command sudoku-tables regenerates the analytical tables and figures
+// of the paper's evaluation (Tables I–IV, VIII–XII, Figures 3 and 7).
+//
+// Usage:
+//
+//	sudoku-tables [-table all|I|II|III|IV|fig3|fig7|VIII|IX|X|XI|XII|storage]
+//	              [-ber 5.3e-6] [-scrub 20ms] [-ymode exact|conservative]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sudoku/internal/analytic"
+	"sudoku/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sudoku-tables", flag.ContinueOnError)
+	table := fs.String("table", "all", "which table/figure to print")
+	ber := fs.Float64("ber", 5.3e-6, "bit error rate per scrub interval")
+	scrub := fs.Duration("scrub", 20*time.Millisecond, "scrub interval")
+	ymode := fs.String("ymode", "exact", "SuDoku-Y DUE accounting: exact or conservative")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	cfg := analytic.Default()
+	cfg.BER = *ber
+	cfg.ScrubInterval = *scrub
+	switch *ymode {
+	case "exact":
+		cfg.Y = analytic.YExact
+	case "conservative":
+		cfg.Y = analytic.YConservative
+	default:
+		return fmt.Errorf("unknown -ymode %q", *ymode)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	var tables []report.Table
+	switch *table {
+	case "all":
+		var err error
+		tables, err = report.All(cfg)
+		if err != nil {
+			return err
+		}
+	case "I":
+		t, err := report.TableI()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "II":
+		t, err := report.TableII(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "III":
+		tables = append(tables, report.TableIII(cfg))
+	case "IV":
+		tables = append(tables, report.TableIV())
+	case "fig3":
+		tables = append(tables, report.Fig3())
+	case "fig7":
+		t, err := report.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "VIII":
+		t, err := report.TableVIII()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "IX":
+		tables = append(tables, report.TableIX(cfg))
+	case "X":
+		t, err := report.TableX()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "XI":
+		tables = append(tables, report.TableXI(cfg))
+	case "XII":
+		tables = append(tables, report.TableXII(cfg))
+	case "storage":
+		tables = append(tables, report.Storage(cfg))
+	case "sigma":
+		t, err := report.SigmaSweep()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	case "ymodes":
+		tables = append(tables, report.YModeBreakdown(cfg))
+	default:
+		return fmt.Errorf("unknown -table %q", *table)
+	}
+	for _, t := range tables {
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+	return nil
+}

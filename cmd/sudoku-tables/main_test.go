@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunEveryTable(t *testing.T) {
+	for _, table := range []string{
+		"I", "II", "III", "IV", "fig3", "fig7", "VIII", "IX", "X", "XI", "XII", "storage", "sigma", "ymodes", "all",
+	} {
+		if err := run([]string{"-table", table}); err != nil {
+			t.Errorf("-table %s: %v", table, err)
+		}
+	}
+}
+
+func TestRunFlags(t *testing.T) {
+	if err := run([]string{"-table", "II", "-ber", "1e-5", "-scrub", "40ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "fig7", "-ymode", "conservative"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-table", "nope"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-ymode", "nope"}); err == nil {
+		t.Fatal("unknown ymode accepted")
+	}
+	if err := run([]string{"-ber", "2"}); err == nil {
+		t.Fatal("invalid BER accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-table", "II", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "nope"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

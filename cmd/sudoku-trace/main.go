@@ -1,0 +1,125 @@
+// Command sudoku-trace records synthetic workload traces to the SDTR
+// binary format and inspects existing trace files — the workflow real
+// trace-driven simulators (CMP$im/Pinpoints in the paper) use to pin
+// down reproducible access streams.
+//
+// Usage:
+//
+//	sudoku-trace -record mcf-like -n 1000000 -o mcf.sdtr [-core 0] [-seed 1]
+//	sudoku-trace -inspect mcf.sdtr
+//	sudoku-trace -list
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sudoku/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sudoku-trace", flag.ContinueOnError)
+	record := fs.String("record", "", "profile name to record")
+	n := fs.Int("n", 1_000_000, "records to capture")
+	outPath := fs.String("o", "", "output trace file")
+	core := fs.Int("core", 0, "core id for the stream")
+	seed := fs.Uint64("seed", 1, "random seed")
+	inspect := fs.String("inspect", "", "trace file to summarize")
+	list := fs.Bool("list", false, "list available profiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		fmt.Fprintf(out, "%-20s %-7s %11s %9s %10s %8s\n",
+			"profile", "suite", "footprintMB", "locality", "writeFrac", "mem/1k")
+		for _, p := range trace.Profiles() {
+			fmt.Fprintf(out, "%-20s %-7s %11d %9.2f %10.2f %8d\n",
+				p.Name, p.Suite, p.FootprintMB, p.Locality, p.WriteFrac, p.MemOpsPer1000)
+		}
+		return nil
+
+	case *record != "":
+		if *outPath == "" {
+			return errors.New("-record requires -o <file>")
+		}
+		p, err := trace.ProfileByName(*record)
+		if err != nil {
+			return err
+		}
+		gen, err := trace.NewGenerator(p, *core, *seed)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err := trace.NewWriter(f, p.Name)
+		if err != nil {
+			return err
+		}
+		if err := trace.RecordStream(w, gen, *n); err != nil {
+			return err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %d records of %s to %s (%.1f MB, %.2f bytes/record)\n",
+			*n, p.Name, *outPath, float64(info.Size())/(1<<20), float64(info.Size())/float64(*n))
+		return nil
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		var records, writes, instrs int64
+		touched := make(map[uint64]struct{})
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return err
+			}
+			records++
+			instrs += int64(rec.NonMemOps) + 1
+			if rec.Type == trace.Write {
+				writes++
+			}
+			touched[rec.Addr/64] = struct{}{}
+		}
+		if records == 0 {
+			return errors.New("trace holds no records")
+		}
+		fmt.Fprintf(out, "workload:   %s\n", r.Name())
+		fmt.Fprintf(out, "records:    %d (%d instructions)\n", records, instrs)
+		fmt.Fprintf(out, "write frac: %.3f\n", float64(writes)/float64(records))
+		fmt.Fprintf(out, "footprint:  %.1f MB (%d distinct lines)\n",
+			float64(len(touched))*64/(1<<20), len(touched))
+		return nil
+
+	default:
+		return errors.New("one of -record, -inspect, or -list is required")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mcf-like") {
+		t.Fatalf("list output missing profiles:\n%s", out.String())
+	}
+}
+
+func TestRunRecordThenInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sdtr")
+	var out bytes.Buffer
+	if err := run([]string{"-record", "gcc-like", "-n", "2000", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded 2000 records") {
+		t.Fatalf("record output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gcc-like", "records:    2000", "write frac"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no-args run accepted")
+	}
+	if err := run([]string{"-record", "gcc-like"}, &out); err == nil {
+		t.Fatal("record without -o accepted")
+	}
+	if err := run([]string{"-record", "nope", "-o", "x"}, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := run([]string{"-inspect", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

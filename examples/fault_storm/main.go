@@ -1,0 +1,59 @@
+// Fault storm: subject the three SuDoku protection levels to the same
+// high-rate transient-fault barrage and watch the ladder of §III–§V —
+// SuDoku-X loses lines within seconds of simulated time, SuDoku-Y
+// resurrects the two-fault pairs, and SuDoku-Z survives via its second
+// hash.
+//
+// Run with:
+//
+//	go run ./examples/fault_storm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sudoku"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// An elevated BER (≈4× the paper's operating point) on a small
+	// cache makes the level differences visible in 40 s of simulated
+	// cache time instead of hours: SuDoku-X loses a line roughly every
+	// second, SuDoku-Y survives all but the rare 3+/3+ pairs, and
+	// SuDoku-Z survives everything.
+	const ber = 2e-5
+	const intervals = 2000
+
+	fmt.Printf("fault storm: BER %.2g per 20 ms interval, %d intervals, 4 MB cache\n\n", float64(ber), intervals)
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
+		"level", "faults", "SDR", "RAID", "Hash-2", "DUE lines")
+	for _, level := range []sudoku.Protection{sudoku.SuDokuX, sudoku.SuDokuY, sudoku.SuDokuZ} {
+		res, err := sudoku.Simulate(sudoku.SimConfig{
+			Protection: level,
+			CacheMB:    4,
+			GroupSize:  256,
+			BER:        ber,
+			Intervals:  intervals,
+			Seed:       2019,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %12d %12d %12d %12d %10d\n",
+			level, res.FaultsInjected, res.SDRRepairs, res.RAIDRepairs,
+			res.Hash2Repairs, res.DUELines)
+	}
+
+	fmt.Println("\nThe same storm, interpreted:")
+	fmt.Println(" - SuDoku-X: every RAID group with two multi-bit lines loses data;")
+	fmt.Println(" - SuDoku-Y: SDR resurrects 2-fault lines, only 3+/3+ pairs survive as DUEs;")
+	fmt.Println(" - SuDoku-Z: survivors retry in their disjoint Hash-2 groups.")
+	return nil
+}

@@ -1,0 +1,98 @@
+// Low-voltage SRAM: §VI's demonstration that nothing in SuDoku is
+// STTRAM-specific. At V_min < 500 mV an SRAM cache suffers persistent
+// cell failures at BER ≈ 10⁻³; uniform protection needs ECC-8+ per
+// line, while SuDoku reaches far lower failure probabilities with
+// ECC-1 + CRC-31 and no boot-time testing (Table IV).
+//
+// Run with:
+//
+//	go run ./examples/lowvoltage_sram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sudoku"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("SuDoku on low-voltage SRAM (Table IV): 64 MB cache")
+	fmt.Printf("%-8s %-10s %-22s\n", "Vmin", "BER", "scheme → P(cache failure)")
+	// Sweep the voltage-dependent BER around the paper's V_min point.
+	for _, pt := range []struct {
+		label string
+		ber   float64
+	}{
+		{"550mV", 1e-4},
+		{"500mV", 1e-3},
+		{"450mV", 3e-3},
+	} {
+		rows, err := sudoku.AnalyzeSRAMVmin(64, pt.ber)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-10.1g", pt.label, pt.ber)
+		for _, r := range rows {
+			fmt.Printf(" %s=%.2g", r.Scheme, r.CacheFail)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAt the paper's 500 mV point SuDoku is orders of magnitude below even")
+	fmt.Println("ECC-9 — with 43 bits/line instead of 90+, and no runtime testing (§VI).")
+
+	// The persistent-fault story, demonstrated functionally: hard
+	// faults stay after scrubbing, but SuDoku keeps correcting them on
+	// every access because its codes never rely on fault positions
+	// being known in advance.
+	cfg := sudoku.DefaultConfig()
+	cfg.CacheMB = 1
+	cfg.GroupSize = 64
+	c, err := sudoku.New(cfg)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := c.Write(0, data); err != nil {
+		return err
+	}
+	// A genuinely stuck cell: data bit 41 of this line is pinned to 1
+	// while the payload wants 0 there (byte 5 = 0x05). Writes cannot
+	// clear it and scrubs only re-correct it, yet every read returns
+	// clean data — no boot-time fault map required.
+	if err := c.InjectStuckAt(0, 41, true); err != nil {
+		return err
+	}
+	for pass := 0; pass < 3; pass++ {
+		got, err := c.Read(0)
+		if err != nil {
+			return err
+		}
+		ok := true
+		for i := range data {
+			if got[i] != data[i] {
+				ok = false
+			}
+		}
+		rep, err := c.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stuck-at cell, access %d: data intact = %v (scrub re-corrected %d, DUEs %d)\n",
+			pass+1, ok, rep.SingleRepairs, len(rep.DUELines))
+		if err := c.Write(0, data); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("permanently faulty cells tracked: %d\n", c.StuckCells())
+	return nil
+}

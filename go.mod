@@ -1,0 +1,3 @@
+module sudoku
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package analytic implements the closed-form reliability models the
+// paper uses for its evaluation ("We use analytical models to perform
+// reliability evaluations... by using basic binomial probability
+// distribution", §VII-A).
+//
+// Everything is computed in log domain: the probabilities involved
+// range from ~1 down to 10⁻²² (Table II) and below, far outside what
+// naive floating-point products can represent accurately.
+package analytic
+
+import "math"
+
+// logChoose returns ln C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	ln2, _ := math.Lgamma(float64(k + 1))
+	ln3, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - ln2 - ln3
+}
+
+// BinomPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomPMF(n, k int, p float64) float64 {
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case p >= 1:
+		if k == n {
+			return 1
+		}
+		return 0
+	case k < 0 || k > n:
+		return 0
+	}
+	logp := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logp)
+}
+
+// BinomTailGE returns P(X ≥ k) for X ~ Binomial(n, p). For the small-p
+// regime used throughout (np ≪ k or modest), the series converges in a
+// handful of terms; the implementation sums PMF terms until they stop
+// mattering, with an exact complement fallback for small k.
+func BinomTailGE(n, k int, p float64) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	mean := float64(n) * p
+	if float64(k) <= mean {
+		// Left of the mean: complement of a short lower sum only when
+		// k is small, otherwise sum the lower tail directly.
+		var lower float64
+		for i := 0; i < k; i++ {
+			lower += BinomPMF(n, i, p)
+		}
+		if v := 1 - lower; v > 0 {
+			return v
+		}
+		return 0
+	}
+	// Right of the mean: the PMF decays geometrically; sum until
+	// negligible.
+	sum := 0.0
+	term := BinomPMF(n, k, p)
+	sum += term
+	for i := k + 1; i <= n; i++ {
+		term = BinomPMF(n, i, p)
+		sum += term
+		if term < sum*1e-16 {
+			break
+		}
+	}
+	return sum
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func expm1Neg(x float64) float64 { return math.Expm1(-x) }
+
+// ComplementPow returns 1 − (1 − p)^n computed stably for tiny p and
+// huge n — the "probability that at least one of n independent units
+// fails" composition used for lines → cache.
+func ComplementPow(p float64, n int) float64 {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return -math.Expm1(float64(n) * math.Log1p(-p))
+}

@@ -1,0 +1,66 @@
+package analytic
+
+// Comparator models for Table XI (§VIII-A). Per the paper, every
+// comparator is provisioned with the same resources as SuDoku and with
+// CRC-31 per-line detection, so only the multi-bit *correction*
+// topology differs:
+//
+//   - CPPC keeps a single cache-wide parity: it restores one faulty
+//     line; two simultaneous multi-bit lines anywhere kill it.
+//   - RAID-6 keeps two parities (row + diagonal) per 512-line group:
+//     it can rebuild two faulty lines per group but has no SDR, so a
+//     third multi-bit line in a group kills it.
+//   - 2DP (two-dimensional parity with per-line ECC-1) fails when two
+//     multi-bit lines in a group overlap in any column — the vertical
+//     parity can no longer attribute the mismatched columns.
+
+// CPPC evaluates the Correctable Parity Protected Cache comparator.
+func (c Config) CPPC() SchemeResult {
+	pMulti := c.LineErrorAtLeast(2)
+	due := BinomTailGE(c.NumLines, 2, pMulti)
+	return c.schemeResult("CPPC + CRC-31", due, c.sdcPerInterval())
+}
+
+// RAID6 evaluates the two-parity comparator.
+func (c Config) RAID6() SchemeResult {
+	pMulti := c.LineErrorAtLeast(2)
+	pGroup := BinomTailGE(c.GroupSize, 3, pMulti)
+	due := c.CacheFromGroup(pGroup)
+	return c.schemeResult("RAID-6 + CRC-31", due, c.sdcPerInterval())
+}
+
+// TwoDP evaluates two-dimensional error coding with per-line ECC-1 and
+// CRC-31. A pair of multi-bit lines is unrecoverable when any of their
+// fault columns overlap (the paper: "two lines with overlapping 2+ bit
+// errors can cause uncorrectable errors"); three or more multi-bit
+// lines in a group are scored as failed.
+func (c Config) TwoDP() SchemeResult {
+	n := c.CodewordBits()
+	g := c.GroupSize
+	p2 := c.LineErrorExactly(2)
+	p3p := c.LineErrorAtLeast(3)
+	pm := c.LineErrorAtLeast(2)
+	cg2 := float64(g) * float64(g-1) / 2
+	cg3 := cg2 * float64(g-2) / 3
+
+	// P(≥1 overlapping column) for a pair with a and b faults is
+	// 1 − C(n−a, b)/C(n, b) ≈ a·b/n for small counts.
+	overlap := func(a, b int) float64 {
+		p := 1.0
+		for i := 0; i < b; i++ {
+			p *= float64(n-a-i) / float64(n-i)
+		}
+		return 1 - p
+	}
+	var due float64
+	due += cg2 * p2 * p2 * overlap(2, 2)
+	due += cg2 * 2 * p2 * p3p * overlap(2, 3)
+	due += cg2 * p3p * p3p * overlap(3, 3)
+	due += cg3 * pm * pm * pm
+	return c.schemeResult("2DP ECC-1 + CRC-31", c.CacheFromGroup(due), c.sdcPerInterval())
+}
+
+// TableXI evaluates all comparator schemes plus SuDoku-Z.
+func (c Config) TableXI() []SchemeResult {
+	return []SchemeResult{c.CPPC(), c.RAID6(), c.TwoDP(), c.SuDokuZ()}
+}

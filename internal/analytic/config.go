@@ -1,0 +1,178 @@
+package analytic
+
+import (
+	"fmt"
+	"time"
+)
+
+// HoursPerBillion is the FIT normalization constant: failures in time
+// are reported per 10⁹ device-hours.
+const HoursPerBillion = 1e9
+
+// CRCMisdetect is the probability that CRC-31 fails to detect an error
+// pattern of weight 8 or more (Table III).
+const CRCMisdetect = 1.0 / (1 << 31)
+
+// YModel selects how the SuDoku-Y DUE rate is scored (see DESIGN.md
+// note 2: the paper's §IV-C and §IV-E disagree mildly on which mixed
+// fault patterns SDR saves).
+type YModel int
+
+const (
+	// YExact scores the repair algorithm as implemented: SDR saves
+	// every 2-fault line whose faults are visible in the parity
+	// mismatch, mixed (2, 3+) pairs included, subject to the 6-position
+	// mismatch cap.
+	YExact YModel = iota + 1
+	// YConservative scores every multi-bit pair containing a 3+-fault
+	// line as DUE — an upper bound that brackets the paper's reported
+	// 286 M FIT from above.
+	YConservative
+)
+
+// String implements fmt.Stringer.
+func (m YModel) String() string {
+	switch m {
+	case YExact:
+		return "exact"
+	case YConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("YModel(%d)", int(m))
+	}
+}
+
+// Config holds the parameters of a reliability evaluation. The zero
+// value is not useful; start from Default().
+type Config struct {
+	// BER is the raw bit error rate per scrub interval (5.3×10⁻⁶ for
+	// the paper's operating point).
+	BER float64
+	// ScrubInterval is the scrub period (20 ms default).
+	ScrubInterval time.Duration
+	// NumLines is the number of cache lines (2²⁰ for 64 MB).
+	NumLines int
+	// GroupSize is the RAID-group size (512).
+	GroupSize int
+	// DataBits, CRCBits, ECCBits define the per-line codeword; the
+	// vulnerable STTRAM bits per line are their sum (553).
+	DataBits, CRCBits, ECCBits int
+	// ECCT is the per-line inner-code strength: 1 for the paper's
+	// ECC-1, 2 for the §VII-G enhancement. ECCBits should be 10·ECCT.
+	ECCT int
+	// MaxMismatch is the SDR candidate cap (6).
+	MaxMismatch int
+	// Y selects the SuDoku-Y DUE accounting (YExact default).
+	Y YModel
+}
+
+// Default returns the paper's operating point: 64 MB cache, 20 ms
+// scrub, BER 5.3×10⁻⁶, 512-line groups.
+func Default() Config {
+	return Config{
+		BER:           5.3e-6,
+		ScrubInterval: 20 * time.Millisecond,
+		NumLines:      1 << 20,
+		GroupSize:     512,
+		DataBits:      512,
+		CRCBits:       31,
+		ECCBits:       10,
+		ECCT:          1,
+		MaxMismatch:   6,
+		Y:             YExact,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.BER < 0 || c.BER >= 1:
+		return fmt.Errorf("analytic: BER %v outside [0,1)", c.BER)
+	case c.ScrubInterval <= 0:
+		return fmt.Errorf("analytic: non-positive scrub interval %v", c.ScrubInterval)
+	case c.NumLines <= 0:
+		return fmt.Errorf("analytic: NumLines %d", c.NumLines)
+	case c.GroupSize <= 1 || c.GroupSize > c.NumLines:
+		return fmt.Errorf("analytic: GroupSize %d", c.GroupSize)
+	case c.DataBits <= 0 || c.CRCBits < 0 || c.ECCBits < 0:
+		return fmt.Errorf("analytic: bad line geometry %d/%d/%d", c.DataBits, c.CRCBits, c.ECCBits)
+	case c.ECCT < 1:
+		return fmt.Errorf("analytic: ECC strength %d", c.ECCT)
+	case c.MaxMismatch < 2*c.ECCT:
+		return fmt.Errorf("analytic: mismatch cap %d below 2·t=%d (SDR could never run)", c.MaxMismatch, 2*c.ECCT)
+	case c.MaxMismatch < 2:
+		return fmt.Errorf("analytic: MaxMismatch %d", c.MaxMismatch)
+	}
+	return nil
+}
+
+// CodewordBits returns the vulnerable bits per line (553 default).
+func (c Config) CodewordBits() int { return c.DataBits + c.CRCBits + c.ECCBits }
+
+// NumGroups returns the number of RAID groups.
+func (c Config) NumGroups() int { return c.NumLines / c.GroupSize }
+
+// IntervalsPerHour returns how many scrub intervals fit in an hour.
+func (c Config) IntervalsPerHour() float64 {
+	return float64(time.Hour) / float64(c.ScrubInterval)
+}
+
+// FITFromIntervalProb converts a per-scrub-interval failure
+// probability into a FIT rate (expected failures per 10⁹ hours).
+func (c Config) FITFromIntervalProb(p float64) float64 {
+	return p * c.IntervalsPerHour() * HoursPerBillion
+}
+
+// MTTFSecondsFromIntervalProb converts a per-interval failure
+// probability into a mean time to failure in seconds.
+func (c Config) MTTFSecondsFromIntervalProb(p float64) float64 {
+	if p <= 0 {
+		return inf()
+	}
+	return c.ScrubInterval.Seconds() / p
+}
+
+// MTTFHoursFromFIT converts a FIT rate to MTTF in hours.
+func MTTFHoursFromFIT(fit float64) float64 {
+	if fit <= 0 {
+		return inf()
+	}
+	return HoursPerBillion / fit
+}
+
+// FailureProbAt returns the cumulative failure probability after the
+// given mission time for an exponential failure process with the given
+// FIT rate — the series plotted in Figure 7.
+func FailureProbAt(fit float64, mission time.Duration) float64 {
+	rate := fit / HoursPerBillion // per hour
+	return ComplementPowFloat(rate * mission.Hours())
+}
+
+// ComplementPowFloat returns 1 − e^(−x) computed stably.
+func ComplementPowFloat(x float64) float64 {
+	return -expm1Neg(x)
+}
+
+// LineErrorExactly returns P(exactly k raw bit errors in one line
+// codeword within a scrub interval).
+func (c Config) LineErrorExactly(k int) float64 {
+	return BinomPMF(c.CodewordBits(), k, c.BER)
+}
+
+// LineErrorAtLeast returns P(at least k raw bit errors in one line
+// codeword within a scrub interval).
+func (c Config) LineErrorAtLeast(k int) float64 {
+	return BinomTailGE(c.CodewordBits(), k, c.BER)
+}
+
+// CacheFromLine composes a per-line failure probability across all
+// lines: P(any line fails).
+func (c Config) CacheFromLine(pLine float64) float64 {
+	return ComplementPow(pLine, c.NumLines)
+}
+
+// CacheFromGroup composes a per-group failure probability across all
+// groups.
+func (c Config) CacheFromGroup(pGroup float64) float64 {
+	return ComplementPow(pGroup, c.NumGroups())
+}

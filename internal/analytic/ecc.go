@@ -1,0 +1,102 @@
+package analytic
+
+import "fmt"
+
+// ECCkResult holds the Table II columns for one uniform per-line ECC
+// strength.
+type ECCkResult struct {
+	T             int     // correction capability per line
+	CodewordBits  int     // 512 + 10t
+	LineFailProb  float64 // P(line has > t errors in one interval)
+	CacheFailProb float64 // P(any line fails in one interval)
+	FIT           float64
+	StorageBits   int // parity bits per line
+}
+
+// ECCk evaluates a uniform per-line t-error-correcting code, the
+// paper's baseline family (Table II). The codeword is DataBits plus
+// 10·t BCH parity bits (GF(2¹⁰) minimal polynomials have degree 10 for
+// t ≤ 6); the line fails when more than t raw errors land in it within
+// one scrub interval.
+func (c Config) ECCk(t int) (ECCkResult, error) {
+	if t < 1 {
+		return ECCkResult{}, fmt.Errorf("analytic: ECC strength %d", t)
+	}
+	n := c.DataBits + 10*t
+	pLine := BinomTailGE(n, t+1, c.BER)
+	pCache := c.CacheFromLine(pLine)
+	return ECCkResult{
+		T:             t,
+		CodewordBits:  n,
+		LineFailProb:  pLine,
+		CacheFailProb: pCache,
+		FIT:           c.FITFromIntervalProb(pCache),
+		StorageBits:   10 * t,
+	}, nil
+}
+
+// TableII evaluates ECC-1 through ECC-6 at the configured operating
+// point.
+func (c Config) TableII() ([]ECCkResult, error) {
+	out := make([]ECCkResult, 0, 6)
+	for t := 1; t <= 6; t++ {
+		r, err := c.ECCk(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HiECC evaluates the Hi-ECC comparator (Table XII): ECC-6 provisioned
+// over 1 KB regions instead of 64 B lines, which cuts storage to ~0.9%
+// but multiplies the bits each code instance must protect by 16.
+func (c Config) HiECC() ECCkResult {
+	const regionBytes = 1024
+	linesPerRegion := regionBytes * 8 / c.DataBits
+	n := regionBytes*8 + 60
+	pRegion := BinomTailGE(n, 7, c.BER)
+	numRegions := c.NumLines / linesPerRegion
+	pCache := ComplementPow(pRegion, numRegions)
+	return ECCkResult{
+		T:             6,
+		CodewordBits:  n,
+		LineFailProb:  pRegion,
+		CacheFailProb: pCache,
+		FIT:           c.FITFromIntervalProb(pCache),
+		StorageBits:   60 / linesPerRegion,
+	}
+}
+
+// SRAMVminRow is one row of Table IV: probability of cache failure at
+// an SRAM low-voltage operating point with persistent faults at the
+// given BER.
+type SRAMVminRow struct {
+	Scheme    string
+	CacheFail float64
+}
+
+// SRAMVminTable reproduces Table IV (§VI): a 64 MB SRAM cache at
+// V_min < 500 mV with BER 10⁻³. ECC-k rows fail when any line exceeds
+// k faults. The SuDoku row models the scheme's silent-failure
+// probability: every ≤7-fault line is *detected* by CRC-31 (and hence
+// repairable or mappable at boot without runtime testing); the cache
+// fails silently only when a ≥8-fault line slips past the CRC.
+func SRAMVminTable(numLines int, ber float64) []SRAMVminRow {
+	rows := make([]SRAMVminRow, 0, 4)
+	for _, t := range []int{7, 8, 9} {
+		n := 512 + 10*t
+		pLine := BinomTailGE(n, t+1, ber)
+		rows = append(rows, SRAMVminRow{
+			Scheme:    fmt.Sprintf("ECC-%d", t),
+			CacheFail: ComplementPow(pLine, numLines),
+		})
+	}
+	pMiss := BinomTailGE(512+41, 8, ber) * CRCMisdetect
+	rows = append(rows, SRAMVminRow{
+		Scheme:    "SuDoku",
+		CacheFail: ComplementPow(pMiss, numLines),
+	})
+	return rows
+}

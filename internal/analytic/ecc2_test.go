@@ -1,0 +1,105 @@
+package analytic
+
+import "testing"
+
+// ecc2Config returns the §VII-G operating point: ECC-2 per line with
+// 20 check bits and a widened SDR candidate cap.
+func ecc2Config() Config {
+	c := Default()
+	c.ECCT = 2
+	c.ECCBits = 20
+	c.MaxMismatch = 8
+	return c
+}
+
+func TestECC2Validate(t *testing.T) {
+	if err := ecc2Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.ECCT = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ECCT 0 accepted")
+	}
+	bad2 := Default()
+	bad2.ECCT = 4
+	bad2.MaxMismatch = 6 // below 2t: SDR could never run
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("cap below 2t accepted")
+	}
+}
+
+func TestECC2StrengthensEveryLevel(t *testing.T) {
+	// §VII-G: "SuDoku can be enhanced even further by replacing ECC-1
+	// with ECC-2." Every level's FIT must drop by orders of magnitude.
+	base := Default()
+	strong := ecc2Config()
+	pairs := []struct {
+		name       string
+		weak, str8 SchemeResult
+	}{
+		{"X", base.SuDokuX(), strong.SuDokuX()},
+		{"Y", base.SuDokuY(), strong.SuDokuY()},
+		{"Z", base.SuDokuZ(), strong.SuDokuZ()},
+	}
+	for _, p := range pairs {
+		if p.str8.FIT >= p.weak.FIT {
+			t.Errorf("%s: ECC-2 FIT %.3g not below ECC-1 %.3g", p.name, p.str8.FIT, p.weak.FIT)
+		}
+		// The DUE component should drop by at least 100× (line
+		// uncorrectability falls from P(≥2) ≈ 4e-6 to P(≥3) ≈ 4e-9).
+		if p.str8.DUEPerInterval > p.weak.DUEPerInterval/100 {
+			t.Errorf("%s: ECC-2 DUE %.3g vs ECC-1 %.3g — expected ≥100× drop",
+				p.name, p.str8.DUEPerInterval, p.weak.DUEPerInterval)
+		}
+	}
+}
+
+func TestECC2AtLowDelta(t *testing.T) {
+	// Table X's context: at Δ = 33 the BER quadruples per missing unit
+	// of Δ; ECC-2 keeps SuDoku-Z under the 1-FIT target where ECC-1
+	// struggles.
+	weak := Default()
+	weak.BER = 2.03e-5 // Δ=33 device BER
+	strong := ecc2Config()
+	strong.BER = weak.BER
+	zWeak := weak.SuDokuZ()
+	zStrong := strong.SuDokuZ()
+	if zStrong.FIT >= zWeak.FIT {
+		t.Fatalf("ECC-2 Z FIT %.3g not below ECC-1 %.3g at Δ=33", zStrong.FIT, zWeak.FIT)
+	}
+	if zStrong.FIT > 1 {
+		t.Fatalf("ECC-2 SuDoku-Z at Δ=33: FIT %.3g misses the 1-FIT target", zStrong.FIT)
+	}
+}
+
+func TestGeneralizedModelReducesToT1(t *testing.T) {
+	// The t-generalized enumeration must produce exactly the original
+	// t = 1 numbers.
+	c := Default()
+	if got, want := c.pUncorrectable(), c.LineErrorAtLeast(2); got != want {
+		t.Fatalf("pUncorrectable = %v, want %v", got, want)
+	}
+	modes := c.yFailureModes()
+	if len(modes) < 6 {
+		t.Fatalf("%d modes", len(modes))
+	}
+	total := 0.0
+	for _, m := range modes {
+		if m.prob < 0 {
+			t.Fatalf("negative mode probability: %+v", m)
+		}
+		total += m.prob
+	}
+	if got := c.yGroupDUE(); got != total {
+		t.Fatalf("yGroupDUE %v != mode sum %v", got, total)
+	}
+}
+
+func TestECC2StorageOverhead(t *testing.T) {
+	rows := ecc2Config().StorageOverheads()
+	// 20 ECC + 31 CRC + ~2 PLT bits — still below ECC-6's 60.
+	if rows[0].BitsPerLine >= 60 || rows[0].BitsPerLine <= 43 {
+		t.Fatalf("ECC-2 bits/line = %d, want in (43, 60)", rows[0].BitsPerLine)
+	}
+}

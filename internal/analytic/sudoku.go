@@ -1,0 +1,344 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SchemeResult carries the reliability summary of one protection
+// scheme at one operating point.
+type SchemeResult struct {
+	Name string
+	// DUEPerInterval is the probability the cache suffers a detectable
+	// uncorrectable error within one scrub interval.
+	DUEPerInterval float64
+	// SDCPerInterval is the probability of silent data corruption
+	// within one scrub interval.
+	SDCPerInterval float64
+	// FIT combines DUE and SDC into failures per billion hours.
+	FIT float64
+	// MTTFSeconds is the mean time to (any) failure.
+	MTTFSeconds float64
+}
+
+func (c Config) schemeResult(name string, due, sdc float64) SchemeResult {
+	total := due + sdc
+	return SchemeResult{
+		Name:           name,
+		DUEPerInterval: due,
+		SDCPerInterval: sdc,
+		FIT:            c.FITFromIntervalProb(total),
+		MTTFSeconds:    c.MTTFSecondsFromIntervalProb(total),
+	}
+}
+
+// sdcPerInterval is the silent-corruption probability shared by all
+// SuDoku variants (§III-F, §IV-D, §V-C): dominated by a line carrying
+// 7 faults being miscorrected by ECC-1 into an 8-fault pattern that
+// CRC-31 misses with probability 2⁻³¹, plus native ≥8-fault patterns
+// aliasing the CRC directly.
+func (c Config) sdcPerInterval() float64 {
+	p7 := c.CacheFromLine(c.LineErrorExactly(7))
+	p8 := c.CacheFromLine(c.LineErrorAtLeast(8))
+	return (p7 + p8) * CRCMisdetect
+}
+
+// SDCBreakdown reproduces Table III: per-billion-hour rates of the two
+// vulnerability events and their silent-corruption contributions.
+type SDCBreakdown struct {
+	Event7PerBh   float64 // lines with exactly 7 faults
+	Event8PerBh   float64 // lines with 8+ faults
+	SDC7PerBh     float64
+	SDC8PerBh     float64
+	TotalSDCPerBh float64
+}
+
+// TableIII computes the SuDoku SDC budget.
+func (c Config) TableIII() SDCBreakdown {
+	e7 := c.FITFromIntervalProb(c.CacheFromLine(c.LineErrorExactly(7)))
+	e8 := c.FITFromIntervalProb(c.CacheFromLine(c.LineErrorAtLeast(8)))
+	return SDCBreakdown{
+		Event7PerBh:   e7,
+		Event8PerBh:   e8,
+		SDC7PerBh:     e7 * CRCMisdetect,
+		SDC8PerBh:     e8 * CRCMisdetect,
+		TotalSDCPerBh: (e7 + e8) * CRCMisdetect,
+	}
+}
+
+// t returns the per-line inner-code strength, defaulting to ECC-1.
+func (c Config) t() int {
+	if c.ECCT < 1 {
+		return 1
+	}
+	return c.ECCT
+}
+
+// pUncorrectable is the probability a line defeats its inner code
+// (more than t raw faults).
+func (c Config) pUncorrectable() float64 {
+	return c.LineErrorAtLeast(c.t() + 1)
+}
+
+// SuDokuX evaluates the base design (§III): a RAID group suffers a DUE
+// whenever two or more of its lines carry per-line-uncorrectable
+// (t+1 or more) faults in the same interval — RAID-4 can rebuild only
+// one.
+func (c Config) SuDokuX() SchemeResult {
+	pGroup := BinomTailGE(c.GroupSize, 2, c.pUncorrectable())
+	due := c.CacheFromGroup(pGroup)
+	return c.schemeResult("SuDoku-X", due, c.sdcPerInterval())
+}
+
+// failMode is one way a RAID group can defeat SuDoku-Y, with the
+// per-group probability of the configuration and, for the SuDoku-Z
+// composition, the probability that each participating faulty line
+// *also* fails its Hash-2 group.
+type failMode struct {
+	name  string
+	prob  float64
+	hash2 []float64
+}
+
+// yFailureModes enumerates the group configurations SuDoku-Y cannot
+// repair, under the configured accounting mode and inner-code strength
+// t. Probabilities are per group per scrub interval.
+//
+// A line with exactly t+1 faults (an "a-line") is resurrectable by
+// SDR: flipping one visible fault leaves t, which ECC-t absorbs. A
+// line with t+2 or more faults (a "b-line") is beyond SDR and needs
+// RAID-4. For the paper's t = 1 (pa = P(exactly 2), pb = P(3+)), the
+// modes below reduce to the §IV discussion:
+//
+//	(a,a) both-overlap      the two fault sets coincide exactly, so
+//	                        the parity shows no mismatch for the pair
+//	                        (Figure 3(c)): C(G,2)·pa²·1/C(n,t+1).
+//	(b,b)                   SDR cannot resurrect either; RAID-4 fixes
+//	                        only one: C(G,2)·pb².
+//	(a,b=f) hidden          all t+1 faults of the a-line coincide with
+//	                        faults of the f-line: C(f,t+1)/C(n,t+1).
+//	(a,b≥cap−t) cap         (t+1)+f exceeds the mismatch cap → SDR
+//	                        skipped (§IV-C).
+//	(a,a,b)                 ≥3t+4 positions → over the cap.
+//	(a,a,a)                 hidden-set risk if within the cap, DUE
+//	                        outright beyond it.
+//	(a,a,a,a)               4(t+1) positions → over the cap.
+//
+// YConservative replaces the (a,b) terms with "any uncorrectable pair
+// containing a b-line fails", an upper bound.
+func (c Config) yFailureModes() []failMode {
+	n := c.CodewordBits()
+	g := c.GroupSize
+	t := c.t()
+	pa := c.LineErrorExactly(t + 1)
+	pb := c.LineErrorAtLeast(t + 2)
+
+	cg2 := float64(g) * float64(g-1) / 2
+	cg3 := cg2 * float64(g-2) / 3
+	cg4 := cg3 * float64(g-3) / 4
+	cnA := math.Exp(logChoose(n, t+1)) // C(n, t+1)
+	fSkip := c.MaxMismatch - t
+	if fSkip < t+2 {
+		fSkip = t + 2
+	}
+	f2, f3 := c.hash2LineFail()
+
+	modes := []failMode{
+		{"(a,a) both-overlap", cg2 * pa * pa * (1 / cnA), []float64{f2, f2}},
+		{"(b,b)", cg2 * pb * pb, []float64{f3, f3}},
+	}
+	if c.Y == YConservative {
+		modes = append(modes,
+			failMode{"(a,b) any", cg2 * 2 * pa * pb, []float64{f2, f3}})
+	} else {
+		// Hidden (a,f) pairs below the cap: C(f,t+1)/C(n,t+1) hiding
+		// probability per configuration.
+		for f := t + 2; f < fSkip; f++ {
+			hide := math.Exp(logChoose(f, t+1)) / cnA
+			modes = append(modes, failMode{
+				fmt.Sprintf("(a,%d) hidden", f),
+				cg2 * 2 * pa * c.LineErrorExactly(f) * hide,
+				[]float64{f2, f3},
+			})
+		}
+		modes = append(modes, failMode{
+			"(a,b≥cap) cap", cg2 * 2 * pa * c.LineErrorAtLeast(fSkip), []float64{f2, f3},
+		})
+	}
+	// (a,a,b): 2(t+1)+(t+2) positions exceed the default cap for every
+	// t; scored as DUE outright (third order).
+	modes = append(modes, failMode{
+		"(a,a,b)", cg3 * 3 * pa * pa * pb, []float64{f2, f2, f3},
+	})
+	// (a,a,a): within the cap, each line risks having all its faults
+	// hidden under the union of the others' 2(t+1) faults.
+	if 3*(t+1) <= c.MaxMismatch {
+		hide := math.Exp(logChoose(2*(t+1), t+1)) / cnA
+		modes = append(modes, failMode{
+			"(a,a,a) hidden", cg3 * pa * pa * pa * 3 * hide, []float64{f2, f2, f2},
+		})
+	} else {
+		modes = append(modes, failMode{
+			"(a,a,a) cap", cg3 * pa * pa * pa, []float64{f2, f2, f2},
+		})
+	}
+	modes = append(modes, failMode{
+		"(a,a,a,a) cap", cg4 * pa * pa * pa * pa, []float64{f2, f2, f2, f2},
+	})
+	return modes
+}
+
+// yGroupDUE sums the per-group SuDoku-Y failure probability.
+func (c Config) yGroupDUE() float64 {
+	var due float64
+	for _, m := range c.yFailureModes() {
+		due += m.prob
+	}
+	return due
+}
+
+// SuDokuY evaluates the design with Sequential Data Resurrection
+// (§IV).
+func (c Config) SuDokuY() SchemeResult {
+	due := c.CacheFromGroup(c.yGroupDUE())
+	return c.schemeResult("SuDoku-Y", due, c.sdcPerInterval())
+}
+
+// hash2LineFail returns, for a line already known to carry the given
+// class of fault (an a-line with t+1 faults or a b-line with t+2 or
+// more), the probability that its Hash-2 RAID group *also* cannot
+// repair it — the quantity multiplied across the failing lines in the
+// SuDoku-Z analysis (§V-B).
+func (c Config) hash2LineFail() (failA, failB float64) {
+	n := c.CodewordBits()
+	g := c.GroupSize
+	t := c.t()
+	pa := c.LineErrorExactly(t + 1)
+	pb := c.LineErrorAtLeast(t + 2)
+	pm := c.pUncorrectable()
+	cnA := math.Exp(logChoose(n, t+1))
+	others := float64(g - 1)
+	if c.Y == YConservative {
+		// An a-line dies beside any b-line (or an identically-faulted
+		// a-line); a b-line dies beside any uncorrectable line.
+		failA = others * (pb + pa/cnA)
+		failB = others * pm
+		return failA, failB
+	}
+	// Exact mode: an a-line dies only if hidden (its fault set covered
+	// by a neighbour's) or beside a line beyond the mismatch cap; a
+	// b-line dies beside another b-line or an unresurrectable a-line.
+	fSkip := c.MaxMismatch - t
+	if fSkip < t+2 {
+		fSkip = t + 2
+	}
+	hidden := pa / cnA
+	for f := t + 2; f < fSkip; f++ {
+		hidden += c.LineErrorExactly(f) * math.Exp(logChoose(f, t+1)) / cnA
+	}
+	failA = others * (hidden + c.LineErrorAtLeast(fSkip))
+	failB = others * (pb + pa*math.Exp(logChoose(t+2, t+1))/cnA)
+	return failA, failB
+}
+
+// SuDokuZ evaluates the skew-hashed design (§V): a Hash-1 failure
+// becomes a cache DUE only when at least two of the failing lines are
+// *also* unrepairable within their (disjoint, fresh-neighbour) Hash-2
+// groups — if all but one repair under Hash-2, the final Hash-1 RAID-4
+// pass rebuilds the last (§V-B). For each SuDoku-Y failure mode the
+// composition is therefore the mode probability times P(≥2 of the
+// participating lines fail Hash-2), expanded to second order as the
+// sum over line pairs of the product of their Hash-2 failure
+// probabilities.
+func (c Config) SuDokuZ() SchemeResult {
+	var due float64
+	for _, m := range c.yFailureModes() {
+		var pairSum float64
+		for i := 0; i < len(m.hash2); i++ {
+			for j := i + 1; j < len(m.hash2); j++ {
+				pairSum += m.hash2[i] * m.hash2[j]
+			}
+		}
+		due += m.prob * pairSum
+	}
+	dueCache := c.CacheFromGroup(due)
+	return c.schemeResult("SuDoku-Z", dueCache, c.sdcPerInterval())
+}
+
+// SuDokuZNoSDR evaluates the footnote-4 variant: skewed hashing layered
+// directly on SuDoku-X, without Sequential Data Resurrection. The
+// paper reports ≈ 4 million FIT for this design, which this model
+// reproduces — the reason SuDoku-Z is built on SuDoku-Y.
+func (c Config) SuDokuZNoSDR() SchemeResult {
+	g := c.GroupSize
+	pm := c.pUncorrectable()
+	cg2 := float64(g) * float64(g-1) / 2
+	// A multi-bit line fails its Hash-2 group whenever that group
+	// holds any other multi-bit line (plain RAID-4).
+	fLine := float64(g-1) * pm
+	due := cg2 * pm * pm * fLine * fLine
+	return c.schemeResult("SuDoku-Z (no SDR)", c.CacheFromGroup(due), c.sdcPerInterval())
+}
+
+// Schemes evaluates X, Y, and Z at the configured operating point —
+// the series behind Figure 7.
+func (c Config) Schemes() []SchemeResult {
+	return []SchemeResult{c.SuDokuX(), c.SuDokuY(), c.SuDokuZ()}
+}
+
+// Fig7Point is one sample of the Figure 7 curves: cumulative failure
+// probability (DUE+SDC) after a mission time.
+type Fig7Point struct {
+	Mission time.Duration
+	Probs   map[string]float64
+}
+
+// Fig7Series samples the cache failure probability of SuDoku-X/Y/Z and
+// ECC-6 at the given mission times.
+func (c Config) Fig7Series(missions []time.Duration) ([]Fig7Point, error) {
+	schemes := c.Schemes()
+	ecc6, err := c.ECCk(6)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, 0, len(missions))
+	for _, m := range missions {
+		pt := Fig7Point{Mission: m, Probs: make(map[string]float64, 4)}
+		for _, s := range schemes {
+			pt.Probs[s.Name] = FailureProbAt(s.FIT, m)
+		}
+		pt.Probs["ECC-6"] = FailureProbAt(ecc6.FIT, m)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SDRCaseProbs returns the Figure 3 scenario probabilities for two
+// lines with two faults each over lineBits columns: no overlap, one
+// overlap, both overlap. The paper quotes 99.22% / 0.78% / ~0.0004%
+// for 512-bit lines.
+func SDRCaseProbs(lineBits int) (none, one, both float64) {
+	n := float64(lineBits)
+	cn2 := n * (n - 1) / 2
+	none = (n - 2) * (n - 3) / 2 / cn2
+	one = 2 * (n - 2) / cn2
+	both = 1 / cn2
+	return none, one, both
+}
+
+// StorageOverhead describes the per-line metadata budget (§VII-H).
+type StorageOverhead struct {
+	Scheme      string
+	BitsPerLine int
+}
+
+// StorageOverheads compares SuDoku-Z's per-line cost (ECC-1 + CRC-31 +
+// amortized dual PLTs) with uniform ECC-6.
+func (c Config) StorageOverheads() []StorageOverhead {
+	pltAmortized := 2 * c.CodewordBits() / c.GroupSize // two PLTs, ≈2 bits
+	return []StorageOverhead{
+		{Scheme: "SuDoku-Z", BitsPerLine: c.ECCBits + c.CRCBits + pltAmortized},
+		{Scheme: "ECC-6", BitsPerLine: 60},
+	}
+}

@@ -1,0 +1,361 @@
+// Package baselines implements the comparator schemes of Table XI and
+// Table XII as working correction code, provisioned — per §VIII-A —
+// with the same per-line resources as SuDoku (ECC-1 + CRC-31):
+//
+//   - CPPC: one cache-wide parity line; restores a single faulty line
+//     anywhere in the cache.
+//   - RAID-6: two parity lines per 512-line group (row parity plus a
+//     rotation-based diagonal parity), correcting up to two flagged
+//     lines per group by erasure decoding.
+//   - 2DP (optimized, ECC-1 + vertical parity): functionally this is
+//     SuDoku-Y restricted to a single hash — the vertical parity *is*
+//     the RAID-4 parity and column trial-flips *are* SDR — so the
+//     implementation reuses core.Engine at ProtectionY. The paper's
+//     Table XI reflects the same equivalence (2DP's 2.8×10⁸ FIT ≈
+//     SuDoku-Y's 2.86×10⁸).
+//   - Hi-ECC: one multi-bit code over a 1 KB region instead of per
+//     64 B line. Note a true 6-error BCH over 8192 data bits needs
+//     GF(2¹⁴) and 84 parity bits, not the idealized 60 the paper
+//     charges; we implement the real code and document the gap.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/core"
+	"sudoku/internal/ecc/bch"
+)
+
+// ErrUnrepairable is returned when a scheme cannot recover the data.
+var ErrUnrepairable = errors.New("baselines: unrepairable fault pattern")
+
+// CPPC is the Correctable Parity Protected Cache comparator: per-line
+// ECC-1 + CRC-31 detection with a single global parity line.
+type CPPC struct {
+	codec  *core.LineCodec
+	parity *bitvec.Vector
+}
+
+// NewCPPC builds the scheme for 64-byte lines.
+func NewCPPC() (*CPPC, error) {
+	codec, err := core.NewLineCodec(core.DefaultDataBits)
+	if err != nil {
+		return nil, err
+	}
+	return &CPPC{
+		codec:  codec,
+		parity: bitvec.New(codec.StoredBits()),
+	}, nil
+}
+
+// Codec returns the per-line codec.
+func (c *CPPC) Codec() *core.LineCodec { return c.codec }
+
+// UpdateParity folds a line-content delta (old ⊕ new) into the global
+// parity.
+func (c *CPPC) UpdateParity(delta *bitvec.Vector) error {
+	return c.parity.XorInto(delta)
+}
+
+// Repair scrubs all lines: singles via ECC-1, then — only if exactly
+// one line remains faulty — global-parity reconstruction. It returns
+// the indices of unrepaired lines.
+func (c *CPPC) Repair(lines []*bitvec.Vector) ([]int, error) {
+	var faulty []int
+	for i, ln := range lines {
+		st, err := c.codec.Scrub(ln)
+		if err != nil {
+			return nil, err
+		}
+		if st == core.StatusUncorrectable {
+			faulty = append(faulty, i)
+		}
+	}
+	if len(faulty) != 1 {
+		return faulty, nil
+	}
+	rec := c.parity.Clone()
+	for i, ln := range lines {
+		if i == faulty[0] {
+			continue
+		}
+		if err := rec.XorInto(ln); err != nil {
+			return nil, err
+		}
+	}
+	ok, err := c.codec.Check(rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return faulty, nil
+	}
+	if err := lines[faulty[0]].CopyFrom(rec); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// raid6Width is the prime rotation width for the diagonal parity:
+// the smallest prime above the 553-bit codeword, so that two-erasure
+// recovery always walks a single cycle (and the pad bits provide the
+// known-zero anchor).
+const raid6Width = 557
+
+// RAID6 keeps a row parity P and a diagonal parity Q per group; two
+// lines flagged faulty by their CRCs are recovered as erasures.
+type RAID6 struct {
+	codec *core.LineCodec
+	p     *bitvec.Vector
+	q     *bitvec.Vector
+}
+
+// NewRAID6 builds the scheme for one group.
+func NewRAID6() (*RAID6, error) {
+	codec, err := core.NewLineCodec(core.DefaultDataBits)
+	if err != nil {
+		return nil, err
+	}
+	return &RAID6{
+		codec: codec,
+		p:     bitvec.New(raid6Width),
+		q:     bitvec.New(raid6Width),
+	}, nil
+}
+
+// Codec returns the per-line codec.
+func (r *RAID6) Codec() *core.LineCodec { return r.codec }
+
+// pad widens a codeword to the prime rotation width.
+func (r *RAID6) pad(line *bitvec.Vector) (*bitvec.Vector, error) {
+	out := bitvec.New(raid6Width)
+	if err := out.Paste(line, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rot rotates a prime-width vector left by k positions.
+func rot(v *bitvec.Vector, k int) *bitvec.Vector {
+	out := bitvec.New(raid6Width)
+	for _, b := range v.SetBits() {
+		// Set cannot fail: positions stay within the width.
+		_ = out.Set((b + k) % raid6Width)
+	}
+	return out
+}
+
+// SetParities recomputes P and Q from the group's (clean) lines:
+// P = ⊕ lineᵢ and Q = ⊕ rot(lineᵢ, i).
+func (r *RAID6) SetParities(lines []*bitvec.Vector) error {
+	if len(lines) > raid6Width {
+		return fmt.Errorf("baselines: group of %d exceeds rotation width", len(lines))
+	}
+	r.p.Zero()
+	r.q.Zero()
+	for i, ln := range lines {
+		padded, err := r.pad(ln)
+		if err != nil {
+			return err
+		}
+		if err := r.p.XorInto(padded); err != nil {
+			return err
+		}
+		if err := r.q.XorInto(rot(padded, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Repair scrubs the group: singles via ECC-1, one erasure via P, two
+// erasures via P+Q. Three or more faulty lines are unrepairable.
+func (r *RAID6) Repair(lines []*bitvec.Vector) ([]int, error) {
+	var faulty []int
+	for i, ln := range lines {
+		st, err := r.codec.Scrub(ln)
+		if err != nil {
+			return nil, err
+		}
+		if st == core.StatusUncorrectable {
+			faulty = append(faulty, i)
+		}
+	}
+	switch len(faulty) {
+	case 0:
+		return nil, nil
+	case 1:
+		if err := r.recoverOne(lines, faulty[0]); err != nil {
+			if errors.Is(err, ErrUnrepairable) {
+				return faulty, nil
+			}
+			return nil, err
+		}
+		return nil, nil
+	case 2:
+		if err := r.recoverTwo(lines, faulty[0], faulty[1]); err != nil {
+			if errors.Is(err, ErrUnrepairable) {
+				return faulty, nil
+			}
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return faulty, nil
+	}
+}
+
+// recoverOne rebuilds a single erasure from P.
+func (r *RAID6) recoverOne(lines []*bitvec.Vector, target int) error {
+	rec := r.p.Clone()
+	for i, ln := range lines {
+		if i == target {
+			continue
+		}
+		padded, err := r.pad(ln)
+		if err != nil {
+			return err
+		}
+		if err := rec.XorInto(padded); err != nil {
+			return err
+		}
+	}
+	return r.commit(lines, target, rec)
+}
+
+// recoverTwo solves the two-erasure system
+//
+//	A ⊕ B           = Sp
+//	rot(A,i) ⊕ rot(B,j) = Sq
+//
+// by eliminating B: rot(A,i) ⊕ rot(A,j) = Sq ⊕ rot(Sp,j), a linear
+// recurrence over positions with step j−i. The width is prime, so the
+// recurrence walks every position from the known-zero pad anchor.
+func (r *RAID6) recoverTwo(lines []*bitvec.Vector, i, j int) error {
+	sp := r.p.Clone()
+	sq := r.q.Clone()
+	for k, ln := range lines {
+		if k == i || k == j {
+			continue
+		}
+		padded, err := r.pad(ln)
+		if err != nil {
+			return err
+		}
+		if err := sp.XorInto(padded); err != nil {
+			return err
+		}
+		if err := sq.XorInto(rot(padded, k)); err != nil {
+			return err
+		}
+	}
+	// c = Sq ⊕ rot(Sp, j); equation: A[m] = A[m−d] ⊕ c[(m+i) mod W].
+	c, err := bitvec.Xor(sq, rot(sp, j))
+	if err != nil {
+		return err
+	}
+	d := ((j - i) % raid6Width + raid6Width) % raid6Width
+	if d == 0 {
+		return ErrUnrepairable
+	}
+	a := bitvec.New(raid6Width)
+	// Anchor: pad position (the last bit) is known zero.
+	m := raid6Width - 1
+	prev := false
+	for step := 0; step < raid6Width; step++ {
+		next := (m + d) % raid6Width
+		bit := prev != c.Bit((next+i)%raid6Width)
+		if bit {
+			if err := a.Set(next); err != nil {
+				return err
+			}
+		}
+		prev = bit
+		m = next
+	}
+	b, err := bitvec.Xor(sp, a)
+	if err != nil {
+		return err
+	}
+	if err := r.commit(lines, i, a); err != nil {
+		return err
+	}
+	return r.commit(lines, j, b)
+}
+
+// commit validates a padded recovery (pad bits zero, CRC passes) and
+// writes it back.
+func (r *RAID6) commit(lines []*bitvec.Vector, target int, padded *bitvec.Vector) error {
+	width := r.codec.StoredBits()
+	for b := width; b < raid6Width; b++ {
+		if padded.Bit(b) {
+			return ErrUnrepairable
+		}
+	}
+	rec, err := padded.Slice(0, width)
+	if err != nil {
+		return err
+	}
+	ok, err := r.codec.Check(rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrUnrepairable
+	}
+	return lines[target].CopyFrom(rec)
+}
+
+// NewTwoDP returns the optimized 2DP engine: ECC-1 per line with a
+// vertical parity and column trial-flips — exactly core.Engine at
+// ProtectionY over a single parity group.
+func NewTwoDP() (*core.Engine, error) {
+	codec, err := core.NewLineCodec(core.DefaultDataBits)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(codec, core.ProtectionY)
+}
+
+// HiECC protects a whole 1 KB region (sixteen 64-byte lines) with one
+// six-error-correcting BCH code over GF(2¹⁴).
+type HiECC struct {
+	code *bch.Code
+}
+
+// HiECCRegionBytes is the protection granularity.
+const HiECCRegionBytes = 1024
+
+// NewHiECC builds the scheme.
+func NewHiECC() (*HiECC, error) {
+	code, err := bch.New(14, 6, HiECCRegionBytes*8)
+	if err != nil {
+		return nil, err
+	}
+	return &HiECC{code: code}, nil
+}
+
+// ParityBits returns the real parity cost per region (84 bits — the
+// paper idealizes this as 60; see the package comment).
+func (h *HiECC) ParityBits() int { return h.code.ParityBits() }
+
+// Encode produces the protected region codeword for 1 KB of data.
+func (h *HiECC) Encode(region *bitvec.Vector) (*bitvec.Vector, error) {
+	return h.code.Encode(region)
+}
+
+// Repair corrects up to six errors in a region codeword in place and
+// returns the number of bits fixed; beyond six it reports
+// ErrUnrepairable (or miscorrects, as real BCH hardware does).
+func (h *HiECC) Repair(cw *bitvec.Vector) (int, error) {
+	n, err := h.code.Decode(cw)
+	if err != nil {
+		if errors.Is(err, bch.ErrUncorrectable) {
+			return 0, fmt.Errorf("%w: %v", ErrUnrepairable, err)
+		}
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,294 @@
+package baselines
+
+import (
+	"testing"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/core"
+	"sudoku/internal/rng"
+)
+
+func randomData(r *rng.Source, n int) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+// buildLines encodes size random lines and returns them with clean
+// copies.
+func buildLines(t testing.TB, codec *core.LineCodec, r *rng.Source, size int) (lines, clean []*bitvec.Vector) {
+	t.Helper()
+	lines = make([]*bitvec.Vector, size)
+	clean = make([]*bitvec.Vector, size)
+	for i := range lines {
+		stored, err := codec.Encode(randomData(r, codec.DataBits()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = stored
+		clean[i] = stored.Clone()
+	}
+	return lines, clean
+}
+
+func flip(t testing.TB, v *bitvec.Vector, bits ...int) {
+	t.Helper()
+	for _, b := range bits {
+		if err := v.Flip(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCPPCRepairsOneMultiBitLine(t *testing.T) {
+	c, err := NewCPPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	lines, clean := buildLines(t, c.Codec(), r, 16)
+	for _, ln := range lines {
+		if err := c.UpdateParity(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(t, lines[3], 10, 20, 30)
+	flip(t, lines[7], 99) // single: ECC-1 territory
+	unrepaired, err := c.Repair(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unrepaired) != 0 {
+		t.Fatalf("unrepaired: %v", unrepaired)
+	}
+	for i := range lines {
+		if !lines[i].Equal(clean[i]) {
+			t.Fatalf("line %d not restored", i)
+		}
+	}
+}
+
+func TestCPPCFailsOnTwoMultiBitLines(t *testing.T) {
+	// Table XI: CPPC's global parity cannot cope with two concurrent
+	// multi-bit lines — its defining weakness at high fault rates.
+	c, err := NewCPPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	lines, _ := buildLines(t, c.Codec(), r, 16)
+	for _, ln := range lines {
+		if err := c.UpdateParity(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(t, lines[3], 10, 20)
+	flip(t, lines[9], 30, 40)
+	unrepaired, err := c.Repair(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unrepaired) != 2 {
+		t.Fatalf("unrepaired = %v, want both lines", unrepaired)
+	}
+}
+
+func TestRAID6RepairsTwoMultiBitLines(t *testing.T) {
+	// RAID-6's headline capability: two erasures per group — a case
+	// where plain RAID-4 (SuDoku-X) fails.
+	r6, err := NewRAID6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		lines, clean := buildLines(t, r6.Codec(), r, 12)
+		if err := r6.SetParities(lines); err != nil {
+			t.Fatal(err)
+		}
+		// Random pair of lines, random multi-bit faults (3 each —
+		// beyond SDR's reach too).
+		i, j := 2, 9
+		flip(t, lines[i], r.SampleDistinct(553, 3)...)
+		flip(t, lines[j], r.SampleDistinct(553, 3)...)
+		unrepaired, err := r6.Repair(lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(unrepaired) != 0 {
+			t.Fatalf("trial %d: unrepaired %v", trial, unrepaired)
+		}
+		for k := range lines {
+			if !lines[k].Equal(clean[k]) {
+				t.Fatalf("trial %d: line %d not restored", trial, k)
+			}
+		}
+	}
+}
+
+func TestRAID6SinglesAndOneErasure(t *testing.T) {
+	r6, err := NewRAID6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	lines, clean := buildLines(t, r6.Codec(), r, 8)
+	if err := r6.SetParities(lines); err != nil {
+		t.Fatal(err)
+	}
+	flip(t, lines[0], 5)
+	flip(t, lines[4], 10, 20, 30, 40)
+	unrepaired, err := r6.Repair(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unrepaired) != 0 {
+		t.Fatalf("unrepaired %v", unrepaired)
+	}
+	for k := range lines {
+		if !lines[k].Equal(clean[k]) {
+			t.Fatalf("line %d not restored", k)
+		}
+	}
+}
+
+func TestRAID6FailsOnThreeMultiBitLines(t *testing.T) {
+	r6, err := NewRAID6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	lines, _ := buildLines(t, r6.Codec(), r, 8)
+	if err := r6.SetParities(lines); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 3, 6} {
+		flip(t, lines[i], 10+i, 100+i)
+	}
+	unrepaired, err := r6.Repair(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unrepaired) != 3 {
+		t.Fatalf("unrepaired = %v, want 3 lines", unrepaired)
+	}
+}
+
+func TestTwoDPIsYEquivalent(t *testing.T) {
+	eng, err := NewTwoDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Level() != core.ProtectionY {
+		t.Fatalf("2DP engine level = %v", eng.Level())
+	}
+	// The Figure 3(a) scenario works under 2DP...
+	r := rng.New(6)
+	lines, clean := buildLines(t, eng.Codec(), r, 8)
+	parity := bitvec.New(eng.Codec().StoredBits())
+	for _, ln := range lines {
+		if err := parity.XorInto(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(t, lines[1], 10, 20)
+	flip(t, lines[5], 30, 40)
+	rep, err := eng.RepairGroup(lines, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 0 {
+		t.Fatalf("2DP failed the no-overlap pair: %+v", rep)
+	}
+	for k := range lines {
+		if !lines[k].Equal(clean[k]) {
+			t.Fatalf("line %d not restored", k)
+		}
+	}
+	// ...but the overlapping pair is 2DP's documented failure mode.
+	lines2, _ := buildLines(t, eng.Codec(), r, 8)
+	parity2 := bitvec.New(eng.Codec().StoredBits())
+	for _, ln := range lines2 {
+		if err := parity2.XorInto(ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip(t, lines2[1], 10, 20)
+	flip(t, lines2[5], 10, 20)
+	rep2, err := eng.RepairGroup(lines2, parity2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Unrepaired) != 2 {
+		t.Fatalf("overlapping pair should defeat 2DP: %+v", rep2)
+	}
+}
+
+func TestHiECC(t *testing.T) {
+	h, err := NewHiECC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ParityBits() != 84 {
+		t.Fatalf("Hi-ECC parity = %d bits, want 84 (real BCH over GF(2¹⁴))", h.ParityBits())
+	}
+	r := rng.New(7)
+	region := randomData(r, HiECCRegionBytes*8)
+	cw, err := h.Encode(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := cw.Clone()
+	// Six errors anywhere in the 1 KB region: corrected.
+	flip(t, cw, r.SampleDistinct(cw.Len(), 6)...)
+	n, err := h.Repair(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || !cw.Equal(clean) {
+		t.Fatalf("corrected %d, equal %v", n, cw.Equal(clean))
+	}
+	// Seven errors: detected or miscorrected — never falsely clean.
+	detected := 0
+	for trial := 0; trial < 20; trial++ {
+		cw2 := clean.Clone()
+		flip(t, cw2, r.SampleDistinct(cw2.Len(), 7)...)
+		if _, err := h.Repair(cw2); err != nil {
+			detected++
+		} else if cw2.Equal(clean) {
+			t.Fatal("seven errors silently vanished")
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no 7-error pattern detected in 20 trials")
+	}
+}
+
+func BenchmarkRAID6TwoErasures(b *testing.B) {
+	r6, err := NewRAID6()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	lines, clean := buildLines(b, r6.Codec(), r, 16)
+	if err := r6.SetParities(lines); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := range lines {
+			if err := lines[k].CopyFrom(clean[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		flip(b, lines[2], 10, 20, 30)
+		flip(b, lines[9], 40, 50, 60)
+		b.StartTimer()
+		if _, err := r6.Repair(lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package bitvec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLenAndZero(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"one bit", 1},
+		{"word boundary", 64},
+		{"cache line data", 512},
+		{"codeword", 553},
+		{"negative clamps", -5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := New(tt.n)
+			want := tt.n
+			if want < 0 {
+				want = 0
+			}
+			if v.Len() != want {
+				t.Fatalf("Len() = %d, want %d", v.Len(), want)
+			}
+			if !v.IsZero() {
+				t.Fatalf("new vector not zero")
+			}
+			if v.PopCount() != 0 {
+				t.Fatalf("PopCount() = %d, want 0", v.PopCount())
+			}
+		})
+	}
+}
+
+func TestSetClearFlipBit(t *testing.T) {
+	v := New(512)
+	if err := v.Set(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(511); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(63); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.PopCount(); got != 4 {
+		t.Fatalf("PopCount() = %d, want 4", got)
+	}
+	for _, i := range []int{0, 63, 64, 511} {
+		if !v.Bit(i) {
+			t.Fatalf("Bit(%d) = false, want true", i)
+		}
+	}
+	if v.Bit(1) || v.Bit(510) {
+		t.Fatal("unexpected bits set")
+	}
+	if err := v.Clear(63); err != nil {
+		t.Fatal(err)
+	}
+	if v.Bit(63) {
+		t.Fatal("Clear(63) did not clear")
+	}
+	if err := v.Flip(63); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bit(63) {
+		t.Fatal("Flip(63) did not set")
+	}
+	if err := v.Flip(63); err != nil {
+		t.Fatal(err)
+	}
+	if v.Bit(63) {
+		t.Fatal("double Flip(63) did not restore")
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		if err := v.Set(i); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Set(%d) err = %v, want ErrOutOfRange", i, err)
+		}
+		if err := v.Clear(i); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Clear(%d) err = %v, want ErrOutOfRange", i, err)
+		}
+		if err := v.Flip(i); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Flip(%d) err = %v, want ErrOutOfRange", i, err)
+		}
+		if v.Bit(i) {
+			t.Errorf("Bit(%d) = true for out-of-range index", i)
+		}
+	}
+}
+
+func TestXorParityInvariant(t *testing.T) {
+	// XOR of a set of lines, then XOR-ing all but one back, must
+	// reconstruct the missing line — the RAID-4 recovery identity.
+	rnd := rand.New(rand.NewSource(42))
+	const lines, n = 8, 512
+	vs := make([]*Vector, lines)
+	parity := New(n)
+	for i := range vs {
+		vs[i] = randomVec(rnd, n)
+		if err := parity.XorInto(vs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := 3
+	rec := parity.Clone()
+	for i, v := range vs {
+		if i == missing {
+			continue
+		}
+		if err := rec.XorInto(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rec.Equal(vs[missing]) {
+		t.Fatal("RAID-4 reconstruction identity violated")
+	}
+}
+
+func TestXorLengthMismatch(t *testing.T) {
+	a, b := New(10), New(11)
+	if err := a.XorInto(b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("XorInto err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := Xor(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("Xor err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestSetBitsAndDiffBits(t *testing.T) {
+	v := New(200)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		if err := v.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := v.SetBits()
+	if len(got) != len(want) {
+		t.Fatalf("SetBits len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetBits[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	w := v.Clone()
+	if err := w.Flip(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flip(64); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := v.DiffBits(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 2 || diff[0] != 5 || diff[1] != 64 {
+		t.Fatalf("DiffBits = %v, want [5 64]", diff)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	b := []byte{0x01, 0x80, 0xff, 0x00, 0x5a}
+	v := FromBytes(b)
+	if v.Len() != len(b)*8 {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(b)*8)
+	}
+	got := v.Bytes()
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("Bytes()[%d] = %#x, want %#x", i, got[i], b[i])
+		}
+	}
+	if !v.Bit(0) {
+		t.Fatal("bit 0 of 0x01 should be set")
+	}
+	if !v.Bit(15) {
+		t.Fatal("bit 15 (msb of byte 1 = 0x80) should be set")
+	}
+}
+
+func TestSliceAndPaste(t *testing.T) {
+	v := New(100)
+	for i := 40; i < 50; i++ {
+		if err := v.Set(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := v.Slice(40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 || s.PopCount() != 10 {
+		t.Fatalf("Slice: len %d pop %d, want 10/10", s.Len(), s.PopCount())
+	}
+	dst := New(100)
+	if err := dst.Paste(s, 90); err != nil {
+		t.Fatal(err)
+	}
+	for i := 90; i < 100; i++ {
+		if !dst.Bit(i) {
+			t.Fatalf("Paste missing bit %d", i)
+		}
+	}
+	if dst.PopCount() != 10 {
+		t.Fatalf("Paste pop = %d, want 10", dst.PopCount())
+	}
+	if _, err := v.Slice(50, 40); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("inverted Slice err = %v, want ErrOutOfRange", err)
+	}
+	if err := dst.Paste(s, 95); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overflowing Paste err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestFromWordsMasksTail(t *testing.T) {
+	v := FromWords([]uint64{^uint64(0)}, 10)
+	if v.PopCount() != 10 {
+		t.Fatalf("PopCount = %d, want 10 (tail not masked)", v.PopCount())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := New(64)
+	if err := v.Set(5); err != nil {
+		t.Fatal(err)
+	}
+	c := v.Clone()
+	if err := c.Flip(5); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bit(5) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestWordsReturnsCopy(t *testing.T) {
+	v := New(64)
+	w := v.Words()
+	w[0] = ^uint64(0)
+	if !v.IsZero() {
+		t.Fatal("Words() exposed internal storage")
+	}
+}
+
+// Property: XOR is an involution — (a ^ b) ^ b == a.
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(aw, bw [9]uint64) bool {
+		a := FromWords(aw[:], 553)
+		b := FromWords(bw[:], 553)
+		x, err := Xor(a, b)
+		if err != nil {
+			return false
+		}
+		y, err := Xor(x, b)
+		if err != nil {
+			return false
+		}
+		return y.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popcount(a^b) == number of differing bits == len(DiffBits).
+func TestQuickDiffCount(t *testing.T) {
+	f := func(aw, bw [8]uint64) bool {
+		a := FromWords(aw[:], 512)
+		b := FromWords(bw[:], 512)
+		x, err := Xor(a, b)
+		if err != nil {
+			return false
+		}
+		d, err := a.DiffBits(b)
+		if err != nil {
+			return false
+		}
+		return x.PopCount() == len(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bytes/FromBytes round-trips for whole-byte vectors.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		v := FromBytes(b)
+		got := v.Bytes()
+		if len(got) != len(b) {
+			return false
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomVec(rnd *rand.Rand, n int) *Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = rnd.Uint64()
+	}
+	return FromWords(words, n)
+}
+
+func BenchmarkXorInto512(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x := randomVec(rnd, 512)
+	y := randomVec(rnd, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.XorInto(y)
+	}
+}
+
+func BenchmarkPopCount512(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	x := randomVec(rnd, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.PopCount()
+	}
+}

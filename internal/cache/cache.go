@@ -1,0 +1,357 @@
+// Package cache implements the STTRAM last-level cache substrate: a
+// set-associative, banked, write-back cache whose lines are protected
+// by the SuDoku architecture (per-line ECC-1 + CRC-31, dual skew-hashed
+// RAID-4 parity tables, periodic scrub).
+//
+// The cache is both functional (it stores real data, so examples can
+// write, corrupt, scrub, and read back) and timed (per-bank
+// serialization, STTRAM read/write latencies of 9/18 ns, the 1-cycle
+// CRC syndrome check of §III-B). Table VI gives the reference
+// configuration: 64 MB shared, 8-way, 64 B lines.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/core"
+)
+
+// Memory is the next level below the LLC (DRAM): a timing model that
+// services a line transfer issued at time now and returns its latency.
+type Memory interface {
+	Access(now time.Duration, addr uint64, write bool) time.Duration
+}
+
+// Config describes the cache organization.
+type Config struct {
+	// Lines is the total number of cache lines (power of two).
+	Lines int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the line size (64).
+	LineBytes int
+	// GroupSize is the RAID-group size (512).
+	GroupSize int
+	// Protection selects the SuDoku variant; it also enables the
+	// per-access CRC check cycle. Zero disables protection entirely
+	// (the idealized error-free baseline of Figures 8 and 9).
+	Protection core.Protection
+	// ReadLatency and WriteLatency are the STTRAM array timings
+	// (Table VI: 9 ns and 18 ns).
+	ReadLatency, WriteLatency time.Duration
+	// Banks is the number of independently timed banks.
+	Banks int
+	// CRCCheckCycles is the syndrome-check latency in core cycles
+	// (§III-B: one cycle).
+	CRCCheckCycles int
+	// ClockGHz converts check cycles to time (3.2 GHz).
+	ClockGHz float64
+	// ECCStrength is the per-line inner-code capability (0 or 1 = the
+	// paper's ECC-1; 2 = the §VII-G BCH enhancement).
+	ECCStrength int
+	// MaxMismatch overrides the SDR candidate cap (0 = paper default
+	// of 6; raise it alongside ECCStrength ≥ 2).
+	MaxMismatch int
+}
+
+// DefaultConfig returns the Table VI cache: 64 MB, 8-way, 64 B lines,
+// SuDoku-Z protection.
+func DefaultConfig() Config {
+	return Config{
+		Lines:          1 << 20,
+		Ways:           8,
+		LineBytes:      64,
+		GroupSize:      512,
+		Protection:     core.ProtectionZ,
+		ReadLatency:    9 * time.Nanosecond,
+		WriteLatency:   18 * time.Nanosecond,
+		Banks:          32,
+		CRCCheckCycles: 1,
+		ClockGHz:       3.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Lines <= 0 || bits.OnesCount(uint(c.Lines)) != 1:
+		return fmt.Errorf("cache: Lines %d must be a power of two", c.Lines)
+	case c.Ways <= 0 || c.Lines%c.Ways != 0:
+		return fmt.Errorf("cache: Ways %d", c.Ways)
+	case c.LineBytes != 64:
+		return fmt.Errorf("cache: only 64-byte lines are supported, got %d", c.LineBytes)
+	case c.Banks <= 0 || bits.OnesCount(uint(c.Banks)) != 1:
+		return fmt.Errorf("cache: Banks %d must be a power of two", c.Banks)
+	case c.ReadLatency <= 0 || c.WriteLatency <= 0:
+		return fmt.Errorf("cache: latencies %v/%v", c.ReadLatency, c.WriteLatency)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("cache: clock %v GHz", c.ClockGHz)
+	}
+	if c.Protection != 0 {
+		p := core.Params{NumLines: c.Lines, GroupSize: c.GroupSize}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Reads, Writes     int64
+	Hits, Misses      int64
+	Evictions         int64
+	WriteBacks        int64
+	PLTWrites         int64
+	SingleRepairs     int64
+	SDRRepairs        int64
+	RAIDRepairs       int64
+	Hash2Repairs      int64
+	UncorrectableDUEs int64
+	ScrubPasses       int64
+	FaultsInjected    int64
+}
+
+type way struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+}
+
+// STTRAM is the protected cache. All methods are safe for concurrent
+// use (a single mutex serializes state, mirroring the per-bank request
+// queues of §VII-I at the fidelity this model needs).
+type STTRAM struct {
+	cfg    Config
+	mem    Memory
+	params core.Params
+	codec  *core.LineCodec
+	zeng   *core.ZEngine
+	plt1   *core.PLT
+	plt2   *core.PLT
+
+	mu       sync.Mutex
+	sets     [][]way
+	stored   []*bitvec.Vector // physical line index -> codeword (lazy)
+	backing  map[uint64][]byte
+	stuck    map[int]map[int]bool // phys -> bit -> forced value (§VI permanent faults)
+	bankFree []float64            // per-bank next-free time, float64 ns
+	useClock uint64
+	stats    Stats
+}
+
+var _ core.CacheView = (*cacheView)(nil)
+
+// cacheView adapts the stored array to core.CacheView with lazy
+// zero-codeword materialization.
+type cacheView struct{ c *STTRAM }
+
+func (v *cacheView) Line(idx int) (*bitvec.Vector, error) {
+	return v.c.lineVec(idx)
+}
+
+// New builds the cache on top of the given memory.
+func New(cfg Config, mem Memory) (*STTRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, errors.New("cache: nil memory")
+	}
+	c := &STTRAM{
+		cfg:      cfg,
+		mem:      mem,
+		sets:     make([][]way, cfg.Lines/cfg.Ways),
+		stored:   make([]*bitvec.Vector, cfg.Lines),
+		backing:  make(map[uint64][]byte),
+		stuck:    make(map[int]map[int]bool),
+		bankFree: make([]float64, cfg.Banks),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	if cfg.Protection != 0 {
+		strength := cfg.ECCStrength
+		if strength == 0 {
+			strength = 1
+		}
+		mismatchCap := cfg.MaxMismatch
+		if mismatchCap == 0 {
+			mismatchCap = core.DefaultMaxMismatch
+			if strength > 1 {
+				// SDR on t-strength lines needs 2(t+1) candidate
+				// positions for the canonical pair case.
+				mismatchCap = 2*(strength+1) + 2
+			}
+		}
+		var err error
+		c.codec, err = core.NewLineCodecECC(cfg.LineBytes*8, strength)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := core.NewEngine(c.codec, cfg.Protection, core.WithMaxMismatch(mismatchCap))
+		if err != nil {
+			return nil, err
+		}
+		c.params = core.Params{NumLines: cfg.Lines, GroupSize: cfg.GroupSize}
+		c.plt1, err = core.NewPLT(c.params.NumGroups(), c.codec.StoredBits())
+		if err != nil {
+			return nil, err
+		}
+		c.plt2, err = core.NewPLT(c.params.NumGroups(), c.codec.StoredBits())
+		if err != nil {
+			return nil, err
+		}
+		c.zeng, err = core.NewZEngine(engine, c.params, c.plt1, c.plt2)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *STTRAM) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *STTRAM) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// lineVec returns the stored codeword of a physical line,
+// materializing the zero codeword for empty lines (valid: CRC(0)=0).
+func (c *STTRAM) lineVec(idx int) (*bitvec.Vector, error) {
+	if idx < 0 || idx >= len(c.stored) {
+		return nil, fmt.Errorf("cache: line %d out of range", idx)
+	}
+	if c.stored[idx] == nil {
+		c.stored[idx] = bitvec.New(c.codec.StoredBits())
+	}
+	return c.stored[idx], nil
+}
+
+func (c *STTRAM) setIndex(addr uint64) int {
+	return int((addr / uint64(c.cfg.LineBytes)) % uint64(len(c.sets)))
+}
+
+func (c *STTRAM) tagOf(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineBytes) / uint64(len(c.sets))
+}
+
+func (c *STTRAM) physIndex(set, wayIdx int) int {
+	return set*c.cfg.Ways + wayIdx
+}
+
+func (c *STTRAM) lineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// crcCheckNs is the per-access syndrome-check latency in nanoseconds
+// (0.3125 ns for one 3.2 GHz cycle — sub-nanosecond, hence the float64
+// time base of the timing model).
+func (c *STTRAM) crcCheckNs() float64 {
+	if c.cfg.Protection == 0 {
+		return 0
+	}
+	return float64(c.cfg.CRCCheckCycles) / c.cfg.ClockGHz
+}
+
+// bankServe serializes an access on the line's bank and returns the
+// service completion latency (ns) relative to nowNs.
+func (c *STTRAM) bankServe(nowNs float64, set int, serviceNs float64) float64 {
+	bank := set % c.cfg.Banks
+	start := nowNs
+	if c.bankFree[bank] > start {
+		start = c.bankFree[bank]
+	}
+	c.bankFree[bank] = start + serviceNs
+	return start + serviceNs - nowNs
+}
+
+func ns(d time.Duration) float64 { return float64(d) / float64(time.Nanosecond) }
+
+func dur(nsv float64) time.Duration {
+	return time.Duration(nsv * float64(time.Nanosecond))
+}
+
+// lookup finds the way holding addr, or -1.
+func (c *STTRAM) lookup(set int, tag uint64) int {
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way of a set.
+func (c *STTRAM) victim(set int) int {
+	best, bestUse := 0, ^uint64(0)
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			return i
+		}
+		if c.sets[set][i].lastUse < bestUse {
+			best, bestUse = i, c.sets[set][i].lastUse
+		}
+	}
+	return best
+}
+
+// AccessTiming performs a timing-only access (tags, banks, memory),
+// without touching line contents, and returns the latency in
+// nanoseconds. The performance simulator drives millions of these per
+// workload.
+func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs float64, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	c.useClock++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	w := c.lookup(set, tag)
+	if w >= 0 {
+		c.stats.Hits++
+		c.sets[set][w].lastUse = c.useClock
+		if write {
+			c.sets[set][w].dirty = true
+			// Read-modify-write (§III-B) plus the PLT parity update;
+			// the SRAM PLT is banked like the cache and never
+			// bottlenecks (§VII-I), so only the STTRAM op is timed.
+			if c.cfg.Protection != 0 {
+				c.stats.PLTWrites += 2
+			}
+			return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs(), true
+		}
+		return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency)) + c.crcCheckNs(), true
+	}
+	// Miss: fetch from memory, fill, possibly write back the victim.
+	c.stats.Misses++
+	v := c.victim(set)
+	if c.sets[set][v].valid {
+		c.stats.Evictions++
+		if c.sets[set][v].dirty {
+			c.stats.WriteBacks++
+			_ = c.mem.Access(dur(nowNs), c.sets[set][v].tag*uint64(len(c.sets))*uint64(c.cfg.LineBytes), true)
+		}
+	}
+	memLat := ns(c.mem.Access(dur(nowNs), c.lineAddr(addr), false))
+	c.sets[set][v] = way{tag: tag, valid: true, dirty: write, lastUse: c.useClock}
+	if c.cfg.Protection != 0 {
+		c.stats.PLTWrites += 2 // fill updates both parity tables
+	}
+	fill := c.bankServe(nowNs+memLat, set, ns(c.cfg.WriteLatency))
+	return memLat + fill + c.crcCheckNs(), false
+}

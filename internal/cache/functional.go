@@ -1,0 +1,496 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/core"
+	"sudoku/internal/rng"
+)
+
+// ErrUncorrectable is returned when a line's data could not be
+// recovered at the configured protection level — a detectable
+// uncorrectable error (DUE).
+var ErrUncorrectable = errors.New("cache: uncorrectable line")
+
+// ErrNotProtected is returned by fault-oriented operations on an
+// unprotected (ideal-baseline) cache.
+var ErrNotProtected = errors.New("cache: protection disabled")
+
+// ScrubReport summarizes one scrub pass (§II-D: periodic scrubbing
+// repairs all faults accumulated within the interval).
+type ScrubReport struct {
+	LinesChecked  int
+	SingleRepairs int
+	SDRRepairs    int
+	RAIDRepairs   int
+	Hash2Repairs  int
+	// DUELines lists physical line indices that remain uncorrectable.
+	DUELines []int
+}
+
+// Read returns the 64-byte line containing addr, with the access
+// latency at time now. Faulty lines are repaired on the way (ECC-1,
+// then RAID/SDR/Hash-2 as the protection level allows); an
+// unrepairable line returns ErrUncorrectable.
+func (c *STTRAM) Read(now time.Duration, addr uint64) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	c.useClock++
+	c.stats.Reads++
+
+	w := c.lookup(set, tag)
+	var lat time.Duration
+	if w >= 0 {
+		c.stats.Hits++
+		c.sets[set][w].lastUse = c.useClock
+		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency)) + c.crcCheckNs())
+	} else {
+		c.stats.Misses++
+		var memLat time.Duration
+		w, memLat = c.fill(now, set, addr, false)
+		lat = memLat
+	}
+	phys := c.physIndex(set, w)
+	data, err := c.readLine(phys)
+	if err != nil {
+		return nil, lat, err
+	}
+	return data, lat, nil
+}
+
+// Write stores a full 64-byte line at addr and returns the access
+// latency. Writes are read-modify-writes (§III-B): the old content is
+// read (and repaired if faulty), the modified bit positions are
+// computed, and both parity tables are updated with exactly those
+// positions.
+func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Duration, error) {
+	if len(data) != c.cfg.LineBytes {
+		return 0, fmt.Errorf("cache: write of %d bytes, want %d", len(data), c.cfg.LineBytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.setIndex(addr)
+	tag := c.tagOf(addr)
+	c.useClock++
+	c.stats.Writes++
+
+	w := c.lookup(set, tag)
+	var lat time.Duration
+	if w >= 0 {
+		c.stats.Hits++
+		c.sets[set][w].lastUse = c.useClock
+		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs())
+	} else {
+		c.stats.Misses++
+		var memLat time.Duration
+		w, memLat = c.fill(now, set, addr, true)
+		lat = memLat
+	}
+	c.sets[set][w].dirty = true
+	phys := c.physIndex(set, w)
+	if err := c.writeLine(phys, data); err != nil {
+		return lat, err
+	}
+	return lat, nil
+}
+
+// fill allocates a way for addr, evicting (and writing back) the
+// victim, and loads the line's data from the backing store. It returns
+// the chosen way and the miss latency.
+func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (int, time.Duration) {
+	v := c.victim(set)
+	entry := &c.sets[set][v]
+	if entry.valid {
+		c.stats.Evictions++
+		phys := c.physIndex(set, v)
+		victimAddr := (entry.tag*uint64(len(c.sets)) + uint64(set)) * uint64(c.cfg.LineBytes)
+		if entry.dirty {
+			c.stats.WriteBacks++
+			_ = c.mem.Access(now, victimAddr, true)
+			if data, err := c.readLine(phys); err == nil {
+				c.backing[victimAddr] = data
+			}
+			// An unrepairable victim is dropped: the DUE was already
+			// counted when detected; the backing store keeps its
+			// previous copy.
+		}
+	}
+	memLat := c.mem.Access(now, c.lineAddr(addr), false)
+	*entry = way{tag: c.tagOf(addr), valid: true, dirty: forWrite, lastUse: c.useClock}
+
+	phys := c.physIndex(set, v)
+	line := c.backing[c.lineAddr(addr)]
+	if line == nil {
+		line = make([]byte, c.cfg.LineBytes)
+	}
+	// Fill overwrites the physical cells; parity follows via the
+	// standard delta update.
+	if err := c.writeLine(phys, line); err != nil {
+		// writeLine only fails on geometry errors, which Validate
+		// rules out; keep the fill's timing behaviour regardless.
+		_ = err
+	}
+	fillLat := c.bankServe(ns(now+memLat), set, ns(c.cfg.WriteLatency))
+	return v, memLat + dur(fillLat+c.crcCheckNs())
+}
+
+// readLine extracts (repairing as needed) the payload of a physical
+// line.
+func (c *STTRAM) readLine(phys int) ([]byte, error) {
+	if c.cfg.Protection == 0 {
+		// Unprotected caches store raw lines in stored[phys] as
+		// zero-padded codeword-less vectors; reuse the backing
+		// convention: empty means zeros.
+		if c.stored[phys] == nil {
+			return make([]byte, c.cfg.LineBytes), nil
+		}
+		return c.stored[phys].Bytes()[:c.cfg.LineBytes], nil
+	}
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := c.codec.Check(stored)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if err := c.repairLine(phys); err != nil {
+			return nil, err
+		}
+	}
+	data, err := c.codec.Data(stored)
+	if err != nil {
+		return nil, err
+	}
+	// The read buffer holds corrected data; the array's permanently
+	// faulty cells stay bad.
+	if err := c.reapplyStuck(phys); err != nil {
+		return nil, err
+	}
+	return data.Bytes()[:c.cfg.LineBytes], nil
+}
+
+// writeLine encodes data into a physical line, updating both parity
+// tables with the old⊕new delta. If the old content is faulty it is
+// repaired first so the parity delta reflects true contents; if it is
+// unrepairable the write proceeds and the affected parities are
+// rebuilt from scratch.
+func (c *STTRAM) writeLine(phys int, data []byte) error {
+	if c.cfg.Protection == 0 {
+		v := bitvec.FromBytes(data)
+		c.stored[phys] = v
+		return nil
+	}
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	rebuild := false
+	if ok, err := c.codec.Check(stored); err != nil {
+		return err
+	} else if !ok {
+		if err := c.repairLine(phys); err != nil {
+			if !errors.Is(err, ErrUncorrectable) {
+				return err
+			}
+			rebuild = true
+		}
+	}
+	padded := make([]byte, (c.codec.DataBits()+7)/8)
+	copy(padded, data)
+	newStored, err := c.codec.Encode(bitvec.FromBytes(padded[:c.cfg.LineBytes]))
+	if err != nil {
+		return err
+	}
+	delta, err := bitvec.Xor(stored, newStored)
+	if err != nil {
+		return err
+	}
+	if err := stored.CopyFrom(newStored); err != nil {
+		return err
+	}
+	if rebuild {
+		if err := c.rebuildParities(phys); err != nil {
+			return err
+		}
+		return c.reapplyStuck(phys)
+	}
+	if err := c.plt1.Update(c.params.Hash1Of(phys), delta); err != nil {
+		return err
+	}
+	if err := c.plt2.Update(c.params.Hash2Of(phys), delta); err != nil {
+		return err
+	}
+	c.stats.PLTWrites += 2
+	return c.reapplyStuck(phys)
+}
+
+// repairLine runs the full repair ladder on one faulty line: per-line
+// ECC-1, then (for multi-bit faults) the group repair at the
+// configured protection level.
+func (c *STTRAM) repairLine(phys int) error {
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	st, err := c.codec.Repair(stored)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case core.StatusClean:
+		return nil
+	case core.StatusCorrected:
+		c.stats.SingleRepairs++
+		return nil
+	}
+	report, err := c.zeng.RepairHash1Group(&cacheView{c}, c.params.Hash1Of(phys))
+	if err != nil {
+		return err
+	}
+	c.stats.SingleRepairs += int64(report.Hash1.SinglesCorrected)
+	c.stats.SDRRepairs += int64(report.Hash1.SDRRepairs)
+	c.stats.RAIDRepairs += int64(report.Hash1.RAIDRepairs)
+	c.stats.Hash2Repairs += int64(report.Hash2Repairs)
+	// Other lines touched by the group repair regain their permanent
+	// faults immediately; the target line's are reapplied by the
+	// caller after its data buffer is extracted.
+	for other := range c.stuck {
+		if other == phys {
+			continue
+		}
+		if err := c.reapplyStuck(other); err != nil {
+			return err
+		}
+	}
+	for _, addr := range report.Unrepaired {
+		if addr == phys {
+			c.stats.UncorrectableDUEs++
+			return fmt.Errorf("%w: line %d", ErrUncorrectable, phys)
+		}
+	}
+	return nil
+}
+
+// rebuildParities recomputes the two parity lines covering a physical
+// line directly from stored contents — the recovery action after a
+// write to a line whose previous content was lost to a DUE.
+func (c *STTRAM) rebuildParities(phys int) error {
+	for hash, plt := range map[int]*core.PLT{1: c.plt1, 2: c.plt2} {
+		var group int
+		var members []int
+		if hash == 1 {
+			group = c.params.Hash1Of(phys)
+			members = c.params.Hash1Members(group)
+		} else {
+			group = c.params.Hash2Of(phys)
+			members = c.params.Hash2Members(group)
+		}
+		par, err := plt.Parity(group)
+		if err != nil {
+			return err
+		}
+		par.Zero()
+		for _, m := range members {
+			ln, err := c.lineVec(m)
+			if err != nil {
+				return err
+			}
+			if err := par.XorInto(ln); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InjectStuckAt pins one cell of the resident line holding addr to a
+// fixed value — a permanent fault (§VI: "SuDoku can tolerate all these
+// faults, regardless of whether they are permanent or transient").
+// Writes and repairs cannot change the cell; every access re-corrects
+// the resulting error through the normal ladder, and the group parity
+// keeps tracking intended contents, so the deviation shows up as a
+// persistent parity mismatch — exactly what SDR keys on.
+func (c *STTRAM) InjectStuckAt(addr uint64, bit int, value bool) error {
+	if c.cfg.Protection == 0 {
+		return ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.setIndex(addr)
+	w := c.lookup(set, c.tagOf(addr))
+	if w < 0 {
+		return fmt.Errorf("cache: address %#x not resident", addr)
+	}
+	phys := c.physIndex(set, w)
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= stored.Len() {
+		return fmt.Errorf("cache: stuck bit %d out of range", bit)
+	}
+	if c.stuck[phys] == nil {
+		c.stuck[phys] = make(map[int]bool)
+	}
+	c.stuck[phys][bit] = value
+	c.stats.FaultsInjected++
+	return stored.SetTo(bit, value)
+}
+
+// StuckCells returns the number of permanently faulty cells.
+func (c *STTRAM) StuckCells() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, bits := range c.stuck {
+		n += len(bits)
+	}
+	return n
+}
+
+// reapplyStuck forces a line's permanently faulty cells back to their
+// stuck values after a repair or write has (logically) rewritten the
+// array.
+func (c *STTRAM) reapplyStuck(phys int) error {
+	bits := c.stuck[phys]
+	if len(bits) == 0 {
+		return nil
+	}
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	for bit, val := range bits {
+		if err := stored.SetTo(bit, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectFault flips one stored bit of the line holding addr (which
+// must be resident). Bit indices cover the whole 553-bit codeword:
+// data, CRC, and ECC fields are all fault-prone STTRAM cells.
+func (c *STTRAM) InjectFault(addr uint64, bit int) error {
+	if c.cfg.Protection == 0 {
+		return ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.setIndex(addr)
+	w := c.lookup(set, c.tagOf(addr))
+	if w < 0 {
+		return fmt.Errorf("cache: address %#x not resident", addr)
+	}
+	stored, err := c.lineVec(c.physIndex(set, w))
+	if err != nil {
+		return err
+	}
+	if err := stored.Flip(bit); err != nil {
+		return err
+	}
+	c.stats.FaultsInjected++
+	return nil
+}
+
+// InjectRandomFaults scatters n random bit flips uniformly over the
+// cache's physical cells — one scrub interval's worth of thermal
+// faults.
+func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
+	if c.cfg.Protection == 0 {
+		return ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lineBits := c.codec.StoredBits()
+	for _, pos := range r.SampleDistinct(c.cfg.Lines*lineBits, n) {
+		stored, err := c.lineVec(pos / lineBits)
+		if err != nil {
+			return err
+		}
+		if err := stored.Flip(pos % lineBits); err != nil {
+			return err
+		}
+	}
+	c.stats.FaultsInjected += int64(n)
+	return nil
+}
+
+// Scrub performs one full scrub pass (§II-D): every materialized line
+// is checked; single-bit faults are repaired in place and multi-bit
+// faults invoke the group machinery. Unrepaired lines are reported as
+// DUEs.
+func (c *STTRAM) Scrub() (ScrubReport, error) {
+	if c.cfg.Protection == 0 {
+		return ScrubReport{}, ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rep ScrubReport
+	groups := make(map[int]struct{})
+	var singles []int
+	for phys, stored := range c.stored {
+		if stored == nil {
+			continue
+		}
+		rep.LinesChecked++
+		ok, err := c.codec.Validate(stored)
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			continue
+		}
+		st, err := c.codec.Scrub(stored)
+		if err != nil {
+			return rep, err
+		}
+		switch st {
+		case core.StatusCorrected:
+			rep.SingleRepairs++
+		case core.StatusUncorrectable:
+			groups[c.params.Hash1Of(phys)] = struct{}{}
+			singles = append(singles, phys)
+		}
+	}
+	for g := range groups {
+		report, err := c.zeng.RepairHash1Group(&cacheView{c}, g)
+		if err != nil {
+			return rep, err
+		}
+		rep.SingleRepairs += report.Hash1.SinglesCorrected
+		rep.SDRRepairs += report.Hash1.SDRRepairs
+		rep.RAIDRepairs += report.Hash1.RAIDRepairs
+		rep.Hash2Repairs += report.Hash2Repairs
+	}
+	for _, phys := range singles {
+		ok, err := c.codec.Check(c.stored[phys])
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			rep.DUELines = append(rep.DUELines, phys)
+		}
+	}
+	c.stats.UncorrectableDUEs += int64(len(rep.DUELines))
+	c.stats.SingleRepairs += int64(rep.SingleRepairs)
+	c.stats.SDRRepairs += int64(rep.SDRRepairs)
+	c.stats.RAIDRepairs += int64(rep.RAIDRepairs)
+	c.stats.Hash2Repairs += int64(rep.Hash2Repairs)
+	c.stats.ScrubPasses++
+	// Permanent faults reassert themselves the moment the scrub
+	// write-back completes.
+	for phys := range c.stuck {
+		if err := c.reapplyStuck(phys); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,333 @@
+// Package core implements the SuDoku resilient-cache architecture —
+// the paper's primary contribution (§III–§V).
+//
+// Every cache line is stored as a 553-bit codeword:
+//
+//	bits [0, 512)    data (64 bytes)
+//	bits [512, 543)  CRC-31 computed over the data
+//	bits [543, 553)  ECC-1 (Hamming SEC) computed over data‖CRC
+//
+// Per §III-E, the CRC is computed over the data and the ECC over
+// (data‖CRC), so ECC-1 can repair single-bit faults in either the data
+// or the CRC field, and the CRC exposes ECC miscorrections on
+// multi-bit faults.
+//
+// Multi-bit errors are repaired via a region-based RAID-4: every group
+// of GroupSize lines has a dedicated parity line in the SRAM Parity
+// Line Table (PLT). SuDoku-Y adds Sequential Data Resurrection (SDR),
+// and SuDoku-Z adds a second, skew-hashed set of RAID groups.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/ecc/crc"
+	"sudoku/internal/ecc/hamming"
+)
+
+// Layout constants for the default 64-byte line.
+const (
+	// DefaultDataBits is the data payload per line (64 bytes).
+	DefaultDataBits = 512
+	// CRCBits is the width of the per-line detection code.
+	CRCBits = 31
+)
+
+// DecodeStatus classifies the outcome of reading a line.
+type DecodeStatus int
+
+const (
+	// StatusClean means the CRC syndrome was zero on arrival.
+	StatusClean DecodeStatus = iota + 1
+	// StatusCorrected means ECC-1 repaired a single-bit fault and the
+	// CRC validated the result.
+	StatusCorrected
+	// StatusUncorrectable means the line holds a multi-bit fault that
+	// per-line codes cannot repair; RAID-based correction is required.
+	StatusUncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s DecodeStatus) String() string {
+	switch s {
+	case StatusClean:
+		return "clean"
+	case StatusCorrected:
+		return "corrected"
+	case StatusUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("DecodeStatus(%d)", int(s))
+	}
+}
+
+// ErrDataLength is returned when a payload of the wrong size is given.
+var ErrDataLength = errors.New("core: data length mismatch")
+
+// LineCodec encodes and decodes stored line codewords. It is immutable
+// and safe for concurrent use.
+type LineCodec struct {
+	dataBits int
+	msgBits  int // dataBits + CRC width
+	total    int // msgBits + ECC check bits
+	det      *crc.CRC
+	ecc      innerCode
+}
+
+// NewLineCodec builds the codec for the given payload width using
+// CRC-31 detection and Hamming SEC correction (the paper's ECC-1).
+func NewLineCodec(dataBits int) (*LineCodec, error) {
+	return NewLineCodecECC(dataBits, 1)
+}
+
+// NewLineCodecECC builds a codec with a t-error-correcting inner code:
+// t = 1 is the paper's ECC-1 (Hamming SEC, 10 check bits for the
+// 543-bit message); t ≥ 2 uses a shortened BCH code with 10·t check
+// bits — the §VII-G enhancement for very low Δ.
+func NewLineCodecECC(dataBits, t int) (*LineCodec, error) {
+	if dataBits < 1 {
+		return nil, fmt.Errorf("core: dataBits must be positive, got %d", dataBits)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: ECC strength must be ≥ 1, got %d", t)
+	}
+	det := crc.NewCRC31()
+	var ecc innerCode
+	var err error
+	if t == 1 {
+		ecc, err = newHammingInner(dataBits + det.Width())
+	} else {
+		ecc, err = newBCHInner(dataBits+det.Width(), t)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: build ECC-%d: %w", t, err)
+	}
+	return &LineCodec{
+		dataBits: dataBits,
+		msgBits:  dataBits + det.Width(),
+		total:    dataBits + det.Width() + ecc.checkBits(),
+		det:      det,
+		ecc:      ecc,
+	}, nil
+}
+
+// ECCStrength returns the inner code's correction capability t.
+func (c *LineCodec) ECCStrength() int { return c.ecc.strength() }
+
+// DataBits returns the payload width (512 for the default line).
+func (c *LineCodec) DataBits() int { return c.dataBits }
+
+// StoredBits returns the full codeword width (553 for the default
+// line: 512 data + 31 CRC + 10 ECC).
+func (c *LineCodec) StoredBits() int { return c.total }
+
+// MetadataBits returns the per-line overhead in bits (the paper's
+// "41 bits per line": CRC-31 + ECC-1).
+func (c *LineCodec) MetadataBits() int { return c.total - c.dataBits }
+
+// Encode produces the stored codeword for a data payload.
+func (c *LineCodec) Encode(data *bitvec.Vector) (*bitvec.Vector, error) {
+	if data.Len() != c.dataBits {
+		return nil, fmt.Errorf("%w: %d, want %d", ErrDataLength, data.Len(), c.dataBits)
+	}
+	stored := bitvec.New(c.total)
+	if err := stored.Paste(data, 0); err != nil {
+		return nil, err
+	}
+	crcVal := c.det.Compute(data)
+	for b := 0; b < c.det.Width(); b++ {
+		if crcVal&(1<<b) != 0 {
+			if err := stored.Set(c.dataBits + b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	msg, err := stored.Slice(0, c.msgBits)
+	if err != nil {
+		return nil, err
+	}
+	check, err := c.ecc.encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	for b := 0; b < c.ecc.checkBits(); b++ {
+		if check&(1<<b) != 0 {
+			if err := stored.Set(c.msgBits + b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return stored, nil
+}
+
+// Data extracts the payload bits from a stored codeword without any
+// checking.
+func (c *LineCodec) Data(stored *bitvec.Vector) (*bitvec.Vector, error) {
+	if stored.Len() != c.total {
+		return nil, fmt.Errorf("%w: stored %d, want %d", ErrDataLength, stored.Len(), c.total)
+	}
+	return stored.Slice(0, c.dataBits)
+}
+
+// storedCRC extracts the CRC field.
+func (c *LineCodec) storedCRC(stored *bitvec.Vector) uint64 {
+	var v uint64
+	for b := 0; b < c.det.Width(); b++ {
+		if stored.Bit(c.dataBits + b) {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+// storedECC extracts the ECC check field.
+func (c *LineCodec) storedECC(stored *bitvec.Vector) uint64 {
+	var v uint64
+	for b := 0; b < c.ecc.checkBits(); b++ {
+		if stored.Bit(c.msgBits + b) {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+// Check performs the read-path CRC syndrome test (§III-B: "this can be
+// performed within one cycle"). It reports true when the line shows no
+// error.
+func (c *LineCodec) Check(stored *bitvec.Vector) (bool, error) {
+	if stored.Len() != c.total {
+		return false, fmt.Errorf("%w: stored %d, want %d", ErrDataLength, stored.Len(), c.total)
+	}
+	data, err := stored.Slice(0, c.dataBits)
+	if err != nil {
+		return false, err
+	}
+	return c.det.Check(data, c.storedCRC(stored)), nil
+}
+
+// Repair attempts per-line repair of a faulty codeword, in place
+// (§III-C1): run ECC-1, then re-validate with the CRC. It returns the
+// resulting status; StatusUncorrectable leaves the stored word exactly
+// as it arrived (hardware corrects on a copy).
+func (c *LineCodec) Repair(stored *bitvec.Vector) (DecodeStatus, error) {
+	ok, err := c.Check(stored)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return StatusClean, nil
+	}
+	msg, err := stored.Slice(0, c.msgBits)
+	if err != nil {
+		return 0, err
+	}
+	kind, err := c.ecc.decode(msg, c.storedECC(stored))
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case hamming.Detected, hamming.Clean:
+		// Clean here means the multi-bit pattern aliased to syndrome
+		// zero — the ECC sees nothing to fix, the CRC still fails.
+		return StatusUncorrectable, nil
+	case hamming.CorrectedParity:
+		// The decoder claims only the stored check field was wrong,
+		// yet the CRC over data failed at entry — the multi-bit
+		// pattern aliased into the check field (a miscorrection).
+		// Flipping check bits cannot satisfy the CRC, so the line is
+		// uncorrectable per-line.
+		return StatusUncorrectable, nil
+	case hamming.CorrectedMessage:
+		// msg was corrected in place (it is a copy); validate with CRC
+		// before committing.
+		data, err := msg.Slice(0, c.dataBits)
+		if err != nil {
+			return 0, err
+		}
+		crcVal := uint64(0)
+		for b := 0; b < c.det.Width(); b++ {
+			if msg.Bit(c.dataBits + b) {
+				crcVal |= 1 << b
+			}
+		}
+		if !c.det.Check(data, crcVal) {
+			return StatusUncorrectable, nil
+		}
+		if err := stored.Paste(msg, 0); err != nil {
+			return 0, err
+		}
+		// For t ≥ 2 inner codes the pattern may have spanned message
+		// and check bits; rewrite the check field so the committed
+		// codeword is fully consistent (a no-op when it already was).
+		want, err := c.ecc.encode(msg)
+		if err != nil {
+			return 0, err
+		}
+		if got := c.storedECC(stored); got != want {
+			for b := 0; b < c.ecc.checkBits(); b++ {
+				if (got^want)&(1<<b) != 0 {
+					if err := stored.Flip(c.msgBits + b); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		return StatusCorrected, nil
+	default:
+		return 0, fmt.Errorf("core: unexpected ECC result %v", kind)
+	}
+}
+
+// Scrub is the scrubber's write-back repair path: it runs Repair and
+// then restores consistency of the stored ECC field (a fault there
+// does not trip the CRC read check, but left in place it would corrupt
+// later parity computations and silently accumulate across scrub
+// intervals). The returned status is StatusCorrected when anything —
+// payload, CRC, or ECC field — was rewritten.
+func (c *LineCodec) Scrub(stored *bitvec.Vector) (DecodeStatus, error) {
+	st, err := c.Repair(stored)
+	if err != nil || st == StatusUncorrectable {
+		return st, err
+	}
+	msg, err := stored.Slice(0, c.msgBits)
+	if err != nil {
+		return 0, err
+	}
+	want, err := c.ecc.encode(msg)
+	if err != nil {
+		return 0, err
+	}
+	if got := c.storedECC(stored); got != want {
+		for b := 0; b < c.ecc.checkBits(); b++ {
+			if (got^want)&(1<<b) != 0 {
+				if err := stored.Flip(c.msgBits + b); err != nil {
+					return 0, err
+				}
+			}
+		}
+		st = StatusCorrected
+	}
+	return st, nil
+}
+
+// Validate reports whether the full stored codeword is self-consistent
+// (CRC matches data and ECC matches data‖CRC). Repair acceptance in
+// SDR uses the CRC alone, as the paper specifies; Validate is the
+// stronger invariant used by tests and the scrubber's write-back path.
+func (c *LineCodec) Validate(stored *bitvec.Vector) (bool, error) {
+	ok, err := c.Check(stored)
+	if err != nil || !ok {
+		return false, err
+	}
+	msg, err := stored.Slice(0, c.msgBits)
+	if err != nil {
+		return false, err
+	}
+	want, err := c.ecc.encode(msg)
+	if err != nil {
+		return false, err
+	}
+	return want == c.storedECC(stored), nil
+}

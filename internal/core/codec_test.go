@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/rng"
+)
+
+func mustCodec(t testing.TB) *LineCodec {
+	t.Helper()
+	c, err := NewLineCodec(DefaultDataBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomData(r *rng.Source, n int) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+func TestCodecGeometry(t *testing.T) {
+	c := mustCodec(t)
+	if c.DataBits() != 512 {
+		t.Fatalf("DataBits = %d", c.DataBits())
+	}
+	// §VII-H: 10 bits of ECC-1 + 31 bits of CRC-31 per 512-bit line.
+	if c.StoredBits() != 553 {
+		t.Fatalf("StoredBits = %d, want 553", c.StoredBits())
+	}
+	if c.MetadataBits() != 41 {
+		t.Fatalf("MetadataBits = %d, want 41", c.MetadataBits())
+	}
+	if _, err := NewLineCodec(0); err == nil {
+		t.Fatal("zero dataBits accepted")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	c := mustCodec(t)
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(r, 512)
+		stored, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := c.Check(stored); err != nil || !ok {
+			t.Fatalf("clean codeword fails Check: ok=%v err=%v", ok, err)
+		}
+		if ok, err := c.Validate(stored); err != nil || !ok {
+			t.Fatalf("clean codeword fails Validate: ok=%v err=%v", ok, err)
+		}
+		got, err := c.Data(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(data) {
+			t.Fatal("payload not recovered")
+		}
+	}
+}
+
+func TestEncodeLengthValidation(t *testing.T) {
+	c := mustCodec(t)
+	if _, err := c.Encode(bitvec.New(100)); !errors.Is(err, ErrDataLength) {
+		t.Fatalf("Encode err = %v", err)
+	}
+	if _, err := c.Data(bitvec.New(100)); !errors.Is(err, ErrDataLength) {
+		t.Fatalf("Data err = %v", err)
+	}
+	if _, err := c.Check(bitvec.New(100)); !errors.Is(err, ErrDataLength) {
+		t.Fatalf("Check err = %v", err)
+	}
+}
+
+func TestZeroCodewordIsValid(t *testing.T) {
+	// The fault simulator's zero-content convention depends on the
+	// all-zero codeword being self-consistent.
+	c := mustCodec(t)
+	stored, err := c.Encode(bitvec.New(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stored.IsZero() {
+		t.Fatal("encoding of zero payload is not the zero codeword")
+	}
+	if ok, err := c.Validate(bitvec.New(553)); err != nil || !ok {
+		t.Fatalf("zero codeword invalid: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRepairSingleErrorEveryField(t *testing.T) {
+	// §III-E: ECC-1 must fix single faults in data, CRC, and its own
+	// check bits.
+	c := mustCodec(t)
+	r := rng.New(2)
+	data := randomData(r, 512)
+	clean, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, 300, 511, 512, 542, 543, 552} {
+		stored := clean.Clone()
+		if err := stored.Flip(pos); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Repair(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos >= 543 {
+			// ECC-field faults do not trip the CRC read check, so
+			// Repair legitimately reports Clean; the stored word
+			// still differs but the payload is intact.
+			if st == StatusUncorrectable {
+				t.Fatalf("pos %d: status %v", pos, st)
+			}
+			got, err := c.Data(stored)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(data) {
+				t.Fatalf("pos %d: payload damaged", pos)
+			}
+			continue
+		}
+		if st != StatusCorrected {
+			t.Fatalf("pos %d: status %v, want corrected", pos, st)
+		}
+		if !stored.Equal(clean) {
+			t.Fatalf("pos %d: codeword not restored", pos)
+		}
+	}
+}
+
+func TestRepairDoubleErrorIsUncorrectableAndNonDestructive(t *testing.T) {
+	c := mustCodec(t)
+	r := rng.New(3)
+	data := randomData(r, 512)
+	clean, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		stored := clean.Clone()
+		for _, p := range r.SampleDistinct(543, 2) {
+			if err := stored.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := stored.Clone()
+		st, err := c.Repair(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusUncorrectable {
+			t.Fatalf("double error repaired as %v", st)
+		}
+		if !stored.Equal(before) {
+			t.Fatal("uncorrectable repair mutated the stored line")
+		}
+	}
+}
+
+func TestDecodeStatusString(t *testing.T) {
+	for st, want := range map[DecodeStatus]string{
+		StatusClean:         "clean",
+		StatusCorrected:     "corrected",
+		StatusUncorrectable: "uncorrectable",
+		DecodeStatus(9):     "DecodeStatus(9)",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}
+
+// Property: any single-bit fault in the message region round-trips
+// through Repair.
+func TestQuickRepairSingle(t *testing.T) {
+	c := mustCodec(t)
+	f := func(words [8]uint64, posSeed uint16) bool {
+		data := bitvec.FromWords(words[:], 512)
+		stored, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		clean := stored.Clone()
+		p := int(posSeed) % 543
+		if err := stored.Flip(p); err != nil {
+			return false
+		}
+		st, err := c.Repair(stored)
+		return err == nil && st == StatusCorrected && stored.Equal(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCodecCheck(b *testing.B) {
+	c := mustCodec(b)
+	stored, err := c.Encode(randomData(rng.New(1), 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Check(stored); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRepairSingle(b *testing.B) {
+	c := mustCodec(b)
+	clean, err := c.Encode(randomData(rng.New(1), 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stored := clean.Clone()
+		_ = stored.Flip(i % 543)
+		if _, err := c.Repair(stored); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

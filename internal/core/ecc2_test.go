@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"sudoku/internal/rng"
+)
+
+// mustCodec2 builds the §VII-G ECC-2 variant of the line codec.
+func mustCodec2(t testing.TB) *LineCodec {
+	t.Helper()
+	c, err := NewLineCodecECC(DefaultDataBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestECC2Geometry(t *testing.T) {
+	c := mustCodec2(t)
+	if c.ECCStrength() != 2 {
+		t.Fatalf("strength = %d", c.ECCStrength())
+	}
+	// 512 data + 31 CRC + 20 BCH check bits.
+	if c.StoredBits() != 563 {
+		t.Fatalf("StoredBits = %d, want 563", c.StoredBits())
+	}
+	if c.MetadataBits() != 51 {
+		t.Fatalf("MetadataBits = %d, want 51", c.MetadataBits())
+	}
+	if mustCodec(t).ECCStrength() != 1 {
+		t.Fatal("default codec should be ECC-1")
+	}
+	if _, err := NewLineCodecECC(512, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+}
+
+func TestECC2RepairsTwoBitFaultsPerLine(t *testing.T) {
+	c := mustCodec2(t)
+	r := rng.New(51)
+	data := randomData(r, 512)
+	clean, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		stored := clean.Clone()
+		for _, p := range r.SampleDistinct(c.StoredBits(), 2) {
+			if err := stored.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := c.Scrub(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == StatusUncorrectable {
+			t.Fatalf("trial %d: 2-bit fault uncorrectable under ECC-2", trial)
+		}
+		if !stored.Equal(clean) {
+			t.Fatalf("trial %d: codeword not restored", trial)
+		}
+	}
+}
+
+func TestECC2ThreeBitFaultIsUncorrectablePerLine(t *testing.T) {
+	c := mustCodec2(t)
+	r := rng.New(52)
+	data := randomData(r, 512)
+	clean, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncorrectable := 0
+	for trial := 0; trial < 50; trial++ {
+		stored := clean.Clone()
+		for _, p := range r.SampleDistinct(543, 3) {
+			if err := stored.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := stored.Clone()
+		st, err := c.Repair(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == StatusUncorrectable {
+			uncorrectable++
+			if !stored.Equal(before) {
+				t.Fatal("uncorrectable repair mutated the line")
+			}
+		} else if !stored.Equal(clean) {
+			t.Fatal("claimed repair did not restore the codeword")
+		}
+	}
+	if uncorrectable < 45 {
+		t.Fatalf("only %d/50 three-bit faults flagged uncorrectable", uncorrectable)
+	}
+}
+
+func TestECC2SDRResurrectsThreeFaultLines(t *testing.T) {
+	// The payoff of §VII-G: with ECC-2, SDR handles pairs of
+	// *three*-fault lines — SuDoku-Y's residual failure mode under
+	// ECC-1 (§IV-E) — because one trial flip leaves two faults, which
+	// the inner code absorbs. The mismatch cap must stretch to cover
+	// 3+3 candidate positions.
+	codec := mustCodec2(t)
+	e, err := NewEngine(codec, ProtectionY, WithMaxMismatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(53)
+	for trial := 0; trial < 20; trial++ {
+		g := newTestGroup(t, codec, r, 8)
+		cols := r.SampleDistinct(543, 6)
+		g.inject(t, 1, cols[0], cols[1], cols[2])
+		g.inject(t, 5, cols[3], cols[4], cols[5])
+		rep, err := e.RepairGroup(g.lines, g.parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Unrepaired) != 0 {
+			t.Fatalf("trial %d: ECC-2 SDR failed on a (3,3) pair: %+v", trial, rep)
+		}
+		g.verifyRestored(t)
+	}
+}
+
+func TestECC1EngineStillFailsThreeFaultPairs(t *testing.T) {
+	// Control for the test above: the same pattern defeats ECC-1
+	// SuDoku-Y even with the widened cap.
+	e := mustEngine(t, ProtectionY, WithMaxMismatch(8))
+	g := newTestGroup(t, e.Codec(), rng.New(53), 8)
+	g.inject(t, 1, 10, 20, 30)
+	g.inject(t, 5, 40, 50, 60)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 2 {
+		t.Fatalf("ECC-1 Y should fail the (3,3) pair: %+v", rep)
+	}
+}
+
+func BenchmarkECC2Scrub(b *testing.B) {
+	c := mustCodec2(b)
+	clean, err := c.Encode(randomData(rng.New(1), 512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stored := clean.Clone()
+		_ = stored.Flip(i % 543)
+		_ = stored.Flip((i*7 + 100) % 543)
+		if _, err := c.Scrub(stored); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+)
+
+// DefaultMaxMismatch is the SDR candidate cap: the paper does not
+// perform SDR when the parity shows more than six mismatched positions
+// (§IV-C).
+const DefaultMaxMismatch = 6
+
+// Engine repairs one RAID group using the per-line codes, RAID-4, and
+// (for ProtectionY and above) Sequential Data Resurrection. An Engine
+// is immutable and safe for concurrent use; the line vectors it is
+// handed are mutated in place.
+type Engine struct {
+	codec       *LineCodec
+	level       Protection
+	maxMismatch int
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithMaxMismatch overrides the SDR mismatch cap (ablation studies
+// sweep this).
+func WithMaxMismatch(n int) EngineOption {
+	return func(e *Engine) { e.maxMismatch = n }
+}
+
+// NewEngine builds a repair engine at the given protection level.
+func NewEngine(codec *LineCodec, level Protection, opts ...EngineOption) (*Engine, error) {
+	if codec == nil {
+		return nil, errors.New("core: nil codec")
+	}
+	if level < ProtectionX || level > ProtectionZ {
+		return nil, fmt.Errorf("core: invalid protection level %d", int(level))
+	}
+	e := &Engine{codec: codec, level: level, maxMismatch: DefaultMaxMismatch}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.maxMismatch < 2 {
+		return nil, fmt.Errorf("core: mismatch cap %d too small for SDR", e.maxMismatch)
+	}
+	return e, nil
+}
+
+// Codec returns the line codec the engine repairs with.
+func (e *Engine) Codec() *LineCodec { return e.codec }
+
+// Level returns the protection level.
+func (e *Engine) Level() Protection { return e.level }
+
+// GroupRepair summarizes one group-repair invocation.
+type GroupRepair struct {
+	// SinglesCorrected counts lines fixed by per-line ECC-1.
+	SinglesCorrected int
+	// RAIDRepairs counts lines reconstructed from group parity.
+	RAIDRepairs int
+	// SDRRepairs counts lines resurrected by SDR trial flips.
+	SDRRepairs int
+	// Unrepaired holds the indices (into the lines slice) of lines
+	// that remain uncorrectable — DUEs at this protection level.
+	Unrepaired []int
+}
+
+// merge accumulates counts from a nested repair.
+func (g *GroupRepair) merge(other GroupRepair) {
+	g.SinglesCorrected += other.SinglesCorrected
+	g.RAIDRepairs += other.RAIDRepairs
+	g.SDRRepairs += other.SDRRepairs
+}
+
+// RepairGroup scrubs one RAID group (§III-C, §IV): per-line repair of
+// every line, then RAID-4 reconstruction when exactly one line remains
+// faulty, with SDR in between when the protection level allows and
+// several lines are faulty. lines must all have the codec's stored
+// width, and parity must be the group's parity codeword (XOR of the
+// true contents of all lines).
+func (e *Engine) RepairGroup(lines []*bitvec.Vector, parity *bitvec.Vector) (GroupRepair, error) {
+	var rep GroupRepair
+	if parity == nil {
+		return rep, errors.New("core: nil parity")
+	}
+	var faulty []int
+	for i, ln := range lines {
+		st, err := e.codec.Scrub(ln)
+		if err != nil {
+			return rep, fmt.Errorf("line %d: %w", i, err)
+		}
+		switch st {
+		case StatusCorrected:
+			rep.SinglesCorrected++
+		case StatusUncorrectable:
+			faulty = append(faulty, i)
+		}
+	}
+	if len(faulty) == 0 {
+		return rep, nil
+	}
+
+	if len(faulty) >= 2 && e.level >= ProtectionY {
+		var err error
+		faulty, err = e.sdr(lines, parity, faulty, &rep)
+		if err != nil {
+			return rep, err
+		}
+	}
+
+	if len(faulty) == 1 {
+		ok, err := e.raidReconstruct(lines, parity, faulty[0])
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			rep.RAIDRepairs++
+			faulty = nil
+		}
+	}
+
+	rep.Unrepaired = faulty
+	return rep, nil
+}
+
+// raidReconstruct rebuilds lines[target] as parity ⊕ (XOR of every
+// other line), §III-C2. The result is committed only if its CRC
+// validates; otherwise the stored line is left untouched and false is
+// returned.
+func (e *Engine) raidReconstruct(lines []*bitvec.Vector, parity *bitvec.Vector, target int) (bool, error) {
+	rec := parity.Clone()
+	for i, ln := range lines {
+		if i == target {
+			continue
+		}
+		if err := rec.XorInto(ln); err != nil {
+			return false, err
+		}
+	}
+	ok, err := e.codec.Check(rec)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if err := lines[target].CopyFrom(rec); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// sdr performs Sequential Data Resurrection (§IV): compute the group's
+// parity mismatch positions, then for each still-faulty line try
+// flipping each mismatched position and re-running ECC-1 + CRC. A line
+// whose CRC validates after a trial flip is deemed resurrected. Passes
+// repeat until no line makes progress. SDR is skipped entirely when
+// the mismatch count exceeds the cap (§IV-C).
+//
+// It returns the indices of lines still faulty.
+func (e *Engine) sdr(lines []*bitvec.Vector, parity *bitvec.Vector, faulty []int, rep *GroupRepair) ([]int, error) {
+	for pass := 0; pass < len(lines) && len(faulty) >= 2; pass++ {
+		mismatch, err := e.mismatch(lines, parity)
+		if err != nil {
+			return nil, err
+		}
+		positions := mismatch.SetBits()
+		if len(positions) == 0 || len(positions) > e.maxMismatch {
+			return faulty, nil
+		}
+		progressed := false
+		for k, idx := range faulty {
+			repaired, err := e.tryResurrect(lines[idx], positions)
+			if err != nil {
+				return nil, err
+			}
+			if repaired {
+				rep.SDRRepairs++
+				faulty = append(faulty[:k], faulty[k+1:]...)
+				progressed = true
+				// Mismatch positions changed; recompute next pass.
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return faulty, nil
+}
+
+// mismatch returns parity ⊕ XOR(all lines): the positions where the
+// group's stored state disagrees with its parity line.
+func (e *Engine) mismatch(lines []*bitvec.Vector, parity *bitvec.Vector) (*bitvec.Vector, error) {
+	m := parity.Clone()
+	for _, ln := range lines {
+		if err := m.XorInto(ln); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// tryResurrect attempts each candidate flip position on a copy of the
+// line; the first flip after which ECC-1 + CRC declare the line valid
+// is committed (§IV-A: "we try with the next mismatched bit position
+// until all the positions are exhausted").
+func (e *Engine) tryResurrect(line *bitvec.Vector, positions []int) (bool, error) {
+	for _, p := range positions {
+		if p >= line.Len() {
+			continue
+		}
+		candidate := line.Clone()
+		if err := candidate.Flip(p); err != nil {
+			return false, err
+		}
+		st, err := e.codec.Scrub(candidate)
+		if err != nil {
+			return false, err
+		}
+		if st == StatusClean || st == StatusCorrected {
+			if err := line.CopyFrom(candidate); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"testing"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/rng"
+)
+
+// testGroup builds a small RAID group of encoded random lines plus its
+// parity codeword, and keeps the clean copies for comparison.
+type testGroup struct {
+	lines  []*bitvec.Vector
+	clean  []*bitvec.Vector
+	parity *bitvec.Vector
+}
+
+func newTestGroup(t testing.TB, c *LineCodec, r *rng.Source, size int) *testGroup {
+	t.Helper()
+	g := &testGroup{
+		lines:  make([]*bitvec.Vector, size),
+		clean:  make([]*bitvec.Vector, size),
+		parity: bitvec.New(c.StoredBits()),
+	}
+	for i := 0; i < size; i++ {
+		stored, err := c.Encode(randomData(r, c.DataBits()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.lines[i] = stored
+		g.clean[i] = stored.Clone()
+		if err := g.parity.XorInto(stored); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// inject flips the given bit positions on line idx.
+func (g *testGroup) inject(t testing.TB, idx int, positions ...int) {
+	t.Helper()
+	for _, p := range positions {
+		if err := g.lines[idx].Flip(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// verifyRestored asserts every line matches its clean copy.
+func (g *testGroup) verifyRestored(t testing.TB) {
+	t.Helper()
+	for i := range g.lines {
+		if !g.lines[i].Equal(g.clean[i]) {
+			t.Fatalf("line %d not restored", i)
+		}
+	}
+}
+
+func mustEngine(t testing.TB, level Protection, opts ...EngineOption) *Engine {
+	t.Helper()
+	e, err := NewEngine(mustCodec(t), level, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, ProtectionX); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	if _, err := NewEngine(mustCodec(t), Protection(0)); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+	if _, err := NewEngine(mustCodec(t), ProtectionY, WithMaxMismatch(1)); err == nil {
+		t.Fatal("mismatch cap 1 accepted")
+	}
+}
+
+func TestRepairGroupNoFaults(t *testing.T) {
+	e := mustEngine(t, ProtectionX)
+	g := newTestGroup(t, e.Codec(), rng.New(1), 8)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SinglesCorrected+rep.RAIDRepairs+rep.SDRRepairs != 0 || len(rep.Unrepaired) != 0 {
+		t.Fatalf("clean group repaired: %+v", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestRepairGroupSingles(t *testing.T) {
+	e := mustEngine(t, ProtectionX)
+	g := newTestGroup(t, e.Codec(), rng.New(2), 8)
+	g.inject(t, 0, 17)
+	g.inject(t, 3, 529) // CRC field
+	g.inject(t, 7, 550) // ECC field
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SinglesCorrected != 3 || len(rep.Unrepaired) != 0 {
+		t.Fatalf("repair = %+v, want 3 singles", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestRepairGroupRAIDSingleMultiBitLine(t *testing.T) {
+	// §III-C2 / Figure 2: line B with a six-bit error is rebuilt from
+	// the parity line and the other group members.
+	e := mustEngine(t, ProtectionX)
+	g := newTestGroup(t, e.Codec(), rng.New(3), 8)
+	g.inject(t, 1, 10, 20, 30, 40, 50, 60)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RAIDRepairs != 1 || len(rep.Unrepaired) != 0 {
+		t.Fatalf("repair = %+v, want 1 RAID repair", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestRepairGroupRAIDWithSinglesElsewhere(t *testing.T) {
+	// "If a line encounters any single-bit error, then such an error
+	// is corrected before participating in the RAID based correction."
+	e := mustEngine(t, ProtectionX)
+	g := newTestGroup(t, e.Codec(), rng.New(4), 8)
+	g.inject(t, 1, 100, 200)
+	g.inject(t, 2, 5)
+	g.inject(t, 6, 400)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SinglesCorrected != 2 || rep.RAIDRepairs != 1 || len(rep.Unrepaired) != 0 {
+		t.Fatalf("repair = %+v", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestSuDokuXFailsOnTwoMultiBitLines(t *testing.T) {
+	// §III: plain RAID-4 cannot correct two faulty units — the
+	// dominant failure mode that motivates SuDoku-Y.
+	e := mustEngine(t, ProtectionX)
+	g := newTestGroup(t, e.Codec(), rng.New(5), 8)
+	g.inject(t, 1, 10, 20)
+	g.inject(t, 4, 30, 40)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 2 {
+		t.Fatalf("SuDoku-X repaired two multi-bit lines: %+v", rep)
+	}
+}
+
+func TestSDRCase1NoOverlap(t *testing.T) {
+	// Figure 3(a): two lines with two faults each, no overlapping
+	// columns — four mismatch positions; SDR fixes one line, RAID-4
+	// the other.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(6), 8)
+	g.inject(t, 1, 10, 20)
+	g.inject(t, 4, 30, 40)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SDRRepairs < 1 || rep.RAIDRepairs != 1 || len(rep.Unrepaired) != 0 {
+		t.Fatalf("repair = %+v, want SDR + RAID", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestSDRCase2OneOverlap(t *testing.T) {
+	// Figure 3(b): one overlapping column — two mismatch positions —
+	// still correctable.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(7), 8)
+	g.inject(t, 1, 10, 20)
+	g.inject(t, 4, 10, 40)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 0 {
+		t.Fatalf("one-overlap case unrepaired: %+v", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestSDRCase3BothOverlapFails(t *testing.T) {
+	// Figure 3(c): both faults overlap — zero mismatches, SDR cannot
+	// locate anything, the group stays broken at SuDoku-Y strength.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(8), 8)
+	g.inject(t, 1, 10, 20)
+	g.inject(t, 4, 10, 20)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 2 {
+		t.Fatalf("fully-overlapping faults should be DUE at Y: %+v", rep)
+	}
+}
+
+func TestSDRThreeBitPlusTwoBit(t *testing.T) {
+	// Figure 4: a 3-bit-fault line paired with a 2-bit-fault line is
+	// repairable — SDR resurrects the 2-bit line, RAID-4 rebuilds the
+	// 3-bit line.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(9), 8)
+	g.inject(t, 2, 100, 200, 300)
+	g.inject(t, 5, 400, 500)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 0 {
+		t.Fatalf("(3,2) pair unrepaired: %+v", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestSDRThreeLinesTwoFaultsEach(t *testing.T) {
+	// §IV-C: three faulty lines with two-bit failures each — six
+	// mismatch positions, sequential resurrection repairs all.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(10), 8)
+	g.inject(t, 1, 10, 20)
+	g.inject(t, 3, 30, 40)
+	g.inject(t, 6, 50, 60)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 0 {
+		t.Fatalf("three 2-bit lines unrepaired: %+v", rep)
+	}
+	g.verifyRestored(t)
+}
+
+func TestSDRSkippedBeyondMismatchCap(t *testing.T) {
+	// §IV-C: "We do not perform SDR if there are more than six
+	// mismatches." Four 2-bit lines → eight mismatches → no SDR.
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(11), 8)
+	g.inject(t, 0, 10, 20)
+	g.inject(t, 2, 30, 40)
+	g.inject(t, 4, 50, 60)
+	g.inject(t, 6, 70, 80)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SDRRepairs != 0 || len(rep.Unrepaired) != 4 {
+		t.Fatalf("SDR should be skipped above the cap: %+v", rep)
+	}
+	// A raised cap turns the same pattern repairable.
+	e2 := mustEngine(t, ProtectionY, WithMaxMismatch(8))
+	g2 := newTestGroup(t, e2.Codec(), rng.New(11), 8)
+	g2.inject(t, 0, 10, 20)
+	g2.inject(t, 2, 30, 40)
+	g2.inject(t, 4, 50, 60)
+	g2.inject(t, 6, 70, 80)
+	rep2, err := e2.RepairGroup(g2.lines, g2.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Unrepaired) != 0 {
+		t.Fatalf("raised cap should repair: %+v", rep2)
+	}
+	g2.verifyRestored(t)
+}
+
+func TestTwoThreeBitLinesAreDUEAtY(t *testing.T) {
+	// §IV-E: two lines with 3+ errors each cannot be resurrected —
+	// SuDoku-Y's residual DUE mode (SuDoku-Z exists to fix this).
+	e := mustEngine(t, ProtectionY)
+	g := newTestGroup(t, e.Codec(), rng.New(12), 8)
+	g.inject(t, 1, 10, 20, 30)
+	g.inject(t, 4, 40, 50, 60)
+	rep, err := e.RepairGroup(g.lines, g.parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unrepaired) != 2 {
+		t.Fatalf("two 3-bit lines should be DUE at Y: %+v", rep)
+	}
+}
+
+// Property-style randomized test: for arbitrary ≤2 multi-bit lines
+// with ≤2 faults in distinct columns plus scattered singles, SuDoku-Y
+// restores the group exactly (fault weight ≤ 5 per line guarantees the
+// CRC cannot false-accept, so exact restoration is the only pass).
+func TestRandomizedYRepair(t *testing.T) {
+	e := mustEngine(t, ProtectionY)
+	r := rng.New(13)
+	for trial := 0; trial < 60; trial++ {
+		g := newTestGroup(t, e.Codec(), r, 12)
+		cols := r.SampleDistinct(543, 4)
+		g.inject(t, 1, cols[0], cols[1])
+		g.inject(t, 7, cols[2], cols[3])
+		for s := 0; s < 3; s++ {
+			g.inject(t, 2+s, r.Intn(543))
+		}
+		rep, err := e.RepairGroup(g.lines, g.parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Unrepaired) != 0 {
+			t.Fatalf("trial %d: unrepaired %+v", trial, rep)
+		}
+		g.verifyRestored(t)
+	}
+}
+
+func BenchmarkRepairGroup512Clean(b *testing.B) {
+	e := mustEngine(b, ProtectionY)
+	g := newTestGroup(b, e.Codec(), rng.New(1), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RepairGroup(g.lines, g.parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepairGroup512TwoFaultyLines(b *testing.B) {
+	e := mustEngine(b, ProtectionY)
+	g := newTestGroup(b, e.Codec(), rng.New(1), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range g.lines {
+			if err := g.lines[j].CopyFrom(g.clean[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g.inject(b, 1, 10, 20)
+		g.inject(b, 100, 30, 40)
+		b.StartTimer()
+		if _, err := e.RepairGroup(g.lines, g.parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

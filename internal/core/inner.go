@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/ecc/bch"
+	"sudoku/internal/ecc/hamming"
+)
+
+// innerCode abstracts the per-line correction code. The paper's base
+// design uses ECC-1 (Hamming SEC, one-cycle decode); §VII-G notes the
+// scheme "can be enhanced even further by replacing ECC-1 with ECC-2",
+// which this implementation supports through a shortened BCH code.
+type innerCode interface {
+	// checkBits is the stored check-field width.
+	checkBits() int
+	// strength is the number of correctable errors t.
+	strength() int
+	// encode returns the check bits for a message.
+	encode(msg *bitvec.Vector) (uint64, error)
+	// decode corrects msg in place (up to t errors across message and
+	// check bits) and classifies the outcome with hamming.Kind
+	// semantics: Clean, CorrectedMessage (message bits changed),
+	// CorrectedParity (only check bits were wrong), or Detected.
+	decode(msg *bitvec.Vector, check uint64) (hamming.Kind, error)
+}
+
+// hammingInner adapts the ECC-1 Hamming code.
+type hammingInner struct {
+	code *hamming.Code
+}
+
+var _ innerCode = (*hammingInner)(nil)
+
+func newHammingInner(msgBits int) (*hammingInner, error) {
+	code, err := hamming.New(msgBits)
+	if err != nil {
+		return nil, err
+	}
+	return &hammingInner{code: code}, nil
+}
+
+func (h *hammingInner) checkBits() int { return h.code.CheckBits() }
+
+func (h *hammingInner) strength() int { return 1 }
+
+func (h *hammingInner) encode(msg *bitvec.Vector) (uint64, error) {
+	return h.code.Encode(msg)
+}
+
+func (h *hammingInner) decode(msg *bitvec.Vector, check uint64) (hamming.Kind, error) {
+	res, err := h.code.Decode(msg, check)
+	if err != nil {
+		return 0, err
+	}
+	return res.Kind, nil
+}
+
+// bchInner adapts a shortened BCH code over GF(2¹⁰) as the per-line
+// ECC-t for t ≥ 2 (10·t check bits per line, Table II's storage
+// column).
+type bchInner struct {
+	code *bch.Code
+	t    int
+}
+
+var _ innerCode = (*bchInner)(nil)
+
+func newBCHInner(msgBits, t int) (*bchInner, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("core: BCH inner code needs t ≥ 2, got %d", t)
+	}
+	code, err := bch.New(10, t, msgBits)
+	if err != nil {
+		return nil, err
+	}
+	if code.ParityBits() > 64 {
+		return nil, fmt.Errorf("core: %d check bits exceed the stored field", code.ParityBits())
+	}
+	return &bchInner{code: code, t: t}, nil
+}
+
+func (b *bchInner) checkBits() int { return b.code.ParityBits() }
+
+func (b *bchInner) strength() int { return b.t }
+
+func (b *bchInner) encode(msg *bitvec.Vector) (uint64, error) {
+	cw, err := b.code.Encode(msg)
+	if err != nil {
+		return 0, err
+	}
+	var check uint64
+	for j := 0; j < b.code.ParityBits(); j++ {
+		if cw.Bit(j) {
+			check |= 1 << j
+		}
+	}
+	return check, nil
+}
+
+func (b *bchInner) decode(msg *bitvec.Vector, check uint64) (hamming.Kind, error) {
+	parity := b.code.ParityBits()
+	cw := bitvec.New(b.code.CodewordBits())
+	for j := 0; j < parity; j++ {
+		if check&(1<<j) != 0 {
+			if err := cw.Set(j); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := cw.Paste(msg, parity); err != nil {
+		return 0, err
+	}
+	n, err := b.code.Decode(cw)
+	if err != nil {
+		if errors.Is(err, bch.ErrUncorrectable) {
+			return hamming.Detected, nil
+		}
+		return 0, err
+	}
+	if n == 0 {
+		return hamming.Clean, nil
+	}
+	corrected, err := cw.Slice(parity, parity+msg.Len())
+	if err != nil {
+		return 0, err
+	}
+	if corrected.Equal(msg) {
+		return hamming.CorrectedParity, nil
+	}
+	if err := msg.CopyFrom(corrected); err != nil {
+		return 0, err
+	}
+	return hamming.CorrectedMessage, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+)
+
+// CacheView gives the repair machinery mutable access to stored line
+// codewords by global line address. Implementations: the functional
+// cache substrate and the fault-injection simulator's sparse store.
+type CacheView interface {
+	// Line returns the stored codeword of the given line address. The
+	// returned vector is the live storage: repairs mutate it in place.
+	Line(addr int) (*bitvec.Vector, error)
+}
+
+// ZReport summarizes a dual-hash repair invocation.
+type ZReport struct {
+	// Hash1 aggregates the work done within Hash-1 groups (including
+	// the final retry pass).
+	Hash1 GroupRepair
+	// Hash2Attempts counts Hash-2 groups pulled in for repair.
+	Hash2Attempts int
+	// Hash2Repairs counts lines that became clean thanks to a Hash-2
+	// group repair.
+	Hash2Repairs int
+	// Unrepaired lists the global line addresses that remain faulty —
+	// detectable uncorrectable errors (DUEs) at SuDoku-Z strength.
+	Unrepaired []int
+}
+
+// ZEngine orchestrates SuDoku-Z (§V): when a Hash-1 RAID group cannot
+// be fully repaired, each surviving faulty line is retried within its
+// Hash-2 group, and any success feeds back into a final Hash-1 pass.
+type ZEngine struct {
+	engine *Engine
+	params Params
+	plt1   *PLT
+	plt2   *PLT
+}
+
+// NewZEngine builds the dual-hash repair orchestrator. The engine's
+// protection level governs whether SDR runs inside each group repair;
+// Hash-2 retry is always available through RepairHash1Group (callers
+// wanting plain SuDoku-X/Y semantics use Engine.RepairGroup directly).
+func NewZEngine(engine *Engine, params Params, plt1, plt2 *PLT) (*ZEngine, error) {
+	if engine == nil {
+		return nil, errors.New("core: nil engine")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if plt1 == nil || plt2 == nil {
+		return nil, errors.New("core: ZEngine requires both parity tables")
+	}
+	if plt1.NumGroups() != params.NumGroups() || plt2.NumGroups() != params.NumGroups() {
+		return nil, fmt.Errorf("core: PLT group counts (%d, %d) do not match geometry (%d)",
+			plt1.NumGroups(), plt2.NumGroups(), params.NumGroups())
+	}
+	return &ZEngine{engine: engine, params: params, plt1: plt1, plt2: plt2}, nil
+}
+
+// Params returns the cache geometry.
+func (z *ZEngine) Params() Params { return z.params }
+
+// gather collects the stored codewords of the given member addresses.
+func (z *ZEngine) gather(view CacheView, members []int) ([]*bitvec.Vector, error) {
+	lines := make([]*bitvec.Vector, len(members))
+	for i, addr := range members {
+		ln, err := view.Line(addr)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", addr, err)
+		}
+		lines[i] = ln
+	}
+	return lines, nil
+}
+
+// RepairHash1Group repairs one Hash-1 group at full SuDoku-Z strength:
+//
+//  1. run the group repair (ECC-1 → SDR → RAID-4) under Hash-1;
+//  2. for every line still faulty, run a group repair on its Hash-2
+//     group (which, by the skewed-hash guarantee, contains none of the
+//     other Hash-1 failures from the same group);
+//  3. if anything was repaired under Hash-2, retry the Hash-1 group —
+//     with N−1 of N lines recovered, RAID-4 finishes the last one
+//     (§V-B).
+func (z *ZEngine) RepairHash1Group(view CacheView, group int) (ZReport, error) {
+	var report ZReport
+	members := z.params.Hash1Members(group)
+	lines, err := z.gather(view, members)
+	if err != nil {
+		return report, err
+	}
+	par1, err := z.plt1.Parity(group)
+	if err != nil {
+		return report, err
+	}
+
+	rep, err := z.engine.RepairGroup(lines, par1)
+	if err != nil {
+		return report, err
+	}
+	report.Hash1 = rep
+	if len(rep.Unrepaired) == 0 {
+		return report, nil
+	}
+	if z.engine.Level() < ProtectionZ {
+		report.Unrepaired = indicesToAddrs(members, rep.Unrepaired)
+		return report, nil
+	}
+
+	// Hash-2 phase: each surviving line retries in its other group.
+	for _, idx := range rep.Unrepaired {
+		addr := members[idx]
+		g2 := z.params.Hash2Of(addr)
+		m2 := z.params.Hash2Members(g2)
+		lines2, err := z.gather(view, m2)
+		if err != nil {
+			return report, err
+		}
+		par2, err := z.plt2.Parity(g2)
+		if err != nil {
+			return report, err
+		}
+		report.Hash2Attempts++
+		rep2, err := z.engine.RepairGroup(lines2, par2)
+		if err != nil {
+			return report, err
+		}
+		report.Hash1.merge(rep2)
+		if ok, err := z.engine.Codec().Check(lines[idx]); err != nil {
+			return report, err
+		} else if ok {
+			report.Hash2Repairs++
+		}
+	}
+
+	// Final Hash-1 pass: repaired lines may leave exactly one faulty
+	// line, which RAID-4 can now reconstruct.
+	repFinal, err := z.engine.RepairGroup(lines, par1)
+	if err != nil {
+		return report, err
+	}
+	report.Hash1.merge(repFinal)
+	report.Unrepaired = indicesToAddrs(members, repFinal.Unrepaired)
+	return report, nil
+}
+
+func indicesToAddrs(members, idxs []int) []int {
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]int, len(idxs))
+	for i, idx := range idxs {
+		out[i] = members[idx]
+	}
+	return out
+}

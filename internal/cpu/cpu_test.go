@@ -1,0 +1,109 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Config{{}, {ClockGHz: 3.2}, {ClockGHz: 3.2, Width: 4}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestComputeTiming(t *testing.T) {
+	c, err := New(DefaultConfig()) // 3.2 GHz, width 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Compute(8) // 2 cycles at 0.3125 ns
+	want := 2 / 3.2
+	if math.Abs(c.NowNs()-want) > 1e-12 {
+		t.Fatalf("NowNs() = %v, want %v", c.NowNs(), want)
+	}
+	if c.Retired() != 8 {
+		t.Fatalf("retired %d", c.Retired())
+	}
+	c.Compute(0)
+	c.Compute(-5)
+	if c.Retired() != 8 {
+		t.Fatal("non-positive compute changed state")
+	}
+	// Partial width rounds up to a full cycle.
+	before := c.NowNs()
+	c.Compute(1)
+	if c.Retired() != 9 || c.NowNs() <= before {
+		t.Fatal("single instruction made no progress")
+	}
+}
+
+func TestMemoryOverlap(t *testing.T) {
+	c, err := New(DefaultConfig()) // ROB 160 → MLP 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Memory(400)
+	if math.Abs(c.NowNs()-100) > 1e-9 {
+		t.Fatalf("exposed latency %v ns, want 100 (MLP 4)", c.NowNs())
+	}
+	if c.Retired() != 1 {
+		t.Fatalf("retired %d", c.Retired())
+	}
+	// Tiny latencies are floored at one cycle — the CRC-check case.
+	c2, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Memory(0)
+	if math.Abs(c2.NowNs()-1/3.2) > 1e-12 {
+		t.Fatalf("zero-latency op took %v ns, want one cycle", c2.NowNs())
+	}
+}
+
+func TestSmallROBHasLessOverlap(t *testing.T) {
+	small, err := New(Config{ClockGHz: 3.2, Width: 4, ROBSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Memory(400)
+	big.Memory(400)
+	if small.NowNs() <= big.NowNs() {
+		t.Fatalf("small ROB (%v) should expose more latency than big (%v)", small.NowNs(), big.NowNs())
+	}
+}
+
+func TestNowQuantizes(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Memory(1000)
+	if c.Now().Nanoseconds() != 250 {
+		t.Fatalf("Now() = %v, want 250ns", c.Now())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Compute(100)
+	c.Memory(1000)
+	c.Reset()
+	if c.NowNs() != 0 || c.Retired() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

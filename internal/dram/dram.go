@@ -1,0 +1,130 @@
+// Package dram models the DDR3 main memory below the STTRAM LLC — the
+// repository's substitute for USIMM (§VII-A, Table VI: "DDR3 Memory
+// (800MHz), 2 Channels, 8GB Each").
+//
+// The model is deliberately cycle-approximate: per-bank row-buffer
+// state with tRCD/tRP/tCAS timing and per-bank service serialization.
+// The evaluation normalizes SuDoku against an ideal cache on the same
+// memory, so only the relative latency contribution matters.
+package dram
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the memory organization.
+type Config struct {
+	// Channels is the number of independent channels (2).
+	Channels int
+	// BanksPerChannel is the number of DRAM banks per channel (8).
+	BanksPerChannel int
+	// ClockMHz is the bus clock (800 MHz DDR3-1600-style timing).
+	ClockMHz int
+	// TCAS, TRCD, TRP are the usual timing parameters in bus cycles.
+	TCAS, TRCD, TRP int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// BurstCycles is the data-burst duration in bus cycles.
+	BurstCycles int
+}
+
+// DefaultConfig returns the Table VI configuration.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		ClockMHz:        800,
+		TCAS:            11,
+		TRCD:            11,
+		TRP:             11,
+		RowBytes:        8192,
+		BurstCycles:     4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram: %d channels × %d banks", c.Channels, c.BanksPerChannel)
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("dram: clock %d MHz", c.ClockMHz)
+	case c.TCAS <= 0 || c.TRCD <= 0 || c.TRP <= 0 || c.BurstCycles <= 0:
+		return fmt.Errorf("dram: timing %d/%d/%d/%d", c.TCAS, c.TRCD, c.TRP, c.BurstCycles)
+	case c.RowBytes <= 0:
+		return fmt.Errorf("dram: row %d bytes", c.RowBytes)
+	}
+	return nil
+}
+
+type bankState struct {
+	openRow  int64
+	nextFree time.Duration
+}
+
+// DDR3 is the timing model. It is not safe for concurrent use; the
+// cache layer serializes accesses.
+type DDR3 struct {
+	cfg     Config
+	cycleNs float64 // bus cycle in ns (1.25 at 800 MHz)
+	banks   []bankState
+	reads   int64
+	writes  int64
+	rowHits int64
+}
+
+// New builds the model.
+func New(cfg Config) (*DDR3, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Channels * cfg.BanksPerChannel
+	banks := make([]bankState, n)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &DDR3{
+		cfg:     cfg,
+		cycleNs: 1000 / float64(cfg.ClockMHz),
+		banks:   banks,
+	}, nil
+}
+
+// Stats returns cumulative counters: reads, writes, row-buffer hits.
+func (d *DDR3) Stats() (reads, writes, rowHits int64) {
+	return d.reads, d.writes, d.rowHits
+}
+
+// Access services one cache-line transfer issued at time now and
+// returns its latency. Channel and bank are decoded from the line
+// address; the row buffer and bank-busy windows determine the timing.
+func (d *DDR3) Access(now time.Duration, addr uint64, write bool) time.Duration {
+	line := addr >> 6
+	nBanks := uint64(len(d.banks))
+	bank := &d.banks[line%nBanks]
+	row := int64(line / nBanks / uint64(d.cfg.RowBytes/64))
+
+	start := now
+	if bank.nextFree > start {
+		start = bank.nextFree
+	}
+	var cycles int
+	if bank.openRow == row {
+		cycles = d.cfg.TCAS + d.cfg.BurstCycles
+		d.rowHits++
+	} else if bank.openRow < 0 {
+		cycles = d.cfg.TRCD + d.cfg.TCAS + d.cfg.BurstCycles
+	} else {
+		cycles = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS + d.cfg.BurstCycles
+	}
+	bank.openRow = row
+	service := time.Duration(float64(cycles) * d.cycleNs * float64(time.Nanosecond))
+	bank.nextFree = start + service
+	if write {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	return start + service - now
+}

@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"testing"
+	"time"
+)
+
+func mustDDR3(t testing.TB) *DDR3 {
+	t.Helper()
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		func() Config { c := DefaultConfig(); c.Channels = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.ClockMHz = -1; return c }(),
+		func() Config { c := DefaultConfig(); c.TCAS = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.RowBytes = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestRowBufferHitIsFaster(t *testing.T) {
+	// Lines interleave across the 16 banks, so the same bank repeats
+	// every 16 lines (1 KB) and the same bank+row spans 128 such
+	// strides.
+	d := mustDDR3(t)
+	first := d.Access(0, 0x1000, false)            // row miss (bank idle)
+	second := d.Access(first, 0x1000+16*64, false) // same bank, same row
+	if second >= first {
+		t.Fatalf("row hit %v not faster than first access %v", second, first)
+	}
+	// A different row in the same bank must pay precharge+activate.
+	far := d.Access(first+second, 0x1000+16*64*128*3, false)
+	if far <= second {
+		t.Fatalf("row conflict %v not slower than row hit %v", far, second)
+	}
+}
+
+func TestBankSerialization(t *testing.T) {
+	d := mustDDR3(t)
+	// Two back-to-back accesses to the same bank at the same instant:
+	// the second must wait for the first.
+	l1 := d.Access(0, 0x0, false)
+	l2 := d.Access(0, 0x0, false)
+	if l2 <= l1 {
+		t.Fatalf("second access (%v) did not queue behind first (%v)", l2, l1)
+	}
+	// Accesses to different banks at the same instant do not queue.
+	d2 := mustDDR3(t)
+	a := d2.Access(0, 0x0, false)
+	b := d2.Access(0, 0x40, false) // next line → different bank
+	if b > a {
+		t.Fatalf("different banks should not serialize: %v vs %v", b, a)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := mustDDR3(t)
+	d.Access(0, 0, false)
+	d.Access(0, 64, true)
+	d.Access(time.Millisecond, 0, false) // row hit
+	reads, writes, rowHits := d.Stats()
+	if reads != 2 || writes != 1 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	if rowHits != 1 {
+		t.Fatalf("rowHits=%d", rowHits)
+	}
+}
+
+func TestLatencyMagnitude(t *testing.T) {
+	// DDR3-800-class access should be tens of nanoseconds.
+	d := mustDDR3(t)
+	lat := d.Access(0, 0x12345640, false)
+	if lat < 10*time.Nanosecond || lat > 200*time.Nanosecond {
+		t.Fatalf("first-access latency %v outside DDR3 range", lat)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	d := mustDDR3(b)
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		now += d.Access(now, uint64(i)*64*17, i%4 == 0)
+	}
+}

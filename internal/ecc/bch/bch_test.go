@@ -1,0 +1,392 @@
+package bch
+
+import (
+	"errors"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/rng"
+)
+
+func TestNewFieldProperties(t *testing.T) {
+	for m := 3; m <= 14; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", m, err)
+		}
+		if f.N() != (1<<m)-1 {
+			t.Fatalf("m=%d: N = %d", m, f.N())
+		}
+		// α generates the full multiplicative group: exp table holds
+		// every nonzero element exactly once.
+		seen := make(map[uint32]bool, f.N())
+		for i := 0; i < f.N(); i++ {
+			e := f.Exp(i)
+			if e == 0 || seen[e] {
+				t.Fatalf("m=%d: exp table not a permutation at %d", m, i)
+			}
+			seen[e] = true
+		}
+	}
+	if _, err := NewField(2); !errors.Is(err, ErrUnsupportedField) {
+		t.Fatalf("NewField(2) err = %v", err)
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	f, err := NewField(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		a := uint32(r.Intn(f.N())) + 1
+		b := uint32(r.Intn(f.N())) + 1
+		c := uint32(r.Intn(f.N())) + 1
+		// Commutativity and associativity of Mul.
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatal("Mul not commutative")
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			t.Fatal("Mul not associative")
+		}
+		// Distributivity over XOR (field addition).
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatal("Mul not distributive over addition")
+		}
+		// Inverse.
+		inv, err := f.Inv(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mul(a, inv) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%#x", a)
+		}
+	}
+	if f.Mul(0, 5) != 0 || f.Mul(7, 0) != 0 {
+		t.Fatal("Mul by zero should be zero")
+	}
+	if _, err := f.Inv(0); err == nil {
+		t.Fatal("Inv(0) should error")
+	}
+	if _, err := f.Div(3, 0); err == nil {
+		t.Fatal("Div by zero should error")
+	}
+}
+
+func TestMinimalPolyRoots(t *testing.T) {
+	f, err := NewField(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 3, 5, 7, 9, 11} {
+		mp, deg, err := f.MinimalPoly(i)
+		if err != nil {
+			t.Fatalf("MinimalPoly(%d): %v", i, err)
+		}
+		if deg < 1 || deg > 10 {
+			t.Fatalf("MinimalPoly(%d) degree %d", i, deg)
+		}
+		// α^i must be a root: evaluate the GF(2) polynomial at α^i.
+		var acc uint32
+		for j := 0; j <= deg; j++ {
+			if mp&(1<<j) != 0 {
+				acc ^= f.Exp(i * j)
+			}
+		}
+		if acc != 0 {
+			t.Fatalf("α^%d is not a root of its minimal polynomial %#x", i, mp)
+		}
+	}
+	// m1 for our GF(2^10) must be the primitive polynomial itself.
+	mp, deg, err := f.MinimalPoly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 10 || mp != 0x409 {
+		t.Fatalf("m1 = %#x (deg %d), want 0x409 (deg 10)", mp, deg)
+	}
+}
+
+func TestGeneratorDegrees(t *testing.T) {
+	// For m=10 and t=1..6 the minimal polynomials of α,α³,…,α¹¹ are
+	// distinct with degree 10, so parity = 10t — the paper's
+	// "10 bits per ECC level" overhead column in Table II.
+	for tt := 1; tt <= 6; tt++ {
+		c, err := New(10, tt, 512)
+		if err != nil {
+			t.Fatalf("New(10,%d,512): %v", tt, err)
+		}
+		if c.ParityBits() != 10*tt {
+			t.Fatalf("t=%d: parity = %d, want %d", tt, c.ParityBits(), 10*tt)
+		}
+		if c.CodewordBits() != 512+10*tt {
+			t.Fatalf("t=%d: codeword = %d", tt, c.CodewordBits())
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(10, 0, 512); err == nil {
+		t.Fatal("t=0 should error")
+	}
+	if _, err := New(10, 3, 1000); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized data err = %v", err)
+	}
+	if _, err := New(2, 1, 1); !errors.Is(err, ErrUnsupportedField) {
+		t.Fatalf("bad field err = %v", err)
+	}
+}
+
+func TestEncodeProducesValidCodeword(t *testing.T) {
+	c, err := New(10, 3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		data := randomData(r, 512)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, s := range c.Syndromes(cw) {
+			if s != 0 {
+				t.Fatalf("trial %d: syndrome S%d = %#x for clean codeword", trial, j+1, s)
+			}
+		}
+		// Systematic: data recoverable by slicing.
+		got, err := cw.Slice(c.ParityBits(), c.CodewordBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(data) {
+			t.Fatal("codeword is not systematic")
+		}
+	}
+}
+
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	r := rng.New(42)
+	for _, tc := range []struct{ m, t, data int }{
+		{10, 1, 512},
+		{10, 2, 512},
+		{10, 3, 512},
+		{10, 6, 512},
+		{7, 2, 64},
+	} {
+		c, err := New(tc.m, tc.t, tc.data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nerr := 0; nerr <= tc.t; nerr++ {
+			for trial := 0; trial < 10; trial++ {
+				data := randomData(r, tc.data)
+				cw, err := c.Encode(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range r.SampleDistinct(cw.Len(), nerr) {
+					if err := cw.Flip(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				n, err := c.Decode(cw)
+				if err != nil {
+					t.Fatalf("m=%d t=%d nerr=%d: %v", tc.m, tc.t, nerr, err)
+				}
+				if n != nerr {
+					t.Fatalf("corrected %d, want %d", n, nerr)
+				}
+				got, err := cw.Slice(c.ParityBits(), c.CodewordBits())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(data) {
+					t.Fatalf("m=%d t=%d nerr=%d: data corrupted after decode", tc.m, tc.t, nerr)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBeyondTDetectedOrMiscorrected(t *testing.T) {
+	// t+1 errors: the decoder either flags ErrUncorrectable or
+	// miscorrects to a *valid* codeword (that is what real BCH does —
+	// SuDoku layers CRC on top precisely for this). It must never
+	// return success while leaving invalid state.
+	c, err := New(10, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	detected, miscorrected := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		data := randomData(r, 512)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range r.SampleDistinct(cw.Len(), 3) {
+			if err := cw.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Decode(cw); err != nil {
+			if !errors.Is(err, ErrUncorrectable) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			detected++
+			continue
+		}
+		for _, s := range c.Syndromes(cw) {
+			if s != 0 {
+				t.Fatal("Decode returned success with nonzero syndrome")
+			}
+		}
+		got, err := cw.Slice(c.ParityBits(), c.CodewordBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(data) {
+			miscorrected++
+		}
+	}
+	if detected+miscorrected == 0 {
+		t.Fatal("3 errors on a t=2 code never detected nor miscorrected — decoder claims impossible corrections")
+	}
+}
+
+func TestDecodeLengthValidation(t *testing.T) {
+	c, err := New(10, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(bitvec.New(10)); err == nil {
+		t.Fatal("wrong-length decode should error")
+	}
+	if _, err := c.Encode(bitvec.New(10)); err == nil {
+		t.Fatal("wrong-length encode should error")
+	}
+}
+
+func TestDecodeData(t *testing.T) {
+	c, err := New(10, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	data := randomData(r, 128)
+	cw, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flip(100); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := c.DecodeData(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !got.Equal(data) {
+		t.Fatalf("DecodeData n=%d equal=%v", n, got.Equal(data))
+	}
+}
+
+func TestDetectionGenerator(t *testing.T) {
+	poly, deg, err := DetectionGenerator(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 31 {
+		t.Fatalf("CRC-31 generator degree = %d, want 31", deg)
+	}
+	if poly>>31 != 1 {
+		t.Fatalf("generator %#x missing leading x^31 term", poly)
+	}
+	// (x+1) divides g, so g has even weight.
+	if bits.OnesCount64(poly)%2 != 0 {
+		t.Fatalf("generator %#x should have even weight", poly)
+	}
+	// g(1) = 0 over GF(2) ⇔ even weight — already checked; also the
+	// constant term must be 1 for a proper CRC.
+	if poly&1 != 1 {
+		t.Fatal("generator constant term must be 1")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary data with random ≤t
+// error patterns.
+func TestQuickRoundTrip(t *testing.T) {
+	c, err := New(10, 3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1234)
+	f := func(words [8]uint64, seed uint64) bool {
+		data := bitvec.FromWords(words[:], 512)
+		cw, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		nerr := int(seed % 4) // 0..3 errors
+		for _, p := range r.SampleDistinct(cw.Len(), nerr) {
+			if err := cw.Flip(p); err != nil {
+				return false
+			}
+		}
+		got, n, err := c.DecodeData(cw)
+		return err == nil && n == nerr && got.Equal(data)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomData(r *rng.Source, n int) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+func BenchmarkEncodeT6(b *testing.B) {
+	c, err := New(10, 6, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomData(rng.New(1), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeT6SixErrors(b *testing.B) {
+	c, err := New(10, 6, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	data := randomData(r, 512)
+	clean, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := clean.Clone()
+		for _, p := range r.SampleDistinct(cw.Len(), 6) {
+			_ = cw.Flip(p)
+		}
+		if _, err := c.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+)
+
+var (
+	// ErrUncorrectable is returned by Decode when the received word
+	// contains more errors than the code can correct (and the decoder
+	// detected the fact).
+	ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
+
+	// ErrTooLong is returned when the requested data length does not
+	// fit in the code.
+	ErrTooLong = errors.New("bch: data length exceeds code dimension")
+)
+
+// Code is a shortened binary BCH code with correction capability t.
+// A Code is immutable after construction and safe for concurrent use.
+type Code struct {
+	f        *Field
+	t        int
+	dataBits int
+	parity   int      // deg(g)
+	gen      []uint64 // generator polynomial over GF(2), bit j = x^j coeff
+}
+
+// New constructs a shortened BCH code over GF(2^m) correcting t errors
+// with dataBits message bits. The codeword is dataBits+parity bits,
+// laid out as parity (low positions) followed by data.
+func New(m, t, dataBits int) (*Code, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("bch: t must be ≥ 1, got %d", t)
+	}
+	f, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	gen, deg, err := generator(f, t)
+	if err != nil {
+		return nil, err
+	}
+	k := f.N() - deg
+	if dataBits > k {
+		return nil, fmt.Errorf("%w: %d > k=%d", ErrTooLong, dataBits, k)
+	}
+	return &Code{f: f, t: t, dataBits: dataBits, parity: deg, gen: gen}, nil
+}
+
+// generator returns g(x) = lcm of the minimal polynomials of
+// α, α³, …, α^(2t−1) (binary BCH needs only odd powers; even powers
+// share cosets with smaller odd ones), as a multi-word GF(2)
+// polynomial (bit j of the word slice = coefficient of x^j).
+func generator(f *Field, t int) ([]uint64, int, error) {
+	g := []uint64{1}
+	deg := 0
+	used := map[uint64]bool{}
+	for i := 1; i <= 2*t-1; i += 2 {
+		mp, d, err := f.MinimalPoly(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		if used[mp] {
+			continue
+		}
+		used[mp] = true
+		g = polyMulWide(g, deg, mp, d)
+		deg += d
+	}
+	return g, deg, nil
+}
+
+// polyMulWide multiplies a multi-word GF(2) polynomial of degree adeg
+// by a single-word polynomial of degree bdeg.
+func polyMulWide(a []uint64, adeg int, b uint64, bdeg int) []uint64 {
+	out := make([]uint64, (adeg+bdeg)/64+1)
+	for j := 0; j <= bdeg; j++ {
+		if b&(1<<j) == 0 {
+			continue
+		}
+		// out ^= a << j
+		w, s := j/64, j%64
+		for i, av := range a {
+			out[i+w] ^= av << s
+			if s != 0 && i+w+1 < len(out) {
+				out[i+w+1] ^= av >> (64 - s)
+			}
+		}
+	}
+	return out
+}
+
+// polyMul multiplies two GF(2) polynomials held in uint64s. The caller
+// guarantees the product degree fits in 64 bits.
+func polyMul(a, b uint64) uint64 {
+	var out uint64
+	for ; b != 0; b >>= 1 {
+		if b&1 != 0 {
+			out ^= a
+		}
+		a <<= 1
+	}
+	return out
+}
+
+// polyBit reads coefficient j of a multi-word polynomial.
+func polyBit(p []uint64, j int) bool {
+	w := j / 64
+	if w >= len(p) {
+		return false
+	}
+	return p[w]&(1<<(j%64)) != 0
+}
+
+// T returns the correction capability.
+func (c *Code) T() int { return c.t }
+
+// DataBits returns the message length in bits.
+func (c *Code) DataBits() int { return c.dataBits }
+
+// ParityBits returns the number of parity bits (deg g = m·t for the
+// usual case of distinct degree-m minimal polynomials).
+func (c *Code) ParityBits() int { return c.parity }
+
+// CodewordBits returns the shortened codeword length.
+func (c *Code) CodewordBits() int { return c.dataBits + c.parity }
+
+// Generator returns a copy of the generator polynomial words
+// (bit j = coefficient of x^j).
+func (c *Code) Generator() []uint64 {
+	out := make([]uint64, len(c.gen))
+	copy(out, c.gen)
+	return out
+}
+
+// Encode produces the systematic codeword for data: bits [0,parity)
+// hold the remainder of data(x)·x^parity mod g(x); bits
+// [parity, parity+dataBits) hold the data.
+func (c *Code) Encode(data *bitvec.Vector) (*bitvec.Vector, error) {
+	if data.Len() != c.dataBits {
+		return nil, fmt.Errorf("bch: data length %d, want %d", data.Len(), c.dataBits)
+	}
+	cw := bitvec.New(c.CodewordBits())
+	if err := cw.Paste(data, c.parity); err != nil {
+		return nil, err
+	}
+	rem := c.remainder(data)
+	for j := 0; j < c.parity; j++ {
+		if polyBit(rem, j) {
+			if err := cw.Set(j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cw, nil
+}
+
+// remainder computes data(x)·x^parity mod g(x) with a multi-word LFSR,
+// consuming data bits from the highest degree downward. Data bit i
+// corresponds to the coefficient of x^(parity+i) in the padded message
+// polynomial.
+func (c *Code) remainder(data *bitvec.Vector) []uint64 {
+	words := (c.parity + 63) / 64
+	reg := make([]uint64, words)
+	topWord := (c.parity - 1) / 64
+	topBit := uint64(1) << ((c.parity - 1) % 64)
+	// Feedback taps: g without its leading x^parity term.
+	fb := make([]uint64, words)
+	copy(fb, c.gen)
+	fb[c.parity/64] &^= 1 << (c.parity % 64)
+	for i := data.Len() - 1; i >= 0; i-- {
+		feedback := reg[topWord]&topBit != 0
+		if data.Bit(i) {
+			feedback = !feedback
+		}
+		// reg <<= 1 across words.
+		var carry uint64
+		for w := 0; w < words; w++ {
+			next := reg[w] >> 63
+			reg[w] = reg[w]<<1 | carry
+			carry = next
+		}
+		if feedback {
+			for w := 0; w < words; w++ {
+				reg[w] ^= fb[w]
+			}
+		}
+	}
+	// Mask bits above parity.
+	if c.parity%64 != 0 {
+		reg[words-1] &= (uint64(1) << (c.parity % 64)) - 1
+	}
+	return reg
+}
+
+// Syndromes evaluates the received word at α^1 … α^2t. A shortened
+// codeword's bit i is the coefficient of x^i in the received
+// polynomial.
+func (c *Code) Syndromes(cw *bitvec.Vector) []uint32 {
+	syn := make([]uint32, 2*c.t)
+	for _, pos := range cw.SetBits() {
+		for j := range syn {
+			syn[j] ^= c.f.Exp(pos * (j + 1))
+		}
+	}
+	return syn
+}
+
+// Decode corrects cw in place and returns the number of bits corrected.
+// It returns ErrUncorrectable when the error pattern exceeds t errors
+// and the decoder can tell (locator degree > t, Chien search root count
+// mismatch, or error positions outside the shortened word).
+//
+// Note that, like real BCH hardware, patterns of more than t errors can
+// be silently miscorrected into a different codeword; callers that need
+// stronger detection layer a CRC on top (which is exactly what SuDoku
+// does with ECC-1).
+func (c *Code) Decode(cw *bitvec.Vector) (int, error) {
+	if cw.Len() != c.CodewordBits() {
+		return 0, fmt.Errorf("bch: codeword length %d, want %d", cw.Len(), c.CodewordBits())
+	}
+	syn := c.Syndromes(cw)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return 0, nil
+	}
+	locator, err := c.berlekampMassey(syn)
+	if err != nil {
+		return 0, err
+	}
+	deg := len(locator) - 1
+	if deg > c.t {
+		return 0, fmt.Errorf("%w: locator degree %d > t=%d", ErrUncorrectable, deg, c.t)
+	}
+	positions, err := c.chien(locator)
+	if err != nil {
+		return 0, err
+	}
+	if len(positions) != deg {
+		return 0, fmt.Errorf("%w: %d roots for degree-%d locator", ErrUncorrectable, len(positions), deg)
+	}
+	for _, p := range positions {
+		if p >= cw.Len() {
+			return 0, fmt.Errorf("%w: error position %d beyond shortened length %d", ErrUncorrectable, p, cw.Len())
+		}
+	}
+	for _, p := range positions {
+		if err := cw.Flip(p); err != nil {
+			return 0, err
+		}
+	}
+	// Verify: a successful correction must zero the syndromes.
+	for _, s := range c.Syndromes(cw) {
+		if s != 0 {
+			// Roll back so the caller sees the original word.
+			for _, p := range positions {
+				_ = cw.Flip(p)
+			}
+			return 0, fmt.Errorf("%w: residual syndrome after correction", ErrUncorrectable)
+		}
+	}
+	return len(positions), nil
+}
+
+// DecodeData is Decode followed by extraction of the message bits.
+func (c *Code) DecodeData(cw *bitvec.Vector) (*bitvec.Vector, int, error) {
+	n, err := c.Decode(cw)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := cw.Slice(c.parity, c.parity+c.dataBits)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, n, nil
+}
+
+// berlekampMassey finds the minimal error-locator polynomial Λ(x) with
+// Λ(0)=1 such that the syndrome recurrence holds. Coefficients are
+// returned low-degree first.
+func (c *Code) berlekampMassey(syn []uint32) ([]uint32, error) {
+	f := c.f
+	lambda := []uint32{1}
+	b := []uint32{1}
+	var l int
+	bDelta := uint32(1)
+	shift := 1
+	for n := 0; n < len(syn); n++ {
+		// Discrepancy d = S_n + Σ λ_i · S_{n−i}.
+		d := syn[n]
+		for i := 1; i <= l && i < len(lambda); i++ {
+			if n-i >= 0 {
+				d ^= f.Mul(lambda[i], syn[n-i])
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		scale, err := f.Div(d, bDelta)
+		if err != nil {
+			return nil, err
+		}
+		// lambda' = lambda − scale · x^shift · b
+		next := make([]uint32, max(len(lambda), len(b)+shift))
+		copy(next, lambda)
+		for i, bc := range b {
+			next[i+shift] ^= f.Mul(scale, bc)
+		}
+		if 2*l <= n {
+			b = lambda
+			bDelta = d
+			l = n + 1 - l
+			shift = 1
+		} else {
+			shift++
+		}
+		lambda = next
+	}
+	// Trim trailing zeros.
+	for len(lambda) > 1 && lambda[len(lambda)-1] == 0 {
+		lambda = lambda[:len(lambda)-1]
+	}
+	return lambda, nil
+}
+
+// chien finds the error positions: position p is in error iff
+// Λ(α^−p) = 0.
+func (c *Code) chien(lambda []uint32) ([]int, error) {
+	f := c.f
+	var positions []int
+	for p := 0; p < f.N(); p++ {
+		var acc uint32
+		for i, lc := range lambda {
+			if lc == 0 {
+				continue
+			}
+			acc ^= f.Mul(lc, f.Exp(-p*i))
+		}
+		if acc == 0 {
+			positions = append(positions, p)
+		}
+	}
+	return positions, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DetectionGenerator builds the generator polynomial of the CRC used by
+// SuDoku for multi-bit error *detection*: the product of the minimal
+// polynomials of α, α³, …, α^(2t−1) over GF(2^m), multiplied by (x+1).
+// The resulting cyclic code has designed distance 2t+2, i.e. it detects
+// every pattern of up to 2t+1 bit errors in words up to 2^m−1 bits.
+//
+// For m=10, t=3 this yields a degree-31 polynomial — the paper's
+// "CRC-31" that detects up to 7 errors in the 543-bit line codeword.
+func DetectionGenerator(m, t int) (poly uint64, degree int, err error) {
+	f, err := NewField(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	g, deg, err := generator(f, t)
+	if err != nil {
+		return 0, 0, err
+	}
+	if deg+1 > 63 {
+		return 0, 0, errors.New("bch: detection generator degree exceeds 63")
+	}
+	return polyMul(g[0], 0b11), deg + 1, nil // multiply by (x+1)
+}

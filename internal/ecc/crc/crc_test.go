@@ -1,0 +1,197 @@
+package crc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/ecc/bch"
+	"sudoku/internal/rng"
+)
+
+func TestPoly31MatchesBCHConstruction(t *testing.T) {
+	poly, deg, err := bch.DetectionGenerator(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 31 || poly != Poly31 {
+		t.Fatalf("DetectionGenerator = %#x (deg %d), constant Poly31 = %#x", poly, deg, Poly31)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(7, 0xff); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("width 7 err = %v", err)
+	}
+	if _, err := New(64, 0); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("width 64 err = %v", err)
+	}
+	if _, err := New(31, 0xf1fb3334); err == nil {
+		t.Fatal("polynomial without constant term accepted")
+	}
+	if _, err := New(31, 0x71fb3335); err == nil {
+		t.Fatal("polynomial without leading term accepted")
+	}
+}
+
+func TestTableMatchesBitwise(t *testing.T) {
+	c := NewCRC31()
+	r := rng.New(8)
+	for _, n := range []int{8, 31, 64, 512, 543, 553, 1000} {
+		for trial := 0; trial < 10; trial++ {
+			v := randomVec(r, n)
+			if got, want := c.Compute(v), c.computeBitwise(v); got != want {
+				t.Fatalf("n=%d: table %#x != bitwise %#x", n, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroMessageZeroCRC(t *testing.T) {
+	c := NewCRC31()
+	if got := c.Compute(bitvec.New(512)); got != 0 {
+		t.Fatalf("CRC of zero message = %#x, want 0", got)
+	}
+}
+
+func TestCheckDetectsSingleErrors(t *testing.T) {
+	c := NewCRC31()
+	r := rng.New(17)
+	v := randomVec(r, 512)
+	stored := c.Compute(v)
+	if !c.Check(v, stored) {
+		t.Fatal("clean check failed")
+	}
+	for _, p := range []int{0, 1, 255, 511} {
+		w := v.Clone()
+		if err := w.Flip(p); err != nil {
+			t.Fatal(err)
+		}
+		if c.Check(w, stored) {
+			t.Fatalf("single error at %d undetected", p)
+		}
+	}
+	// Error in the stored CRC value itself.
+	for b := 0; b < 31; b++ {
+		if c.Check(v, stored^(1<<b)) {
+			t.Fatalf("CRC-field error at bit %d undetected", b)
+		}
+	}
+}
+
+// TestGuaranteedDetectionUpTo7 exercises the headline property of
+// CRC-31: every pattern of 1..7 errors across the 543-bit (data‖CRC)
+// codeword must be detected. Exhaustive enumeration is infeasible, so
+// we sample densely at every weight; any single undetected pattern is
+// a hard failure because the generator's designed distance is 8.
+func TestGuaranteedDetectionUpTo7(t *testing.T) {
+	c := NewCRC31()
+	r := rng.New(23)
+	data := randomVec(r, 512)
+	stored := c.Compute(data)
+	const codeword = 512 + 31
+	trials := 30000
+	if testing.Short() {
+		trials = 3000
+	}
+	for w := 1; w <= 7; w++ {
+		for trial := 0; trial < trials; trial++ {
+			d := data.Clone()
+			s := stored
+			for _, p := range r.SampleDistinct(codeword, w) {
+				if p < 512 {
+					if err := d.Flip(p); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					s ^= 1 << (p - 512)
+				}
+			}
+			if c.Check(d, s) {
+				t.Fatalf("weight-%d error pattern undetected (trial %d)", w, trial)
+			}
+		}
+	}
+}
+
+func TestEightErrorMisdetectionIsRare(t *testing.T) {
+	// 8-error patterns may alias (probability ≈ 2⁻³¹ per the paper's
+	// Table III); with 3e4 samples we expect zero collisions, but the
+	// guarantee is statistical so we only bound the rate loosely.
+	c := NewCRC31()
+	r := rng.New(29)
+	data := randomVec(r, 512)
+	stored := c.Compute(data)
+	misses := 0
+	for trial := 0; trial < 30000; trial++ {
+		d := data.Clone()
+		for _, p := range r.SampleDistinct(512, 8) {
+			if err := d.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c.Check(d, stored) {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("8-error misdetection rate %d/30000 far above 2⁻³¹", misses)
+	}
+}
+
+// Property: CRC is linear — crc(a ^ b) == crc(a) ^ crc(b). Detection
+// analysis in the analytic package depends on this.
+func TestQuickLinearity(t *testing.T) {
+	c := NewCRC31()
+	f := func(aw, bw [8]uint64) bool {
+		a := bitvec.FromWords(aw[:], 512)
+		b := bitvec.FromWords(bw[:], 512)
+		x, err := bitvec.Xor(a, b)
+		if err != nil {
+			return false
+		}
+		return c.Compute(x) == c.Compute(a)^c.Compute(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOtherWidths(t *testing.T) {
+	// CRC-16/CCITT-style polynomial, used by the ablation bench that
+	// swaps CRC-31 for a weaker detector.
+	c16, err := New(16, 0x11021)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	v := randomVec(r, 512)
+	stored := c16.Compute(v)
+	if stored>>16 != 0 {
+		t.Fatalf("CRC-16 produced %d-bit value", 64-16)
+	}
+	if err := v.Flip(99); err != nil {
+		t.Fatal(err)
+	}
+	if c16.Check(v, stored) {
+		t.Fatal("CRC-16 missed a single-bit error")
+	}
+}
+
+func randomVec(r *rng.Source, n int) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+func BenchmarkCompute512(b *testing.B) {
+	c := NewCRC31()
+	v := randomVec(rng.New(1), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Compute(v)
+	}
+}

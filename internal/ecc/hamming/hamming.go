@@ -1,0 +1,165 @@
+// Package hamming implements the single-error-correcting (SEC) Hamming
+// code that SuDoku provisions per line as "ECC-1".
+//
+// For SuDoku's 543-bit message (512 data + 31 CRC bits, §III-E), the
+// code needs 10 check bits — matching the paper's "10 bits per line"
+// ECC-1 storage. Decoding is a single syndrome lookup, the hardware
+// analogue of the paper's one-cycle ECC-1 decoder.
+//
+// The decoder reproduces real SEC behaviour faithfully, including the
+// failure modes SuDoku's design exploits:
+//
+//   - one error anywhere (message or check bits): corrected;
+//   - two or more errors: the syndrome points at an *innocent* position
+//     (miscorrection, adding a third error) or at an invalid position
+//     (detected). SuDoku relies on the per-line CRC to expose
+//     miscorrections (§III-E).
+package hamming
+
+import (
+	"errors"
+	"fmt"
+
+	"sudoku/internal/bitvec"
+)
+
+// Kind classifies a decode outcome.
+type Kind int
+
+const (
+	// Clean means the syndrome was zero: no error detected.
+	Clean Kind = iota + 1
+	// CorrectedMessage means one message bit was flipped back.
+	CorrectedMessage
+	// CorrectedParity means the error was in the stored check bits;
+	// the message was already intact.
+	CorrectedParity
+	// Detected means the syndrome pointed outside the codeword: an
+	// uncorrectable (multi-bit) pattern was detected without any
+	// correction being applied.
+	Detected
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Clean:
+		return "clean"
+	case CorrectedMessage:
+		return "corrected-message"
+	case CorrectedParity:
+		return "corrected-parity"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Result reports what Decode did.
+type Result struct {
+	Kind Kind
+	// Pos is the corrected message bit index (CorrectedMessage) or the
+	// corrected check bit index (CorrectedParity); -1 otherwise.
+	Pos int
+}
+
+// ErrLength is returned when a message of the wrong size is supplied.
+var ErrLength = errors.New("hamming: message length mismatch")
+
+// Code is a SEC Hamming code for a fixed message length. It is
+// immutable after construction and safe for concurrent use.
+type Code struct {
+	msgBits    int
+	checkBits  int
+	n          int      // codeword length msgBits+checkBits
+	posOf      []uint32 // message bit index -> 1-based codeword position
+	msgAt      []int    // 1-based codeword position -> message bit index, -1 for check positions
+	checkIdxAt []int    // 1-based codeword position -> check bit index, -1 for message positions
+}
+
+// New builds a SEC code for msgBits message bits.
+func New(msgBits int) (*Code, error) {
+	if msgBits < 1 {
+		return nil, fmt.Errorf("hamming: msgBits must be positive, got %d", msgBits)
+	}
+	r := 1
+	for (1 << r) < msgBits+r+1 {
+		r++
+	}
+	c := &Code{
+		msgBits:   msgBits,
+		checkBits: r,
+		n:         msgBits + r,
+	}
+	c.posOf = make([]uint32, msgBits)
+	c.msgAt = make([]int, c.n+1)
+	c.checkIdxAt = make([]int, c.n+1)
+	msg := 0
+	check := 0
+	for p := 1; p <= c.n; p++ {
+		c.msgAt[p] = -1
+		c.checkIdxAt[p] = -1
+		if p&(p-1) == 0 { // power of two: check position
+			c.checkIdxAt[p] = check
+			check++
+			continue
+		}
+		c.posOf[msg] = uint32(p)
+		c.msgAt[p] = msg
+		msg++
+	}
+	return c, nil
+}
+
+// MsgBits returns the message length.
+func (c *Code) MsgBits() int { return c.msgBits }
+
+// CheckBits returns the number of check bits (10 for SuDoku's 543-bit
+// message).
+func (c *Code) CheckBits() int { return c.checkBits }
+
+// Encode computes the check bits for msg. Check bit i (the parity at
+// codeword position 2^i) lands in bit i of the result.
+func (c *Code) Encode(msg *bitvec.Vector) (uint64, error) {
+	if msg.Len() != c.msgBits {
+		return 0, fmt.Errorf("%w: %d, want %d", ErrLength, msg.Len(), c.msgBits)
+	}
+	var syn uint32
+	for _, i := range msg.SetBits() {
+		syn ^= c.posOf[i]
+	}
+	// Setting check bit i contributes 2^i to the syndrome, so storing
+	// the syndrome bits themselves zeroes the total.
+	return uint64(syn), nil
+}
+
+// Decode checks msg against the stored check bits and corrects at most
+// one error, in place. The returned Result distinguishes clean lines,
+// message corrections, check-bit corrections, and detected multi-bit
+// patterns. Multi-bit patterns whose syndrome aliases a valid position
+// are miscorrected — by design; the caller's CRC catches those.
+func (c *Code) Decode(msg *bitvec.Vector, check uint64) (Result, error) {
+	if msg.Len() != c.msgBits {
+		return Result{}, fmt.Errorf("%w: %d, want %d", ErrLength, msg.Len(), c.msgBits)
+	}
+	var syn uint32
+	for _, i := range msg.SetBits() {
+		syn ^= c.posOf[i]
+	}
+	syn ^= uint32(check) & ((1 << c.checkBits) - 1)
+	switch {
+	case syn == 0:
+		return Result{Kind: Clean, Pos: -1}, nil
+	case int(syn) > c.n:
+		return Result{Kind: Detected, Pos: -1}, nil
+	case c.msgAt[syn] >= 0:
+		pos := c.msgAt[syn]
+		if err := msg.Flip(pos); err != nil {
+			return Result{}, err
+		}
+		return Result{Kind: CorrectedMessage, Pos: pos}, nil
+	default:
+		return Result{Kind: CorrectedParity, Pos: c.checkIdxAt[syn]}, nil
+	}
+}

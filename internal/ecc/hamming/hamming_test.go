@@ -1,0 +1,260 @@
+package hamming
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/rng"
+)
+
+func TestCheckBitCounts(t *testing.T) {
+	tests := []struct {
+		msgBits   int
+		wantCheck int
+	}{
+		{1, 2},
+		{4, 3},
+		{11, 4},
+		{512, 10},
+		{543, 10}, // SuDoku's data+CRC message: the paper's 10-bit ECC-1
+		{1013, 10},
+		{1014, 11},
+	}
+	for _, tt := range tests {
+		c, err := New(tt.msgBits)
+		if err != nil {
+			t.Fatalf("New(%d): %v", tt.msgBits, err)
+		}
+		if c.CheckBits() != tt.wantCheck {
+			t.Errorf("New(%d).CheckBits() = %d, want %d", tt.msgBits, c.CheckBits(), tt.wantCheck)
+		}
+		if c.MsgBits() != tt.msgBits {
+			t.Errorf("MsgBits() = %d", c.MsgBits())
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) should error")
+	}
+}
+
+func TestCleanDecode(t *testing.T) {
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for trial := 0; trial < 50; trial++ {
+		msg := randomVec(r, 543)
+		check, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Decode(msg, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != Clean {
+			t.Fatalf("clean message decoded as %v", res.Kind)
+		}
+	}
+}
+
+func TestCorrectsEverySingleMessageError(t *testing.T) {
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	msg := randomVec(r, 543)
+	check, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 543; p++ {
+		m := msg.Clone()
+		if err := m.Flip(p); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Decode(m, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != CorrectedMessage || res.Pos != p {
+			t.Fatalf("error at %d: result %+v", p, res)
+		}
+		if !m.Equal(msg) {
+			t.Fatalf("error at %d: message not restored", p)
+		}
+	}
+}
+
+func TestCorrectsEveryCheckBitError(t *testing.T) {
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(61)
+	msg := randomVec(r, 543)
+	check, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < c.CheckBits(); b++ {
+		m := msg.Clone()
+		res, err := c.Decode(m, check^(1<<b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind != CorrectedParity || res.Pos != b {
+			t.Fatalf("check-bit error %d: result %+v", b, res)
+		}
+		if !m.Equal(msg) {
+			t.Fatalf("check-bit error %d modified the message", b)
+		}
+	}
+}
+
+func TestDoubleErrorMiscorrectsOrDetects(t *testing.T) {
+	// SEC with two errors must either flip a third (innocent) bit or
+	// report Detected — never silently return the original message.
+	// SuDoku's CRC layer depends on this behaviour (§III-E).
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	msg := randomVec(r, 543)
+	check, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miscorrected, detected := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		m := msg.Clone()
+		ps := r.SampleDistinct(543, 2)
+		for _, p := range ps {
+			if err := m.Flip(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Decode(m, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Kind {
+		case Detected:
+			detected++
+		case CorrectedMessage, CorrectedParity:
+			miscorrected++
+			if m.Equal(msg) {
+				t.Fatal("two errors silently vanished")
+			}
+		case Clean:
+			t.Fatal("two errors decoded as clean — impossible for distinct positions")
+		}
+	}
+	if miscorrected == 0 {
+		t.Fatal("no miscorrections in 500 double-error trials — implausible for SEC")
+	}
+	if detected == 0 {
+		t.Log("no detections in 500 trials (possible but unusual)")
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	c, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(bitvec.New(99)); !errors.Is(err, ErrLength) {
+		t.Fatalf("Encode err = %v", err)
+	}
+	if _, err := c.Decode(bitvec.New(99), 0); !errors.Is(err, ErrLength) {
+		t.Fatalf("Decode err = %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Clean:            "clean",
+		CorrectedMessage: "corrected-message",
+		CorrectedParity:  "corrected-parity",
+		Detected:         "detected",
+		Kind(0):          "Kind(0)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// Property: encode→flip one random bit→decode restores the message for
+// arbitrary message contents.
+func TestQuickSingleErrorRoundTrip(t *testing.T) {
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(words [9]uint64, posSeed uint16) bool {
+		msg := bitvec.FromWords(words[:], 543)
+		check, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		orig := msg.Clone()
+		p := int(posSeed) % 543
+		if err := msg.Flip(p); err != nil {
+			return false
+		}
+		res, err := c.Decode(msg, check)
+		if err != nil {
+			return false
+		}
+		return res.Kind == CorrectedMessage && res.Pos == p && msg.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomVec(r *rng.Source, n int) *bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	return bitvec.FromWords(words, n)
+}
+
+func BenchmarkEncode543(b *testing.B) {
+	c, err := New(543)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := randomVec(rng.New(1), 543)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeClean543(b *testing.B) {
+	c, err := New(543)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := randomVec(rng.New(1), 543)
+	check, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(msg, check); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

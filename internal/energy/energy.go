@@ -1,0 +1,103 @@
+// Package energy implements the system energy and energy-delay-product
+// accounting behind Figure 9, using the device parameters of
+// Table VII.
+package energy
+
+import (
+	"fmt"
+	"time"
+
+	"sudoku/internal/cache"
+)
+
+// Params holds per-operation and static energy figures (Table VII,
+// plus the 40 pJ codec energy from [54] which the paper conservatively
+// charges to CRC-31 + ECC-1 as well).
+type Params struct {
+	// STTRAMReadNJ and STTRAMWriteNJ are energy per access in nJ
+	// (0.13 / 0.35).
+	STTRAMReadNJ, STTRAMWriteNJ float64
+	// SRAMReadNJ and SRAMWriteNJ cover the PLT (0.05 / 0.11).
+	SRAMReadNJ, SRAMWriteNJ float64
+	// STTRAMStaticNW and SRAMStaticNW are static power per cell in nW
+	// (0.07 / 4.02).
+	STTRAMStaticNW, SRAMStaticNW float64
+	// CodecPJ is the ECC/CRC encode+decode energy per access in pJ
+	// (≈40).
+	CodecPJ float64
+	// SystemBaseW is the rest-of-system power (cores + DRAM + uncore)
+	// in watts. Figure 9 reports *system* EDP, so the cache-subsystem
+	// deltas are diluted by this baseline.
+	SystemBaseW float64
+}
+
+// Default returns the Table VII parameters.
+func Default() Params {
+	return Params{
+		STTRAMReadNJ:   0.13,
+		STTRAMWriteNJ:  0.35,
+		SRAMReadNJ:     0.05,
+		SRAMWriteNJ:    0.11,
+		STTRAMStaticNW: 0.07,
+		SRAMStaticNW:   4.02,
+		CodecPJ:        40,
+		// 8 OoO cores at ~4.5 W plus two DDR3 channels: ≈40 W.
+		SystemBaseW: 40,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.STTRAMReadNJ <= 0 || p.STTRAMWriteNJ <= 0 || p.SRAMWriteNJ <= 0 {
+		return fmt.Errorf("energy: non-positive access energies %+v", p)
+	}
+	if p.STTRAMStaticNW < 0 || p.SRAMStaticNW < 0 || p.CodecPJ < 0 || p.SystemBaseW < 0 {
+		return fmt.Errorf("energy: negative static/codec figures %+v", p)
+	}
+	return nil
+}
+
+// Breakdown is the per-component energy of one run.
+type Breakdown struct {
+	DynamicJ float64 // STTRAM array read/write energy
+	PLTJ     float64 // SRAM parity-table update energy
+	CodecJ   float64 // CRC/ECC encode+decode energy
+	StaticJ  float64 // cache + PLT leakage over the execution time
+	BaseJ    float64 // rest-of-system energy
+	TotalJ   float64
+	// EDP is TotalJ × execution seconds (J·s).
+	EDP float64
+}
+
+// System computes the cache-subsystem energy of a run described by the
+// cache's counters. cacheBits is the STTRAM array size in bits;
+// pltBits the SRAM parity storage (0 for the ideal baseline);
+// protected charges codec energy per access.
+func System(p Params, st cache.Stats, exec time.Duration, cacheBits, pltBits int64, protected bool) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if exec < 0 {
+		return Breakdown{}, fmt.Errorf("energy: negative execution time %v", exec)
+	}
+	const nJ = 1e-9
+	const pJ = 1e-12
+	var b Breakdown
+	// Reads cost one array read; writes are read-modify-writes
+	// (§III-B): one read plus one write. Fills after misses add a
+	// write each.
+	b.DynamicJ = float64(st.Reads)*p.STTRAMReadNJ*nJ +
+		float64(st.Writes)*(p.STTRAMReadNJ+p.STTRAMWriteNJ)*nJ +
+		float64(st.Misses)*p.STTRAMWriteNJ*nJ
+	// Each PLT update is an SRAM read-modify-write.
+	b.PLTJ = float64(st.PLTWrites) * (p.SRAMReadNJ + p.SRAMWriteNJ) * nJ
+	if protected {
+		b.CodecJ = float64(st.Reads+st.Writes) * p.CodecPJ * pJ
+	}
+	sec := exec.Seconds()
+	b.StaticJ = (float64(cacheBits)*p.STTRAMStaticNW + float64(pltBits)*p.SRAMStaticNW) * nJ * sec
+	b.BaseJ = p.SystemBaseW * sec
+	b.TotalJ = b.DynamicJ + b.PLTJ + b.CodecJ + b.StaticJ + b.BaseJ
+	b.EDP = b.TotalJ * sec
+	return b, nil
+}

@@ -1,0 +1,168 @@
+package faultsim
+
+import (
+	"fmt"
+	"time"
+
+	"sudoku/internal/core"
+	"sudoku/internal/rng"
+)
+
+// ConditionalConfig describes an importance-sampled experiment: the
+// group is *conditioned* to contain faulty lines with the given fault
+// counts, and the trial measures the probability that repair fails.
+// Multiplying by the analytic probability of the configuration (which
+// the analytic package computes in closed form) yields deep-tail DUE
+// rates that direct simulation could never reach — the standard
+// conditional Monte Carlo decomposition.
+type ConditionalConfig struct {
+	// Level is the protection level under test.
+	Level core.Protection
+	// FaultsPerLine lists the number of faults on each faulty line of
+	// the Hash-1 group, e.g. {2, 2} for the Figure 3 study or {3, 3}
+	// for SuDoku-Y's residual failure mode.
+	FaultsPerLine []int
+	// Hash2Poison optionally places one extra faulty line with the
+	// given fault count into the Hash-2 group of each conditioned
+	// line, exercising SuDoku-Z's residual failure mode. Zero means
+	// clean Hash-2 groups.
+	Hash2Poison int
+	// GroupSize shrinks the group for speed; overlap statistics depend
+	// only on the line width, not the group size. Default 8.
+	GroupSize int
+	// Trials is the number of conditioned configurations sampled.
+	Trials int
+	// Seed makes the study reproducible.
+	Seed uint64
+	// ECCT selects the per-line inner-code strength (default ECC-1).
+	ECCT int
+	// MaxMismatch overrides the SDR candidate cap (0 = paper default).
+	MaxMismatch int
+}
+
+// ConditionalResult tallies conditioned-trial outcomes.
+type ConditionalResult struct {
+	Trials   int
+	Repaired int
+	DUE      int
+	SDC      int
+	// SDRRepairs and RAIDRepairs break down how successes were won.
+	SDRRepairs   int64
+	RAIDRepairs  int64
+	Hash2Repairs int64
+}
+
+// DUERate returns the conditional failure probability.
+func (r ConditionalResult) DUERate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.DUE) / float64(r.Trials)
+}
+
+// Conditional runs an importance-sampled repair study.
+func Conditional(cfg ConditionalConfig) (ConditionalResult, error) {
+	var res ConditionalResult
+	if len(cfg.FaultsPerLine) == 0 {
+		return res, fmt.Errorf("%w: no faulty lines specified", ErrBadFaultCount)
+	}
+	for _, f := range cfg.FaultsPerLine {
+		if f < 0 {
+			return res, ErrBadFaultCount
+		}
+	}
+	g := cfg.GroupSize
+	if g == 0 {
+		g = 8
+	}
+	if len(cfg.FaultsPerLine) > g {
+		return res, fmt.Errorf("faultsim: %d faulty lines exceed group size %d", len(cfg.FaultsPerLine), g)
+	}
+	params := core.Params{NumLines: g * g, GroupSize: g}
+	sim, err := New(Config{
+		Params:        params,
+		Level:         cfg.Level,
+		BER:           1e-9, // unused by conditional trials, must be valid
+		ScrubInterval: time.Millisecond,
+		Seed:          cfg.Seed,
+		ECCT:          cfg.ECCT,
+		MaxMismatch:   cfg.MaxMismatch,
+	})
+	if err != nil {
+		return res, err
+	}
+	r := rng.New(cfg.Seed ^ 0x5bd1e995)
+	lineBits := sim.codec.StoredBits()
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		clear(sim.store.lines)
+		// Condition group 0: line i carries FaultsPerLine[i] faults.
+		targets := make([]int, 0, len(cfg.FaultsPerLine))
+		for i, f := range cfg.FaultsPerLine {
+			addr := i // group 0 holds lines [0, g)
+			targets = append(targets, addr)
+			v, err := sim.store.Line(addr)
+			if err != nil {
+				return res, err
+			}
+			for _, b := range r.SampleDistinct(lineBits, f) {
+				if err := v.Flip(b); err != nil {
+					return res, err
+				}
+			}
+		}
+		// Optionally poison the Hash-2 groups of the conditioned
+		// lines so SuDoku-Z's second chance also faces a broken group.
+		if cfg.Hash2Poison > 0 {
+			for _, addr := range targets {
+				members := params.Hash2Members(params.Hash2Of(addr))
+				// Pick the last member not in group 0.
+				victim := members[len(members)-1]
+				v, err := sim.store.Line(victim)
+				if err != nil {
+					return res, err
+				}
+				for _, b := range r.SampleDistinct(lineBits, cfg.Hash2Poison) {
+					if err := v.Flip(b); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+
+		report, err := sim.zeng.RepairHash1Group(sim.store, 0)
+		if err != nil {
+			return res, err
+		}
+		res.SDRRepairs += int64(report.Hash1.SDRRepairs)
+		res.RAIDRepairs += int64(report.Hash1.RAIDRepairs)
+		res.Hash2Repairs += int64(report.Hash2Repairs)
+
+		res.Trials++
+		failed, silent := false, false
+		for _, addr := range targets {
+			v := sim.store.lines[addr]
+			if v == nil || v.IsZero() {
+				continue
+			}
+			ok, err := sim.codec.Check(v)
+			if err != nil {
+				return res, err
+			}
+			if ok {
+				silent = true
+			} else {
+				failed = true
+			}
+		}
+		switch {
+		case failed:
+			res.DUE++
+		case silent:
+			res.SDC++
+		default:
+			res.Repaired++
+		}
+	}
+	return res, nil
+}

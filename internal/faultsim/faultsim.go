@@ -1,0 +1,388 @@
+// Package faultsim is the Monte Carlo fault-injection engine — this
+// repository's substitute for the FaultSim-style simulators the paper
+// cites ([50]–[52], §VII-A).
+//
+// # The zero-content convention
+//
+// Every code in SuDoku is linear over GF(2): CRC-31, Hamming SEC, and
+// RAID-4 XOR parity. Whether a fault pattern is detected, corrected,
+// resurrected, or silently accepted therefore depends only on the
+// *error pattern*, never on the stored payload. The simulator exploits
+// this by fixing the ground-truth content of every line to the zero
+// codeword (which is valid: CRC(0) = 0, ECC(0) = 0, parity 0): a
+// stored line *is* its error pattern, only faulty lines are
+// materialized, and judging an outcome reduces to
+//
+//	zero vector            → fully repaired
+//	nonzero, CRC invalid   → detectable uncorrectable error (DUE)
+//	nonzero, CRC valid     → silent data corruption (SDC)
+//
+// # Event-driven intervals
+//
+// Per scrub interval the simulator draws the number of raw bit faults
+// from Binomial(totalBits, BER) (≈ Poisson(2845) at the paper's
+// operating point), scatters them uniformly, and then only touches the
+// affected lines and RAID groups — a 64 MB cache interval costs
+// microseconds instead of scanning 5×10⁸ bits.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/core"
+	"sudoku/internal/rng"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Params is the cache geometry (defaults to the paper's 64 MB).
+	Params core.Params
+	// Level selects SuDoku-X, -Y, or -Z repair.
+	Level core.Protection
+	// BER is the raw bit error rate per scrub interval.
+	BER float64
+	// ScrubInterval converts interval counts into time (20 ms
+	// default).
+	ScrubInterval time.Duration
+	// Seed makes the run reproducible.
+	Seed uint64
+	// MaxMismatch overrides the SDR candidate cap (0 = paper default).
+	MaxMismatch int
+	// ECCT is the per-line inner-code strength (0 or 1 = the paper's
+	// ECC-1; 2 = the §VII-G enhancement).
+	ECCT int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Params.NumLines == 0 && c.Params.GroupSize == 0 {
+		c.Params = core.DefaultParams()
+	}
+	if c.Level == 0 {
+		c.Level = core.ProtectionZ
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 20 * time.Millisecond
+	}
+	if c.MaxMismatch == 0 {
+		c.MaxMismatch = core.DefaultMaxMismatch
+	}
+	if c.ECCT == 0 {
+		c.ECCT = 1
+	}
+	return c
+}
+
+// Result accumulates simulation outcomes.
+type Result struct {
+	Intervals      int
+	FaultsInjected int64
+	FaultyLines    int64
+	MultiBitLines  int64
+	SingleRepairs  int64
+	SDRRepairs     int64
+	RAIDRepairs    int64
+	Hash2Repairs   int64
+	DUELines       int64
+	DUEIntervals   int64
+	SDCLines       int64
+}
+
+// Merge folds another result into r (parallel workers).
+func (r *Result) Merge(o Result) {
+	r.Intervals += o.Intervals
+	r.FaultsInjected += o.FaultsInjected
+	r.FaultyLines += o.FaultyLines
+	r.MultiBitLines += o.MultiBitLines
+	r.SingleRepairs += o.SingleRepairs
+	r.SDRRepairs += o.SDRRepairs
+	r.RAIDRepairs += o.RAIDRepairs
+	r.Hash2Repairs += o.Hash2Repairs
+	r.DUELines += o.DUELines
+	r.DUEIntervals += o.DUEIntervals
+	r.SDCLines += o.SDCLines
+}
+
+// MTTFSeconds estimates the mean time between DUE intervals. It
+// returns +Inf when no DUE was observed.
+func (r Result) MTTFSeconds(interval time.Duration) float64 {
+	if r.DUEIntervals == 0 {
+		return inf()
+	}
+	return float64(r.Intervals) / float64(r.DUEIntervals) * interval.Seconds()
+}
+
+// DUERateCI95 returns the per-interval DUE probability estimate with
+// an approximate 95% confidence interval. The count is binomial; for
+// the rare-event regime the normal approximation on the raw rate is
+// adequate once a few events have been seen, and the Wilson centre
+// keeps the interval sane near zero counts.
+func (r Result) DUERateCI95() (rate, lo, hi float64) {
+	n := float64(r.Intervals)
+	if n == 0 {
+		return 0, 0, 1
+	}
+	k := float64(r.DUEIntervals)
+	const z = 1.96
+	rate = k / n
+	// Wilson score interval.
+	denom := 1 + z*z/n
+	centre := (rate + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(rate*(1-rate)/n+z*z/(4*n*n))
+	lo = centre - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi = centre + half
+	if hi > 1 {
+		hi = 1
+	}
+	return rate, lo, hi
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// sparseStore implements core.CacheView with the zero-content
+// convention: unmaterialized lines are clean.
+type sparseStore struct {
+	lineBits int
+	lines    map[int]*bitvec.Vector
+}
+
+var _ core.CacheView = (*sparseStore)(nil)
+
+func (s *sparseStore) Line(addr int) (*bitvec.Vector, error) {
+	if v, ok := s.lines[addr]; ok {
+		return v, nil
+	}
+	v := bitvec.New(s.lineBits)
+	s.lines[addr] = v
+	return v, nil
+}
+
+// Simulator runs scrub intervals against a SuDoku-protected cache. It
+// is not safe for concurrent use; RunParallel shards work across
+// independent simulators.
+type Simulator struct {
+	cfg    Config
+	codec  *core.LineCodec
+	zeng   *core.ZEngine
+	store  *sparseStore
+	rand   *rng.Source
+	faults map[int][]int // line -> fault bit positions, reused
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BER <= 0 || cfg.BER >= 1 {
+		return nil, fmt.Errorf("faultsim: BER %v outside (0,1)", cfg.BER)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := core.NewLineCodecECC(core.DefaultDataBits, cfg.ECCT)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(codec, cfg.Level, core.WithMaxMismatch(cfg.MaxMismatch))
+	if err != nil {
+		return nil, err
+	}
+	plt1, err := core.NewPLT(cfg.Params.NumGroups(), codec.StoredBits())
+	if err != nil {
+		return nil, err
+	}
+	plt2, err := core.NewPLT(cfg.Params.NumGroups(), codec.StoredBits())
+	if err != nil {
+		return nil, err
+	}
+	zeng, err := core.NewZEngine(engine, cfg.Params, plt1, plt2)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:   cfg,
+		codec: codec,
+		zeng:  zeng,
+		store: &sparseStore{
+			lineBits: codec.StoredBits(),
+			lines:    make(map[int]*bitvec.Vector, 4096),
+		},
+		rand:   rng.New(cfg.Seed),
+		faults: make(map[int][]int, 4096),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Run simulates n scrub intervals and accumulates outcomes.
+func (s *Simulator) Run(n int) (Result, error) {
+	var res Result
+	for i := 0; i < n; i++ {
+		if err := s.runInterval(&res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runInterval injects one interval's faults, scrubs, and judges.
+func (s *Simulator) runInterval(res *Result) error {
+	res.Intervals++
+	lineBits := s.codec.StoredBits()
+	totalBits := s.cfg.Params.NumLines * lineBits
+
+	nFaults := s.rand.Binomial(totalBits, s.cfg.BER)
+	res.FaultsInjected += int64(nFaults)
+	if nFaults == 0 {
+		return nil
+	}
+
+	// Scatter faults, grouped by line.
+	clear(s.faults)
+	for _, pos := range s.rand.SampleDistinct(totalBits, nFaults) {
+		line := pos / lineBits
+		s.faults[line] = append(s.faults[line], pos%lineBits)
+	}
+	res.FaultyLines += int64(len(s.faults))
+
+	// Materialize fault patterns and find the RAID groups that need a
+	// full repair (any group holding a line with 2+ faults).
+	clear(s.store.lines)
+	groups := make(map[int]struct{})
+	for line, bits := range s.faults {
+		v, err := s.store.Line(line)
+		if err != nil {
+			return err
+		}
+		for _, b := range bits {
+			if err := v.Flip(b); err != nil {
+				return err
+			}
+		}
+		if len(bits) >= 2 {
+			res.MultiBitLines++
+			groups[s.cfg.Params.Hash1Of(line)] = struct{}{}
+		}
+	}
+
+	// Group repairs (RAID-4 / SDR / Hash-2).
+	for g := range groups {
+		report, err := s.zeng.RepairHash1Group(s.store, g)
+		if err != nil {
+			return err
+		}
+		res.SingleRepairs += int64(report.Hash1.SinglesCorrected)
+		res.SDRRepairs += int64(report.Hash1.SDRRepairs)
+		res.RAIDRepairs += int64(report.Hash1.RAIDRepairs)
+		res.Hash2Repairs += int64(report.Hash2Repairs)
+	}
+
+	// Individual scrub of remaining faulty lines (single-bit cases in
+	// untouched groups).
+	for line := range s.faults {
+		v := s.store.lines[line]
+		if v == nil || v.IsZero() {
+			continue
+		}
+		st, err := s.codec.Scrub(v)
+		if err != nil {
+			return err
+		}
+		if st == core.StatusCorrected {
+			res.SingleRepairs++
+		}
+	}
+
+	// Judgement: ground truth is the zero codeword.
+	dueThisInterval := false
+	for _, v := range s.store.lines {
+		if v.IsZero() {
+			continue
+		}
+		ok, err := s.codec.Check(v)
+		if err != nil {
+			return err
+		}
+		if ok {
+			res.SDCLines++
+		} else {
+			res.DUELines++
+			dueThisInterval = true
+		}
+	}
+	if dueThisInterval {
+		res.DUEIntervals++
+	}
+	return nil
+}
+
+// RunParallel shards n intervals across workers, each with an
+// independently seeded simulator, and merges the results. Workers are
+// joined before returning; the first error wins.
+func RunParallel(cfg Config, n, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if n < workers {
+		workers = n
+	}
+	if workers <= 1 {
+		sim, err := New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return sim.Run(n)
+	}
+	type out struct {
+		res Result
+		err error
+	}
+	outs := make([]out, workers)
+	done := make(chan int)
+	per := n / workers
+	extra := n % workers
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			wcfg := cfg
+			wcfg.Seed = cfg.Seed + uint64(w)*0x9e3779b97f4a7c15
+			sim, err := New(wcfg)
+			if err != nil {
+				outs[w] = out{err: err}
+				return
+			}
+			quota := per
+			if w < extra {
+				quota++
+			}
+			res, err := sim.Run(quota)
+			outs[w] = out{res: res, err: err}
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	var total Result
+	var firstErr error
+	for _, o := range outs {
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+		total.Merge(o.res)
+	}
+	if firstErr != nil {
+		return total, firstErr
+	}
+	return total, nil
+}
+
+// ErrBadFaultCount is returned by conditional trials with nonsensical
+// fault counts.
+var ErrBadFaultCount = errors.New("faultsim: fault counts must be ≥ 0")

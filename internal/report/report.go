@@ -1,0 +1,425 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation as formatted text: the single source the CLI tools, the
+// root-level benchmarks, and EXPERIMENTS.md all draw from.
+//
+// Each Table/Figure function returns a Table whose rows mirror the
+// paper's layout; Render prints it with aligned columns.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sudoku/internal/analytic"
+	"sudoku/internal/sttram"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries paper-vs-measured commentary.
+	Notes []string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteString("\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV (header row first) for
+// plotting the paper's figures with external tools.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// g formats a float in compact scientific notation.
+func g(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// TableI reproduces "Thermal stability vs error rate (20 ms period)".
+func TableI() (Table, error) {
+	t := Table{
+		Title:  "Table I — Thermal Stability vs Error Rate (20 ms period)",
+		Header: []string{"Mean Δ (σ=10%)", "BER (paper)", "BER (this model)"},
+	}
+	paper := map[float64]string{60: "2.7e-12", 35: "5.3e-06"}
+	for _, delta := range []float64{60, 35} {
+		m, err := sttram.New(delta)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", delta), paper[delta], g(m.BER(0.020)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Eq. 1 integrated over Δ~N(μ,(0.1μ)²); Δ=35 matches the paper, Δ=60 is within one order (DESIGN.md note 3)")
+	return t, nil
+}
+
+// TableII reproduces "FIT rate of 64 MB cache for various ECC".
+func TableII(cfg analytic.Config) (Table, error) {
+	t := Table{
+		Title:  "Table II — FIT Rate of 64 MB Cache for Uniform ECC-k (BER " + g(cfg.BER) + ", 20 ms scrub)",
+		Header: []string{"ECC per line", "P(line fail)", "P(cache fail)", "FIT"},
+	}
+	rows, err := cfg.TableII()
+	if err != nil {
+		return t, err
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("ECC-%d", r.T), g(r.LineFailProb), g(r.CacheFailProb), g(r.FIT),
+		})
+	}
+	t.Notes = append(t.Notes, "paper row (ECC-6): line 4.9e-22, cache 5.1e-16, FIT 0.092")
+	return t, nil
+}
+
+// TableIII reproduces the SuDoku SDC budget.
+func TableIII(cfg analytic.Config) Table {
+	b := cfg.TableIII()
+	t := Table{
+		Title:  "Table III — SDC Rates of Cache with SuDoku-X",
+		Header: []string{"Vulnerability", "Event (/10⁹h)", "CRC-31 misdetect", "SDC (/10⁹h)"},
+		Rows: [][]string{
+			{"7 faults/line", g(b.Event7PerBh), "2⁻³¹", g(b.SDC7PerBh)},
+			{"8+ faults/line", g(b.Event8PerBh), "2⁻³¹", g(b.SDC8PerBh)},
+			{"total", "", "", g(b.TotalSDCPerBh)},
+		},
+		Notes: []string{"paper: events 191 / 0.09, total SDC 8.9e-9 (reuses its ECC-5/6 rows as event rates)"},
+	}
+	return t
+}
+
+// TableIV reproduces the SRAM V_min comparison.
+func TableIV() Table {
+	t := Table{
+		Title:  "Table IV — Probability of SRAM Cache Failure (BER 10⁻³, V_min < 500 mV)",
+		Header: []string{"Scheme", "P(cache failure)", "paper"},
+	}
+	paper := []string{"0.11", "0.0066", "3.5e-04", "3.8e-10"}
+	for i, row := range analytic.SRAMVminTable(1<<20, 1e-3) {
+		t.Rows = append(t.Rows, []string{row.Scheme, g(row.CacheFail), paper[i]})
+	}
+	t.Notes = append(t.Notes,
+		"SuDoku row models silent failures only: CRC-31-detected persistent faults are repairable at boot without runtime testing (§VI)")
+	return t
+}
+
+// Fig3 reproduces the SDR scenario probabilities.
+func Fig3() Table {
+	none, one, both := analytic.SDRCaseProbs(512)
+	return Table{
+		Title:  "Figure 3 — SDR Scenarios for Two 2-Fault Lines (512-bit lines)",
+		Header: []string{"Case", "probability", "paper"},
+		Rows: [][]string{
+			{"no overlapping fault", fmt.Sprintf("%.4f", none), "99.22%"},
+			{"one overlapping fault", fmt.Sprintf("%.4f", one), "0.78%"},
+			{"both faults overlap", g(both), "~0.0004%"},
+		},
+	}
+}
+
+// Fig7 reproduces the failure-probability ladder.
+func Fig7(cfg analytic.Config) (Table, error) {
+	t := Table{
+		Title:  "Figure 7 — Cache Failure Probability (DUE+SDC) vs Mission Time",
+		Header: []string{"mission", "SuDoku-X", "SuDoku-Y", "SuDoku-Z", "ECC-6"},
+	}
+	missions := []time.Duration{
+		time.Second, 10 * time.Second, time.Minute, 10 * time.Minute,
+		time.Hour, 24 * time.Hour, 30 * 24 * time.Hour, 365 * 24 * time.Hour,
+	}
+	pts, err := cfg.Fig7Series(missions)
+	if err != nil {
+		return t, err
+	}
+	for _, pt := range pts {
+		t.Rows = append(t.Rows, []string{
+			pt.Mission.String(),
+			g(pt.Probs["SuDoku-X"]), g(pt.Probs["SuDoku-Y"]),
+			g(pt.Probs["SuDoku-Z"]), g(pt.Probs["ECC-6"]),
+		})
+	}
+	x := cfg.SuDokuX()
+	y := cfg.SuDokuY()
+	z := cfg.SuDokuZ()
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"MTTFs: X %.2f s (paper 3.71 s), Y %.1f h (paper 3.49 h; mode %s), Z %.3g h (paper 8.25e12 h)",
+		x.MTTFSeconds, y.MTTFSeconds/3600, cfg.Y, z.MTTFSeconds/3600))
+	return t, nil
+}
+
+// TableVIII reproduces the scrub-interval sweep.
+func TableVIII() (Table, error) {
+	t := Table{
+		Title:  "Table VIII — FIT Rate vs Scrub Interval",
+		Header: []string{"scrub", "BER/scrub", "ECC-5 FIT", "ECC-6 FIT", "SuDoku-Z FIT"},
+	}
+	m, err := sttram.New(35)
+	if err != nil {
+		return t, err
+	}
+	for _, iv := range []time.Duration{10, 20, 40} {
+		interval := iv * time.Millisecond
+		cfg := analytic.Default()
+		cfg.ScrubInterval = interval
+		cfg.BER = m.BER(interval.Seconds())
+		e5, err := cfg.ECCk(5)
+		if err != nil {
+			return t, err
+		}
+		e6, err := cfg.ECCk(6)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			interval.String(), g(cfg.BER), g(e5.FIT), g(e6.FIT), g(cfg.SuDokuZ().FIT),
+		})
+	}
+	t.Notes = append(t.Notes, "paper @20ms: BER 5.3e-6, ECC-5 215, ECC-6 0.092, SuDoku-Z 1.05e-4")
+	return t, nil
+}
+
+// TableIX reproduces the cache-size sweep.
+func TableIX(cfg analytic.Config) Table {
+	t := Table{
+		Title:  "Table IX — Sensitivity to Cache Size (SuDoku-Z)",
+		Header: []string{"cache", "FIT", "paper"},
+	}
+	paper := map[int]string{32: "0.52e-4", 64: "1.05e-4", 128: "2.1e-4"}
+	for _, mb := range []int{32, 64, 128} {
+		c := cfg
+		c.NumLines = mb << 20 / 64
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d MB", mb), g(c.SuDokuZ().FIT), paper[mb],
+		})
+	}
+	t.Notes = append(t.Notes, "linear scaling with capacity is the paper's claim; absolute FIT follows our exact-mode Y/Z model")
+	return t
+}
+
+// TableX reproduces the Δ sweep.
+func TableX() (Table, error) {
+	t := Table{
+		Title:  "Table X — Impact of Δ: ECC-6 vs SuDoku-Z",
+		Header: []string{"Δ", "BER/20ms", "ECC-6 FIT", "SuDoku-Z FIT", "advantage"},
+	}
+	for _, delta := range []float64{35, 34, 33} {
+		m, err := sttram.New(delta)
+		if err != nil {
+			return t, err
+		}
+		cfg := analytic.Default()
+		cfg.BER = m.BER(0.020)
+		e6, err := cfg.ECCk(6)
+		if err != nil {
+			return t, err
+		}
+		z := cfg.SuDokuZ()
+		adv := "∞"
+		if z.FIT > 0 {
+			adv = fmt.Sprintf("%.0fx", e6.FIT/z.FIT)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", delta), g(cfg.BER), g(e6.FIT), g(z.FIT), adv,
+		})
+	}
+	t.Notes = append(t.Notes, "paper: Δ35 874x, Δ34 402x, Δ33 155x (ECC-6 FIT 0.092 / 4.63 / 1240)")
+	return t, nil
+}
+
+// SigmaSweep evaluates the abstract's variability claim ("SuDoku-Z is
+// consistently stronger than ECC-6 and tolerates a higher variability
+// in Δ"): the Δ process-variation σ swept around the paper's 10%
+// operating point.
+func SigmaSweep() (Table, error) {
+	t := Table{
+		Title:  "σ sweep — ECC-6 vs SuDoku-Z under Δ process variation (Δ=35, 20 ms)",
+		Header: []string{"σ", "BER/20ms", "ECC-6 FIT", "SuDoku-Z FIT", "advantage"},
+	}
+	for _, sigma := range []float64{0.05, 0.08, 0.10, 0.12} {
+		m, err := sttram.New(35, sttram.WithSigmaFrac(sigma))
+		if err != nil {
+			return t, err
+		}
+		cfg := analytic.Default()
+		cfg.BER = m.BER(0.020)
+		if cfg.BER <= 0 {
+			continue
+		}
+		e6, err := cfg.ECCk(6)
+		if err != nil {
+			return t, err
+		}
+		z := cfg.SuDokuZ()
+		adv := "∞"
+		if z.FIT > 0 {
+			adv = fmt.Sprintf("%.0fx", e6.FIT/z.FIT)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", sigma*100), g(cfg.BER), g(e6.FIT), g(z.FIT), adv,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the paper evaluates σ=10%; the advantage shrinks as variability (and hence BER) grows — the same trend as Table X — and crosses over near σ≈12%, where the §VII-G ECC-2 variant restores SuDoku's lead")
+	return t, nil
+}
+
+// YModeBreakdown diagnoses the SuDoku-Y DUE accounting: the per-mode
+// contributions under the exact and conservative readings (DESIGN.md
+// note 2 / EXPERIMENTS.md discrepancy 3).
+func YModeBreakdown(cfg analytic.Config) Table {
+	t := Table{
+		Title:  "SuDoku-Y DUE accounting — exact vs conservative mode",
+		Header: []string{"mode", "Y FIT", "Y MTTF (h)", "Z FIT"},
+	}
+	for _, mode := range []analytic.YModel{analytic.YExact, analytic.YConservative} {
+		c := cfg
+		c.Y = mode
+		y := c.SuDokuY()
+		z := c.SuDokuZ()
+		t.Rows = append(t.Rows, []string{
+			mode.String(), g(y.FIT), g(y.MTTFSeconds / 3600), g(z.FIT),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: Y 2.86e8 FIT / 3.49 h — between the two readings")
+	return t
+}
+
+// TableXI reproduces the comparator table.
+func TableXI(cfg analytic.Config) Table {
+	t := Table{
+		Title:  "Table XI — Comparators (same resources + CRC-31 per line)",
+		Header: []string{"scheme", "FIT", "paper"},
+	}
+	paper := []string{"1.69e14", "571e3", "2.8e8", "1.05e-4"}
+	for i, row := range cfg.TableXI() {
+		t.Rows = append(t.Rows, []string{row.Name, g(row.FIT), paper[i]})
+	}
+	t.Notes = append(t.Notes, "ordering (CPPC ≫ 2DP ≫ RAID-6 ≫ SuDoku) is preserved; comparator absolutes carry modelling slack (EXPERIMENTS.md)")
+	return t
+}
+
+// TableXII reproduces SuDoku vs Hi-ECC.
+func TableXII(cfg analytic.Config) Table {
+	hi := cfg.HiECC()
+	z := cfg.SuDokuZ()
+	return Table{
+		Title:  "Table XII — SuDoku vs Hi-ECC (ECC-6 over 1 KB regions)",
+		Header: []string{"scheme", "FIT", "paper"},
+		Rows: [][]string{
+			{"SuDoku-Z", g(z.FIT), "1.05e-4"},
+			{"Hi-ECC", g(hi.FIT), "1.47"},
+		},
+		Notes: []string{"our Hi-ECC model scores ≥7 raw errors per 8252-bit region as failure; the paper's 1.47 implies additional idealization (EXPERIMENTS.md)"},
+	}
+}
+
+// Storage reproduces the §VII-H budget.
+func Storage(cfg analytic.Config) Table {
+	t := Table{
+		Title:  "§VII-H — Storage Overhead per 64-byte Line",
+		Header: []string{"scheme", "bits/line"},
+	}
+	for _, row := range cfg.StorageOverheads() {
+		t.Rows = append(t.Rows, []string{row.Scheme, fmt.Sprintf("%d", row.BitsPerLine)})
+	}
+	t.Notes = append(t.Notes, "paper: 43 vs 60 bits per line — SuDoku ~30% cheaper than ECC-6")
+	return t
+}
+
+// All returns every analytic table in paper order.
+func All(cfg analytic.Config) ([]Table, error) {
+	var out []Table
+	t1, err := TableI()
+	if err != nil {
+		return nil, err
+	}
+	t2, err := TableII(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f7, err := Fig7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t8, err := TableVIII()
+	if err != nil {
+		return nil, err
+	}
+	t10, err := TableX()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := SigmaSweep()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t1, t2, TableIII(cfg), Fig3(), f7, TableIV(),
+		t8, TableIX(cfg), t10, TableXI(cfg), TableXII(cfg), Storage(cfg),
+		sig, YModeBreakdown(cfg))
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sudoku/internal/analytic"
+)
+
+func TestRender(t *testing.T) {
+	tb := Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"T\n", "a    bb", "333  4", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllTablesRender(t *testing.T) {
+	tables, err := All(analytic.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 14 {
+		t.Fatalf("%d tables, want 14 (every table/figure plus extensions)", len(tables))
+	}
+	titles := map[string]bool{}
+	for _, tb := range tables {
+		out := tb.Render()
+		if len(out) < 40 {
+			t.Fatalf("table %q suspiciously short:\n%s", tb.Title, out)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %q has no rows", tb.Title)
+		}
+		titles[tb.Title] = true
+	}
+	for _, frag := range []string{"Table I ", "Table II ", "Table III", "Figure 3",
+		"Figure 7", "Table IV", "Table VIII", "Table IX", "Table X ", "Table XI ",
+		"Table XII", "VII-H"} {
+		found := false
+		for title := range titles {
+			if strings.Contains(title, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no table titled with %q", frag)
+		}
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	tb, err := TableII(analytic.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if tb.Rows[5][0] != "ECC-6" {
+		t.Fatalf("last row %v", tb.Rows[5])
+	}
+	// The ECC-6 FIT cell should be close to 0.092.
+	if !strings.HasPrefix(tb.Rows[5][3], "0.0") {
+		t.Fatalf("ECC-6 FIT cell = %q", tb.Rows[5][3])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {`q"q`, "2"}},
+	}
+	got := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n\"q\"\"q\",2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVForEveryTable(t *testing.T) {
+	tables, err := All(analytic.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		csv := tb.CSV()
+		lines := strings.Count(csv, "\n")
+		if lines != len(tb.Rows)+1 {
+			t.Fatalf("%s: %d CSV lines for %d rows", tb.Title, lines, len(tb.Rows))
+		}
+	}
+}
+
+func TestSigmaSweepAdvantageGrows(t *testing.T) {
+	tb, err := SigmaSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// The 10% row must exist and SuDoku-Z must beat ECC-6 on every row.
+	seen10 := false
+	for _, row := range tb.Rows {
+		if row[0] == "10%" {
+			seen10 = true
+		}
+	}
+	if !seen10 {
+		t.Fatal("paper operating point (σ=10%) missing from sweep")
+	}
+}
+
+func TestYModeBreakdown(t *testing.T) {
+	tb := YModeBreakdown(analytic.Default())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "exact" || tb.Rows[1][0] != "conservative" {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+}

@@ -1,0 +1,205 @@
+// Package rng provides the deterministic random-number machinery used
+// by the fault injector, the Monte Carlo engine, and the synthetic
+// workload generator.
+//
+// Everything in this repository that is stochastic is seeded explicitly
+// so that experiments are reproducible bit-for-bit. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64, with
+// support for cheaply deriving independent child streams so parallel
+// Monte Carlo workers do not share state.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256** pseudo-random generator. It is not safe for
+// concurrent use; derive one Source per goroutine via Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed via SplitMix64.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child stream. The child is seeded from
+// the parent's output, so distinct calls yield distinct streams and the
+// parent advances (subsequent Splits differ).
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's method.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal deviate using the polar
+// Box–Muller method.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) deviate. It uses Knuth's product
+// method for small lambda and a normal approximation with continuity
+// correction for large lambda; fault counts per scrub interval are
+// typically in the thousands, where the approximation error is far
+// below Monte Carlo noise.
+func (r *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	}
+}
+
+// Binomial returns a Binomial(n, p) deviate. For the fault-injection
+// regime (n up to ~5e8, p ~ 5e-6, np in the thousands) it uses the
+// Poisson limit when p is tiny, exact Bernoulli summation when n is
+// small, and a normal approximation otherwise.
+func (r *Source) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case n <= 64:
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	case p < 1e-3:
+		// Poisson limit theorem; relative error O(p) per draw.
+		k := r.Poisson(float64(n) * p)
+		if k > n {
+			k = n
+		}
+		return k
+	default:
+		mean := float64(n) * p
+		sd := math.Sqrt(mean * (1 - p))
+		k := int(mean + sd*r.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+}
+
+// SampleDistinct returns k distinct uniform values in [0, n), in
+// arbitrary order. It uses Floyd's algorithm, which needs O(k) space
+// regardless of n — essential when sampling fault positions out of the
+// ~5×10⁸ bits of a 64 MB cache.
+func (r *Source) SampleDistinct(n, k int) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Shuffle permutes xs in place (Fisher–Yates).
+func (r *Source) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

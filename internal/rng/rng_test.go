@@ -1,0 +1,264 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collide on %d/64 outputs", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= r.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("seed 0 produced all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling streams start identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]int)
+	for i := 0; i < 30000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] < 2400 || seen[v] > 3600 {
+			t.Fatalf("Intn(10) value %d count %d, want ~3000", v, seen[v])
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-3) != 0 {
+		t.Fatal("Intn of non-positive n should return 0")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		name   string
+		lambda float64
+	}{
+		{"small", 3.5},
+		{"medium", 25},
+		{"large (fault-count regime)", 2845},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := New(5)
+			const n = 20000
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				x := float64(r.Poisson(tt.lambda))
+				sum += x
+				sumSq += x * x
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			if math.Abs(mean-tt.lambda) > 0.05*tt.lambda+0.5 {
+				t.Fatalf("Poisson(%v) mean = %v", tt.lambda, mean)
+			}
+			if math.Abs(variance-tt.lambda) > 0.15*tt.lambda+1 {
+				t.Fatalf("Poisson(%v) variance = %v", tt.lambda, variance)
+			}
+		})
+	}
+	if New(1).Poisson(0) != 0 || New(1).Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda should return 0")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		p    float64
+	}{
+		{"exact small n", 50, 0.3},
+		{"poisson regime", 10_000_000, 5.3e-6},
+		{"normal regime", 100000, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := New(9)
+			const trials = 20000
+			var sum float64
+			for i := 0; i < trials; i++ {
+				k := r.Binomial(tt.n, tt.p)
+				if k < 0 || k > tt.n {
+					t.Fatalf("Binomial out of range: %d", k)
+				}
+				sum += float64(k)
+			}
+			mean := sum / trials
+			want := float64(tt.n) * tt.p
+			if math.Abs(mean-want) > 0.05*want+0.5 {
+				t.Fatalf("Binomial(%d,%v) mean = %v, want %v", tt.n, tt.p, mean, want)
+			}
+		})
+	}
+	r := New(2)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Fatal("degenerate binomial should be 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("p=1 binomial should be n")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(21)
+	for _, k := range []int{1, 5, 100} {
+		got := r.SampleDistinct(1000, k)
+		if len(got) != k {
+			t.Fatalf("SampleDistinct(1000,%d) len = %d", k, len(got))
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= 1000 {
+				t.Fatalf("value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	if got := r.SampleDistinct(5, 10); len(got) != 5 {
+		t.Fatalf("k>n should return all n values, got %d", len(got))
+	}
+	if got := r.SampleDistinct(5, 0); got != nil {
+		t.Fatalf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestSampleDistinctUniformity(t *testing.T) {
+	r := New(31)
+	counts := make([]int, 16)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleDistinct(16, 2) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 2 / 16
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.08*want {
+			t.Fatalf("position %d count %d, want ~%v", v, c, want)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(17)
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(xs)
+	seen := make(map[int]bool, len(xs))
+	for _, v := range xs {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", xs)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(2845)
+	}
+}
+
+func BenchmarkSampleDistinct(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.SampleDistinct(536870912, 2845)
+	}
+}

@@ -1,0 +1,121 @@
+package scrubber
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sudoku/internal/cache"
+)
+
+func quietPass() Pass { return Pass{} }
+
+func noisyPass() Pass {
+	return Pass{Report: cache.ScrubReport{SDRRepairs: 1}}
+}
+
+func TestNewAdaptivePolicyValidation(t *testing.T) {
+	if _, err := NewAdaptivePolicy(0, time.Second); err == nil {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := NewAdaptivePolicy(time.Second, time.Millisecond); err == nil {
+		t.Fatal("max < min accepted")
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	p := FixedPolicy{}
+	if got := p.NextInterval(noisyPass(), 20*time.Millisecond); got != 20*time.Millisecond {
+		t.Fatalf("fixed policy moved to %v", got)
+	}
+}
+
+func TestAdaptiveShrinksOnMultiBitPressure(t *testing.T) {
+	p, err := NewAdaptivePolicy(5*time.Millisecond, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 40 * time.Millisecond
+	cur = p.NextInterval(noisyPass(), cur)
+	if cur != 20*time.Millisecond {
+		t.Fatalf("after pressure: %v, want 20ms", cur)
+	}
+	cur = p.NextInterval(noisyPass(), cur)
+	cur = p.NextInterval(noisyPass(), cur)
+	cur = p.NextInterval(noisyPass(), cur)
+	if cur != 5*time.Millisecond {
+		t.Fatalf("should clamp at Min: %v", cur)
+	}
+}
+
+func TestAdaptiveGrowsAfterQuietStreak(t *testing.T) {
+	p, err := NewAdaptivePolicy(5*time.Millisecond, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 20 * time.Millisecond
+	for i := 0; i < 3; i++ {
+		if next := p.NextInterval(quietPass(), cur); next != cur {
+			t.Fatalf("grew after only %d quiet passes", i+1)
+		}
+	}
+	cur = p.NextInterval(quietPass(), cur) // fourth quiet pass
+	if cur != 25*time.Millisecond {
+		t.Fatalf("after quiet streak: %v, want 25ms", cur)
+	}
+	// A noisy pass resets the streak and shrinks.
+	cur = p.NextInterval(noisyPass(), cur)
+	if cur >= 25*time.Millisecond {
+		t.Fatalf("pressure should shrink: %v", cur)
+	}
+	// Clamp at Max.
+	cur = 80 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		cur = p.NextInterval(quietPass(), cur)
+	}
+	if cur != 80*time.Millisecond {
+		t.Fatalf("should clamp at Max: %v", cur)
+	}
+}
+
+func TestAdaptiveTreatsErrorsAsPressure(t *testing.T) {
+	p, err := NewAdaptivePolicy(time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Pass{Err: errors.New("x")}
+	if got := p.NextInterval(bad, 100*time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("error pass: %v", got)
+	}
+}
+
+func TestScrubberAppliesPolicy(t *testing.T) {
+	// Under constant multi-bit pressure the loop's interval must walk
+	// down to the policy floor.
+	ft := &fakeTarget{report: cache.ScrubReport{RAIDRepairs: 1}}
+	pol, err := NewAdaptivePolicy(time.Millisecond, 64*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ft, Config{Interval: 16 * time.Millisecond, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentInterval(); got != 16*time.Millisecond {
+		t.Fatalf("initial CurrentInterval = %v", got)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for s.CurrentInterval() > time.Millisecond {
+		select {
+		case <-deadline:
+			t.Fatalf("interval stuck at %v", s.CurrentInterval())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package sttram models the retention-failure physics of scaled
+// STTRAM cells (§II of the paper).
+//
+// A cell's magnetic free layer flips spontaneously due to thermal
+// noise; the failure process is memoryless with rate
+//
+//	λ(Δ) = f₀ · e^(−Δ)            (Equation 1)
+//
+// where f₀ is the thermal attempt frequency (1 GHz) and Δ the thermal
+// stability factor. Process variation makes Δ a per-cell random
+// variable, Δ ~ N(μ, (σ·μ)²) with σ ≈ 10% at the 22 nm node. Because
+// λ is exponential in −Δ, the *population* bit error rate is dominated
+// by the weak tail: integrating Eq. 1 over the Δ distribution at
+// μ = 35, σ = 10% yields a BER of ≈ 5.3×10⁻⁶ per 20 ms scrub interval
+// (Table I), even though the nominal Δ = 35 cell alone would fail once
+// in 18 days.
+package sttram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sudoku/internal/rng"
+)
+
+// DefaultAttemptFrequency is f₀ in Eq. 1 (1 GHz per the paper).
+const DefaultAttemptFrequency = 1e9
+
+// PaperBER20ms is the bit error rate per 20 ms scrub interval the paper
+// reports for Δ = 35, σ = 10% (Table I). Analytic experiments can be
+// run either from this constant (to reproduce the paper's arithmetic
+// exactly) or from the device model's own integral.
+const PaperBER20ms = 5.3e-6
+
+// Model describes a population of STTRAM cells.
+type Model struct {
+	// MeanDelta is the mean thermal stability factor μ (35 at 22 nm,
+	// 60 at 32 nm).
+	MeanDelta float64
+	// SigmaFrac is the normalized standard deviation of Δ (0.10 for
+	// the paper's 10% process variation).
+	SigmaFrac float64
+	// F0 is the thermal attempt frequency; zero means
+	// DefaultAttemptFrequency.
+	F0 float64
+}
+
+// Option configures a Model built by New.
+type Option func(*Model)
+
+// WithSigmaFrac overrides the normalized Δ standard deviation.
+func WithSigmaFrac(s float64) Option {
+	return func(m *Model) { m.SigmaFrac = s }
+}
+
+// WithAttemptFrequency overrides f₀.
+func WithAttemptFrequency(f0 float64) Option {
+	return func(m *Model) { m.F0 = f0 }
+}
+
+// New returns a model with the paper's defaults (σ = 10%, f₀ = 1 GHz)
+// for the given mean Δ.
+func New(meanDelta float64, opts ...Option) (*Model, error) {
+	m := &Model{MeanDelta: meanDelta, SigmaFrac: 0.10, F0: DefaultAttemptFrequency}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.MeanDelta <= 0 {
+		return nil, fmt.Errorf("sttram: mean Δ must be positive, got %v", m.MeanDelta)
+	}
+	if m.SigmaFrac < 0 || m.SigmaFrac >= 1 {
+		return nil, fmt.Errorf("sttram: σ fraction %v outside [0,1)", m.SigmaFrac)
+	}
+	if m.F0 <= 0 {
+		return nil, errors.New("sttram: attempt frequency must be positive")
+	}
+	return m, nil
+}
+
+// f0 returns the attempt frequency, defaulting when unset.
+func (m *Model) f0() float64 {
+	if m.F0 == 0 {
+		return DefaultAttemptFrequency
+	}
+	return m.F0
+}
+
+// Rate returns λ(Δ) in failures/second for a single cell with the
+// given thermal stability (Eq. 1).
+func (m *Model) Rate(delta float64) float64 {
+	return m.f0() * math.Exp(-delta)
+}
+
+// PCell returns the probability that a single cell with the given Δ
+// flips within seconds (Eq. 1): 1 − e^(−λt).
+func (m *Model) PCell(delta, seconds float64) float64 {
+	return -math.Expm1(-m.Rate(delta) * seconds)
+}
+
+// MTTFAtDelta returns the mean time to failure, in seconds, of a cell
+// with exactly the given Δ (≈ 18 days at Δ = 35).
+func (m *Model) MTTFAtDelta(delta float64) float64 {
+	return 1 / m.Rate(delta)
+}
+
+// BER returns the population bit error rate over the given window:
+// E_Δ[1 − e^(−λ(Δ)t)] with Δ ~ N(μ, (σμ)²), evaluated by composite
+// Simpson quadrature over ±10σ. At μ = 35, σ = 10%, t = 20 ms this
+// reproduces Table I's 5.3×10⁻⁶.
+func (m *Model) BER(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	sigma := m.SigmaFrac * m.MeanDelta
+	if sigma == 0 {
+		return m.PCell(m.MeanDelta, seconds)
+	}
+	const span = 10.0 // ±10σ captures the weak tail that dominates
+	const steps = 8000
+	lo := m.MeanDelta - span*sigma
+	hi := m.MeanDelta + span*sigma
+	h := (hi - lo) / steps
+	integrand := func(d float64) float64 {
+		z := (d - m.MeanDelta) / sigma
+		pdf := math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+		return pdf * m.PCell(d, seconds)
+	}
+	sum := integrand(lo) + integrand(hi)
+	for i := 1; i < steps; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * integrand(x)
+		} else {
+			sum += 2 * integrand(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// MeanRate returns the population-average failure rate E_Δ[λ(Δ)] in
+// failures/second. For small windows, BER(t) ≈ MeanRate()·t.
+func (m *Model) MeanRate() float64 {
+	sigma := m.SigmaFrac * m.MeanDelta
+	// E[e^(−Δ)] for normal Δ is the lognormal moment e^(−μ+σ²/2),
+	// exact in closed form.
+	return m.f0() * math.Exp(-m.MeanDelta+sigma*sigma/2)
+}
+
+// EffectiveCellMTTF returns 1/E[λ] in seconds — the paper's "on
+// average, it takes only one hour for a cell to fail" figure for
+// Δ = 35, σ = 10%.
+func (m *Model) EffectiveCellMTTF() float64 {
+	return 1 / m.MeanRate()
+}
+
+// ExpectedFaults returns the expected number of bit flips among bits
+// cells over the window (2880 bits per 20 ms in a 64 MB cache at the
+// paper's operating point).
+func (m *Model) ExpectedFaults(bits int64, seconds float64) float64 {
+	return float64(bits) * m.BER(seconds)
+}
+
+// SampleDelta draws one cell's Δ from the process-variation
+// distribution.
+func (m *Model) SampleDelta(r *rng.Source) float64 {
+	return m.MeanDelta + m.SigmaFrac*m.MeanDelta*r.NormFloat64()
+}
+
+// CombinedBER folds write errors into the retention BER (§VIII-B): a
+// low Δ also raises the write error rate (WER), and "SuDoku does not
+// differentiate between write errors and retention errors". A cell
+// that is written writesPerCell times within the scrub window fails if
+// it suffers either a retention flip or any write error:
+//
+//	1 − (1 − BER_retention)·(1 − WER)^writesPerCell
+func (m *Model) CombinedBER(seconds, wer, writesPerCell float64) (float64, error) {
+	if wer < 0 || wer >= 1 {
+		return 0, fmt.Errorf("sttram: WER %v outside [0,1)", wer)
+	}
+	if writesPerCell < 0 {
+		return 0, fmt.Errorf("sttram: negative writes per cell %v", writesPerCell)
+	}
+	retention := m.BER(seconds)
+	surviveWrites := writesPerCell * math.Log1p(-wer)
+	return -math.Expm1(math.Log1p(-retention) + surviveWrites), nil
+}

@@ -1,0 +1,206 @@
+package sttram
+
+import (
+	"math"
+	"testing"
+
+	"sudoku/internal/rng"
+)
+
+func mustModel(t *testing.T, delta float64, opts ...Option) *Model {
+	t.Helper()
+	m, err := New(delta, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("Δ = 0 accepted")
+	}
+	if _, err := New(35, WithSigmaFrac(-0.1)); err == nil {
+		t.Fatal("negative σ accepted")
+	}
+	if _, err := New(35, WithSigmaFrac(1.0)); err == nil {
+		t.Fatal("σ = 1 accepted")
+	}
+	if _, err := New(35, WithAttemptFrequency(-1)); err == nil {
+		t.Fatal("negative f₀ accepted")
+	}
+}
+
+func TestRateEquationOne(t *testing.T) {
+	m := mustModel(t, 35)
+	want := 1e9 * math.Exp(-35)
+	if got := m.Rate(35); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Rate(35) = %v, want %v", got, want)
+	}
+}
+
+func TestNominalCellMTTFIs18Days(t *testing.T) {
+	// §I: "The mean time to failure for a cell with a Δ of 35 is
+	// approximately 18 days."
+	m := mustModel(t, 35)
+	days := m.MTTFAtDelta(35) / 86400
+	if days < 16 || days < 0 || days > 21 {
+		t.Fatalf("MTTF at Δ=35 = %.1f days, want ≈ 18", days)
+	}
+}
+
+func TestEffectiveCellMTTFIsAboutAnHour(t *testing.T) {
+	// §I: with σ = 10% variation, "on average, it takes only one hour
+	// for a cell to fail."
+	m := mustModel(t, 35)
+	hours := m.EffectiveCellMTTF() / 3600
+	if hours < 0.5 || hours > 2 {
+		t.Fatalf("effective cell MTTF = %.2f h, want ≈ 1", hours)
+	}
+}
+
+func TestTableI_BERAtDelta35(t *testing.T) {
+	// Table I: Δ = 35, σ = 10% → BER 5.3×10⁻⁶ over 20 ms.
+	m := mustModel(t, 35)
+	ber := m.BER(0.020)
+	if ber < 3e-6 || ber > 9e-6 {
+		t.Fatalf("BER(20ms) = %.3g, want ≈ 5.3e-6 (Table I)", ber)
+	}
+}
+
+func TestTableI_BERAtDelta60(t *testing.T) {
+	// Table I: Δ = 60 (32 nm) → BER 2.7×10⁻¹². Our integral lands
+	// within an order of magnitude (see DESIGN.md note 3).
+	m := mustModel(t, 60)
+	ber := m.BER(0.020)
+	if ber < 2.7e-13 || ber > 5e-11 {
+		t.Fatalf("BER(20ms) = %.3g, want ≈ 2.7e-12 within 1 OoM", ber)
+	}
+	if ber >= mustModel(t, 35).BER(0.020) {
+		t.Fatal("Δ=60 must be far more reliable than Δ=35")
+	}
+}
+
+func TestExpectedFaultsPerScrub(t *testing.T) {
+	// §I: "in a period of 20ms, we can expect 2880 bits to experience
+	// retention failures in a 64MB STTRAM cache."
+	m := mustModel(t, 35)
+	const bits = 64 << 23 // 64 MB in bits
+	faults := m.ExpectedFaults(bits, 0.020)
+	if faults < 1500 || faults > 5000 {
+		t.Fatalf("expected faults per 20 ms = %.0f, want ≈ 2880", faults)
+	}
+}
+
+func TestBERMonotoneInTimeAndDelta(t *testing.T) {
+	m := mustModel(t, 35)
+	if !(m.BER(0.010) < m.BER(0.020) && m.BER(0.020) < m.BER(0.040)) {
+		t.Fatal("BER must increase with scrub interval")
+	}
+	for _, d := range []float64{33, 34} {
+		if mustModel(t, d).BER(0.020) <= mustModel(t, d+1).BER(0.020) {
+			t.Fatalf("BER must decrease with Δ (at Δ=%v)", d)
+		}
+	}
+	if m.BER(0) != 0 || m.BER(-1) != 0 {
+		t.Fatal("non-positive window must have zero BER")
+	}
+}
+
+func TestBERScrubScaling(t *testing.T) {
+	// Table VIII: halving the interval roughly halves the BER
+	// (2.7e-6 / 5.3e-6 / 1.09e-5 for 10/20/40 ms).
+	m := mustModel(t, 35)
+	b10, b20, b40 := m.BER(0.010), m.BER(0.020), m.BER(0.040)
+	if r := b20 / b10; r < 1.8 || r > 2.2 {
+		t.Fatalf("BER(20)/BER(10) = %.3f, want ≈ 2", r)
+	}
+	if r := b40 / b20; r < 1.8 || r > 2.3 {
+		t.Fatalf("BER(40)/BER(20) = %.3f, want ≈ 2", r)
+	}
+}
+
+func TestZeroSigmaReducesToPointModel(t *testing.T) {
+	m := mustModel(t, 35, WithSigmaFrac(0))
+	want := m.PCell(35, 0.02)
+	if got := m.BER(0.02); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("σ=0 BER = %v, want PCell = %v", got, want)
+	}
+}
+
+func TestBERApproximatesMeanRateTimesT(t *testing.T) {
+	m := mustModel(t, 35)
+	approx := m.MeanRate() * 0.020
+	got := m.BER(0.020)
+	// Saturation of 1−e^{−λt} in the weak tail makes the integral
+	// slightly smaller than E[λ]·t.
+	if got > approx || got < 0.5*approx {
+		t.Fatalf("BER = %v vs E[λ]·t = %v: want slightly below", got, approx)
+	}
+}
+
+func TestSampleDeltaMoments(t *testing.T) {
+	m := mustModel(t, 35)
+	r := rng.New(11)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		d := m.SampleDelta(r)
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-35) > 0.05 {
+		t.Fatalf("sampled Δ mean = %v", mean)
+	}
+	if math.Abs(sd-3.5) > 0.05 {
+		t.Fatalf("sampled Δ σ = %v, want 3.5", sd)
+	}
+}
+
+func BenchmarkBER(b *testing.B) {
+	m, err := New(35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = m.BER(0.020)
+	}
+}
+
+func TestCombinedBER(t *testing.T) {
+	m := mustModel(t, 35)
+	retention := m.BER(0.020)
+	// No writes → pure retention.
+	got, err := m.CombinedBER(0.020, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-retention)/retention > 1e-9 {
+		t.Fatalf("zero writes: %v, want %v", got, retention)
+	}
+	// §VIII-B: WER comparable to retention BER roughly doubles the
+	// per-interval error rate for one write per cell per interval.
+	got, err = m.CombinedBER(0.020, retention, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.9*retention || got > 2.1*retention {
+		t.Fatalf("WER≈BER with one write: %v, want ≈ 2×%v", got, retention)
+	}
+	// Monotone in writes.
+	more, err := m.CombinedBER(0.020, retention, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more <= got {
+		t.Fatal("more writes should raise the combined BER")
+	}
+	if _, err := m.CombinedBER(0.020, -0.1, 1); err == nil {
+		t.Fatal("negative WER accepted")
+	}
+	if _, err := m.CombinedBER(0.020, 0.5, -1); err == nil {
+		t.Fatal("negative write count accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace-file format ("SDTR"): how recorded access streams are stored
+// on disk so that experiments can replay the exact same stream across
+// machines and versions (the role SPEC/Pinpoints traces play for the
+// paper's simulator).
+//
+//	magic   "SDTR" (4 bytes)
+//	version 0x01
+//	name    uvarint length + bytes (profile or workload name)
+//	records repeated:
+//	  flags   1 byte: bit0 = write, bit1 = negative address delta
+//	  delta   uvarint absolute address delta from the previous record,
+//	          in line units (64 B)
+//	  gap     uvarint NonMemOps
+//
+// Address deltas rather than absolute addresses keep sequential
+// streams to ~3 bytes per record.
+
+const (
+	traceMagic   = "SDTR"
+	traceVersion = 0x01
+)
+
+// ErrBadTrace is returned when a trace file is malformed.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams records to a trace file.
+type Writer struct {
+	w        *bufio.Writer
+	prevLine uint64
+	started  bool
+	records  int64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(name)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRecord appends one access.
+func (w *Writer) WriteRecord(rec Record) error {
+	if rec.NonMemOps < 0 {
+		return fmt.Errorf("trace: negative gap %d", rec.NonMemOps)
+	}
+	line := rec.Addr / 64
+	var flags byte
+	if rec.Type == Write {
+		flags |= 1
+	}
+	var delta uint64
+	if !w.started {
+		delta = line
+		w.started = true
+	} else if line >= w.prevLine {
+		delta = line - w.prevLine
+	} else {
+		delta = w.prevLine - line
+		flags |= 2
+	}
+	w.prevLine = line
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], delta)
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], uint64(rec.NonMemOps))
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	w.records++
+	return nil
+}
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() int64 { return w.records }
+
+// Flush drains the buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader replays a trace file.
+type Reader struct {
+	r        *bufio.Reader
+	name     string
+	prevLine uint64
+	started  bool
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing version", ErrBadTrace)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: bad name length", ErrBadTrace)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: short name", ErrBadTrace)
+	}
+	return &Reader{r: br, name: string(name)}, nil
+}
+
+// Name returns the recorded workload name.
+func (r *Reader) Name() string { return r.name }
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	if flags&^byte(3) != 0 {
+		return Record{}, fmt.Errorf("%w: bad flags %#x", ErrBadTrace, flags)
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: truncated delta", ErrBadTrace)
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: truncated gap", ErrBadTrace)
+	}
+	var line uint64
+	if !r.started {
+		line = delta
+		r.started = true
+	} else if flags&2 != 0 {
+		if delta > r.prevLine {
+			return Record{}, fmt.Errorf("%w: negative delta underflows", ErrBadTrace)
+		}
+		line = r.prevLine - delta
+	} else {
+		line = r.prevLine + delta
+	}
+	r.prevLine = line
+	typ := Read
+	if flags&1 != 0 {
+		typ = Write
+	}
+	return Record{Type: typ, Addr: line * 64, NonMemOps: int(gap)}, nil
+}
+
+// RecordStream captures n records from a generator into w.
+func RecordStream(w *Writer, g *Generator, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.WriteRecord(g.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, err := ProfileByName("mcf-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(p, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	want := make([]Record, n)
+	for i := range want {
+		want[i] = gen.Next()
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range want {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != n {
+		t.Fatalf("Records() = %d", w.Records())
+	}
+	// Sequential-heavy streams should compress well below 8 bytes per
+	// absolute address.
+	if perRec := float64(buf.Len()) / n; perRec > 6 {
+		t.Fatalf("%.1f bytes/record — delta encoding broken?", perRec)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != p.Name {
+		t.Fatalf("Name() = %q", r.Name())
+	}
+	for i, wantRec := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != wantRec {
+			t.Fatalf("record %d: got %+v want %+v", i, got, wantRec)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRecordStreamHelper(t *testing.T) {
+	p, err := ProfileByName("gcc-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(p, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordStream(w, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("replayed %d records", count)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE\x01\x00"),
+		"bad version":  []byte("SDTR\x09\x00"),
+		"truncated":    []byte("SDTR"),
+		"name too big": append([]byte("SDTR\x01"), 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("err = %v, want ErrBadTrace", err)
+			}
+		})
+	}
+}
+
+func TestReaderRejectsCorruptRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Type: Read, Addr: 64, NonMemOps: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the record flags (last 3 bytes are flags+delta+gap).
+	bad := append([]byte{}, data...)
+	bad[len(bad)-3] = 0xf0
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", err)
+	}
+	// Truncate mid-record.
+	r2, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated err = %v, want ErrBadTrace", err)
+	}
+	if err := w.WriteRecord(Record{NonMemOps: -1}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+// Property: arbitrary line-aligned record sequences survive the
+// round trip.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(lines []uint32, gaps []uint8, writes []bool) bool {
+		n := len(lines)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			typ := Read
+			if writes[i] {
+				typ = Write
+			}
+			recs[i] = Record{Type: typ, Addr: uint64(lines[i]) * 64, NonMemOps: int(gaps[i])}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "q")
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			if err := w.WriteRecord(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package trace generates synthetic multi-core memory-access streams.
+//
+// The paper drives its performance evaluation (Figures 8 and 9) with
+// SPEC CPU2006, PARSEC, BioBench, and the MSC commercial traces, plus
+// four MIXED combinations (§VII-A). Those traces are proprietary; this
+// package substitutes deterministic synthetic workloads whose
+// *rate characteristics* — working-set size, access locality,
+// read/write mix, and memory intensity — are set per benchmark to
+// match the published character of each suite. The figures normalize
+// SuDoku against an idealized error-free cache, so the reported ratios
+// depend on these rates rather than on the exact SPEC addresses (see
+// DESIGN.md, substitution table).
+package trace
+
+import (
+	"fmt"
+
+	"sudoku/internal/rng"
+)
+
+// AccessType distinguishes reads from writes.
+type AccessType int
+
+const (
+	// Read is a demand load.
+	Read AccessType = iota + 1
+	// Write is a store.
+	Write
+)
+
+// Record is one memory access in a core's instruction stream.
+type Record struct {
+	// Type is read or write.
+	Type AccessType
+	// Addr is the byte address.
+	Addr uint64
+	// NonMemOps is the number of non-memory instructions retired
+	// before this access (models compute gaps).
+	NonMemOps int
+}
+
+// Profile characterizes one benchmark's memory behaviour.
+type Profile struct {
+	// Name labels the workload (e.g. "mcf-like").
+	Name string
+	// Suite is the originating suite: SPEC, PARSEC, BIO, COMM, MIX.
+	Suite string
+	// FootprintMB is the working-set size touched by the address
+	// stream. Footprints beyond the LLC capacity produce misses.
+	FootprintMB int
+	// Locality is the probability the next access continues the
+	// current sequential run instead of jumping.
+	Locality float64
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+	// MemOpsPer1000 is the number of LLC-visible memory accesses per
+	// 1000 instructions (higher = more memory bound).
+	MemOpsPer1000 int
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.FootprintMB <= 0:
+		return fmt.Errorf("trace: %s: footprint %d MB", p.Name, p.FootprintMB)
+	case p.Locality < 0 || p.Locality >= 1:
+		return fmt.Errorf("trace: %s: locality %v", p.Name, p.Locality)
+	case p.WriteFrac < 0 || p.WriteFrac > 1:
+		return fmt.Errorf("trace: %s: write fraction %v", p.Name, p.WriteFrac)
+	case p.MemOpsPer1000 <= 0 || p.MemOpsPer1000 > 1000:
+		return fmt.Errorf("trace: %s: mem ops per 1000 = %d", p.Name, p.MemOpsPer1000)
+	}
+	return nil
+}
+
+// Profiles returns the evaluation workload set: SPEC-like, PARSEC-like,
+// BioBench-like, and commercial-like profiles named after the
+// benchmarks the paper plots in Figure 8, plus the building blocks for
+// the MIXED workloads.
+func Profiles() []Profile {
+	return []Profile{
+		// SPEC CPU2006-like. Footprints and intensities follow the
+		// well-known characterization: mcf/lbm/milc are memory bound
+		// with big footprints, povray/namd/hmmer are compute bound.
+		{Name: "perlbench-like", Suite: "SPEC", FootprintMB: 24, Locality: 0.85, WriteFrac: 0.35, MemOpsPer1000: 120},
+		{Name: "bzip2-like", Suite: "SPEC", FootprintMB: 48, Locality: 0.80, WriteFrac: 0.30, MemOpsPer1000: 150},
+		{Name: "gcc-like", Suite: "SPEC", FootprintMB: 80, Locality: 0.75, WriteFrac: 0.30, MemOpsPer1000: 180},
+		{Name: "mcf-like", Suite: "SPEC", FootprintMB: 640, Locality: 0.30, WriteFrac: 0.20, MemOpsPer1000: 320},
+		{Name: "milc-like", Suite: "SPEC", FootprintMB: 400, Locality: 0.55, WriteFrac: 0.25, MemOpsPer1000: 260},
+		{Name: "namd-like", Suite: "SPEC", FootprintMB: 32, Locality: 0.90, WriteFrac: 0.20, MemOpsPer1000: 90},
+		{Name: "gobmk-like", Suite: "SPEC", FootprintMB: 20, Locality: 0.82, WriteFrac: 0.25, MemOpsPer1000: 110},
+		{Name: "soplex-like", Suite: "SPEC", FootprintMB: 256, Locality: 0.60, WriteFrac: 0.20, MemOpsPer1000: 270},
+		{Name: "povray-like", Suite: "SPEC", FootprintMB: 8, Locality: 0.92, WriteFrac: 0.30, MemOpsPer1000: 70},
+		{Name: "hmmer-like", Suite: "SPEC", FootprintMB: 16, Locality: 0.90, WriteFrac: 0.40, MemOpsPer1000: 100},
+		{Name: "sjeng-like", Suite: "SPEC", FootprintMB: 170, Locality: 0.70, WriteFrac: 0.25, MemOpsPer1000: 140},
+		{Name: "libquantum-like", Suite: "SPEC", FootprintMB: 96, Locality: 0.95, WriteFrac: 0.25, MemOpsPer1000: 300},
+		{Name: "h264ref-like", Suite: "SPEC", FootprintMB: 28, Locality: 0.88, WriteFrac: 0.35, MemOpsPer1000: 130},
+		{Name: "lbm-like", Suite: "SPEC", FootprintMB: 400, Locality: 0.75, WriteFrac: 0.45, MemOpsPer1000: 330},
+		{Name: "omnetpp-like", Suite: "SPEC", FootprintMB: 150, Locality: 0.40, WriteFrac: 0.30, MemOpsPer1000: 250},
+		{Name: "astar-like", Suite: "SPEC", FootprintMB: 180, Locality: 0.50, WriteFrac: 0.25, MemOpsPer1000: 200},
+		{Name: "sphinx3-like", Suite: "SPEC", FootprintMB: 45, Locality: 0.78, WriteFrac: 0.15, MemOpsPer1000: 230},
+		{Name: "xalancbmk-like", Suite: "SPEC", FootprintMB: 120, Locality: 0.45, WriteFrac: 0.30, MemOpsPer1000: 240},
+		// PARSEC-like shared-memory workloads.
+		{Name: "blackscholes-like", Suite: "PARSEC", FootprintMB: 64, Locality: 0.85, WriteFrac: 0.30, MemOpsPer1000: 140},
+		{Name: "canneal-like", Suite: "PARSEC", FootprintMB: 512, Locality: 0.25, WriteFrac: 0.20, MemOpsPer1000: 280},
+		{Name: "fluidanimate-like", Suite: "PARSEC", FootprintMB: 128, Locality: 0.70, WriteFrac: 0.40, MemOpsPer1000: 210},
+		{Name: "streamcluster-like", Suite: "PARSEC", FootprintMB: 256, Locality: 0.90, WriteFrac: 0.15, MemOpsPer1000: 310},
+		// BioBench-like.
+		{Name: "mummer-like", Suite: "BIO", FootprintMB: 300, Locality: 0.65, WriteFrac: 0.15, MemOpsPer1000: 260},
+		{Name: "tigr-like", Suite: "BIO", FootprintMB: 220, Locality: 0.55, WriteFrac: 0.25, MemOpsPer1000: 240},
+		// Commercial (MSC suite)-like.
+		{Name: "comm1-like", Suite: "COMM", FootprintMB: 350, Locality: 0.45, WriteFrac: 0.35, MemOpsPer1000: 290},
+		{Name: "comm2-like", Suite: "COMM", FootprintMB: 500, Locality: 0.40, WriteFrac: 0.30, MemOpsPer1000: 300},
+	}
+}
+
+// ProfileByName looks a profile up by name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}
+
+// MixNames returns the four MIXED workloads (§VII-A: "We also form
+// four MIXED workloads by randomly selecting benchmarks"): each is a
+// deterministic selection of per-core profiles.
+func MixNames() []string { return []string{"mix1", "mix2", "mix3", "mix4"} }
+
+// Mix returns the per-core profiles of a MIXED workload for the given
+// core count.
+func Mix(name string, cores int) ([]Profile, error) {
+	all := Profiles()
+	var seed uint64
+	switch name {
+	case "mix1":
+		seed = 101
+	case "mix2":
+		seed = 202
+	case "mix3":
+		seed = 303
+	case "mix4":
+		seed = 404
+	default:
+		return nil, fmt.Errorf("trace: unknown mix %q", name)
+	}
+	r := rng.New(seed)
+	out := make([]Profile, cores)
+	for i := range out {
+		out[i] = all[r.Intn(len(all))]
+	}
+	return out, nil
+}
+
+// Generator produces a deterministic access stream for one core
+// running one profile. It is not safe for concurrent use.
+type Generator struct {
+	profile  Profile
+	r        *rng.Source
+	cursor   uint64
+	baseAddr uint64
+	span     uint64
+}
+
+// NewGenerator builds a stream for the profile. Distinct cores should
+// pass distinct seeds; rate-mode workloads give each core a disjoint
+// address base so footprints do not collapse.
+func NewGenerator(p Profile, core int, seed uint64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	span := uint64(p.FootprintMB) << 20
+	return &Generator{
+		profile:  p,
+		r:        rng.New(seed ^ (uint64(core) * 0x9e3779b97f4a7c15)),
+		baseAddr: uint64(core) << 40, // disjoint 1 TB regions per core
+		span:     span,
+	}, nil
+}
+
+// Profile returns the generator's workload profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// Next produces the next access.
+func (g *Generator) Next() Record {
+	const lineBytes = 64
+	if g.r.Float64() < g.profile.Locality {
+		g.cursor += lineBytes
+		if g.cursor >= g.span {
+			g.cursor = 0
+		}
+	} else {
+		g.cursor = g.r.Uint64n(g.span/lineBytes) * lineBytes
+	}
+	typ := Read
+	if g.r.Float64() < g.profile.WriteFrac {
+		typ = Write
+	}
+	// Non-memory gap: 1000/MemOpsPer1000 instructions per access on
+	// average, geometric-ish jitter around the mean.
+	mean := 1000 / g.profile.MemOpsPer1000
+	gap := mean
+	if mean > 1 {
+		gap = 1 + g.r.Intn(2*mean-1)
+	}
+	return Record{
+		Type:      typ,
+		Addr:      g.baseAddr + g.cursor,
+		NonMemOps: gap,
+	}
+}

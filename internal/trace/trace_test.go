@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestProfilesAreValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 20 {
+		t.Fatalf("only %d profiles; Figure 8 needs the full suite set", len(ps))
+	}
+	suites := map[string]int{}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		names[p.Name] = true
+		suites[p.Suite]++
+	}
+	for _, suite := range []string{"SPEC", "PARSEC", "BIO", "COMM"} {
+		if suites[suite] == 0 {
+			t.Errorf("no profiles for suite %s", suite)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", FootprintMB: 0, Locality: 0.5, WriteFrac: 0.2, MemOpsPer1000: 100},
+		{Name: "b", FootprintMB: 10, Locality: 1.0, WriteFrac: 0.2, MemOpsPer1000: 100},
+		{Name: "c", FootprintMB: 10, Locality: 0.5, WriteFrac: 1.5, MemOpsPer1000: 100},
+		{Name: "d", FootprintMB: 10, Locality: 0.5, WriteFrac: 0.2, MemOpsPer1000: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %s accepted", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf-like")
+	if err != nil || p.Name != "mcf-like" {
+		t.Fatalf("lookup: %v %+v", err, p)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestMix(t *testing.T) {
+	for _, name := range MixNames() {
+		ps, err := Mix(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != 8 {
+			t.Fatalf("%s: %d cores", name, len(ps))
+		}
+		// Deterministic.
+		ps2, err := Mix(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ps {
+			if ps[i].Name != ps2[i].Name {
+				t.Fatalf("%s not deterministic", name)
+			}
+		}
+	}
+	m1, err := Mix("mix1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Mix("mix2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range m1 {
+		if m1[i].Name != m2[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("mix1 and mix2 are identical")
+	}
+	if _, err := Mix("mix9", 8); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestGeneratorDeterminismAndBounds(t *testing.T) {
+	p, err := ProfileByName("gcc-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := NewGenerator(p, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(p, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := uint64(p.FootprintMB) << 20
+	for i := 0; i < 5000; i++ {
+		r1, r2 := g1.Next(), g2.Next()
+		if r1 != r2 {
+			t.Fatalf("generator diverged at %d", i)
+		}
+		if r1.Addr%64 != 0 {
+			t.Fatalf("address %#x not line aligned", r1.Addr)
+		}
+		if off := r1.Addr - (r1.Addr >> 40 << 40); off >= span {
+			t.Fatalf("address offset %#x beyond footprint %#x", off, span)
+		}
+		if r1.NonMemOps < 1 {
+			t.Fatalf("gap %d", r1.NonMemOps)
+		}
+		if r1.Type != Read && r1.Type != Write {
+			t.Fatalf("type %v", r1.Type)
+		}
+	}
+}
+
+func TestGeneratorCoresAreDisjoint(t *testing.T) {
+	p, err := ProfileByName("gcc-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := NewGenerator(p, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := NewGenerator(p, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.Next().Addr>>40 == g1.Next().Addr>>40 {
+		t.Fatal("cores share an address region in rate mode")
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	p, err := ProfileByName("lbm-like") // WriteFrac 0.45
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Type == Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.42 || frac > 0.48 {
+		t.Fatalf("write fraction %v, want ≈ 0.45", frac)
+	}
+}
+
+func TestGeneratorLocality(t *testing.T) {
+	p, err := ProfileByName("libquantum-like") // locality 0.95, streaming
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential := 0
+	prev := g.Next().Addr
+	const n = 20000
+	for i := 0; i < n; i++ {
+		cur := g.Next().Addr
+		if cur == prev+64 {
+			sequential++
+		}
+		prev = cur
+	}
+	if frac := float64(sequential) / n; frac < 0.90 {
+		t.Fatalf("sequential fraction %v, want ≈ 0.95", frac)
+	}
+	if _, err := NewGenerator(Profile{}, 0, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, err := ProfileByName("mcf-like")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGenerator(p, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

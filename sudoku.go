@@ -1,0 +1,336 @@
+// Package sudoku is a Go implementation of SuDoku ("SuDoku: Tolerating
+// High-Rate of Transient Failures for Enabling Scalable STTRAM",
+// Nair, Asgari & Qureshi, DSN 2019): a resilient cache architecture
+// that tolerates very high transient-fault rates with per-line ECC-1 +
+// CRC-31, region-based RAID-4 parity, Sequential Data Resurrection,
+// and dual skew-hashed parity groups.
+//
+// The package exposes three entry points:
+//
+//   - New builds a functional, protected STTRAM cache: write and read
+//     real data, inject thermal faults, scrub, and watch the X/Y/Z
+//     repair ladder work (or fail, at the weaker levels).
+//   - AnalyzeReliability evaluates the paper's closed-form FIT/MTTF
+//     models for SuDoku-X/Y/Z and the uniform-ECC baselines.
+//   - Simulate runs Monte Carlo fault injection against the full
+//     repair machinery.
+//
+// The internal packages carry the substrates: the STTRAM device model
+// (Eq. 1 with process variation), real Hamming/CRC/BCH codecs, the
+// repair engines, a trace-driven multi-core performance simulator, and
+// the comparator baselines (CPPC, RAID-6, 2DP, Hi-ECC).
+package sudoku
+
+import (
+	"fmt"
+	"time"
+
+	"sudoku/internal/analytic"
+	"sudoku/internal/cache"
+	"sudoku/internal/core"
+	"sudoku/internal/dram"
+	"sudoku/internal/faultsim"
+	"sudoku/internal/rng"
+	"sudoku/internal/sttram"
+)
+
+// Protection selects the SuDoku variant.
+type Protection = core.Protection
+
+// Protection levels, strongest last.
+const (
+	// SuDokuX: ECC-1 + CRC-31 per line with single-hash RAID-4 (§III).
+	SuDokuX = core.ProtectionX
+	// SuDokuY: SuDokuX plus Sequential Data Resurrection (§IV).
+	SuDokuY = core.ProtectionY
+	// SuDokuZ: SuDokuY plus skew-hashed dual parity groups (§V).
+	SuDokuZ = core.ProtectionZ
+)
+
+// Stats is the cache activity counter set.
+type Stats = cache.Stats
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport = cache.ScrubReport
+
+// Config describes a SuDoku-protected cache. The zero value is not
+// useful; start from DefaultConfig.
+type Config struct {
+	// CacheMB is the cache capacity in megabytes (64 in the paper).
+	CacheMB int
+	// Ways is the set associativity (8).
+	Ways int
+	// GroupSize is the RAID-group size in lines (512).
+	GroupSize int
+	// Protection is the repair ladder level (SuDokuZ default).
+	Protection Protection
+	// ReadLatency and WriteLatency are the STTRAM timings (9/18 ns).
+	ReadLatency, WriteLatency time.Duration
+	// Banks is the number of cache banks (32).
+	Banks int
+	// ECCStrength is the per-line inner-code capability: 0 or 1 for
+	// the paper's ECC-1; 2 for the §VII-G BCH enhancement (stronger at
+	// low Δ, 10 extra metadata bits per line).
+	ECCStrength int
+}
+
+// DefaultConfig returns the paper's 64 MB, 8-way, SuDoku-Z cache. Note
+// the full-size cache allocates real tag and (lazily) data state; for
+// experimentation, smaller CacheMB values behave identically.
+func DefaultConfig() Config {
+	return Config{
+		CacheMB:      64,
+		Ways:         8,
+		GroupSize:    512,
+		Protection:   SuDokuZ,
+		ReadLatency:  9 * time.Nanosecond,
+		WriteLatency: 18 * time.Nanosecond,
+		Banks:        32,
+	}
+}
+
+// Cache is a functional SuDoku-protected STTRAM cache with 64-byte
+// lines. It is safe for concurrent use.
+type Cache struct {
+	inner *cache.STTRAM
+	clock time.Duration
+}
+
+// New builds a cache. Addresses map onto a backing store, so evicted
+// lines survive and reads always return the last written data (unless
+// a fault pattern defeats the configured protection, which surfaces as
+// ErrUncorrectable).
+func New(cfg Config) (*Cache, error) {
+	if cfg.CacheMB <= 0 {
+		return nil, fmt.Errorf("sudoku: CacheMB %d", cfg.CacheMB)
+	}
+	ccfg := cache.DefaultConfig()
+	ccfg.Lines = cfg.CacheMB << 20 / 64
+	if cfg.Ways > 0 {
+		ccfg.Ways = cfg.Ways
+	}
+	if cfg.GroupSize > 0 {
+		ccfg.GroupSize = cfg.GroupSize
+	}
+	if cfg.Protection != 0 {
+		ccfg.Protection = cfg.Protection
+	}
+	if cfg.ReadLatency > 0 {
+		ccfg.ReadLatency = cfg.ReadLatency
+	}
+	if cfg.WriteLatency > 0 {
+		ccfg.WriteLatency = cfg.WriteLatency
+	}
+	if cfg.Banks > 0 {
+		ccfg.Banks = cfg.Banks
+	}
+	ccfg.ECCStrength = cfg.ECCStrength
+	mem, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	inner, err := cache.New(ccfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{inner: inner}, nil
+}
+
+// ErrUncorrectable is returned when a read hits a line whose fault
+// pattern defeats the configured protection level (a DUE).
+var ErrUncorrectable = cache.ErrUncorrectable
+
+// Read returns the 64-byte line containing addr.
+func (c *Cache) Read(addr uint64) ([]byte, error) {
+	data, lat, err := c.inner.Read(c.clock, addr)
+	c.clock += lat
+	return data, err
+}
+
+// Write stores a 64-byte line at addr.
+func (c *Cache) Write(addr uint64, data []byte) error {
+	lat, err := c.inner.Write(c.clock, addr, data)
+	c.clock += lat
+	return err
+}
+
+// InjectFault flips one stored bit (0 ≤ bit < 553 across data, CRC,
+// and ECC fields) of the resident line holding addr.
+func (c *Cache) InjectFault(addr uint64, bit int) error {
+	return c.inner.InjectFault(addr, bit)
+}
+
+// InjectRandomFaults scatters n uniform bit flips over the cache — one
+// scrub interval's worth of thermal noise. The seed makes the pattern
+// reproducible.
+func (c *Cache) InjectRandomFaults(seed uint64, n int) error {
+	return c.inner.InjectRandomFaults(rng.New(seed), n)
+}
+
+// InjectStuckAt pins one cell of the resident line holding addr to a
+// fixed value — a permanent fault (§VI). Writes and scrubs cannot
+// clear it; the repair ladder re-corrects it on every access.
+func (c *Cache) InjectStuckAt(addr uint64, bit int, value bool) error {
+	return c.inner.InjectStuckAt(addr, bit, value)
+}
+
+// StuckCells returns the number of permanently faulty cells injected.
+func (c *Cache) StuckCells() int {
+	return c.inner.StuckCells()
+}
+
+// Scrub runs one scrub pass, repairing everything the protection level
+// can reach and reporting the rest.
+func (c *Cache) Scrub() (ScrubReport, error) {
+	return c.inner.Scrub()
+}
+
+// Stats returns the activity counters.
+func (c *Cache) Stats() Stats {
+	return c.inner.Stats()
+}
+
+// ReliabilityConfig parameterizes the closed-form evaluation.
+type ReliabilityConfig struct {
+	// MeanDelta is the STTRAM thermal stability factor (35).
+	MeanDelta float64
+	// SigmaFrac is the Δ process variation (0.10).
+	SigmaFrac float64
+	// ScrubInterval is the scrub period (20 ms).
+	ScrubInterval time.Duration
+	// CacheMB is the capacity (64).
+	CacheMB int
+	// UsePaperBER forces the paper's rounded 5.3×10⁻⁶ instead of the
+	// device model's integral.
+	UsePaperBER bool
+}
+
+// DefaultReliabilityConfig returns the paper's operating point.
+func DefaultReliabilityConfig() ReliabilityConfig {
+	return ReliabilityConfig{
+		MeanDelta:     35,
+		SigmaFrac:     0.10,
+		ScrubInterval: 20 * time.Millisecond,
+		CacheMB:       64,
+	}
+}
+
+// SchemeReliability is one scheme's closed-form result.
+type SchemeReliability = analytic.SchemeResult
+
+// ReliabilityReport carries the headline comparison.
+type ReliabilityReport struct {
+	// BER is the bit error rate per scrub interval used.
+	BER float64
+	// X, Y, Z are the SuDoku variants' results.
+	X, Y, Z SchemeReliability
+	// ECC6FIT is the uniform ECC-6 baseline FIT (0.092 in Table II).
+	ECC6FIT float64
+	// ZAdvantage is ECC6FIT / Z.FIT — the paper's headline "874×".
+	ZAdvantage float64
+}
+
+// AnalyzeReliability evaluates the analytical models at the given
+// operating point.
+func AnalyzeReliability(rc ReliabilityConfig) (ReliabilityReport, error) {
+	var rep ReliabilityReport
+	ber := sttram.PaperBER20ms
+	if !rc.UsePaperBER {
+		model, err := sttram.New(rc.MeanDelta, sttram.WithSigmaFrac(rc.SigmaFrac))
+		if err != nil {
+			return rep, err
+		}
+		ber = model.BER(rc.ScrubInterval.Seconds())
+	}
+	cfg := analytic.Default()
+	cfg.BER = ber
+	cfg.ScrubInterval = rc.ScrubInterval
+	if rc.CacheMB > 0 {
+		cfg.NumLines = rc.CacheMB << 20 / 64
+	}
+	if err := cfg.Validate(); err != nil {
+		return rep, err
+	}
+	rep.BER = ber
+	rep.X = cfg.SuDokuX()
+	rep.Y = cfg.SuDokuY()
+	rep.Z = cfg.SuDokuZ()
+	ecc6, err := cfg.ECCk(6)
+	if err != nil {
+		return rep, err
+	}
+	rep.ECC6FIT = ecc6.FIT
+	if rep.Z.FIT > 0 {
+		rep.ZAdvantage = ecc6.FIT / rep.Z.FIT
+	}
+	return rep, nil
+}
+
+// SimConfig parameterizes Monte Carlo fault injection.
+type SimConfig struct {
+	// Protection is the repair level under test.
+	Protection Protection
+	// CacheMB is the capacity (64).
+	CacheMB int
+	// GroupSize is the RAID-group size (512).
+	GroupSize int
+	// BER is the raw bit error rate per scrub interval.
+	BER float64
+	// Intervals is the number of 20 ms scrub intervals to simulate.
+	Intervals int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// SimResult aggregates Monte Carlo outcomes.
+type SimResult = faultsim.Result
+
+// Simulate runs event-driven fault injection and repair.
+func Simulate(sc SimConfig) (SimResult, error) {
+	lines := 1 << 20
+	if sc.CacheMB > 0 {
+		lines = sc.CacheMB << 20 / 64
+	}
+	group := 512
+	if sc.GroupSize > 0 {
+		group = sc.GroupSize
+	}
+	sim, err := faultsim.New(faultsim.Config{
+		Params: core.Params{NumLines: lines, GroupSize: group},
+		Level:  sc.Protection,
+		BER:    sc.BER,
+		Seed:   sc.Seed,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.Run(sc.Intervals)
+}
+
+// SRAMVminRow is one row of the §VI low-voltage SRAM comparison.
+type SRAMVminRow = analytic.SRAMVminRow
+
+// AnalyzeSRAMVmin evaluates SuDoku on low-voltage SRAM (§VI,
+// Table IV): the probability that a cacheMB-sized SRAM cache with
+// persistent faults at the given BER fails under uniform ECC-7/8/9
+// versus SuDoku.
+func AnalyzeSRAMVmin(cacheMB int, ber float64) ([]SRAMVminRow, error) {
+	if cacheMB <= 0 {
+		return nil, fmt.Errorf("sudoku: cacheMB %d", cacheMB)
+	}
+	if ber <= 0 || ber >= 1 {
+		return nil, fmt.Errorf("sudoku: BER %v outside (0,1)", ber)
+	}
+	return analytic.SRAMVminTable(cacheMB<<20/64, ber), nil
+}
+
+// DeviceBER returns the population bit error rate of an STTRAM array
+// with the given thermal stability over one scrub interval (Eq. 1
+// integrated over Δ process variation) — Table I's quantity.
+func DeviceBER(meanDelta, sigmaFrac float64, interval time.Duration) (float64, error) {
+	model, err := sttram.New(meanDelta, sttram.WithSigmaFrac(sigmaFrac))
+	if err != nil {
+		return 0, err
+	}
+	return model.BER(interval.Seconds()), nil
+}

@@ -1,0 +1,265 @@
+package sudoku
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// smallConfig keeps the functional cache light for tests: 1 MB with
+// 64-line groups (16384 lines ≥ 64² keeps skewed hashing valid).
+func smallConfig(p Protection) Config {
+	cfg := DefaultConfig()
+	cfg.CacheMB = 1
+	cfg.GroupSize = 64
+	cfg.Protection = p
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(smallConfig(SuDokuZ)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndRepairLadder(t *testing.T) {
+	c, err := New(smallConfig(SuDokuZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xde, 0xad}, 32)
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(i*64, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A six-bit fault (Figure 2): repaired transparently on read.
+	for _, b := range []int{3, 77, 200, 301, 404, 505} {
+		if err := c.InjectFault(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-bit fault not repaired")
+	}
+	st := c.Stats()
+	if st.RAIDRepairs == 0 {
+		t.Fatalf("expected a RAID repair: %+v", st)
+	}
+}
+
+func TestScrubAndRandomFaults(t *testing.T) {
+	c, err := New(smallConfig(SuDokuZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for i := uint64(0); i < 512; i++ {
+		if err := c.Write(i*64, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.InjectRandomFaults(42, 100); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DUELines) != 0 {
+		t.Fatalf("scattered faults defeated SuDoku-Z: %+v", rep)
+	}
+	if rep.SingleRepairs == 0 {
+		t.Fatal("nothing repaired")
+	}
+}
+
+func TestSuDokuXWeakerThanZ(t *testing.T) {
+	// The same adversarial pattern (two 2-bit-fault lines in one
+	// group) defeats X but not Y/Z.
+	for _, tc := range []struct {
+		level   Protection
+		wantDUE bool
+	}{{SuDokuX, true}, {SuDokuY, false}, {SuDokuZ, false}} {
+		c, err := New(smallConfig(tc.level))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 64)
+		for _, a := range []uint64{0, 64} {
+			if err := c.Write(a, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, f := range []struct {
+			addr uint64
+			bits []int
+		}{{0, []int{10, 20}}, {64, []int{30, 40}}} {
+			for _, b := range f.bits {
+				if err := c.InjectFault(f.addr, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		_, err = c.Read(0)
+		if tc.wantDUE && !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("%v: err = %v, want ErrUncorrectable", tc.level, err)
+		}
+		if !tc.wantDUE && err != nil {
+			t.Fatalf("%v: err = %v", tc.level, err)
+		}
+	}
+}
+
+func TestAnalyzeReliabilityPaperNumbers(t *testing.T) {
+	rep, err := AnalyzeReliability(func() ReliabilityConfig {
+		rc := DefaultReliabilityConfig()
+		rc.UsePaperBER = true
+		return rc
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BER != 5.3e-6 {
+		t.Fatalf("BER = %v", rep.BER)
+	}
+	// §III-F: X's MTTF ≈ 3.71 s.
+	if rep.X.MTTFSeconds < 2.5 || rep.X.MTTFSeconds > 6 {
+		t.Fatalf("X MTTF = %v s", rep.X.MTTFSeconds)
+	}
+	// Ladder and the ECC-6 advantage (paper: 874×; our exact-mode
+	// model is stronger, so the advantage is at least that order).
+	if !(rep.X.FIT > rep.Y.FIT && rep.Y.FIT > rep.Z.FIT) {
+		t.Fatalf("ladder: %v / %v / %v", rep.X.FIT, rep.Y.FIT, rep.Z.FIT)
+	}
+	if rep.ECC6FIT < 0.04 || rep.ECC6FIT > 0.2 {
+		t.Fatalf("ECC-6 FIT = %v, paper 0.092", rep.ECC6FIT)
+	}
+	if rep.ZAdvantage < 100 {
+		t.Fatalf("Z advantage = %v, paper 874×", rep.ZAdvantage)
+	}
+}
+
+func TestAnalyzeReliabilityFromDevice(t *testing.T) {
+	rep, err := AnalyzeReliability(DefaultReliabilityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device integral lands near the paper's 5.3e-6 (Table I).
+	if rep.BER < 3e-6 || rep.BER > 9e-6 {
+		t.Fatalf("device BER = %v", rep.BER)
+	}
+}
+
+func TestDeviceBER(t *testing.T) {
+	ber, err := DeviceBER(35, 0.10, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber < 3e-6 || ber > 9e-6 {
+		t.Fatalf("BER = %v, want ≈ 5.3e-6", ber)
+	}
+	if _, err := DeviceBER(-1, 0.1, time.Millisecond); err == nil {
+		t.Fatal("negative Δ accepted")
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Protection: SuDokuZ,
+		CacheMB:    1,
+		GroupSize:  64,
+		BER:        1e-5,
+		Intervals:  50,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals != 50 || res.FaultsInjected == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.DUELines != 0 {
+		t.Fatalf("SuDoku-Z should survive 1e-5 BER for 1 s: %+v", res)
+	}
+	if _, err := Simulate(SimConfig{BER: 0}); err == nil {
+		t.Fatal("zero BER accepted")
+	}
+}
+
+func TestECC2FacadeConfig(t *testing.T) {
+	// The §VII-G ECC-2 variant through the public API: a (3,3)-fault
+	// pair in one group heals at SuDoku-Y strength.
+	cfg := smallConfig(SuDokuY)
+	cfg.ECCStrength = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for _, a := range []uint64{0, 64} {
+		if err := c.Write(a, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []struct {
+		addr uint64
+		bits []int
+	}{{0, []int{10, 20, 30}}, {64, []int{40, 50, 60}}} {
+		for _, b := range f.bits {
+			if err := c.InjectFault(f.addr, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("ECC-2 read: %v", err)
+	}
+}
+
+func TestStuckAtFacade(t *testing.T) {
+	c, err := New(smallConfig(SuDokuZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectStuckAt(0, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.StuckCells() != 1 {
+		t.Fatalf("StuckCells = %d", c.StuckCells())
+	}
+	got, err := c.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("stuck cell leaked into data")
+	}
+}
+
+func TestAnalyzeSRAMVminFacade(t *testing.T) {
+	rows, err := AnalyzeSRAMVmin(64, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[3].Scheme != "SuDoku" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if _, err := AnalyzeSRAMVmin(0, 1e-3); err == nil {
+		t.Fatal("zero cache accepted")
+	}
+	if _, err := AnalyzeSRAMVmin(64, 0); err == nil {
+		t.Fatal("zero BER accepted")
+	}
+}
