@@ -6,6 +6,8 @@
 package sudoku
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"sudoku/internal/core"
 	"sudoku/internal/faultsim"
 	"sudoku/internal/perfsim"
+	"sudoku/internal/rng"
 	"sudoku/internal/sttram"
 )
 
@@ -281,6 +284,77 @@ func BenchmarkMonteCarloInterval(b *testing.B) {
 	if _, err := sim.Run(b.N); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// mixEngine is the access surface shared by the global-lock Cache and
+// the sharded Concurrent, for the scaling benchmark.
+type mixEngine interface {
+	Read(addr uint64) ([]byte, error)
+	Write(addr uint64, data []byte) error
+}
+
+// BenchmarkShardedVsGlobal measures a 70/30 read/write mix on the
+// global-lock engine vs the bank-sharded engine at 1, 4, and 16
+// goroutines. On a multi-core host the sharded engine scales with the
+// core count while the global lock serializes; on a single hardware
+// thread the gap is lock-handoff overhead only.
+func BenchmarkShardedVsGlobal(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CacheMB = 1
+	cfg.GroupSize = 64
+	cfg.Seed = 1
+	lines := uint64(cfg.CacheMB << 20 / 64)
+	for _, goroutines := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("global/goroutines=%d", goroutines), func(b *testing.B) {
+			eng, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runMix(b, goroutines, lines, eng)
+		})
+		b.Run(fmt.Sprintf("sharded/goroutines=%d", goroutines), func(b *testing.B) {
+			eng, err := NewConcurrent(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runMix(b, goroutines, lines, eng)
+		})
+	}
+}
+
+// runMix spreads b.N mixed operations over the goroutine fleet, each
+// worker drawing addresses from its own Split child stream.
+func runMix(b *testing.B, goroutines int, lines uint64, eng mixEngine) {
+	master := rng.New(99)
+	per := (b.N + goroutines - 1) / goroutines
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		src := master.Split()
+		wg.Add(1)
+		go func(g int, src *rng.Source) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := range buf {
+				buf[i] = byte(g + 1)
+			}
+			for i := 0; i < per; i++ {
+				addr := src.Uint64n(lines) * 64
+				if src.Float64() < 0.7 {
+					if _, err := eng.Read(addr); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					if err := eng.Write(addr, buf); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(g, src)
+	}
+	wg.Wait()
 }
 
 // fixedMemory is a constant-latency Memory for benchmarks.

@@ -1,0 +1,377 @@
+// Command sudoku-stress is the concurrency load generator for the
+// sharded cache engine: it hammers an engine with a configurable
+// goroutine count and read/write mix while a fault storm and the
+// background scrub daemon run, and reports throughput plus a
+// power-of-two latency histogram with p50/p90/p99.
+//
+// Usage:
+//
+//	sudoku-stress [-engine sharded|global|compare] [-goroutines 8]
+//	              [-duration 2s] [-cachemb 1] [-shards 0] [-readfrac 0.7]
+//	              [-storm 50] [-scrub 20ms] [-seed 1] [-quiet]
+//
+// The global engine is the single-lock cache.STTRAM; the sharded
+// engine is the bank-sharded shard.Engine behind sudoku.NewConcurrent.
+// Compare mode runs both with identical parameters and prints the
+// throughput ratio.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudoku"
+	"sudoku/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-stress:", err)
+		os.Exit(1)
+	}
+}
+
+// options carries the parsed flag set.
+type options struct {
+	engine     string
+	goroutines int
+	duration   time.Duration
+	cachemb    int
+	shards     int
+	readfrac   float64
+	storm      int
+	scrub      time.Duration
+	seed       uint64
+	quiet      bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sudoku-stress", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.engine, "engine", "sharded", "engine: sharded, global, or compare")
+	fs.IntVar(&o.goroutines, "goroutines", 8, "concurrent load goroutines")
+	fs.DurationVar(&o.duration, "duration", 2*time.Second, "run length per engine")
+	fs.IntVar(&o.cachemb, "cachemb", 1, "cache size in MB")
+	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = auto, sharded engine only)")
+	fs.Float64Var(&o.readfrac, "readfrac", 0.7, "fraction of operations that are reads")
+	fs.IntVar(&o.storm, "storm", 50, "faults injected per scrub interval (0 = off)")
+	fs.DurationVar(&o.scrub, "scrub", 20*time.Millisecond, "scrub interval")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-bucket histogram")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.goroutines <= 0 {
+		return fmt.Errorf("goroutines %d", o.goroutines)
+	}
+	if o.duration <= 0 {
+		return fmt.Errorf("duration %v", o.duration)
+	}
+	if o.readfrac < 0 || o.readfrac > 1 {
+		return fmt.Errorf("readfrac %g outside [0, 1]", o.readfrac)
+	}
+	if o.storm < 0 {
+		return fmt.Errorf("storm %d", o.storm)
+	}
+	if o.scrub <= 0 {
+		return fmt.Errorf("scrub interval %v", o.scrub)
+	}
+
+	switch o.engine {
+	case "sharded", "global":
+		res, err := runEngine(o, o.engine)
+		if err != nil {
+			return err
+		}
+		res.print(out, o.quiet)
+		return nil
+	case "compare":
+		global, err := runEngine(o, "global")
+		if err != nil {
+			return err
+		}
+		global.print(out, o.quiet)
+		fmt.Fprintln(out)
+		sharded, err := runEngine(o, "sharded")
+		if err != nil {
+			return err
+		}
+		sharded.print(out, o.quiet)
+		fmt.Fprintf(out, "\nsharded/global throughput: %.2fx (%d goroutines, %d shards)\n",
+			sharded.throughput()/global.throughput(), o.goroutines, sharded.shards)
+		return nil
+	default:
+		return fmt.Errorf("unknown engine %q", o.engine)
+	}
+}
+
+// engine is the surface both the global-lock Cache and the sharded
+// Concurrent expose to the load loop.
+type engine interface {
+	Read(addr uint64) ([]byte, error)
+	Write(addr uint64, data []byte) error
+	InjectRandomFaults(seed uint64, n int) error
+	Scrub() (sudoku.ScrubReport, error)
+	Stats() sudoku.Stats
+}
+
+// result aggregates one engine run.
+type result struct {
+	name     string
+	shards   int
+	ops      int64
+	dues     int64
+	elapsed  time.Duration
+	hist     histogram
+	stats    sudoku.Stats
+	rotation int // completed full-cache scrub sweeps
+	passes   int // scrub invocations (per-shard for the daemon)
+}
+
+func (r *result) throughput() float64 {
+	return float64(r.ops) / r.elapsed.Seconds()
+}
+
+func (r *result) print(out io.Writer, quiet bool) {
+	fmt.Fprintf(out, "engine=%s shards=%d ops=%d (%.0f ops/s) dues=%d scrub-sweeps=%d scrub-passes=%d\n",
+		r.name, r.shards, r.ops, r.throughput(), r.dues, r.rotation, r.passes)
+	fmt.Fprintf(out, "latency: p50=%v p90=%v p99=%v\n",
+		r.hist.percentile(0.50), r.hist.percentile(0.90), r.hist.percentile(0.99))
+	fmt.Fprintf(out, "repairs: single=%d sdr=%d raid=%d hash2=%d faults-injected=%d\n",
+		r.stats.SingleRepairs, r.stats.SDRRepairs, r.stats.RAIDRepairs,
+		r.stats.Hash2Repairs, r.stats.FaultsInjected)
+	if !quiet {
+		r.hist.print(out)
+	}
+}
+
+func buildConfig(o options) sudoku.Config {
+	cfg := sudoku.DefaultConfig()
+	cfg.CacheMB = o.cachemb
+	cfg.Shards = o.shards
+	cfg.Seed = o.seed
+	// Skewed hashing needs Lines ≥ GroupSize²; shrink groups for small
+	// caches.
+	lines := o.cachemb << 20 / 64
+	for lines < cfg.GroupSize*cfg.GroupSize {
+		cfg.GroupSize /= 2
+	}
+	return cfg
+}
+
+// runEngine builds the named engine, applies the load, and tears the
+// scrub machinery down.
+func runEngine(o options, name string) (*result, error) {
+	cfg := buildConfig(o)
+	res := &result{name: name, shards: 1}
+	var eng engine
+	stopScrub := func() {}
+
+	switch name {
+	case "sharded":
+		c, err := sudoku.NewConcurrent(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.shards = c.Shards()
+		if err := c.StartScrub(sudoku.ScrubDaemonConfig{
+			Interval:     o.scrub,
+			StormPerPass: storms(o.storm, c.Shards()),
+		}); err != nil {
+			return nil, err
+		}
+		stopScrub = func() {
+			_ = c.StopScrub()
+			st := c.ScrubStats()
+			res.rotation = st.Rotations
+			res.passes = st.ShardPasses
+		}
+		eng = c
+	case "global":
+		c, err := sudoku.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The global engine has no incremental daemon: emulate the
+		// paper's stop-the-world scrub with a ticker goroutine.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		var passes atomic.Int64
+		go func() {
+			defer close(done)
+			src := rng.New(o.seed ^ 0xdeadbeef)
+			ticker := time.NewTicker(o.scrub)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if o.storm > 0 {
+						_ = c.InjectRandomFaults(src.Uint64(), o.storm)
+					}
+					_, _ = c.Scrub()
+					passes.Add(1)
+				}
+			}
+		}()
+		stopScrub = func() {
+			close(stop)
+			<-done
+			res.rotation = int(passes.Load())
+			res.passes = res.rotation
+		}
+		eng = c
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+
+	load(o, eng, res)
+	stopScrub()
+	res.stats = eng.Stats()
+	return res, nil
+}
+
+// storms scales the per-interval fault budget to a per-shard-pass one
+// (the daemon storms each shard once per rotation).
+func storms(perInterval, shards int) int {
+	if perInterval == 0 {
+		return 0
+	}
+	per := perInterval / shards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// load runs the goroutine fleet for the configured duration.
+func load(o options, eng engine, res *result) {
+	lines := uint64(o.cachemb << 20 / 64)
+	deadline := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	var ops, dues atomic.Int64
+	hists := make([]histogram, o.goroutines)
+	master := rng.New(o.seed)
+	for g := 0; g < o.goroutines; g++ {
+		src := master.Split()
+		wg.Add(1)
+		go func(g int, src *rng.Source) {
+			defer wg.Done()
+			h := &hists[g]
+			buf := make([]byte, 64)
+			for i := range buf {
+				buf[i] = byte(g + 1)
+			}
+			n := int64(0)
+			for {
+				// Check the clock in batches; time.Now per op would
+				// dominate the 9 ns model.
+				if n%256 == 0 && time.Now().After(deadline) {
+					break
+				}
+				n++
+				addr := src.Uint64n(lines) * 64
+				start := time.Now()
+				var err error
+				if src.Float64() < o.readfrac {
+					_, err = eng.Read(addr)
+				} else {
+					err = eng.Write(addr, buf)
+				}
+				h.observe(time.Since(start))
+				if errors.Is(err, sudoku.ErrUncorrectable) {
+					dues.Add(1) // DUEs under a storm are data, not failures
+				}
+			}
+			ops.Add(n)
+		}(g, src)
+	}
+	wg.Wait()
+	res.elapsed = o.duration
+	res.ops = ops.Load()
+	res.dues = dues.Load()
+	for i := range hists {
+		res.hist.merge(&hists[i])
+	}
+}
+
+// histogram is a power-of-two latency histogram: bucket i counts
+// operations with latency in [2^i, 2^(i+1)) nanoseconds.
+type histogram struct {
+	buckets [40]int64
+	total   int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	i := bits.Len64(uint64(ns)) - 1
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.total += o.total
+}
+
+// percentile returns the upper bound of the bucket holding the q-th
+// quantile observation.
+func (h *histogram) percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.total))
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > rank {
+			return time.Duration(int64(1) << (i + 1))
+		}
+	}
+	return time.Duration(int64(1) << len(h.buckets))
+}
+
+func (h *histogram) print(out io.Writer) {
+	const width = 50
+	var max int64
+	for _, n := range h.buckets {
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		bar := int(int64(width) * n / max)
+		fmt.Fprintf(out, "%10v %9d %s\n",
+			time.Duration(int64(1)<<i), n, stars(bar))
+	}
+}
+
+func stars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}

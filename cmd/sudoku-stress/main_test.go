@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSharded(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-engine", "sharded", "-goroutines", "4", "-duration", "100ms",
+		"-cachemb", "1", "-scrub", "5ms", "-storm", "20",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"engine=sharded", "p50=", "p99=", "scrub-passes="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunGlobal(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-engine", "global", "-goroutines", "2", "-duration", "50ms",
+		"-cachemb", "1", "-scrub", "5ms", "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "engine=global shards=1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-engine", "compare", "-goroutines", "2", "-duration", "50ms",
+		"-cachemb", "1", "-storm", "0", "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sharded/global throughput:") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-engine", "nope"},
+		{"-goroutines", "0"},
+		{"-duration", "0s"},
+		{"-readfrac", "1.5"},
+		{"-storm", "-1"},
+		{"-scrub", "0s"},
+		{"-shards", "5"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sudoku/internal/bitvec"
@@ -101,7 +102,7 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats counts cache activity.
+// Stats is a snapshot of the cache activity counters.
 type Stats struct {
 	Reads, Writes     int64
 	Hits, Misses      int64
@@ -115,6 +116,65 @@ type Stats struct {
 	UncorrectableDUEs int64
 	ScrubPasses       int64
 	FaultsInjected    int64
+}
+
+// Add accumulates another snapshot into s — the sharded engine folds
+// per-shard snapshots through this.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+	s.PLTWrites += o.PLTWrites
+	s.SingleRepairs += o.SingleRepairs
+	s.SDRRepairs += o.SDRRepairs
+	s.RAIDRepairs += o.RAIDRepairs
+	s.Hash2Repairs += o.Hash2Repairs
+	s.UncorrectableDUEs += o.UncorrectableDUEs
+	s.ScrubPasses += o.ScrubPasses
+	s.FaultsInjected += o.FaultsInjected
+}
+
+// counters is the live, lock-free form of Stats. Increment sites run
+// under the engine mutex anyway, but keeping the counters atomic lets
+// Stats() snapshot them without taking that lock — a monitoring read
+// never stalls behind a group repair in progress.
+type counters struct {
+	reads, writes     atomic.Int64
+	hits, misses      atomic.Int64
+	evictions         atomic.Int64
+	writeBacks        atomic.Int64
+	pltWrites         atomic.Int64
+	singleRepairs     atomic.Int64
+	sdrRepairs        atomic.Int64
+	raidRepairs       atomic.Int64
+	hash2Repairs      atomic.Int64
+	uncorrectableDUEs atomic.Int64
+	scrubPasses       atomic.Int64
+	faultsInjected    atomic.Int64
+}
+
+// snapshot loads every counter. Loads are individually atomic, not a
+// consistent cut; monitoring tolerates a counter landing one op early.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:             c.reads.Load(),
+		Writes:            c.writes.Load(),
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		WriteBacks:        c.writeBacks.Load(),
+		PLTWrites:         c.pltWrites.Load(),
+		SingleRepairs:     c.singleRepairs.Load(),
+		SDRRepairs:        c.sdrRepairs.Load(),
+		RAIDRepairs:       c.raidRepairs.Load(),
+		Hash2Repairs:      c.hash2Repairs.Load(),
+		UncorrectableDUEs: c.uncorrectableDUEs.Load(),
+		ScrubPasses:       c.scrubPasses.Load(),
+		FaultsInjected:    c.faultsInjected.Load(),
+	}
 }
 
 type way struct {
@@ -143,7 +203,7 @@ type STTRAM struct {
 	stuck    map[int]map[int]bool // phys -> bit -> forced value (§VI permanent faults)
 	bankFree []float64            // per-bank next-free time, float64 ns
 	useClock uint64
-	stats    Stats
+	stats    counters
 }
 
 var _ core.CacheView = (*cacheView)(nil)
@@ -219,11 +279,11 @@ func New(cfg Config, mem Memory) (*STTRAM, error) {
 // Config returns the cache configuration.
 func (c *STTRAM) Config() Config { return c.cfg }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. It is lock-free: the
+// counters are atomics, so a snapshot never waits behind an access or a
+// repair holding the engine mutex.
 func (c *STTRAM) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return c.stats.snapshot()
 }
 
 // lineVec returns the stored codeword of a physical line,
@@ -317,13 +377,13 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 	tag := c.tagOf(addr)
 	c.useClock++
 	if write {
-		c.stats.Writes++
+		c.stats.writes.Add(1)
 	} else {
-		c.stats.Reads++
+		c.stats.reads.Add(1)
 	}
 	w := c.lookup(set, tag)
 	if w >= 0 {
-		c.stats.Hits++
+		c.stats.hits.Add(1)
 		c.sets[set][w].lastUse = c.useClock
 		if write {
 			c.sets[set][w].dirty = true
@@ -331,26 +391,26 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 			// the SRAM PLT is banked like the cache and never
 			// bottlenecks (§VII-I), so only the STTRAM op is timed.
 			if c.cfg.Protection != 0 {
-				c.stats.PLTWrites += 2
+				c.stats.pltWrites.Add(2)
 			}
 			return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs(), true
 		}
 		return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency)) + c.crcCheckNs(), true
 	}
 	// Miss: fetch from memory, fill, possibly write back the victim.
-	c.stats.Misses++
+	c.stats.misses.Add(1)
 	v := c.victim(set)
 	if c.sets[set][v].valid {
-		c.stats.Evictions++
+		c.stats.evictions.Add(1)
 		if c.sets[set][v].dirty {
-			c.stats.WriteBacks++
+			c.stats.writeBacks.Add(1)
 			_ = c.mem.Access(dur(nowNs), c.sets[set][v].tag*uint64(len(c.sets))*uint64(c.cfg.LineBytes), true)
 		}
 	}
 	memLat := ns(c.mem.Access(dur(nowNs), c.lineAddr(addr), false))
 	c.sets[set][v] = way{tag: tag, valid: true, dirty: write, lastUse: c.useClock}
 	if c.cfg.Protection != 0 {
-		c.stats.PLTWrites += 2 // fill updates both parity tables
+		c.stats.pltWrites.Add(2) // fill updates both parity tables
 	}
 	fill := c.bankServe(nowNs+memLat, set, ns(c.cfg.WriteLatency))
 	return memLat + fill + c.crcCheckNs(), false

@@ -586,3 +586,63 @@ func TestECC2CacheRepairsThreeFaultPairs(t *testing.T) {
 		t.Fatalf("ECC-1 Y should fail the (3,3) pair: %+v", rep1)
 	}
 }
+
+// TestStatsSnapshotLockFree exercises the atomic counter snapshot from
+// concurrent monitors while the engine lock is held by real traffic —
+// the snapshot must never block on (or race with) the access path.
+func TestStatsSnapshotLockFree(t *testing.T) {
+	c, _ := mustCache(t, testConfig(core.ProtectionZ))
+	data := bytes.Repeat([]byte{0xAB}, 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Stats()
+				}
+			}
+		}()
+	}
+	var now time.Duration
+	for i := 0; i < 2000; i++ {
+		addr := uint64(i%256) * 64
+		if i%3 == 0 {
+			lat, err := c.Write(now, addr, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now += lat
+		} else {
+			_, lat, err := c.Read(now, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now += lat
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := c.Stats()
+	if st.Reads+st.Writes != 2000 {
+		t.Fatalf("reads+writes = %d, want 2000", st.Reads+st.Writes)
+	}
+}
+
+// TestStatsAdd checks the snapshot folding used by the sharded engine.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, Hits: 3, Misses: 4, Evictions: 5,
+		WriteBacks: 6, PLTWrites: 7, SingleRepairs: 8, SDRRepairs: 9,
+		RAIDRepairs: 10, Hash2Repairs: 11, UncorrectableDUEs: 12,
+		ScrubPasses: 13, FaultsInjected: 14}
+	sum := a
+	sum.Add(a)
+	if sum.Reads != 2 || sum.FaultsInjected != 28 || sum.ScrubPasses != 26 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}

@@ -41,16 +41,16 @@ func (c *STTRAM) Read(now time.Duration, addr uint64) ([]byte, time.Duration, er
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.useClock++
-	c.stats.Reads++
+	c.stats.reads.Add(1)
 
 	w := c.lookup(set, tag)
 	var lat time.Duration
 	if w >= 0 {
-		c.stats.Hits++
+		c.stats.hits.Add(1)
 		c.sets[set][w].lastUse = c.useClock
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency)) + c.crcCheckNs())
 	} else {
-		c.stats.Misses++
+		c.stats.misses.Add(1)
 		var memLat time.Duration
 		w, memLat = c.fill(now, set, addr, false)
 		lat = memLat
@@ -77,16 +77,16 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.useClock++
-	c.stats.Writes++
+	c.stats.writes.Add(1)
 
 	w := c.lookup(set, tag)
 	var lat time.Duration
 	if w >= 0 {
-		c.stats.Hits++
+		c.stats.hits.Add(1)
 		c.sets[set][w].lastUse = c.useClock
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs())
 	} else {
-		c.stats.Misses++
+		c.stats.misses.Add(1)
 		var memLat time.Duration
 		w, memLat = c.fill(now, set, addr, true)
 		lat = memLat
@@ -106,11 +106,11 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 	v := c.victim(set)
 	entry := &c.sets[set][v]
 	if entry.valid {
-		c.stats.Evictions++
+		c.stats.evictions.Add(1)
 		phys := c.physIndex(set, v)
 		victimAddr := (entry.tag*uint64(len(c.sets)) + uint64(set)) * uint64(c.cfg.LineBytes)
 		if entry.dirty {
-			c.stats.WriteBacks++
+			c.stats.writeBacks.Add(1)
 			_ = c.mem.Access(now, victimAddr, true)
 			if data, err := c.readLine(phys); err == nil {
 				c.backing[victimAddr] = data
@@ -227,7 +227,7 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 	if err := c.plt2.Update(c.params.Hash2Of(phys), delta); err != nil {
 		return err
 	}
-	c.stats.PLTWrites += 2
+	c.stats.pltWrites.Add(2)
 	return c.reapplyStuck(phys)
 }
 
@@ -247,17 +247,17 @@ func (c *STTRAM) repairLine(phys int) error {
 	case core.StatusClean:
 		return nil
 	case core.StatusCorrected:
-		c.stats.SingleRepairs++
+		c.stats.singleRepairs.Add(1)
 		return nil
 	}
 	report, err := c.zeng.RepairHash1Group(&cacheView{c}, c.params.Hash1Of(phys))
 	if err != nil {
 		return err
 	}
-	c.stats.SingleRepairs += int64(report.Hash1.SinglesCorrected)
-	c.stats.SDRRepairs += int64(report.Hash1.SDRRepairs)
-	c.stats.RAIDRepairs += int64(report.Hash1.RAIDRepairs)
-	c.stats.Hash2Repairs += int64(report.Hash2Repairs)
+	c.stats.singleRepairs.Add(int64(report.Hash1.SinglesCorrected))
+	c.stats.sdrRepairs.Add(int64(report.Hash1.SDRRepairs))
+	c.stats.raidRepairs.Add(int64(report.Hash1.RAIDRepairs))
+	c.stats.hash2Repairs.Add(int64(report.Hash2Repairs))
 	// Other lines touched by the group repair regain their permanent
 	// faults immediately; the target line's are reapplied by the
 	// caller after its data buffer is extracted.
@@ -271,7 +271,7 @@ func (c *STTRAM) repairLine(phys int) error {
 	}
 	for _, addr := range report.Unrepaired {
 		if addr == phys {
-			c.stats.UncorrectableDUEs++
+			c.stats.uncorrectableDUEs.Add(1)
 			return fmt.Errorf("%w: line %d", ErrUncorrectable, phys)
 		}
 	}
@@ -340,7 +340,7 @@ func (c *STTRAM) InjectStuckAt(addr uint64, bit int, value bool) error {
 		c.stuck[phys] = make(map[int]bool)
 	}
 	c.stuck[phys][bit] = value
-	c.stats.FaultsInjected++
+	c.stats.faultsInjected.Add(1)
 	return stored.SetTo(bit, value)
 }
 
@@ -396,7 +396,7 @@ func (c *STTRAM) InjectFault(addr uint64, bit int) error {
 	if err := stored.Flip(bit); err != nil {
 		return err
 	}
-	c.stats.FaultsInjected++
+	c.stats.faultsInjected.Add(1)
 	return nil
 }
 
@@ -419,7 +419,7 @@ func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
 			return err
 		}
 	}
-	c.stats.FaultsInjected += int64(n)
+	c.stats.faultsInjected.Add(int64(n))
 	return nil
 }
 
@@ -479,12 +479,12 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			rep.DUELines = append(rep.DUELines, phys)
 		}
 	}
-	c.stats.UncorrectableDUEs += int64(len(rep.DUELines))
-	c.stats.SingleRepairs += int64(rep.SingleRepairs)
-	c.stats.SDRRepairs += int64(rep.SDRRepairs)
-	c.stats.RAIDRepairs += int64(rep.RAIDRepairs)
-	c.stats.Hash2Repairs += int64(rep.Hash2Repairs)
-	c.stats.ScrubPasses++
+	c.stats.uncorrectableDUEs.Add(int64(len(rep.DUELines)))
+	c.stats.singleRepairs.Add(int64(rep.SingleRepairs))
+	c.stats.sdrRepairs.Add(int64(rep.SDRRepairs))
+	c.stats.raidRepairs.Add(int64(rep.RAIDRepairs))
+	c.stats.hash2Repairs.Add(int64(rep.Hash2Repairs))
+	c.stats.scrubPasses.Add(1)
 	// Permanent faults reassert themselves the moment the scrub
 	// write-back completes.
 	for phys := range c.stuck {

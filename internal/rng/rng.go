@@ -41,6 +41,15 @@ func New(seed uint64) *Source {
 // Split derives an independent child stream. The child is seeded from
 // the parent's output, so distinct calls yield distinct streams and the
 // parent advances (subsequent Splits differ).
+//
+// Determinism contract: the k-th child of a parent is a pure function
+// of (parent seed, k). Consumers that derive one child per worker in a
+// fixed order — the sharded cache engine derives one per shard at
+// construction, ascending — therefore reproduce their aggregate random
+// behaviour bit-for-bit across runs for a fixed worker count, no
+// matter how the workers are later scheduled, because each worker only
+// consumes its own stream. Changing the worker/shard count reassigns
+// streams and legitimately changes the pattern.
 func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xa5a5a5a55a5a5a5a)
 }

@@ -66,6 +66,23 @@ type Stats struct {
 	Errors        int
 }
 
+// Observe folds one completed pass into the aggregate. Both the
+// stop-the-world Scrubber and the sharded incremental daemon account
+// passes through this, so their stats stay comparable. Errors count as
+// failed passes; a failed pass contributes no repair counters.
+func (st *Stats) Observe(p Pass) {
+	st.Passes++
+	if p.Err != nil {
+		st.Errors++
+		return
+	}
+	st.SingleRepairs += p.Report.SingleRepairs
+	st.SDRRepairs += p.Report.SDRRepairs
+	st.RAIDRepairs += p.Report.RAIDRepairs
+	st.Hash2Repairs += p.Report.Hash2Repairs
+	st.DUELines += len(p.Report.DUELines)
+}
+
 // ErrAlreadyRunning is returned by Start on a running scrubber.
 var ErrAlreadyRunning = errors.New("scrubber: already running")
 
@@ -83,6 +100,7 @@ type Scrubber struct {
 	doneCh   chan struct{}
 	stats    Stats
 	running  bool
+	stopping bool
 	interval time.Duration
 }
 
@@ -116,10 +134,11 @@ func (s *Scrubber) Start() error {
 // exit.
 func (s *Scrubber) Stop() error {
 	s.mu.Lock()
-	if !s.running {
+	if !s.running || s.stopping {
 		s.mu.Unlock()
 		return ErrNotRunning
 	}
+	s.stopping = true // claim the shutdown: concurrent Stops bail out
 	stop, done := s.stopCh, s.doneCh
 	s.mu.Unlock()
 
@@ -128,6 +147,7 @@ func (s *Scrubber) Stop() error {
 
 	s.mu.Lock()
 	s.running = false
+	s.stopping = false
 	s.mu.Unlock()
 	return nil
 }
@@ -218,17 +238,8 @@ func (s *Scrubber) doPass() Pass {
 	pass.Took = time.Since(start)
 
 	s.mu.Lock()
-	s.stats.Passes++
+	s.stats.Observe(pass)
 	pass.Seq = s.stats.Passes
-	if pass.Err != nil {
-		s.stats.Errors++
-	} else {
-		s.stats.SingleRepairs += pass.Report.SingleRepairs
-		s.stats.SDRRepairs += pass.Report.SDRRepairs
-		s.stats.RAIDRepairs += pass.Report.RAIDRepairs
-		s.stats.Hash2Repairs += pass.Report.Hash2Repairs
-		s.stats.DUELines += len(pass.Report.DUELines)
-	}
 	s.mu.Unlock()
 	return pass
 }

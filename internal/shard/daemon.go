@@ -1,0 +1,289 @@
+// The scrub daemon: the background goroutine that turns the paper's
+// stop-the-world 20 ms scrub (§II-D) into an incremental, per-shard
+// walk. Each rotation visits every shard once, pacing the passes so a
+// full rotation spans one scrub interval; each pass holds exactly one
+// shard, so foreground traffic is never globally stalled. The adaptive
+// interval ladder (scrubber.Policy, §VIII-E) runs on whole rotations,
+// and backpressure — repair work outrunning a shard's slice of the
+// interval — is absorbed by skipping the pacing sleep and counted.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sudoku/internal/cache"
+	"sudoku/internal/scrubber"
+)
+
+// ErrAlreadyRunning is returned by Start on a running daemon.
+var ErrAlreadyRunning = errors.New("shard: scrub daemon already running")
+
+// ErrNotRunning is returned by Stop and Drain on a stopped daemon.
+var ErrNotRunning = errors.New("shard: scrub daemon not running")
+
+// ErrStopped is returned by Drain when the daemon stops before the
+// drain target rotation completes.
+var ErrStopped = errors.New("shard: scrub daemon stopped during drain")
+
+// DaemonConfig parameterizes the incremental scrub loop.
+type DaemonConfig struct {
+	// Interval is the target full-rotation period — the time budget
+	// for scrubbing every shard once (the paper's 20 ms, usually
+	// stretched in wall-clock terms).
+	Interval time.Duration
+	// Policy, when non-nil, adapts the rotation interval after every
+	// completed rotation, fed the rotation's merged report — the same
+	// ladder the stop-the-world scrubber uses.
+	Policy scrubber.Policy
+	// StormPerPass, when positive, injects that many uniform bit flips
+	// into a shard (from the shard's private RNG stream) immediately
+	// before its pass — an interval's worth of thermal noise for demos
+	// and soak tests, scaled to one shard.
+	StormPerPass int
+	// OnPass, when non-nil, receives every per-shard pass. It runs on
+	// the daemon goroutine; keep it fast.
+	OnPass func(Pass)
+}
+
+// Pass describes one completed per-shard scrub pass.
+type Pass struct {
+	// Rotation is the 1-based full-rotation number the pass belongs to.
+	Rotation int
+	// Shard is the shard index scrubbed.
+	Shard int
+	// Report is the shard's repair summary (DUE lines in whole-cache
+	// slot numbering).
+	Report cache.ScrubReport
+	// Took is the wall-clock duration of the pass (storm + scrub).
+	Took time.Duration
+	// Err carries a pass-level failure; the loop keeps running.
+	Err error
+}
+
+// DaemonStats aggregates daemon activity.
+type DaemonStats struct {
+	// Rotations counts completed full rotations over all shards.
+	Rotations int
+	// ShardPasses counts completed per-shard passes.
+	ShardPasses int
+	// Backpressure counts passes whose repair work outran the shard's
+	// slice of the interval, forcing the next pass to start
+	// immediately instead of pacing.
+	Backpressure int
+	// Interval is the current rotation interval (after Policy).
+	Interval time.Duration
+	// Scrub aggregates the repair work, per-shard passes counted as
+	// scrubber passes.
+	Scrub scrubber.Stats
+}
+
+// ScrubDaemon drives the incremental scrub loop over an Engine. All
+// methods are safe for concurrent use.
+type ScrubDaemon struct {
+	eng *Engine
+	cfg DaemonConfig
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	running   bool
+	stopping  bool // a Stop has claimed the shutdown
+	active    bool // a rotation is in flight
+	completed int  // completed rotations
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	stats     DaemonStats
+}
+
+// NewScrubDaemon builds a daemon over the engine.
+func NewScrubDaemon(eng *Engine, cfg DaemonConfig) (*ScrubDaemon, error) {
+	if eng == nil {
+		return nil, errors.New("shard: nil engine")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("shard: daemon interval %v", cfg.Interval)
+	}
+	if cfg.StormPerPass < 0 {
+		return nil, fmt.Errorf("shard: StormPerPass %d", cfg.StormPerPass)
+	}
+	d := &ScrubDaemon{eng: eng, cfg: cfg}
+	d.cond = sync.NewCond(&d.mu)
+	d.stats.Interval = cfg.Interval
+	return d, nil
+}
+
+// Start launches the background loop.
+func (d *ScrubDaemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return ErrAlreadyRunning
+	}
+	d.stopCh = make(chan struct{})
+	d.doneCh = make(chan struct{})
+	d.running = true
+	go d.loop(d.stopCh, d.doneCh)
+	return nil
+}
+
+// Stop signals the loop to finish its current per-shard pass and waits
+// for it to exit. A partially completed rotation is abandoned.
+func (d *ScrubDaemon) Stop() error {
+	d.mu.Lock()
+	if !d.running || d.stopping {
+		d.mu.Unlock()
+		return ErrNotRunning
+	}
+	d.stopping = true // claim the shutdown: concurrent Stops bail out
+	stop, done := d.stopCh, d.doneCh
+	d.mu.Unlock()
+
+	close(stop)
+	<-done
+
+	d.mu.Lock()
+	d.running = false
+	d.stopping = false
+	d.active = false
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return nil
+}
+
+// Drain blocks until a full rotation that started at or after the call
+// has completed — every shard has been scrubbed once with all faults
+// present at the call visible to its pass. It returns ErrStopped if
+// the daemon stops first.
+func (d *ScrubDaemon) Drain() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.running {
+		return ErrNotRunning
+	}
+	target := d.completed + 1
+	if d.active {
+		// Mid-rotation: shards already visited this rotation were
+		// scrubbed before the call; only the next rotation is fully
+		// after it.
+		target++
+	}
+	for d.running && d.completed < target {
+		d.cond.Wait()
+	}
+	if d.completed < target {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Running reports whether the loop is active.
+func (d *ScrubDaemon) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (d *ScrubDaemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// loop is the daemon goroutine body.
+func (d *ScrubDaemon) loop(stop, done chan struct{}) {
+	defer close(done)
+	interval := d.cfg.Interval
+	shards := d.eng.Shards()
+	for rotation := 1; ; rotation++ {
+		d.mu.Lock()
+		d.active = true
+		d.mu.Unlock()
+		rotStart := time.Now()
+		var agg cache.ScrubReport
+		var firstErr error
+		slot := interval / time.Duration(shards)
+		for i := 0; i < shards; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pass := d.pass(rotation, i)
+			MergeReport(&agg, pass.Report)
+			if pass.Err != nil && firstErr == nil {
+				firstErr = pass.Err
+			}
+			if d.cfg.OnPass != nil {
+				d.cfg.OnPass(pass)
+			}
+			// Pace: every shard gets an equal slice of the rotation
+			// interval. A pass that outran its slice has a repair
+			// backlog — start the next one immediately (backpressure)
+			// rather than letting faults accumulate further.
+			if pass.Took < slot {
+				timer := time.NewTimer(slot - pass.Took)
+				select {
+				case <-stop:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+			} else {
+				d.mu.Lock()
+				d.stats.Backpressure++
+				d.mu.Unlock()
+			}
+		}
+		if d.cfg.Policy != nil {
+			next := d.cfg.Policy.NextInterval(scrubber.Pass{
+				Seq:    rotation,
+				Report: agg,
+				Took:   time.Since(rotStart),
+				Err:    firstErr,
+			}, interval)
+			if next > 0 {
+				interval = next
+			}
+		}
+		d.mu.Lock()
+		d.active = false
+		d.completed = rotation
+		d.stats.Rotations = rotation
+		d.stats.Interval = interval
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// pass runs one per-shard storm+scrub pass and accounts it.
+func (d *ScrubDaemon) pass(rotation, shard int) Pass {
+	start := time.Now()
+	p := Pass{Rotation: rotation, Shard: shard}
+	if d.cfg.StormPerPass > 0 {
+		if err := d.eng.StormShard(shard, d.cfg.StormPerPass); err != nil {
+			p.Err = fmt.Errorf("storm: %w", err)
+		}
+	}
+	if p.Err == nil {
+		rep, err := d.eng.ScrubShard(shard)
+		p.Report = rep
+		if err != nil {
+			p.Err = fmt.Errorf("scrub: %w", err)
+		}
+	}
+	p.Took = time.Since(start)
+
+	d.mu.Lock()
+	d.stats.ShardPasses++
+	d.stats.Scrub.Observe(scrubber.Pass{
+		Seq:    d.stats.ShardPasses,
+		Report: p.Report,
+		Took:   p.Took,
+		Err:    p.Err,
+	})
+	d.mu.Unlock()
+	return p
+}

@@ -1,0 +1,368 @@
+// Package shard implements the bank-sharded concurrent front end over
+// the functional cache substrate: the whole-cache line space is
+// interleaved across N independently locked shards, each backed by its
+// own cache.STTRAM (sets, parity tables, bank timing, repair engine)
+// plus a private rng.Source child stream, so reads, writes, fault
+// injection, repairs, and scrub passes on different shards never
+// contend on a shared mutex.
+//
+// # Sharding map
+//
+// A 64-byte line with index L (= addr/64) lives in shard L mod N, at
+// sub-line index L div N — the same low-order interleaving the 32-bank
+// STTRAM device uses (§VII-I), so consecutive lines stripe across
+// shards exactly as they stripe across banks. The shard count must be
+// a power of two that divides the line count.
+//
+// # Parity domain
+//
+// The RAID-4 / skewed-hash parity domain is nested per shard: each
+// shard owns its own PLT pair over its own line space, with the group
+// size scaled down (SubConfig) so the SuDoku-Z disjointness invariant
+// NumLines ≥ GroupSize² holds within every shard. Smaller groups are
+// strictly stronger (fewer lines share a parity line) at the cost of
+// proportionally more PLT SRAM; DESIGN.md quantifies the trade.
+//
+// # Locking protocol
+//
+// The protocol has two levels:
+//
+//  1. Every parity group is contained in exactly one shard (by the
+//     nesting above), so RAID-4 group repairs and SDR — the long
+//     critical sections — acquire only the one sub-cache mutex their
+//     parity group spans. Traffic on the other N−1 shards proceeds.
+//  2. Operations that span shards (full Scrub, InjectRandomFaults,
+//     Stats, StuckCells) visit shards in ascending index order and
+//     hold at most one shard at a time. Region-level state (the
+//     per-shard RNG and scrub scheduling) is guarded by a per-shard
+//     region mutex, acquired — when an operation ever needs several —
+//     in ascending shard order. The single total order makes deadlock
+//     impossible.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudoku/internal/cache"
+	"sudoku/internal/rng"
+)
+
+// Config describes the sharded engine. Cache carries the whole-cache
+// geometry (Cache.Lines is the total line count across all shards).
+type Config struct {
+	// Cache is the aggregate cache organization. Lines, Banks, and the
+	// parity geometry are partitioned across shards by SubConfig.
+	Cache cache.Config
+	// Shards is the shard count (a power of two dividing Cache.Lines).
+	// Zero selects the largest feasible count up to Cache.Banks.
+	Shards int
+	// Seed seeds the master RNG from which every shard derives its
+	// private child stream (rng.Source.Split) at construction, in
+	// shard order — bit-for-bit reproducible for a fixed shard count.
+	Seed uint64
+	// NewMemory builds the next-level memory below one shard. Each
+	// shard gets its own instance so memory timing state is guarded by
+	// that shard's lock.
+	NewMemory func() (cache.Memory, error)
+}
+
+// SubConfig derives the per-shard cache geometry from the aggregate
+// one: Lines and Banks divided by the shard count, and — when
+// protection is on — GroupSize clamped to the largest power of two g
+// with g² ≤ lines-per-shard, preserving the skewed-hash disjointness
+// invariant inside each shard.
+func SubConfig(whole cache.Config, shards int) (cache.Config, error) {
+	if shards <= 0 || bits.OnesCount(uint(shards)) != 1 {
+		return cache.Config{}, fmt.Errorf("shard: Shards %d must be a positive power of two", shards)
+	}
+	if whole.Lines <= 0 || whole.Lines%shards != 0 {
+		return cache.Config{}, fmt.Errorf("shard: Lines %d not divisible by %d shards", whole.Lines, shards)
+	}
+	sub := whole
+	sub.Lines = whole.Lines / shards
+	if sub.Lines < whole.Ways || sub.Lines%whole.Ways != 0 {
+		return cache.Config{}, fmt.Errorf("shard: %d lines per shard cannot hold %d ways", sub.Lines, whole.Ways)
+	}
+	if sub.Banks = whole.Banks / shards; sub.Banks < 1 {
+		sub.Banks = 1
+	}
+	if whole.Protection != 0 {
+		g := 1 << ((bits.Len(uint(sub.Lines)) - 1) / 2) // largest g with g² ≤ sub.Lines
+		if g < 2 {
+			return cache.Config{}, fmt.Errorf("shard: %d lines per shard too few for parity groups", sub.Lines)
+		}
+		if g < sub.GroupSize {
+			sub.GroupSize = g
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		return cache.Config{}, err
+	}
+	return sub, nil
+}
+
+// shardState is one shard: a self-contained protected sub-cache plus
+// the region-level state the engine manages around it.
+type shardState struct {
+	llc *cache.STTRAM
+	// clock is the shard's logical time base in nanoseconds, advanced
+	// atomically by each access's modeled latency. Under concurrency
+	// the bank-queue timing is per-shard approximate: two overlapped
+	// accesses may observe the same "now".
+	clock atomic.Int64
+
+	// mu is the region mutex: it guards the shard's private RNG and
+	// serializes scrub scheduling against fault storms. Multi-shard
+	// holders acquire region mutexes in ascending shard order.
+	mu  sync.Mutex
+	rng *rng.Source
+}
+
+// Engine is the sharded concurrent cache. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg    Config
+	sub    cache.Config
+	logS   uint
+	lineSz uint64
+	shards []*shardState
+}
+
+// New builds the engine. A zero Shards picks the largest power of two
+// ≤ Cache.Banks for which the per-shard geometry validates.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NewMemory == nil {
+		return nil, errors.New("shard: nil NewMemory")
+	}
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Shards == 0 {
+		for s := cfg.Cache.Banks; s >= 1; s >>= 1 {
+			if _, err := SubConfig(cfg.Cache, s); err == nil {
+				cfg.Shards = s
+				break
+			}
+		}
+		if cfg.Shards == 0 {
+			return nil, fmt.Errorf("shard: no feasible shard count for %d lines", cfg.Cache.Lines)
+		}
+	}
+	sub, err := SubConfig(cfg.Cache, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		sub:    sub,
+		logS:   uint(bits.TrailingZeros(uint(cfg.Shards))),
+		lineSz: uint64(cfg.Cache.LineBytes),
+		shards: make([]*shardState, cfg.Shards),
+	}
+	// Children are derived from the master stream in ascending shard
+	// order: the assignment of streams to shards is a pure function of
+	// (Seed, Shards).
+	master := rng.New(cfg.Seed)
+	for i := range e.shards {
+		mem, err := cfg.NewMemory()
+		if err != nil {
+			return nil, err
+		}
+		llc, err := cache.New(sub, mem)
+		if err != nil {
+			return nil, err
+		}
+		e.shards[i] = &shardState{llc: llc, rng: master.Split()}
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Config returns the aggregate configuration the engine was built
+// with (with Shards resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// SubConfig returns the resolved per-shard cache geometry.
+func (e *Engine) SubConfig() cache.Config { return e.sub }
+
+// locate maps a byte address to (shard, sub-cache address): the shard
+// index is the line index's low bits, and the sub address is the line
+// index with those bits removed.
+func (e *Engine) locate(addr uint64) (int, uint64) {
+	line := addr / e.lineSz
+	s := int(line & uint64(len(e.shards)-1))
+	sub := (line>>e.logS)*e.lineSz + addr%e.lineSz
+	return s, sub
+}
+
+// ShardFor returns the shard index serving addr.
+func (e *Engine) ShardFor(addr uint64) int {
+	s, _ := e.locate(addr)
+	return s
+}
+
+// advance moves a shard's logical clock by one access latency and
+// returns the access's start time.
+func (st *shardState) now() time.Duration { return time.Duration(st.clock.Load()) }
+
+func (st *shardState) advance(lat time.Duration) {
+	if lat > 0 {
+		st.clock.Add(int64(lat))
+	}
+}
+
+// Read returns the 64-byte line containing addr, repairing it on the
+// way as the protection level allows.
+func (e *Engine) Read(addr uint64) ([]byte, error) {
+	s, sub := e.locate(addr)
+	st := e.shards[s]
+	data, lat, err := st.llc.Read(st.now(), sub)
+	st.advance(lat)
+	return data, err
+}
+
+// Write stores a full 64-byte line at addr.
+func (e *Engine) Write(addr uint64, data []byte) error {
+	s, sub := e.locate(addr)
+	st := e.shards[s]
+	lat, err := st.llc.Write(st.now(), sub, data)
+	st.advance(lat)
+	return err
+}
+
+// InjectFault flips one stored bit of the resident line holding addr.
+func (e *Engine) InjectFault(addr uint64, bit int) error {
+	s, sub := e.locate(addr)
+	return e.shards[s].llc.InjectFault(sub, bit)
+}
+
+// InjectStuckAt pins one cell of the resident line holding addr to a
+// fixed value — a permanent fault (§VI).
+func (e *Engine) InjectStuckAt(addr uint64, bit int, value bool) error {
+	s, sub := e.locate(addr)
+	return e.shards[s].llc.InjectStuckAt(sub, bit, value)
+}
+
+// StuckCells returns the number of permanently faulty cells across all
+// shards.
+func (e *Engine) StuckCells() int {
+	n := 0
+	for _, st := range e.shards {
+		n += st.llc.StuckCells()
+	}
+	return n
+}
+
+// InjectRandomFaults scatters n uniform bit flips over the whole
+// cache. The per-shard split is a multinomial draw and the per-shard
+// positions come from child streams, both derived from seed in
+// ascending shard order — so the aggregate fault pattern is
+// reproducible bit-for-bit for a fixed shard count, while each shard's
+// injection takes only that shard's lock.
+func (e *Engine) InjectRandomFaults(seed uint64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("shard: negative fault count %d", n)
+	}
+	master := rng.New(seed)
+	remaining := n
+	counts := make([]int, len(e.shards))
+	for i := range counts {
+		if left := len(counts) - i; left > 1 {
+			counts[i] = master.Binomial(remaining, 1/float64(left))
+		} else {
+			counts[i] = remaining
+		}
+		remaining -= counts[i]
+	}
+	for i, st := range e.shards {
+		child := master.Split()
+		if counts[i] == 0 {
+			continue
+		}
+		if err := st.llc.InjectRandomFaults(child, counts[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StormShard injects n uniform bit flips into one shard using the
+// shard's private RNG stream — the scrub daemon's per-pass thermal
+// noise source. It holds the shard's region mutex only.
+func (e *Engine) StormShard(shard, n int) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	st := e.shards[shard]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.llc.InjectRandomFaults(st.rng, n)
+}
+
+// ScrubShard runs one scrub pass over a single shard — the incremental
+// unit the daemon schedules. Only that shard's sub-cache lock is held;
+// traffic on every other shard proceeds. DUE line indices in the
+// report are remapped to whole-cache physical slots.
+func (e *Engine) ScrubShard(shard int) (cache.ScrubReport, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return cache.ScrubReport{}, fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	rep, err := e.shards[shard].llc.Scrub()
+	for i, p := range rep.DUELines {
+		rep.DUELines[i] = e.globalSlot(shard, p)
+	}
+	return rep, err
+}
+
+// globalSlot maps a shard-local physical slot (set*ways+way) to the
+// slot index the equivalent unsharded cache would use: global set =
+// subSet*Shards + shard (the inverse of the interleaving).
+func (e *Engine) globalSlot(shard, subPhys int) int {
+	subSet := subPhys / e.sub.Ways
+	way := subPhys % e.sub.Ways
+	return (subSet*len(e.shards)+shard)*e.sub.Ways + way
+}
+
+// Scrub runs one full pass over every shard, ascending, holding one
+// shard at a time — a convenience for synchronous callers; the daemon
+// paces the same walk across the scrub interval instead.
+func (e *Engine) Scrub() (cache.ScrubReport, error) {
+	var agg cache.ScrubReport
+	for i := range e.shards {
+		rep, err := e.ScrubShard(i)
+		MergeReport(&agg, rep)
+		if err != nil {
+			return agg, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return agg, nil
+}
+
+// MergeReport folds one shard pass report into an aggregate.
+func MergeReport(agg *cache.ScrubReport, rep cache.ScrubReport) {
+	agg.LinesChecked += rep.LinesChecked
+	agg.SingleRepairs += rep.SingleRepairs
+	agg.SDRRepairs += rep.SDRRepairs
+	agg.RAIDRepairs += rep.RAIDRepairs
+	agg.Hash2Repairs += rep.Hash2Repairs
+	agg.DUELines = append(agg.DUELines, rep.DUELines...)
+}
+
+// Stats folds the per-shard snapshots into aggregate counters. Each
+// shard's snapshot is lock-free (atomic counters), so this never
+// stalls traffic.
+func (e *Engine) Stats() cache.Stats {
+	var total cache.Stats
+	for _, st := range e.shards {
+		s := st.llc.Stats()
+		total.Add(s)
+	}
+	return total
+}

@@ -23,6 +23,7 @@ package sudoku
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sudoku/internal/analytic"
@@ -31,6 +32,8 @@ import (
 	"sudoku/internal/dram"
 	"sudoku/internal/faultsim"
 	"sudoku/internal/rng"
+	"sudoku/internal/scrubber"
+	"sudoku/internal/shard"
 	"sudoku/internal/sttram"
 )
 
@@ -72,6 +75,14 @@ type Config struct {
 	// the paper's ECC-1; 2 for the §VII-G BCH enhancement (stronger at
 	// low Δ, 10 extra metadata bits per line).
 	ECCStrength int
+	// Shards is the concurrency shard count for NewConcurrent (a power
+	// of two dividing the line count; 0 picks the largest feasible
+	// count up to Banks). New ignores it.
+	Shards int
+	// Seed seeds the concurrent engine's per-shard RNG streams
+	// (NewConcurrent only). For a fixed (Seed, Shards) the engine's
+	// stochastic behaviour is reproducible bit-for-bit.
+	Seed uint64
 }
 
 // DefaultConfig returns the paper's 64 MB, 8-way, SuDoku-Z cache. Note
@@ -101,8 +112,25 @@ type Cache struct {
 // a fault pattern defeats the configured protection, which surfaces as
 // ErrUncorrectable).
 func New(cfg Config) (*Cache, error) {
+	ccfg, err := cfg.cacheConfig()
+	if err != nil {
+		return nil, err
+	}
+	mem, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	inner, err := cache.New(ccfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{inner: inner}, nil
+}
+
+// cacheConfig lowers the public Config onto the substrate geometry.
+func (cfg Config) cacheConfig() (cache.Config, error) {
 	if cfg.CacheMB <= 0 {
-		return nil, fmt.Errorf("sudoku: CacheMB %d", cfg.CacheMB)
+		return cache.Config{}, fmt.Errorf("sudoku: CacheMB %d", cfg.CacheMB)
 	}
 	ccfg := cache.DefaultConfig()
 	ccfg.Lines = cfg.CacheMB << 20 / 64
@@ -125,15 +153,7 @@ func New(cfg Config) (*Cache, error) {
 		ccfg.Banks = cfg.Banks
 	}
 	ccfg.ECCStrength = cfg.ECCStrength
-	mem, err := dram.New(dram.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	inner, err := cache.New(ccfg, mem)
-	if err != nil {
-		return nil, err
-	}
-	return &Cache{inner: inner}, nil
+	return ccfg, nil
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -188,6 +208,161 @@ func (c *Cache) Scrub() (ScrubReport, error) {
 // Stats returns the activity counters.
 func (c *Cache) Stats() Stats {
 	return c.inner.Stats()
+}
+
+// ScrubDaemonConfig parameterizes the concurrent engine's background
+// scrub daemon (interval, adaptive policy, per-pass fault storms).
+type ScrubDaemonConfig = shard.DaemonConfig
+
+// ScrubDaemonStats aggregates daemon activity (rotations, passes,
+// backpressure, repair totals).
+type ScrubDaemonStats = shard.DaemonStats
+
+// ScrubPass describes one per-shard scrub pass reported by the daemon.
+type ScrubPass = shard.Pass
+
+// ScrubPolicy adapts the scrub interval from pass outcomes.
+type ScrubPolicy = scrubber.Policy
+
+// NewAdaptiveScrubPolicy returns the multiplicative-shrink /
+// additive-grow interval ladder (§VIII-E): shrink fast under multi-bit
+// repair pressure, stretch slowly after quiet passes, clamped to
+// [min, max].
+func NewAdaptiveScrubPolicy(min, max time.Duration) (ScrubPolicy, error) {
+	return scrubber.NewAdaptivePolicy(min, max)
+}
+
+// Scrub-daemon lifecycle errors.
+var (
+	ErrScrubAlreadyRunning = shard.ErrAlreadyRunning
+	ErrScrubNotRunning     = shard.ErrNotRunning
+	ErrScrubStopped        = shard.ErrStopped
+)
+
+// Concurrent is the bank-sharded concurrent SuDoku cache: the line
+// space is interleaved across independently locked shards (one per
+// bank by default), each with its own repair engine and parity domain,
+// so reads, writes, fault injection, and scrubbing on different shards
+// never contend on a shared mutex. Stats snapshots are lock-free. All
+// methods are safe for concurrent use.
+type Concurrent struct {
+	eng *shard.Engine
+
+	mu     sync.Mutex
+	daemon *shard.ScrubDaemon
+}
+
+// NewConcurrent builds the sharded engine. cfg.Shards selects the
+// shard count (0 = one per bank when feasible); cfg.Seed fixes the
+// per-shard RNG streams.
+func NewConcurrent(cfg Config) (*Concurrent, error) {
+	ccfg, err := cfg.cacheConfig()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := shard.New(shard.Config{
+		Cache:  ccfg,
+		Shards: cfg.Shards,
+		Seed:   cfg.Seed,
+		NewMemory: func() (cache.Memory, error) {
+			return dram.New(dram.DefaultConfig())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{eng: eng}, nil
+}
+
+// Shards returns the resolved shard count.
+func (c *Concurrent) Shards() int { return c.eng.Shards() }
+
+// Read returns the 64-byte line containing addr, repairing it on the
+// way as the protection level allows.
+func (c *Concurrent) Read(addr uint64) ([]byte, error) { return c.eng.Read(addr) }
+
+// Write stores a 64-byte line at addr.
+func (c *Concurrent) Write(addr uint64, data []byte) error { return c.eng.Write(addr, data) }
+
+// InjectFault flips one stored bit of the resident line holding addr.
+func (c *Concurrent) InjectFault(addr uint64, bit int) error { return c.eng.InjectFault(addr, bit) }
+
+// InjectStuckAt pins one cell of the resident line holding addr to a
+// fixed value — a permanent fault (§VI).
+func (c *Concurrent) InjectStuckAt(addr uint64, bit int, value bool) error {
+	return c.eng.InjectStuckAt(addr, bit, value)
+}
+
+// StuckCells returns the number of permanently faulty cells injected.
+func (c *Concurrent) StuckCells() int { return c.eng.StuckCells() }
+
+// InjectRandomFaults scatters n uniform bit flips over the cache. The
+// pattern is reproducible for a fixed (seed, shard count); each
+// shard's injection takes only that shard's lock.
+func (c *Concurrent) InjectRandomFaults(seed uint64, n int) error {
+	return c.eng.InjectRandomFaults(seed, n)
+}
+
+// Scrub runs one synchronous full pass, shard by shard — one shard
+// locked at a time, never the whole cache.
+func (c *Concurrent) Scrub() (ScrubReport, error) { return c.eng.Scrub() }
+
+// Stats folds the per-shard counters into an aggregate snapshot
+// without taking any engine lock.
+func (c *Concurrent) Stats() Stats { return c.eng.Stats() }
+
+// StartScrub launches the background scrub daemon: incremental
+// per-shard passes paced across the interval, with graceful
+// Stop/Drain, optional adaptive policy, and backpressure when repair
+// work outruns the interval.
+func (c *Concurrent) StartScrub(cfg ScrubDaemonConfig) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.daemon != nil && c.daemon.Running() {
+		return ErrScrubAlreadyRunning
+	}
+	d, err := shard.NewScrubDaemon(c.eng, cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.Start(); err != nil {
+		return err
+	}
+	c.daemon = d
+	return nil
+}
+
+// StopScrub stops the daemon after its current per-shard pass.
+func (c *Concurrent) StopScrub() error {
+	if d := c.scrubDaemon(); d != nil {
+		return d.Stop()
+	}
+	return ErrScrubNotRunning
+}
+
+// DrainScrub blocks until a full rotation started at or after the call
+// completes — every fault present at the call has been seen by a
+// scrub pass.
+func (c *Concurrent) DrainScrub() error {
+	if d := c.scrubDaemon(); d != nil {
+		return d.Drain()
+	}
+	return ErrScrubNotRunning
+}
+
+// ScrubStats returns the daemon's aggregate counters (zero value if
+// the daemon never started).
+func (c *Concurrent) ScrubStats() ScrubDaemonStats {
+	if d := c.scrubDaemon(); d != nil {
+		return d.Stats()
+	}
+	return ScrubDaemonStats{}
+}
+
+func (c *Concurrent) scrubDaemon() *shard.ScrubDaemon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.daemon
 }
 
 // ReliabilityConfig parameterizes the closed-form evaluation.

@@ -3,6 +3,7 @@ package sudoku
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -261,5 +262,163 @@ func TestAnalyzeSRAMVminFacade(t *testing.T) {
 	}
 	if _, err := AnalyzeSRAMVmin(64, 0); err == nil {
 		t.Fatal("zero BER accepted")
+	}
+}
+
+// TestConcurrentFacade drives the sharded engine through the public
+// API: shard resolution, read/write routing, repairs, lock-free stats,
+// and the scrub daemon lifecycle end to end.
+func TestConcurrentFacade(t *testing.T) {
+	cfg := smallConfig(SuDokuZ)
+	cfg.Seed = 1
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 32 {
+		t.Fatalf("shards = %d, want one per bank", c.Shards())
+	}
+	data := bytes.Repeat([]byte{0xC3}, 64)
+	for i := uint64(0); i < 256; i++ {
+		if err := c.Write(i*64, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.InjectFault(5*64, 11); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(5 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("repair-on-read failed through the facade")
+	}
+	if err := c.InjectStuckAt(6*64, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.StuckCells() != 1 {
+		t.Fatalf("StuckCells = %d", c.StuckCells())
+	}
+	if err := c.InjectRandomFaults(9, 50); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := c.Scrub(); err != nil || rep.LinesChecked == 0 {
+		t.Fatalf("scrub: %+v, %v", rep, err)
+	}
+	st := c.Stats()
+	if st.Writes != 256 || st.FaultsInjected != 52 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Daemon lifecycle through the facade.
+	if err := c.StopScrub(); !errors.Is(err, ErrScrubNotRunning) {
+		t.Fatalf("StopScrub before start: %v", err)
+	}
+	pol, err := NewAdaptiveScrubPolicy(time.Millisecond, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartScrub(ScrubDaemonConfig{Interval: 4 * time.Millisecond, Policy: pol, StormPerPass: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartScrub(ScrubDaemonConfig{Interval: time.Millisecond}); !errors.Is(err, ErrScrubAlreadyRunning) {
+		t.Fatalf("double StartScrub: %v", err)
+	}
+	if err := c.DrainScrub(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.ScrubStats(); st.Rotations == 0 || st.ShardPasses < c.Shards() {
+		t.Fatalf("daemon stats: %+v", st)
+	}
+	if err := c.StopScrub(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with a fresh config works.
+	if err := c.StartScrub(ScrubDaemonConfig{Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopScrub(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentConfigValidation exercises shard-count validation
+// through the facade.
+func TestConcurrentConfigValidation(t *testing.T) {
+	if _, err := NewConcurrent(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 5
+	if _, err := NewConcurrent(cfg); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+}
+
+// TestSimulateReproducible pins the Monte Carlo determinism contract:
+// identical SimConfig (seed included) gives bit-for-bit identical
+// results, the property the per-shard Split streams preserve for the
+// concurrent engine at a fixed shard count.
+func TestSimulateReproducible(t *testing.T) {
+	run := func() SimResult {
+		res, err := Simulate(SimConfig{
+			Protection: SuDokuZ,
+			CacheMB:    1,
+			GroupSize:  64,
+			BER:        2e-5,
+			Intervals:  30,
+			Seed:       1234,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Simulate not reproducible:\n%+v\n%+v", a, b)
+	}
+	if a.FaultsInjected == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+}
+
+// TestConcurrentDeterministicFaults: the public concurrent engine
+// reproduces its aggregate fault/repair outcome for a fixed
+// (Seed, Shards), and routing matches the global engine's data path.
+func TestConcurrentDeterministicFaults(t *testing.T) {
+	build := func() *Concurrent {
+		cfg := smallConfig(SuDokuZ)
+		cfg.Seed = 77
+		cfg.Shards = 16
+		c, err := NewConcurrent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 512; i++ {
+			if err := c.Write(i*64, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.InjectRandomFaults(31, 80); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	ra, err := a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("concurrent scrub not reproducible:\n%+v\n%+v", ra, rb)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge:\n%+v\n%+v", a.Stats(), b.Stats())
 	}
 }
