@@ -1,0 +1,130 @@
+// Hot-path microbenchmarks: the per-line codec (CRC-31, Hamming
+// syndrome) and the resident read/write/scrub paths they dominate.
+// BENCH_hotpath.json records the before/after trajectory of these
+// numbers; the CI bench smoke step keeps them compiling.
+package sudoku
+
+import (
+	"testing"
+
+	"sudoku/internal/bitvec"
+	"sudoku/internal/cache"
+	"sudoku/internal/ecc/crc"
+	"sudoku/internal/ecc/hamming"
+	"sudoku/internal/rng"
+)
+
+// hotpathCache builds a small protected cache with one resident line.
+func hotpathCache(b *testing.B) *cache.STTRAM {
+	b.Helper()
+	ccfg := cache.DefaultConfig()
+	ccfg.Lines = 1 << 12 // 256 KB: big enough for GroupSize² = 4096
+	ccfg.GroupSize = 64
+	llc, err := cache.New(ccfg, fixedMemory{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := llc.Write(0, 0, make([]byte, 64)); err != nil {
+		b.Fatal(err)
+	}
+	return llc
+}
+
+// BenchmarkCRC measures the CRC-31 compute over one 512-bit data field
+// — the kernel every read check, write encode, and scrub validation
+// runs.
+func BenchmarkCRC(b *testing.B) {
+	c := crc.NewCRC31()
+	src := rng.New(7)
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = src.Uint64()
+	}
+	v := bitvec.FromWords(words, 512)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= c.Compute(v)
+	}
+	_ = sink
+}
+
+// BenchmarkHamming measures the ECC-1 syndrome over the 543-bit
+// message (encode = the same parity computation decode starts with).
+func BenchmarkHamming(b *testing.B) {
+	code, err := hamming.New(543)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(7)
+	words := make([]uint64, 9)
+	for i := range words {
+		words[i] = src.Uint64()
+	}
+	v := bitvec.FromWords(words, 543)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		ck, err := code.Encode(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink ^= ck
+	}
+	_ = sink
+}
+
+// BenchmarkReadHit measures a resident, clean read hit on the
+// protected cache: CRC check + payload extraction into a reused
+// buffer (the ReadInto steady-state path).
+func BenchmarkReadHit(b *testing.B) {
+	llc := hotpathCache(b)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := llc.ReadInto(0, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteHit measures a resident write hit: read-modify-write
+// with CRC+ECC re-encode and both PLT delta updates.
+func BenchmarkWriteHit(b *testing.B) {
+	llc := hotpathCache(b)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := llc.Write(0, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScrubPass measures one full scrub pass over a cache with 64
+// resident clean lines — the steady-state cost the scrub daemon pays
+// every rotation.
+func BenchmarkScrubPass(b *testing.B) {
+	llc := hotpathCache(b)
+	buf := make([]byte, 64)
+	for l := 0; l < 64; l++ {
+		if _, err := llc.Write(0, uint64(l*64), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := llc.Scrub(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

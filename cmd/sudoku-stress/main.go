@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"os"
 	"sync"
@@ -113,9 +114,11 @@ func run(args []string, out io.Writer) error {
 }
 
 // engine is the surface both the global-lock Cache and the sharded
-// Concurrent expose to the load loop.
+// Concurrent expose to the load loop. Reads go through ReadInto so the
+// loop reuses one buffer per goroutine instead of allocating 64 bytes
+// per operation.
 type engine interface {
-	Read(addr uint64) ([]byte, error)
+	ReadInto(addr uint64, dst []byte) error
 	Write(addr uint64, data []byte) error
 	InjectRandomFaults(seed uint64, n int) error
 	Scrub() (sudoku.ScrubReport, error)
@@ -270,6 +273,7 @@ func load(o options, eng engine, res *result) {
 			for i := range buf {
 				buf[i] = byte(g + 1)
 			}
+			rbuf := make([]byte, 64)
 			n := int64(0)
 			for {
 				// Check the clock in batches; time.Now per op would
@@ -282,7 +286,7 @@ func load(o options, eng engine, res *result) {
 				start := time.Now()
 				var err error
 				if src.Float64() < o.readfrac {
-					_, err = eng.Read(addr)
+					err = eng.ReadInto(addr, rbuf)
 				} else {
 					err = eng.Write(addr, buf)
 				}
@@ -331,16 +335,25 @@ func (h *histogram) merge(o *histogram) {
 }
 
 // percentile returns the upper bound of the bucket holding the q-th
-// quantile observation.
+// quantile observation: the smallest bucket whose cumulative count
+// reaches rank ⌈q·total⌉, with rank clamped to [1, total] so q = 0
+// means the first observation and q = 1.0 the last (not the 2^40 ns
+// overflow sentinel the old `cum > rank` comparison fell through to).
 func (h *histogram) percentile(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.total))
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
 	var cum int64
 	for i, n := range h.buckets {
 		cum += n
-		if cum > rank {
+		if cum >= rank {
 			return time.Duration(int64(1) << (i + 1))
 		}
 	}

@@ -56,10 +56,25 @@ func FromWords(words []uint64, n int) *Vector {
 // vector bit j*8+i (little-endian bit order within bytes).
 func FromBytes(b []byte) *Vector {
 	v := New(len(b) * 8)
+	// SetBytes cannot fail: the vector was sized to the slice.
+	_ = v.SetBytes(b)
+	return v
+}
+
+// SetBytes overwrites the whole vector from packed bytes (the
+// FromBytes layout) without allocating. The slice must supply exactly
+// the vector's length: len(b)*8 == Len().
+func (v *Vector) SetBytes(b []byte) error {
+	if len(b)*8 != v.nbits {
+		return fmt.Errorf("%w: %d bytes into %d bits", ErrLengthMismatch, len(b), v.nbits)
+	}
+	for i := range v.words {
+		v.words[i] = 0
+	}
 	for j, by := range b {
 		v.words[j/8] |= uint64(by) << (8 * (j % 8))
 	}
-	return v
+	return nil
 }
 
 // Len returns the number of bits in the vector.
@@ -72,14 +87,33 @@ func (v *Vector) Words() []uint64 {
 	return out
 }
 
+// Word returns backing word i — bits [64i, 64i+64) — without copying.
+// Out-of-range indices return 0, so callers can walk ceil(n/64) words
+// of any vector. This is the codec hot path's view of the vector: the
+// CRC and syndrome kernels consume whole words.
+func (v *Vector) Word(i int) uint64 {
+	if i < 0 || i >= len(v.words) {
+		return 0
+	}
+	return v.words[i]
+}
+
 // Bytes returns the vector packed into bytes (little-endian bit order
 // within bytes), rounded up to whole bytes.
 func (v *Vector) Bytes() []byte {
-	out := make([]byte, (v.nbits+7)/8)
-	for j := range out {
-		out[j] = byte(v.words[j/8] >> (8 * (j % 8)))
+	return v.AppendBytes(make([]byte, 0, (v.nbits+7)/8))
+}
+
+// AppendBytes appends the vector's packed bytes (little-endian bit
+// order within bytes, rounded up to whole bytes) to dst and returns
+// the extended slice. When dst has sufficient capacity no allocation
+// occurs — the in-place form of Bytes for steady-state callers.
+func (v *Vector) AppendBytes(dst []byte) []byte {
+	n := (v.nbits + 7) / 8
+	for j := 0; j < n; j++ {
+		dst = append(dst, byte(v.words[j/8]>>(8*(j%8))))
 	}
-	return out
+	return dst
 }
 
 // Clone returns a deep copy of the vector.
@@ -128,6 +162,70 @@ func (v *Vector) SetTo(i int, val bool) error {
 		return v.Set(i)
 	}
 	return v.Clear(i)
+}
+
+// Uint64 extracts bits [off, off+width) as an integer, bit off landing
+// in bit 0 of the result. Width is clamped to [0, 64] and the read is
+// truncated at the vector end (missing bits read as 0) — the
+// allocation-free way to pull a metadata field (CRC, ECC check bits)
+// out of a stored codeword.
+func (v *Vector) Uint64(off, width int) uint64 {
+	if off < 0 || off >= v.nbits || width <= 0 {
+		return 0
+	}
+	if width > 64 {
+		width = 64
+	}
+	if off+width > v.nbits {
+		width = v.nbits - off
+	}
+	w := off / WordBits
+	sh := uint(off % WordBits)
+	x := v.words[w] >> sh
+	if sh != 0 && w+1 < len(v.words) && width > WordBits-int(sh) {
+		x |= v.words[w+1] << (WordBits - sh)
+	}
+	if width < 64 {
+		x &= (uint64(1) << uint(width)) - 1
+	}
+	return x
+}
+
+// PutUint64 overwrites bits [off, off+width) with the low width bits
+// of val, bit 0 of val landing at bit off. Width must be in [0, 64]
+// and the range must lie inside the vector — the in-place counterpart
+// of Uint64 used to deposit codeword metadata fields.
+func (v *Vector) PutUint64(off, width int, val uint64) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("%w: width %d outside [0,64]", ErrOutOfRange, width)
+	}
+	if off < 0 || off+width > v.nbits {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+width, v.nbits)
+	}
+	if width == 0 {
+		return nil
+	}
+	if width < 64 {
+		val &= (uint64(1) << uint(width)) - 1
+	}
+	w := off / WordBits
+	sh := uint(off % WordBits)
+	low := WordBits - int(sh) // bits that fit in the first word
+	if low > width {
+		low = width
+	}
+	var mask uint64
+	if low == WordBits {
+		mask = ^uint64(0)
+	} else {
+		mask = ((uint64(1) << uint(low)) - 1) << sh
+	}
+	v.words[w] = v.words[w]&^mask | (val<<sh)&mask
+	if rest := width - low; rest > 0 {
+		mask = (uint64(1) << uint(rest)) - 1
+		v.words[w+1] = v.words[w+1]&^mask | (val>>uint(low))&mask
+	}
+	return nil
 }
 
 // Zero clears every bit.
@@ -231,20 +329,36 @@ func (v *Vector) Slice(from, to int) (*Vector, error) {
 		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, from, to, v.nbits)
 	}
 	out := New(to - from)
+	// SliceInto cannot fail: out was sized to the range just validated.
+	_ = v.SliceInto(from, to, out)
+	return out, nil
+}
+
+// SliceInto copies bits [from, to) of v into dst, which must already
+// hold exactly to-from bits — the allocation-free form of Slice for
+// steady-state callers with a scratch vector.
+func (v *Vector) SliceInto(from, to int, dst *Vector) error {
+	if from < 0 || to > v.nbits || from > to {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, from, to, v.nbits)
+	}
+	if dst.nbits != to-from {
+		return fmt.Errorf("%w: %d-bit destination for [%d,%d)", ErrLengthMismatch, dst.nbits, from, to)
+	}
 	if from%WordBits == 0 {
 		// Word-aligned fast path (the hot case: extracting the data or
 		// message field of a stored codeword).
-		copy(out.words, v.words[from/WordBits:])
-		out.maskTail()
-		return out, nil
+		copy(dst.words, v.words[from/WordBits:])
+		dst.maskTail()
+		return nil
 	}
+	dst.Zero()
 	for i := from; i < to; i++ {
 		if v.Bit(i) {
 			// Set cannot fail: i-from is in range by construction.
-			_ = out.Set(i - from)
+			_ = dst.Set(i - from)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Paste copies src into v starting at offset.

@@ -344,3 +344,149 @@ func BenchmarkPopCount512(b *testing.B) {
 		_ = x.PopCount()
 	}
 }
+
+func TestWordAccess(t *testing.T) {
+	v := FromWords([]uint64{0xdeadbeefcafef00d, 0x0123456789abcdef}, 100)
+	if got := v.Word(0); got != 0xdeadbeefcafef00d {
+		t.Fatalf("Word(0) = %#x", got)
+	}
+	if got := v.Word(1); got != 0x0123456789abcdef&((1<<36)-1) {
+		t.Fatalf("Word(1) = %#x, want tail-masked", got)
+	}
+	if got := v.Word(2); got != 0 {
+		t.Fatalf("Word(2) = %#x, want 0 out of range", got)
+	}
+	if got := v.Word(-1); got != 0 {
+		t.Fatalf("Word(-1) = %#x, want 0 out of range", got)
+	}
+}
+
+func TestQuickUint64MatchesBits(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rnd.Intn(200)
+		v := randomVec(rnd, n)
+		off := rnd.Intn(n)
+		width := 1 + rnd.Intn(64)
+		got := v.Uint64(off, width)
+		var want uint64
+		for b := 0; b < width; b++ {
+			if v.Bit(off + b) {
+				want |= 1 << b
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d off=%d width=%d: Uint64 = %#x, want %#x", n, off, width, got, want)
+		}
+	}
+}
+
+func TestQuickPutUint64RoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rnd.Intn(200)
+		v := randomVec(rnd, n)
+		ref := v.Clone()
+		width := 1 + rnd.Intn(64)
+		if width > n {
+			width = n
+		}
+		off := rnd.Intn(n - width + 1)
+		val := rnd.Uint64()
+		if err := v.PutUint64(off, width, val); err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Uint64(off, width); width < 64 && got != val&((1<<width)-1) || width == 64 && got != val {
+			t.Fatalf("n=%d off=%d width=%d: round trip %#x, wrote %#x", n, off, width, got, val)
+		}
+		// Bits outside the window are untouched.
+		for i := 0; i < n; i++ {
+			if i >= off && i < off+width {
+				continue
+			}
+			if v.Bit(i) != ref.Bit(i) {
+				t.Fatalf("n=%d off=%d width=%d: bit %d disturbed", n, off, width, i)
+			}
+		}
+	}
+}
+
+func TestPutUint64Errors(t *testing.T) {
+	v := New(40)
+	if err := v.PutUint64(0, 65, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("width 65: err = %v", err)
+	}
+	if err := v.PutUint64(20, 32, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("overhang: err = %v", err)
+	}
+	if err := v.PutUint64(-1, 8, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative offset: err = %v", err)
+	}
+	if err := v.PutUint64(40, 0, 0); err != nil {
+		t.Fatalf("zero-width at end: err = %v", err)
+	}
+}
+
+func TestSetBytesMatchesFromBytes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		nb := 1 + rnd.Intn(80)
+		b := make([]byte, nb)
+		rnd.Read(b)
+		v := randomVec(rnd, nb*8) // dirty destination
+		if err := v.SetBytes(b); err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(FromBytes(b)) {
+			t.Fatalf("nb=%d: SetBytes != FromBytes", nb)
+		}
+	}
+	v := New(16)
+	if err := v.SetBytes(make([]byte, 3)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+}
+
+func TestAppendBytesNoAlloc(t *testing.T) {
+	rnd := rand.New(rand.NewSource(14))
+	v := randomVec(rnd, 512)
+	buf := make([]byte, 0, 64)
+	out := v.AppendBytes(buf)
+	if len(out) != 64 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendBytes reallocated despite sufficient capacity")
+	}
+	want := v.Bytes()
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("byte %d: %#x vs %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestQuickSliceIntoMatchesSlice(t *testing.T) {
+	rnd := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rnd.Intn(600)
+		v := randomVec(rnd, n)
+		from := rnd.Intn(n + 1)
+		to := from + rnd.Intn(n-from+1)
+		want, err := v.Slice(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := randomVec(rnd, to-from) // dirty destination
+		if err := v.SliceInto(from, to, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d [%d,%d): SliceInto != Slice", n, from, to)
+		}
+	}
+	v := New(64)
+	if err := v.SliceInto(0, 32, New(16)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("mismatched dst: err = %v", err)
+	}
+}

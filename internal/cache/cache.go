@@ -203,7 +203,20 @@ type STTRAM struct {
 	stuck    map[int]map[int]bool // phys -> bit -> forced value (§VI permanent faults)
 	bankFree []float64            // per-bank next-free time, float64 ns
 	useClock uint64
+	scr      scratch
 	stats    counters
+}
+
+// scratch holds the reusable line-sized staging vectors for the
+// steady-state read/write paths. Ownership rule: only methods already
+// holding c.mu may touch these, and never across an unlock — the mutex
+// makes the cache a single-holder, so one set per cache replaces a
+// sync.Pool without its per-Get overhead. The sharded engine gives
+// each shard its own STTRAM and therefore its own scratch.
+type scratch struct {
+	data      *bitvec.Vector // payload staging (DataBits)
+	newStored *bitvec.Vector // freshly encoded codeword (StoredBits)
+	delta     *bitvec.Vector // old⊕new parity delta (StoredBits)
 }
 
 var _ core.CacheView = (*cacheView)(nil)
@@ -271,6 +284,11 @@ func New(cfg Config, mem Memory) (*STTRAM, error) {
 		c.zeng, err = core.NewZEngine(engine, c.params, c.plt1, c.plt2)
 		if err != nil {
 			return nil, err
+		}
+		c.scr = scratch{
+			data:      bitvec.New(c.codec.DataBits()),
+			newStored: bitvec.New(c.codec.StoredBits()),
+			delta:     bitvec.New(c.codec.StoredBits()),
 		}
 	}
 	return c, nil

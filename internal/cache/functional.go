@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -36,6 +37,21 @@ type ScrubReport struct {
 // then RAID/SDR/Hash-2 as the protection level allows); an
 // unrepairable line returns ErrUncorrectable.
 func (c *STTRAM) Read(now time.Duration, addr uint64) ([]byte, time.Duration, error) {
+	buf := make([]byte, c.cfg.LineBytes)
+	lat, err := c.ReadInto(now, addr, buf)
+	if err != nil {
+		return nil, lat, err
+	}
+	return buf, lat, nil
+}
+
+// ReadInto is Read into a caller-provided buffer of LineBytes bytes —
+// the allocation-free form for callers that reuse a line buffer across
+// accesses. On error the buffer contents are unspecified.
+func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Duration, error) {
+	if len(dst) != c.cfg.LineBytes {
+		return 0, fmt.Errorf("cache: read buffer of %d bytes, want %d", len(dst), c.cfg.LineBytes)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	set := c.setIndex(addr)
@@ -55,12 +71,10 @@ func (c *STTRAM) Read(now time.Duration, addr uint64) ([]byte, time.Duration, er
 		w, memLat = c.fill(now, set, addr, false)
 		lat = memLat
 	}
-	phys := c.physIndex(set, w)
-	data, err := c.readLine(phys)
-	if err != nil {
-		return nil, lat, err
+	if err := c.readLineInto(c.physIndex(set, w), dst); err != nil {
+		return lat, err
 	}
-	return data, lat, nil
+	return lat, nil
 }
 
 // Write stores a full 64-byte line at addr and returns the access
@@ -140,40 +154,52 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 }
 
 // readLine extracts (repairing as needed) the payload of a physical
-// line.
+// line into a fresh buffer.
 func (c *STTRAM) readLine(phys int) ([]byte, error) {
+	buf := make([]byte, c.cfg.LineBytes)
+	if err := c.readLineInto(phys, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readLineInto extracts (repairing as needed) the payload of a
+// physical line into dst, which must hold exactly LineBytes bytes. It
+// performs no allocation on the clean-line path.
+func (c *STTRAM) readLineInto(phys int, dst []byte) error {
 	if c.cfg.Protection == 0 {
 		// Unprotected caches store raw lines in stored[phys] as
-		// zero-padded codeword-less vectors; reuse the backing
-		// convention: empty means zeros.
+		// codeword-less vectors; empty means zeros.
 		if c.stored[phys] == nil {
-			return make([]byte, c.cfg.LineBytes), nil
+			for i := range dst {
+				dst[i] = 0
+			}
+			return nil
 		}
-		return c.stored[phys].Bytes()[:c.cfg.LineBytes], nil
+		for w := 0; w < c.cfg.LineBytes/8; w++ {
+			binary.LittleEndian.PutUint64(dst[8*w:], c.stored[phys].Word(w))
+		}
+		return nil
 	}
 	stored, err := c.lineVec(phys)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	ok, err := c.codec.Check(stored)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !ok {
 		if err := c.repairLine(phys); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	data, err := c.codec.Data(stored)
-	if err != nil {
-		return nil, err
+	// Copy the (corrected) payload words out before the array's
+	// permanently faulty cells reassert themselves.
+	for w := 0; w < c.cfg.LineBytes/8; w++ {
+		binary.LittleEndian.PutUint64(dst[8*w:], stored.Word(w))
 	}
-	// The read buffer holds corrected data; the array's permanently
-	// faulty cells stay bad.
-	if err := c.reapplyStuck(phys); err != nil {
-		return nil, err
-	}
-	return data.Bytes()[:c.cfg.LineBytes], nil
+	return c.reapplyStuck(phys)
 }
 
 // writeLine encodes data into a physical line, updating both parity
@@ -183,8 +209,10 @@ func (c *STTRAM) readLine(phys int) ([]byte, error) {
 // rebuilt from scratch.
 func (c *STTRAM) writeLine(phys int, data []byte) error {
 	if c.cfg.Protection == 0 {
-		v := bitvec.FromBytes(data)
-		c.stored[phys] = v
+		if v := c.stored[phys]; v != nil && v.Len() == 8*len(data) {
+			return v.SetBytes(data)
+		}
+		c.stored[phys] = bitvec.FromBytes(data)
 		return nil
 	}
 	stored, err := c.lineVec(phys)
@@ -202,17 +230,22 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 			rebuild = true
 		}
 	}
-	padded := make([]byte, (c.codec.DataBits()+7)/8)
-	copy(padded, data)
-	newStored, err := c.codec.Encode(bitvec.FromBytes(padded[:c.cfg.LineBytes]))
-	if err != nil {
+	// Stage the new codeword and the old⊕new parity delta in the cache
+	// scratch vectors (we hold c.mu; PLT.Update folds the delta into
+	// its own parity vector without retaining it).
+	if err := c.scr.data.SetBytes(data); err != nil {
 		return err
 	}
-	delta, err := bitvec.Xor(stored, newStored)
-	if err != nil {
+	if err := c.codec.EncodeInto(c.scr.data, c.scr.newStored); err != nil {
 		return err
 	}
-	if err := stored.CopyFrom(newStored); err != nil {
+	if err := c.scr.delta.CopyFrom(stored); err != nil {
+		return err
+	}
+	if err := c.scr.delta.XorInto(c.scr.newStored); err != nil {
+		return err
+	}
+	if err := stored.CopyFrom(c.scr.newStored); err != nil {
 		return err
 	}
 	if rebuild {
@@ -221,10 +254,10 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 		}
 		return c.reapplyStuck(phys)
 	}
-	if err := c.plt1.Update(c.params.Hash1Of(phys), delta); err != nil {
+	if err := c.plt1.Update(c.params.Hash1Of(phys), c.scr.delta); err != nil {
 		return err
 	}
-	if err := c.plt2.Update(c.params.Hash2Of(phys), delta); err != nil {
+	if err := c.plt2.Update(c.params.Hash2Of(phys), c.scr.delta); err != nil {
 		return err
 	}
 	c.stats.pltWrites.Add(2)
@@ -434,7 +467,9 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var rep ScrubReport
-	groups := make(map[int]struct{})
+	// Allocated lazily: a clean pass (the steady-state common case)
+	// never touches the heap.
+	var groups map[int]struct{}
 	var singles []int
 	for phys, stored := range c.stored {
 		if stored == nil {
@@ -456,6 +491,9 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 		case core.StatusCorrected:
 			rep.SingleRepairs++
 		case core.StatusUncorrectable:
+			if groups == nil {
+				groups = make(map[int]struct{})
+			}
 			groups[c.params.Hash1Of(phys)] = struct{}{}
 			singles = append(singles, phys)
 		}

@@ -129,37 +129,37 @@ func (c *LineCodec) MetadataBits() int { return c.total - c.dataBits }
 
 // Encode produces the stored codeword for a data payload.
 func (c *LineCodec) Encode(data *bitvec.Vector) (*bitvec.Vector, error) {
-	if data.Len() != c.dataBits {
-		return nil, fmt.Errorf("%w: %d, want %d", ErrDataLength, data.Len(), c.dataBits)
-	}
 	stored := bitvec.New(c.total)
-	if err := stored.Paste(data, 0); err != nil {
+	if err := c.EncodeInto(data, stored); err != nil {
 		return nil, err
-	}
-	crcVal := c.det.Compute(data)
-	for b := 0; b < c.det.Width(); b++ {
-		if crcVal&(1<<b) != 0 {
-			if err := stored.Set(c.dataBits + b); err != nil {
-				return nil, err
-			}
-		}
-	}
-	msg, err := stored.Slice(0, c.msgBits)
-	if err != nil {
-		return nil, err
-	}
-	check, err := c.ecc.encode(msg)
-	if err != nil {
-		return nil, err
-	}
-	for b := 0; b < c.ecc.checkBits(); b++ {
-		if check&(1<<b) != 0 {
-			if err := stored.Set(c.msgBits + b); err != nil {
-				return nil, err
-			}
-		}
 	}
 	return stored, nil
+}
+
+// EncodeInto encodes a data payload into a caller-provided stored
+// codeword of StoredBits() bits, overwriting all of it — the
+// allocation-free form of Encode for steady-state writers holding a
+// scratch vector.
+func (c *LineCodec) EncodeInto(data, stored *bitvec.Vector) error {
+	if data.Len() != c.dataBits {
+		return fmt.Errorf("%w: %d, want %d", ErrDataLength, data.Len(), c.dataBits)
+	}
+	if stored.Len() != c.total {
+		return fmt.Errorf("%w: stored %d, want %d", ErrDataLength, stored.Len(), c.total)
+	}
+	if err := stored.Paste(data, 0); err != nil {
+		return err
+	}
+	if err := stored.PutUint64(c.dataBits, c.det.Width(), c.det.Compute(data)); err != nil {
+		return err
+	}
+	// encodePrefix reads only the data‖CRC prefix just deposited, so
+	// any stale ECC field in the scratch vector is harmless.
+	check, err := c.ecc.encodePrefix(stored)
+	if err != nil {
+		return err
+	}
+	return stored.PutUint64(c.msgBits, c.ecc.checkBits(), check)
 }
 
 // Data extracts the payload bits from a stored codeword without any
@@ -173,38 +173,22 @@ func (c *LineCodec) Data(stored *bitvec.Vector) (*bitvec.Vector, error) {
 
 // storedCRC extracts the CRC field.
 func (c *LineCodec) storedCRC(stored *bitvec.Vector) uint64 {
-	var v uint64
-	for b := 0; b < c.det.Width(); b++ {
-		if stored.Bit(c.dataBits + b) {
-			v |= 1 << b
-		}
-	}
-	return v
+	return stored.Uint64(c.dataBits, c.det.Width())
 }
 
 // storedECC extracts the ECC check field.
 func (c *LineCodec) storedECC(stored *bitvec.Vector) uint64 {
-	var v uint64
-	for b := 0; b < c.ecc.checkBits(); b++ {
-		if stored.Bit(c.msgBits + b) {
-			v |= 1 << b
-		}
-	}
-	return v
+	return stored.Uint64(c.msgBits, c.ecc.checkBits())
 }
 
 // Check performs the read-path CRC syndrome test (§III-B: "this can be
 // performed within one cycle"). It reports true when the line shows no
-// error.
+// error. It performs no allocation.
 func (c *LineCodec) Check(stored *bitvec.Vector) (bool, error) {
 	if stored.Len() != c.total {
 		return false, fmt.Errorf("%w: stored %d, want %d", ErrDataLength, stored.Len(), c.total)
 	}
-	data, err := stored.Slice(0, c.dataBits)
-	if err != nil {
-		return false, err
-	}
-	return c.det.Check(data, c.storedCRC(stored)), nil
+	return c.det.ComputePrefix(stored, c.dataBits) == c.storedCRC(stored), nil
 }
 
 // Repair attempts per-line repair of a faulty codeword, in place
@@ -242,17 +226,7 @@ func (c *LineCodec) Repair(stored *bitvec.Vector) (DecodeStatus, error) {
 	case hamming.CorrectedMessage:
 		// msg was corrected in place (it is a copy); validate with CRC
 		// before committing.
-		data, err := msg.Slice(0, c.dataBits)
-		if err != nil {
-			return 0, err
-		}
-		crcVal := uint64(0)
-		for b := 0; b < c.det.Width(); b++ {
-			if msg.Bit(c.dataBits + b) {
-				crcVal |= 1 << b
-			}
-		}
-		if !c.det.Check(data, crcVal) {
+		if c.det.ComputePrefix(msg, c.dataBits) != msg.Uint64(c.dataBits, c.det.Width()) {
 			return StatusUncorrectable, nil
 		}
 		if err := stored.Paste(msg, 0); err != nil {
@@ -316,16 +290,13 @@ func (c *LineCodec) Scrub(stored *bitvec.Vector) (DecodeStatus, error) {
 // (CRC matches data and ECC matches data‖CRC). Repair acceptance in
 // SDR uses the CRC alone, as the paper specifies; Validate is the
 // stronger invariant used by tests and the scrubber's write-back path.
+// It performs no allocation for the t = 1 (ECC-1) codec.
 func (c *LineCodec) Validate(stored *bitvec.Vector) (bool, error) {
 	ok, err := c.Check(stored)
 	if err != nil || !ok {
 		return false, err
 	}
-	msg, err := stored.Slice(0, c.msgBits)
-	if err != nil {
-		return false, err
-	}
-	want, err := c.ecc.encode(msg)
+	want, err := c.ecc.encodePrefix(stored)
 	if err != nil {
 		return false, err
 	}

@@ -235,3 +235,62 @@ func BenchmarkCodecRepairSingle(b *testing.B) {
 		}
 	}
 }
+
+// TestQuickEncodeIntoMatchesEncode pins the zero-alloc write path
+// (EncodeInto into a dirty scratch vector) to the allocating Encode,
+// and the prefix-based Check/Validate to full re-encoding, over random
+// payloads for both ECC strengths.
+func TestQuickEncodeIntoMatchesEncode(t *testing.T) {
+	for _, strength := range []int{1, 2} {
+		codec, err := NewLineCodecECC(DefaultDataBits, strength)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(77 + strength))
+		scratch := bitvec.New(codec.StoredBits())
+		check := func(seed uint64) bool {
+			data := randomData(r, codec.DataBits())
+			want, err := codec.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Dirty the scratch vector so stale field bits would show.
+			for w := 0; w < 9; w++ {
+				_ = scratch.PutUint64(w*61, 61, r.Uint64())
+			}
+			if err := codec.EncodeInto(data, scratch); err != nil {
+				t.Fatal(err)
+			}
+			if !scratch.Equal(want) {
+				t.Fatalf("ECC-%d: EncodeInto and Encode disagree", strength)
+			}
+			if ok, err := codec.Validate(scratch); err != nil || !ok {
+				t.Fatalf("ECC-%d: fresh codeword invalid (%v, %v)", strength, ok, err)
+			}
+			// A flip in the CRC-covered prefix must trip Check; a flip
+			// in the ECC field must pass Check but fail Validate.
+			flip := int(r.Uint64n(uint64(codec.msgBits)))
+			if err := scratch.Flip(flip); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := codec.Check(scratch); ok {
+				// CRC-field flips are caught by the CRC comparison, data
+				// flips by recomputation; either way Check must fail.
+				t.Fatalf("ECC-%d: Check missed flip at %d", strength, flip)
+			}
+			_ = scratch.Flip(flip)
+			eccFlip := codec.msgBits + int(r.Uint64n(uint64(codec.StoredBits()-codec.msgBits)))
+			_ = scratch.Flip(eccFlip)
+			if ok, _ := codec.Check(scratch); !ok {
+				t.Fatalf("ECC-%d: Check tripped on ECC-field flip", strength)
+			}
+			if ok, _ := codec.Validate(scratch); ok {
+				t.Fatalf("ECC-%d: Validate missed ECC-field flip at %d", strength, eccFlip)
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

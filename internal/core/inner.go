@@ -20,6 +20,11 @@ type innerCode interface {
 	strength() int
 	// encode returns the check bits for a message.
 	encode(msg *bitvec.Vector) (uint64, error)
+	// encodePrefix returns the check bits for the message held as the
+	// prefix of a longer vector (the data‖CRC prefix of a stored
+	// codeword). The ECC-1 path computes it in place without
+	// allocating; the BCH path falls back to slicing.
+	encodePrefix(v *bitvec.Vector) (uint64, error)
 	// decode corrects msg in place (up to t errors across message and
 	// check bits) and classifies the outcome with hamming.Kind
 	// semantics: Clean, CorrectedMessage (message bits changed),
@@ -48,6 +53,10 @@ func (h *hammingInner) strength() int { return 1 }
 
 func (h *hammingInner) encode(msg *bitvec.Vector) (uint64, error) {
 	return h.code.Encode(msg)
+}
+
+func (h *hammingInner) encodePrefix(v *bitvec.Vector) (uint64, error) {
+	return h.code.EncodePrefix(v)
 }
 
 func (h *hammingInner) decode(msg *bitvec.Vector, check uint64) (hamming.Kind, error) {
@@ -98,6 +107,14 @@ func (b *bchInner) encode(msg *bitvec.Vector) (uint64, error) {
 		}
 	}
 	return check, nil
+}
+
+func (b *bchInner) encodePrefix(v *bitvec.Vector) (uint64, error) {
+	msg, err := v.Slice(0, b.code.DataBits())
+	if err != nil {
+		return 0, err
+	}
+	return b.encode(msg)
 }
 
 func (b *bchInner) decode(msg *bitvec.Vector, check uint64) (hamming.Kind, error) {

@@ -195,3 +195,96 @@ func BenchmarkCompute512(b *testing.B) {
 		_ = c.Compute(v)
 	}
 }
+
+// TestQuickSlicingMatchesBitwise pins the slicing-by-8 kernel to the
+// bit-at-a-time reference across random widths, lengths (including
+// partial bytes and partial words), and contents.
+func TestQuickSlicingMatchesBitwise(t *testing.T) {
+	r := rng.New(101)
+	widths := []int{8, 16, 24, 31, 32, 47, 63}
+	for _, w := range widths {
+		poly := (uint64(1) << w) | (r.Uint64() & ((uint64(1) << w) - 1)) | 1
+		c, err := New(w, poly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + int(r.Uint64n(700))
+			v := randomVec(r, n)
+			if got, want := c.Compute(v), c.computeBitwise(v); got != want {
+				t.Fatalf("width=%d n=%d: slicing %#x != bitwise %#x", w, n, got, want)
+			}
+		}
+	}
+}
+
+// TestQuickPrefixMatchesSlice pins ComputePrefix to Compute over a
+// materialized slice for random prefix lengths.
+func TestQuickPrefixMatchesSlice(t *testing.T) {
+	c := NewCRC31()
+	r := rng.New(103)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + int(r.Uint64n(700))
+		v := randomVec(r, n)
+		p := int(r.Uint64n(uint64(n) + 1))
+		sl, err := v.Slice(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := c.ComputePrefix(v, p), c.Compute(sl); got != want {
+			t.Fatalf("n=%d prefix=%d: %#x != %#x", n, p, got, want)
+		}
+	}
+	// Clamping: over-long and negative prefixes.
+	v := randomVec(r, 100)
+	if got, want := c.ComputePrefix(v, 1000), c.Compute(v); got != want {
+		t.Fatalf("clamped prefix: %#x != %#x", got, want)
+	}
+	if got := c.ComputePrefix(v, -5); got != 0 {
+		t.Fatalf("negative prefix: %#x != 0", got)
+	}
+}
+
+// TestSlicingMatchesSingleTable cross-checks the two table kernels on
+// the exact SuDoku geometries.
+func TestSlicingMatchesSingleTable(t *testing.T) {
+	c := NewCRC31()
+	r := rng.New(107)
+	for _, n := range []int{8, 31, 64, 512, 543, 553, 1024} {
+		for trial := 0; trial < 20; trial++ {
+			v := randomVec(r, n)
+			if got, want := c.Compute(v), c.computeSingleTable(v); got != want {
+				t.Fatalf("n=%d: slicing %#x != single-table %#x", n, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkCRCKernels compares the three kernels on the 512-bit data
+// field: the slicing-by-8 hot path, the pre-PR single-table loop, and
+// the bitwise reference.
+func BenchmarkCRCKernels(b *testing.B) {
+	c := NewCRC31()
+	v := randomVec(rng.New(1), 512)
+	b.Run("slicing8", func(b *testing.B) {
+		b.SetBytes(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Compute(v)
+		}
+	})
+	b.Run("singletable", func(b *testing.B) {
+		b.SetBytes(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.computeSingleTable(v)
+		}
+	})
+	b.Run("bitwise", func(b *testing.B) {
+		b.SetBytes(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.computeBitwise(v)
+		}
+	})
+}

@@ -19,6 +19,7 @@ package hamming
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"sudoku/internal/bitvec"
 )
@@ -69,6 +70,12 @@ var ErrLength = errors.New("hamming: message length mismatch")
 
 // Code is a SEC Hamming code for a fixed message length. It is
 // immutable after construction and safe for concurrent use.
+//
+// Syndrome computation is word-parallel: for each check bit r a
+// precomputed 64-bit mask per message word selects the message bits
+// whose codeword position has bit r set, so one syndrome is checkBits
+// popcounts per word instead of a per-set-bit position walk — the
+// software analogue of the paper's one-cycle parallel ECC-1 decoder.
 type Code struct {
 	msgBits    int
 	checkBits  int
@@ -76,6 +83,9 @@ type Code struct {
 	posOf      []uint32 // message bit index -> 1-based codeword position
 	msgAt      []int    // 1-based codeword position -> message bit index, -1 for check positions
 	checkIdxAt []int    // 1-based codeword position -> check bit index, -1 for message positions
+	// rowMasks[r][w] has bit b set iff message bit 64w+b participates
+	// in check r (its codeword position has bit r set).
+	rowMasks [][]uint64
 }
 
 // New builds a SEC code for msgBits message bits.
@@ -109,6 +119,18 @@ func New(msgBits int) (*Code, error) {
 		c.msgAt[p] = msg
 		msg++
 	}
+	words := (msgBits + 63) / 64
+	c.rowMasks = make([][]uint64, c.checkBits)
+	for r := range c.rowMasks {
+		c.rowMasks[r] = make([]uint64, words)
+	}
+	for i, p := range c.posOf {
+		for r := 0; r < c.checkBits; r++ {
+			if p&(1<<r) != 0 {
+				c.rowMasks[r][i/64] |= 1 << (i % 64)
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -119,19 +141,58 @@ func (c *Code) MsgBits() int { return c.msgBits }
 // message).
 func (c *Code) CheckBits() int { return c.checkBits }
 
+// syndrome computes the parity syndrome of the first msgBits bits of
+// v using the word-parallel mask rows. Bits of v beyond msgBits are
+// ignored automatically: the masks cover message positions only. It
+// performs no allocation.
+func (c *Code) syndrome(v *bitvec.Vector) uint32 {
+	var syn uint32
+	words := len(c.rowMasks[0])
+	for w := 0; w < words; w++ {
+		x := v.Word(w)
+		if x == 0 {
+			continue
+		}
+		for r, row := range c.rowMasks {
+			syn ^= uint32(bits.OnesCount64(x&row[w])&1) << r
+		}
+	}
+	return syn
+}
+
+// syndromeBitwise is the position-walk reference implementation the
+// property tests pin the word-parallel kernel against.
+func (c *Code) syndromeBitwise(v *bitvec.Vector) uint32 {
+	var syn uint32
+	for _, i := range v.SetBits() {
+		if i < c.msgBits {
+			syn ^= c.posOf[i]
+		}
+	}
+	return syn
+}
+
 // Encode computes the check bits for msg. Check bit i (the parity at
-// codeword position 2^i) lands in bit i of the result.
+// codeword position 2^i) lands in bit i of the result. It performs no
+// allocation.
 func (c *Code) Encode(msg *bitvec.Vector) (uint64, error) {
 	if msg.Len() != c.msgBits {
 		return 0, fmt.Errorf("%w: %d, want %d", ErrLength, msg.Len(), c.msgBits)
 	}
-	var syn uint32
-	for _, i := range msg.SetBits() {
-		syn ^= c.posOf[i]
-	}
 	// Setting check bit i contributes 2^i to the syndrome, so storing
 	// the syndrome bits themselves zeroes the total.
-	return uint64(syn), nil
+	return uint64(c.syndrome(msg)), nil
+}
+
+// EncodePrefix computes the check bits over the first MsgBits() bits
+// of v, which must be at least that long — the allocation-free form of
+// Encode for callers holding the message as the prefix of a larger
+// stored codeword (SuDoku's data‖CRC prefix of the 553-bit line).
+func (c *Code) EncodePrefix(v *bitvec.Vector) (uint64, error) {
+	if v.Len() < c.msgBits {
+		return 0, fmt.Errorf("%w: %d, want ≥ %d", ErrLength, v.Len(), c.msgBits)
+	}
+	return uint64(c.syndrome(v)), nil
 }
 
 // Decode checks msg against the stored check bits and corrects at most
@@ -143,10 +204,23 @@ func (c *Code) Decode(msg *bitvec.Vector, check uint64) (Result, error) {
 	if msg.Len() != c.msgBits {
 		return Result{}, fmt.Errorf("%w: %d, want %d", ErrLength, msg.Len(), c.msgBits)
 	}
-	var syn uint32
-	for _, i := range msg.SetBits() {
-		syn ^= c.posOf[i]
+	return c.decode(msg, check)
+}
+
+// DecodePrefix is Decode over the first MsgBits() bits of a longer
+// vector, correcting in place within that prefix without materializing
+// it. Bits beyond the prefix are never read or written.
+func (c *Code) DecodePrefix(v *bitvec.Vector, check uint64) (Result, error) {
+	if v.Len() < c.msgBits {
+		return Result{}, fmt.Errorf("%w: %d, want ≥ %d", ErrLength, v.Len(), c.msgBits)
 	}
+	return c.decode(v, check)
+}
+
+// decode runs the shared syndrome-lookup correction; v's first msgBits
+// bits are the message.
+func (c *Code) decode(v *bitvec.Vector, check uint64) (Result, error) {
+	syn := c.syndrome(v)
 	syn ^= uint32(check) & ((1 << c.checkBits) - 1)
 	switch {
 	case syn == 0:
@@ -155,7 +229,7 @@ func (c *Code) Decode(msg *bitvec.Vector, check uint64) (Result, error) {
 		return Result{Kind: Detected, Pos: -1}, nil
 	case c.msgAt[syn] >= 0:
 		pos := c.msgAt[syn]
-		if err := msg.Flip(pos); err != nil {
+		if err := v.Flip(pos); err != nil {
 			return Result{}, err
 		}
 		return Result{Kind: CorrectedMessage, Pos: pos}, nil

@@ -258,3 +258,129 @@ func BenchmarkDecodeClean543(b *testing.B) {
 		}
 	}
 }
+
+// TestQuickWordSyndromeMatchesBitwise pins the word-parallel syndrome
+// kernel to the position-walk reference across random message lengths
+// and random corruption.
+func TestQuickWordSyndromeMatchesBitwise(t *testing.T) {
+	r := rng.New(211)
+	for trial := 0; trial < 300; trial++ {
+		msgBits := 1 + int(r.Uint64n(700))
+		c, err := New(msgBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := randomVec(r, msgBits)
+		// Random corruption on top of random content.
+		for k := int(r.Uint64n(8)); k > 0; k-- {
+			if err := v.Flip(int(r.Uint64n(uint64(msgBits)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := c.syndrome(v), c.syndromeBitwise(v); got != want {
+			t.Fatalf("msgBits=%d: word syndrome %#x != bitwise %#x", msgBits, got, want)
+		}
+	}
+}
+
+// TestPrefixMatchesSlice pins EncodePrefix/DecodePrefix on a longer
+// stored vector to Encode/Decode on the materialized message slice —
+// the codec's usage on the 553-bit SuDoku line.
+func TestPrefixMatchesSlice(t *testing.T) {
+	const msgBits, total = 543, 553
+	c, err := New(msgBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(223)
+	for trial := 0; trial < 200; trial++ {
+		stored := randomVec(r, total)
+		msg, err := stored.Slice(0, msgBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCk, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCk, err := c.EncodePrefix(stored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotCk != wantCk {
+			t.Fatalf("trial %d: EncodePrefix %#x != Encode %#x", trial, gotCk, wantCk)
+		}
+		// Corrupt ≤ 2 bits and compare the decode outcome and the
+		// corrected contents.
+		check := wantCk
+		for k := int(r.Uint64n(3)); k > 0; k-- {
+			if err := stored.Flip(int(r.Uint64n(msgBits))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msg2, err := stored.Slice(0, msgBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := c.Decode(msg2, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailBefore := stored.Uint64(msgBits, total-msgBits)
+		gotRes, err := c.DecodePrefix(stored, check)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRes != wantRes {
+			t.Fatalf("trial %d: DecodePrefix %+v != Decode %+v", trial, gotRes, wantRes)
+		}
+		prefix, err := stored.Slice(0, msgBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prefix.Equal(msg2) {
+			t.Fatalf("trial %d: in-place prefix correction diverged from slice decode", trial)
+		}
+		if tail := stored.Uint64(msgBits, total-msgBits); tail != tailBefore {
+			t.Fatalf("trial %d: DecodePrefix disturbed bits beyond the prefix", trial)
+		}
+	}
+}
+
+// TestPrefixLengthValidation covers the ≥-length contract of the
+// prefix forms.
+func TestPrefixLengthValidation(t *testing.T) {
+	c, err := New(543)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := bitvec.New(100)
+	if _, err := c.EncodePrefix(short); !errors.Is(err, ErrLength) {
+		t.Fatalf("EncodePrefix short err = %v", err)
+	}
+	if _, err := c.DecodePrefix(short, 0); !errors.Is(err, ErrLength) {
+		t.Fatalf("DecodePrefix short err = %v", err)
+	}
+}
+
+// BenchmarkSyndromeKernels compares the word-parallel syndrome against
+// the bitwise position walk on the 543-bit SuDoku message.
+func BenchmarkSyndromeKernels(b *testing.B) {
+	c, err := New(543)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := randomVec(rng.New(1), 543)
+	b.Run("word", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.syndrome(v)
+		}
+	})
+	b.Run("bitwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.syndromeBitwise(v)
+		}
+	})
+}

@@ -66,6 +66,18 @@ type Stats struct {
 	Errors        int
 }
 
+// Add accumulates another aggregate into st — the concurrent engine
+// uses it to carry lifetime totals across scrub-daemon restarts.
+func (st *Stats) Add(o Stats) {
+	st.Passes += o.Passes
+	st.SingleRepairs += o.SingleRepairs
+	st.SDRRepairs += o.SDRRepairs
+	st.RAIDRepairs += o.RAIDRepairs
+	st.Hash2Repairs += o.Hash2Repairs
+	st.DUELines += o.DUELines
+	st.Errors += o.Errors
+}
+
 // Observe folds one completed pass into the aggregate. Both the
 // stop-the-world Scrubber and the sharded incremental daemon account
 // passes through this, so their stats stay comparable. Errors count as

@@ -80,6 +80,19 @@ type DaemonStats struct {
 	Scrub scrubber.Stats
 }
 
+// Add folds another snapshot into s: the cumulative counters sum, and
+// o's Interval (the more recent daemon's) wins when set. Callers use
+// it to keep lifetime totals across daemon stop/start cycles.
+func (s *DaemonStats) Add(o DaemonStats) {
+	s.Rotations += o.Rotations
+	s.ShardPasses += o.ShardPasses
+	s.Backpressure += o.Backpressure
+	if o.Interval > 0 {
+		s.Interval = o.Interval
+	}
+	s.Scrub.Add(o.Scrub)
+}
+
 // ScrubDaemon drives the incremental scrub loop over an Engine. All
 // methods are safe for concurrent use.
 type ScrubDaemon struct {

@@ -228,6 +228,17 @@ func (e *Engine) Read(addr uint64) ([]byte, error) {
 	return data, err
 }
 
+// ReadInto is Read into a caller-provided buffer of LineBytes bytes —
+// the allocation-free fast path for steady-state readers that reuse a
+// line buffer.
+func (e *Engine) ReadInto(addr uint64, dst []byte) error {
+	s, sub := e.locate(addr)
+	st := e.shards[s]
+	lat, err := st.llc.ReadInto(st.now(), sub, dst)
+	st.advance(lat)
+	return err
+}
+
 // Write stores a full 64-byte line at addr.
 func (e *Engine) Write(addr uint64, data []byte) error {
 	s, sub := e.locate(addr)

@@ -24,6 +24,7 @@ package sudoku
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sudoku/internal/analytic"
@@ -104,7 +105,11 @@ func DefaultConfig() Config {
 // lines. It is safe for concurrent use.
 type Cache struct {
 	inner *cache.STTRAM
-	clock time.Duration
+	// clock is the logical time base in nanoseconds, advanced atomically
+	// by each access's modeled latency so concurrent accessors never
+	// race on it. Under concurrency the accumulation is approximate:
+	// two overlapped accesses may observe the same "now".
+	clock atomic.Int64
 }
 
 // New builds a cache. Addresses map onto a backing store, so evicted
@@ -160,17 +165,35 @@ func (cfg Config) cacheConfig() (cache.Config, error) {
 // pattern defeats the configured protection level (a DUE).
 var ErrUncorrectable = cache.ErrUncorrectable
 
+// now loads the logical clock; advance moves it by one access latency.
+func (c *Cache) now() time.Duration { return time.Duration(c.clock.Load()) }
+
+func (c *Cache) advance(lat time.Duration) {
+	if lat > 0 {
+		c.clock.Add(int64(lat))
+	}
+}
+
 // Read returns the 64-byte line containing addr.
 func (c *Cache) Read(addr uint64) ([]byte, error) {
-	data, lat, err := c.inner.Read(c.clock, addr)
-	c.clock += lat
+	data, lat, err := c.inner.Read(c.now(), addr)
+	c.advance(lat)
 	return data, err
+}
+
+// ReadInto is Read into a caller-provided 64-byte buffer — the
+// allocation-free form for callers that reuse a line buffer across
+// accesses.
+func (c *Cache) ReadInto(addr uint64, dst []byte) error {
+	lat, err := c.inner.ReadInto(c.now(), addr, dst)
+	c.advance(lat)
+	return err
 }
 
 // Write stores a 64-byte line at addr.
 func (c *Cache) Write(addr uint64, data []byte) error {
-	lat, err := c.inner.Write(c.clock, addr, data)
-	c.clock += lat
+	lat, err := c.inner.Write(c.now(), addr, data)
+	c.advance(lat)
 	return err
 }
 
@@ -250,6 +273,10 @@ type Concurrent struct {
 
 	mu     sync.Mutex
 	daemon *shard.ScrubDaemon
+	// scrubBase accumulates the lifetime stats of every daemon that has
+	// been stopped, so ScrubStats stays cumulative across stop/start
+	// cycles instead of resetting with each StartScrub.
+	scrubBase ScrubDaemonStats
 }
 
 // NewConcurrent builds the sharded engine. cfg.Shards selects the
@@ -280,6 +307,11 @@ func (c *Concurrent) Shards() int { return c.eng.Shards() }
 // Read returns the 64-byte line containing addr, repairing it on the
 // way as the protection level allows.
 func (c *Concurrent) Read(addr uint64) ([]byte, error) { return c.eng.Read(addr) }
+
+// ReadInto is Read into a caller-provided 64-byte buffer — the
+// allocation-free form for callers that reuse a line buffer across
+// accesses.
+func (c *Concurrent) ReadInto(addr uint64, dst []byte) error { return c.eng.ReadInto(addr, dst) }
 
 // Write stores a 64-byte line at addr.
 func (c *Concurrent) Write(addr uint64, data []byte) error { return c.eng.Write(addr, data) }
@@ -318,8 +350,14 @@ func (c *Concurrent) Stats() Stats { return c.eng.Stats() }
 func (c *Concurrent) StartScrub(cfg ScrubDaemonConfig) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.daemon != nil && c.daemon.Running() {
-		return ErrScrubAlreadyRunning
+	if c.daemon != nil {
+		if c.daemon.Running() {
+			return ErrScrubAlreadyRunning
+		}
+		// Fold the stopped daemon's lifetime totals into the base so a
+		// restart never zeroes the cumulative ScrubStats.
+		c.scrubBase.Add(c.daemon.Stats())
+		c.daemon = nil
 	}
 	d, err := shard.NewScrubDaemon(c.eng, cfg)
 	if err != nil {
@@ -350,13 +388,19 @@ func (c *Concurrent) DrainScrub() error {
 	return ErrScrubNotRunning
 }
 
-// ScrubStats returns the daemon's aggregate counters (zero value if
-// the daemon never started).
+// ScrubStats returns the daemon's aggregate counters, cumulative over
+// the engine's lifetime: stopping and restarting the daemon carries
+// the totals forward rather than resetting them (zero value if a
+// daemon never started). Interval reflects the most recent daemon.
 func (c *Concurrent) ScrubStats() ScrubDaemonStats {
-	if d := c.scrubDaemon(); d != nil {
-		return d.Stats()
+	c.mu.Lock()
+	total := c.scrubBase
+	d := c.daemon
+	c.mu.Unlock()
+	if d != nil {
+		total.Add(d.Stats())
 	}
-	return ScrubDaemonStats{}
+	return total
 }
 
 func (c *Concurrent) scrubDaemon() *shard.ScrubDaemon {

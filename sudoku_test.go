@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 )
@@ -421,4 +422,183 @@ func TestConcurrentDeterministicFaults(t *testing.T) {
 	if a.Stats() != b.Stats() {
 		t.Fatalf("stats diverge:\n%+v\n%+v", a.Stats(), b.Stats())
 	}
+}
+
+// TestCacheConcurrentClock is the regression test for the Cache clock
+// data race: before the clock became atomic, concurrent Read/Write
+// both did `c.clock += lat` and `go test -race` flagged it.
+func TestCacheConcurrentClock(t *testing.T) {
+	c, err := New(smallConfig(SuDokuZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.Repeat([]byte{0xa5}, 64)
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Write(i*64, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 200; i++ {
+				addr := uint64((g*50+i)%64) * 64
+				if i%3 == 0 {
+					if err := c.Write(addr, line); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := c.ReadInto(addr, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(buf, line) {
+					t.Errorf("read back %x", buf[:4])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := c.Scrub(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCacheReadInto checks the zero-copy read path returns the same
+// bytes as Read and validates its buffer length.
+func TestCacheReadInto(t *testing.T) {
+	c, err := New(smallConfig(SuDokuZ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 64)
+	for i := range want {
+		want[i] = byte(3 * i)
+	}
+	if err := c.Write(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadInto(0x1000, make([]byte, 63)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	buf := make([]byte, 64)
+	if err := c.ReadInto(0x1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("ReadInto mismatch: %x", buf[:8])
+	}
+	got, err := c.Read(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("Read and ReadInto disagree")
+	}
+}
+
+// TestScrubStatsSurviveRestart is the regression test for the daemon
+// restart bug: StartScrub after StopScrub used to replace the daemon
+// and report only the new daemon's counters, silently zeroing the
+// cumulative ScrubStats.
+func TestScrubStatsSurviveRestart(t *testing.T) {
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 4
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		if err := c.Write(i*64, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dcfg := ScrubDaemonConfig{Interval: 4 * time.Millisecond}
+	if err := c.StartScrub(dcfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DrainScrub(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopScrub(); err != nil {
+		t.Fatal(err)
+	}
+	first := c.ScrubStats()
+	if first.ShardPasses == 0 || first.Rotations == 0 {
+		t.Fatalf("no scrub work recorded before restart: %+v", first)
+	}
+	// A stopped daemon must keep reporting its lifetime totals.
+	if got := c.ScrubStats(); got != first {
+		t.Fatalf("stats changed while stopped: %+v vs %+v", got, first)
+	}
+	if err := c.StartScrub(dcfg); err != nil {
+		t.Fatal(err)
+	}
+	after := c.ScrubStats()
+	if after.ShardPasses < first.ShardPasses || after.Rotations < first.Rotations {
+		t.Fatalf("restart zeroed cumulative stats: %+v -> %+v", first, after)
+	}
+	if err := c.DrainScrub(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopScrub(); err != nil {
+		t.Fatal(err)
+	}
+	final := c.ScrubStats()
+	if final.Rotations <= first.Rotations {
+		t.Fatalf("second daemon's rotations not accumulated: %+v -> %+v", first, final)
+	}
+	if final.Scrub.Passes < first.Scrub.Passes+c.Shards() {
+		t.Fatalf("scrubber passes not cumulative: %+v -> %+v", first.Scrub, final.Scrub)
+	}
+}
+
+// TestConcurrentReadInto drives the sharded engine's zero-copy read
+// path under contention.
+func TestConcurrentReadInto(t *testing.T) {
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 4
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lines = 128
+	for i := uint64(0); i < lines; i++ {
+		if err := c.Write(i*64, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 300; i++ {
+				n := uint64((g*79 + i) % lines)
+				if err := c.ReadInto(n*64, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(n) || buf[63] != byte(n) {
+					t.Errorf("line %d: got %x", n, buf[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
