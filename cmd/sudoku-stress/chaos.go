@@ -1,0 +1,291 @@
+// Chaos mode: an adversarial soak for the RAS pipeline. The engine
+// runs with retirement and quarantine armed while the harness throws
+// 10× the paper's per-interval bit-error budget at it, kills and
+// restarts the scrub daemon mid-flight, plants permanent faults to
+// churn line retirement, and corrupts parity lines to trip region
+// quarantine — all under concurrent load.
+//
+// Every load goroutine owns a disjoint slice of the line space and
+// shadow-verifies its own reads with generation-stamped content, so
+// silent data corruption cannot hide: a successful read that fails
+// verification is recorded as an SDC event. The run fails (non-zero
+// exit) if any SDC is observed or any clean-line DUE recovery fails;
+// dirty-line data loss and retirements are expected storm casualties
+// and are reported, not gated.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudoku"
+	"sudoku/internal/rng"
+	"sudoku/internal/sttram"
+)
+
+// chaosStormBudget returns the per-interval fault count at 10× the
+// paper's BER for a cache of the given line count (553 stored bits per
+// line).
+func chaosStormBudget(lines int) int {
+	return int(10*sttram.PaperBER20ms*float64(lines)*553) + 1
+}
+
+// mixWord derives the shadow-verifiable fill word for (addr, gen) —
+// a splitmix-style avalanche so any bit corruption in the line body or
+// the generation stamp scrambles the comparison.
+func mixWord(addr, gen uint64) uint64 {
+	x := addr*0x9e3779b97f4a7c15 + gen*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// fillLine stamps buf (64 bytes) with generation gen for addr: word 0
+// carries the generation, words 1..7 the mix pattern. Bit 7 of byte 0
+// is part of the generation's low byte; generations stay small, so the
+// stuck-at bit the churner pins (bit 7, stuck to 1) deviates whenever
+// the line is resident with gen < 128 — i.e. practically always.
+func fillLine(buf []byte, addr, gen uint64) {
+	binary.LittleEndian.PutUint64(buf[0:], gen)
+	w := mixWord(addr, gen)
+	for i := 1; i < 8; i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+}
+
+// verifyLine checks a successfully read line against the shadow
+// generation bound. It returns ok=false only for content no write of
+// ours can explain — the SDC signature. An all-zero line is the
+// backing store's "lost before first write-back" default, not an SDC.
+func verifyLine(buf []byte, addr, lastGen uint64) (ok bool, detail string) {
+	if isZero(buf) {
+		return true, ""
+	}
+	gen := binary.LittleEndian.Uint64(buf[0:])
+	if gen > lastGen {
+		return false, fmt.Sprintf("generation %d from the future (last written %d)", gen, lastGen)
+	}
+	want := mixWord(addr, gen)
+	for i := 1; i < 8; i++ {
+		if got := binary.LittleEndian.Uint64(buf[8*i:]); got != want {
+			return false, fmt.Sprintf("word %d = %#x, want %#x (gen %d)", i, got, want, gen)
+		}
+	}
+	return true, ""
+}
+
+// chaosCounters aggregates harness-side observations.
+type chaosCounters struct {
+	ops, dues, lost, sdc atomic.Int64
+	stuckPlanted         atomic.Int64
+	parityFaults         atomic.Int64
+	daemonRestarts       atomic.Int64
+	rebuilds             atomic.Int64
+}
+
+// runChaos is the -chaos entry point.
+func runChaos(o options, out io.Writer) error {
+	cfg := buildConfig(o)
+	cfg.RetireCEThreshold = 3
+	cfg.SpareLines = 4
+	cfg.QuarantineAuditPasses = 2
+	c, err := sudoku.NewConcurrent(cfg)
+	if err != nil {
+		return err
+	}
+	daemonCfg := sudoku.ScrubDaemonConfig{
+		Interval:     o.scrub,
+		StormPerPass: storms(chaosStormBudget(o.cachemb<<20/64), c.Shards()),
+		Watchdog:     4*o.scrub + 200*time.Millisecond,
+	}
+	if err := c.StartScrub(daemonCfg); err != nil {
+		return err
+	}
+
+	lines := uint64(o.cachemb << 20 / 64)
+	var cnt chaosCounters
+	deadline := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+
+	// Load fleet: goroutine g owns lines ≡ g (mod goroutines+1);
+	// residue `goroutines` is reserved for the chaos controller's
+	// stuck-at churn so nobody shadow-verifies a deliberately broken
+	// line.
+	stride := uint64(o.goroutines + 1)
+	master := rng.New(o.seed)
+	for g := 0; g < o.goroutines; g++ {
+		src := master.Split()
+		wg.Add(1)
+		go func(g uint64, src *rng.Source) {
+			defer wg.Done()
+			owned := lines / stride // owned line k is line index k*stride+g
+			if owned == 0 {
+				return
+			}
+			// shadow[line] is the highest generation ever written to
+			// the line. It is monotone and never deleted: after a
+			// dirty-line DUE the backing store can still hold an older
+			// write, so any generation ≤ the max with a matching mix
+			// pattern is legitimate stale-but-consistent content. Only
+			// a mix mismatch or a generation above the max is an SDC.
+			shadow := make(map[uint64]uint64)
+			buf := make([]byte, 64)
+			rbuf := make([]byte, 64)
+			n := int64(0)
+			for {
+				if n%128 == 0 && time.Now().After(deadline) {
+					break
+				}
+				n++
+				line := src.Uint64n(owned)*stride + g
+				addr := line * 64
+				if src.Float64() < o.readfrac {
+					err := c.ReadInto(addr, rbuf)
+					if err != nil {
+						// A dirty-line DUE: our latest write is lost, the
+						// slot discarded; a later read refetches older
+						// backing content. Visible loss, not silent.
+						cnt.dues.Add(1)
+						continue
+					}
+					if last, tracked := shadow[line]; tracked {
+						if ok, detail := verifyLine(rbuf, addr, last); !ok {
+							cnt.sdc.Add(1)
+							c.RecordSDC(addr, detail)
+						} else if last > 0 && isZero(rbuf) {
+							cnt.lost.Add(1) // discarded before first write-back
+						}
+					}
+				} else {
+					gen := shadow[line] + 1
+					fillLine(buf, addr, gen)
+					// Record the generation even if the write errors:
+					// it may have partially landed, and gens must stay
+					// monotone per line for verification to be sound.
+					shadow[line] = gen
+					if err := c.Write(addr, buf); err != nil {
+						cnt.dues.Add(1)
+					}
+				}
+			}
+			cnt.ops.Add(n)
+		}(uint64(g), src)
+	}
+
+	// Chaos controller: extra whole-cache storms, daemon kill/restart,
+	// stuck-at retirement churn (one bit per distinct line, so a clean
+	// line's refetch recovery always converges), parity corruption, and
+	// periodic region rebuilds.
+	ctlDone := make(chan struct{})
+	go func() {
+		defer close(ctlDone)
+		src := rng.New(o.seed ^ 0xc4a05)
+		groups := c.ParityGroups()
+		stuckNext := uint64(0)
+		stuckPool := lines / stride // controller-owned lines: k*stride + goroutines
+		buf := make([]byte, 64)
+		tick := 0
+		for time.Now().Before(deadline) {
+			time.Sleep(o.scrub)
+			tick++
+			// An extra whole-cache burst on top of the daemon's
+			// per-pass storms.
+			_ = c.InjectRandomFaults(src.Uint64(), chaosStormBudget(int(lines))/2)
+			if tick%3 == 0 && groups > 0 {
+				shard := int(src.Uint64n(uint64(c.Shards())))
+				group := int(src.Uint64n(uint64(groups)))
+				bit := int(src.Uint64n(553))
+				if c.InjectParityFault(shard, group, bit) == nil {
+					cnt.parityFaults.Add(1)
+				}
+			}
+			if tick%5 == 0 {
+				if c.StopScrub() == nil {
+					time.Sleep(o.scrub / 4)
+					if c.StartScrub(daemonCfg) == nil {
+						cnt.daemonRestarts.Add(1)
+					}
+				}
+			}
+			if tick%4 == 0 && stuckPool > 0 && stuckNext < 16 {
+				line := (stuckNext%stuckPool)*stride + uint64(o.goroutines)
+				addr := line * 64
+				fillLine(buf, addr, 1) // resident, dirty, bit 7 of byte 0 clear
+				if c.Write(addr, buf) == nil && c.InjectStuckAt(addr, 7, true) == nil {
+					cnt.stuckPlanted.Add(1)
+				}
+				stuckNext++
+			}
+			if tick%7 == 0 {
+				if n, err := c.RebuildQuarantined(); err == nil {
+					cnt.rebuilds.Add(int64(n))
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-ctlDone
+	_ = c.StopScrub()
+	// Settle: return quarantined regions to service and let two full
+	// synchronous passes drain the repair backlog before judging.
+	if _, err := c.RebuildQuarantined(); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Scrub(); err != nil {
+			return err
+		}
+	}
+
+	h := c.Health()
+	st := c.Stats()
+	scrub := c.ScrubStats()
+	fmt.Fprintf(out, "chaos: shards=%d ops=%d storm=%d/interval (10x paper BER)\n",
+		c.Shards(), cnt.ops.Load(), chaosStormBudget(int(lines)))
+	fmt.Fprintf(out, "chaos: daemon restarts=%d stuck planted=%d parity faults=%d rebuilds=%d\n",
+		cnt.daemonRestarts.Load(), cnt.stuckPlanted.Load(), cnt.parityFaults.Load(), cnt.rebuilds.Load())
+	fmt.Fprintf(out, "health: due-recovered=%d due-data-loss=%d due-overwritten=%d recovery-failed=%d\n",
+		h.Counts.DUERecovered, h.Counts.DUEDataLoss, h.Counts.DUEOverwritten, h.Counts.RecoveryFailed)
+	fmt.Fprintf(out, "health: retired=%d spares-free=%d quarantined=%d (lifetime %d, rebuilt %d) stalls=%d panics=%d\n",
+		h.RetiredLines, h.SparesFree, h.QuarantinedRegions,
+		h.Counts.RegionsQuarantined, h.Counts.RegionsRebuilt, scrub.Stalls, scrub.Panics)
+	fmt.Fprintf(out, "load: dues-seen=%d shadow-resets=%d repairs: single=%d sdr=%d raid=%d\n",
+		cnt.dues.Load(), cnt.lost.Load(), st.SingleRepairs, st.SDRRepairs, st.RAIDRepairs)
+	if !o.quiet {
+		for _, ev := range tailEvents(h.Events, 10) {
+			fmt.Fprintf(out, "event: %v\n", ev)
+		}
+	}
+	if h.Counts.SDC > 0 {
+		return fmt.Errorf("chaos: %d silent data corruptions detected", h.Counts.SDC)
+	}
+	if h.Counts.RecoveryFailed > 0 {
+		return fmt.Errorf("chaos: %d clean-line DUE recoveries failed", h.Counts.RecoveryFailed)
+	}
+	fmt.Fprintln(out, "chaos: PASS (zero SDC, all clean-line DUEs recovered)")
+	return nil
+}
+
+func isZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tailEvents returns the last n events.
+func tailEvents(evs []sudoku.RASEvent, n int) []sudoku.RASEvent {
+	if len(evs) <= n {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}

@@ -8,7 +8,14 @@
 //
 //	sudoku-stress [-engine sharded|global|compare] [-goroutines 8]
 //	              [-duration 2s] [-cachemb 1] [-shards 0] [-readfrac 0.7]
-//	              [-storm 50] [-scrub 20ms] [-seed 1] [-quiet]
+//	              [-storm 50] [-scrub 20ms] [-seed 1] [-quiet] [-chaos]
+//
+// Chaos mode (-chaos) ignores -engine and -storm: it soaks the sharded
+// engine's RAS pipeline under 10× the paper's bit-error rate with
+// scrub-daemon kill/restart churn, permanent-fault retirement churn,
+// and parity-line corruption, shadow-verifying every read. The process
+// exits non-zero if any silent data corruption or failed clean-line
+// DUE recovery is observed.
 //
 // The global engine is the single-lock cache.STTRAM; the sharded
 // engine is the bank-sharded shard.Engine behind sudoku.NewConcurrent.
@@ -51,6 +58,7 @@ type options struct {
 	scrub      time.Duration
 	seed       uint64
 	quiet      bool
+	chaos      bool
 }
 
 func run(args []string, out io.Writer) error {
@@ -66,6 +74,7 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&o.scrub, "scrub", 20*time.Millisecond, "scrub interval")
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-bucket histogram")
+	fs.BoolVar(&o.chaos, "chaos", false, "chaos mode: RAS soak on the sharded engine (10x paper BER, daemon churn, retirement, quarantine; fails on any SDC)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +94,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("scrub interval %v", o.scrub)
 	}
 
+	if o.chaos {
+		return runChaos(o, out)
+	}
 	switch o.engine {
 	case "sharded", "global":
 		res, err := runEngine(o, o.engine)

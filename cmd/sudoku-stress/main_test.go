@@ -52,6 +52,31 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunChaos is the chaos smoke: a short RAS soak that must come
+// back with zero SDC and zero failed clean-line recoveries (runChaos
+// returns an error otherwise). CI runs the same mode for longer under
+// -race via the chaos-smoke job.
+func TestRunChaos(t *testing.T) {
+	dur := "400ms"
+	if testing.Short() {
+		dur = "150ms"
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-chaos", "-goroutines", "4", "-duration", dur,
+		"-cachemb", "1", "-scrub", "5ms", "-quiet",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"chaos: PASS", "health: retired=", "storm="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-engine", "nope"},

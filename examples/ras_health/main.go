@@ -1,0 +1,136 @@
+// RAS health walkthrough: drive the recovery / retirement /
+// quarantine pipeline through the public API and watch each stage
+// land in Health() — the event ring, the per-kind census, and the
+// retired-line / spare / quarantine counts a controller would export.
+//
+// Three scenes, each a thing the paper's outcome taxonomy only names:
+//
+//  1. A dirty-line DUE: the one outcome that must surface as an error
+//     (the only up-to-date copy is gone), recorded as data loss.
+//  2. A chronic stuck-at cell: transient repairs decay out of the
+//     leaky bucket, a permanent fault integrates until the scrub
+//     sweep retires the line to a spare row.
+//  3. A corrupt parity line: the region audit quarantines it (per-line
+//     ECC+CRC only — no RAID repairs against bad parity) until
+//     RebuildQuarantined restores coverage.
+//
+// Run with:
+//
+//	go run ./examples/ras_health
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	"sudoku"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := sudoku.DefaultConfig()
+	cfg.CacheMB = 1
+	// Level X (no SDR, single parity table) so a small planted fault
+	// pattern produces a genuine DUE for scene 1; Y/Z would repair it.
+	cfg.Protection = sudoku.SuDokuX
+	for lines := cfg.CacheMB << 20 / 64; lines < cfg.GroupSize*cfg.GroupSize; {
+		cfg.GroupSize /= 2 // skewed hashing needs Lines ≥ GroupSize²
+	}
+	cfg.RetireCEThreshold = 3 // CE bucket level that retires a line
+	cfg.SpareLines = 2        // spare rows per shard
+	cfg.QuarantineAuditPasses = 1
+	c, err := sudoku.NewConcurrent(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache: %d MB, %d shards, retire at %d CEs, %d spares/shard\n\n",
+		cfg.CacheMB, c.Shards(), cfg.RetireCEThreshold, cfg.SpareLines)
+
+	// Scene 1 — dirty-line DUE. Two double-bit faults in one parity
+	// group defeat both per-line correction and RAID reconstruction.
+	// The lines are dirty, so there is no clean copy to refetch: the
+	// read must fail, and Health records the data loss.
+	line := bytes.Repeat([]byte{0xA5}, 64)
+	for _, addr := range []uint64{0, 32 * 64} { // shard 0, sub-lines 0 and 1
+		if err := c.Write(addr, line); err != nil {
+			return err
+		}
+		for _, bit := range []int{10, 20} {
+			if err := c.InjectFault(addr, bit); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := c.Read(0); errors.Is(err, sudoku.ErrUncorrectable) {
+		fmt.Println("scene 1: dirty-line DUE surfaced:", err)
+	} else {
+		return fmt.Errorf("expected a DUE, got %v", err)
+	}
+
+	// Scene 2 — chronic cell. A stuck-at bit is re-corrected every
+	// scrub pass, so its CE bucket integrates instead of decaying;
+	// the retirement sweep moves the line to a spare row, after which
+	// further injections land on dead silicon.
+	const chronic = 64 * 64
+	if err := c.Write(chronic, line); err != nil {
+		return err
+	}
+	if err := c.InjectStuckAt(chronic, 3, true); err != nil {
+		return err
+	}
+	for pass := 1; ; pass++ {
+		if _, err := c.Scrub(); err != nil {
+			return err
+		}
+		if h := c.Health(); h.RetiredLines > 0 {
+			fmt.Printf("scene 2: line retired after %d scrub passes (spares free: %d)\n",
+				pass, h.SparesFree)
+			break
+		}
+		if pass > 4*cfg.RetireCEThreshold {
+			return fmt.Errorf("line never retired")
+		}
+	}
+	if got, err := c.Read(chronic); err != nil || !bytes.Equal(got, line) {
+		return fmt.Errorf("retired line unreadable: %v", err)
+	}
+
+	// Scene 3 — corrupt parity. The audit sees every member line
+	// Check-clean while the stored parity disagrees: the parity line
+	// itself is bad, and trusting it would convert one bad row into
+	// region-wide mis-corrections. Quarantine, then rebuild. The
+	// audit only inspects regions with resident lines, so populate
+	// shard 1's group 0 first (global line 1 → shard 1, sub-line 0).
+	if err := c.Write(1*64, line); err != nil {
+		return err
+	}
+	if err := c.InjectParityFault(1, 0, 17); err != nil {
+		return err
+	}
+	if _, err := c.Scrub(); err != nil {
+		return err
+	}
+	fmt.Printf("scene 3: quarantined regions: %d\n", c.Health().QuarantinedRegions)
+	rebuilt, err := c.RebuildQuarantined()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scene 3: rebuilt %d parity region(s)\n\n", rebuilt)
+
+	h := c.Health()
+	fmt.Printf("health census: due-data-loss=%d lines-retired=%d quarantined=%d rebuilt=%d\n",
+		h.Counts.DUEDataLoss, h.Counts.LinesRetired,
+		h.Counts.RegionsQuarantined, h.Counts.RegionsRebuilt)
+	fmt.Println("event log:")
+	for _, ev := range h.Events {
+		fmt.Printf("  %v\n", ev)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"sudoku/internal/bitvec"
 	"sudoku/internal/core"
+	"sudoku/internal/ras"
 )
 
 // Memory is the next level below the LLC (DRAM): a timing model that
@@ -58,7 +59,37 @@ type Config struct {
 	// MaxMismatch overrides the SDR candidate cap (0 = paper default
 	// of 6; raise it alongside ECCStrength ≥ 2).
 	MaxMismatch int
+	// RetireCEThreshold enables line retirement: a line whose
+	// correctable-error leaky bucket (fed by repairs, drained every few
+	// scrub passes) reaches this count is remapped to a spare line and
+	// withdrawn from the STTRAM array. Zero disables retirement.
+	// Requires protection.
+	RetireCEThreshold int
+	// SpareLines is the spare-pool size for retirement (per cache; in
+	// the sharded engine, per shard). Zero with retirement enabled
+	// selects DefaultSpareLines. Spares model hardened (SRAM-class)
+	// replacement rows: they sit outside the parity domain and absorb
+	// injected faults.
+	SpareLines int
+	// QuarantineAuditPasses enables region quarantine: every N scrub
+	// passes the scrubber audits each Hash-1 parity group, and a group
+	// whose member lines all check clean while the group parity
+	// mismatches — the signature of a bad parity line — is quarantined:
+	// writes bypass its parity accounting and scrub skips its lines
+	// until RebuildQuarantined recomputes the parity. Zero disables the
+	// audit. Requires protection.
+	QuarantineAuditPasses int
 }
+
+// DefaultSpareLines is the spare-pool size used when retirement is
+// enabled without an explicit SpareLines.
+const DefaultSpareLines = 8
+
+// ceDecayPasses is the leaky-bucket drain period: every this many
+// scrub passes, all correctable-error buckets are halved. A chronic
+// line (≥1 repair per pass) therefore climbs toward 2·ceDecayPasses
+// while a line with a one-off burst decays back to zero.
+const ceDecayPasses = 4
 
 // DefaultConfig returns the Table VI cache: 64 MB, 8-way, 64 B lines,
 // SuDoku-Z protection.
@@ -92,6 +123,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache: latencies %v/%v", c.ReadLatency, c.WriteLatency)
 	case c.ClockGHz <= 0:
 		return fmt.Errorf("cache: clock %v GHz", c.ClockGHz)
+	case c.RetireCEThreshold < 0:
+		return fmt.Errorf("cache: RetireCEThreshold %d", c.RetireCEThreshold)
+	case c.SpareLines < 0:
+		return fmt.Errorf("cache: SpareLines %d", c.SpareLines)
+	case c.QuarantineAuditPasses < 0:
+		return fmt.Errorf("cache: QuarantineAuditPasses %d", c.QuarantineAuditPasses)
+	case c.Protection == 0 && (c.RetireCEThreshold > 0 || c.QuarantineAuditPasses > 0):
+		return fmt.Errorf("cache: retirement/quarantine require protection")
 	}
 	if c.Protection != 0 {
 		p := core.Params{NumLines: c.Lines, GroupSize: c.GroupSize}
@@ -116,6 +155,14 @@ type Stats struct {
 	UncorrectableDUEs int64
 	ScrubPasses       int64
 	FaultsInjected    int64
+	// DUERecovered counts clean-line DUEs transparently recovered by a
+	// refetch from the backing memory (the access succeeded).
+	DUERecovered int64
+	// DUEDataLoss counts dirty-line DUEs whose only copy was lost (the
+	// access failed, or the dirty victim was dropped on eviction).
+	DUEDataLoss int64
+	// LinesRetired counts lines remapped to the spare pool.
+	LinesRetired int64
 }
 
 // Add accumulates another snapshot into s — the sharded engine folds
@@ -135,6 +182,9 @@ func (s *Stats) Add(o Stats) {
 	s.UncorrectableDUEs += o.UncorrectableDUEs
 	s.ScrubPasses += o.ScrubPasses
 	s.FaultsInjected += o.FaultsInjected
+	s.DUERecovered += o.DUERecovered
+	s.DUEDataLoss += o.DUEDataLoss
+	s.LinesRetired += o.LinesRetired
 }
 
 // counters is the live, lock-free form of Stats. Increment sites run
@@ -154,6 +204,9 @@ type counters struct {
 	uncorrectableDUEs atomic.Int64
 	scrubPasses       atomic.Int64
 	faultsInjected    atomic.Int64
+	dueRecovered      atomic.Int64
+	dueDataLoss       atomic.Int64
+	linesRetired      atomic.Int64
 }
 
 // snapshot loads every counter. Loads are individually atomic, not a
@@ -174,6 +227,9 @@ func (c *counters) snapshot() Stats {
 		UncorrectableDUEs: c.uncorrectableDUEs.Load(),
 		ScrubPasses:       c.scrubPasses.Load(),
 		FaultsInjected:    c.faultsInjected.Load(),
+		DUERecovered:      c.dueRecovered.Load(),
+		DUEDataLoss:       c.dueDataLoss.Load(),
+		LinesRetired:      c.linesRetired.Load(),
 	}
 }
 
@@ -205,6 +261,25 @@ type STTRAM struct {
 	useClock uint64
 	scr      scratch
 	stats    counters
+
+	// events is the RAS sink; emissions happen under c.mu with Shard 0
+	// and shard-local Line/Addr (the sharded engine's sink remaps them
+	// to whole-cache coordinates). Nil drops events.
+	events func(ras.Event)
+
+	// Retirement state (RetireCEThreshold > 0): ceBucket is the
+	// per-line leaky bucket, retired the phys→spare remap table, and
+	// spareData the hardened spare rows (allocated on retirement).
+	ceBucket  map[int]int
+	retired   map[int]int
+	spareData [][]byte
+	spareUsed int
+	decayTick int
+
+	// Quarantine state (QuarantineAuditPasses > 0): Hash-1 groups
+	// whose parity line failed the audit and awaits a rebuild.
+	quarantined map[int]bool
+	auditTick   int
 }
 
 // scratch holds the reusable line-sized staging vectors for the
@@ -217,6 +292,7 @@ type scratch struct {
 	data      *bitvec.Vector // payload staging (DataBits)
 	newStored *bitvec.Vector // freshly encoded codeword (StoredBits)
 	delta     *bitvec.Vector // old⊕new parity delta (StoredBits)
+	audit     *bitvec.Vector // parity-audit group accumulator (StoredBits)
 }
 
 var _ core.CacheView = (*cacheView)(nil)
@@ -289,9 +365,70 @@ func New(cfg Config, mem Memory) (*STTRAM, error) {
 			data:      bitvec.New(c.codec.DataBits()),
 			newStored: bitvec.New(c.codec.StoredBits()),
 			delta:     bitvec.New(c.codec.StoredBits()),
+			audit:     bitvec.New(c.codec.StoredBits()),
+		}
+		if cfg.RetireCEThreshold > 0 {
+			spares := cfg.SpareLines
+			if spares == 0 {
+				spares = DefaultSpareLines
+			}
+			c.ceBucket = make(map[int]int)
+			c.retired = make(map[int]int)
+			c.spareData = make([][]byte, spares)
+		}
+		if cfg.QuarantineAuditPasses > 0 {
+			c.quarantined = make(map[int]bool)
 		}
 	}
 	return c, nil
+}
+
+// SetEventSink installs the RAS event sink. Events are emitted while
+// the engine mutex is held, so the sink must be fast and must not call
+// back into the cache. Install it before traffic starts.
+func (c *STTRAM) SetEventSink(fn func(ras.Event)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = fn
+}
+
+// emit sends one RAS event to the sink (if any). Callers hold c.mu.
+func (c *STTRAM) emit(kind ras.EventKind, phys int, addr uint64, detail string) {
+	if c.events == nil {
+		return
+	}
+	c.events(ras.Event{Kind: kind, Line: phys, Addr: addr, Detail: detail})
+}
+
+// RetiredLines returns the number of lines remapped to spares.
+func (c *STTRAM) RetiredLines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.retired)
+}
+
+// SparesFree returns the number of unused spare lines.
+func (c *STTRAM) SparesFree() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spareData) - c.spareUsed
+}
+
+// QuarantinedRegions returns the number of Hash-1 groups currently
+// quarantined.
+func (c *STTRAM) QuarantinedRegions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.quarantined)
+}
+
+// ParityGroups returns the number of Hash-1 parity groups (0 when
+// protection is off).
+func (c *STTRAM) ParityGroups() int {
+	if c.cfg.Protection == 0 {
+		return 0
+	}
+	return c.params.NumGroups()
 }
 
 // Config returns the cache configuration.

@@ -8,6 +8,7 @@ import (
 
 	"sudoku/internal/bitvec"
 	"sudoku/internal/core"
+	"sudoku/internal/ras"
 	"sudoku/internal/rng"
 )
 
@@ -30,6 +31,14 @@ type ScrubReport struct {
 	Hash2Repairs  int
 	// DUELines lists physical line indices that remain uncorrectable.
 	DUELines []int
+	// QuarantineSkipped counts lines the pass skipped because their
+	// region is quarantined.
+	QuarantineSkipped int
+	// LinesRetired counts lines this pass remapped to spares.
+	LinesRetired int
+	// RegionsQuarantined counts regions this pass's parity audit
+	// newly quarantined.
+	RegionsQuarantined int
 }
 
 // Read returns the 64-byte line containing addr, with the access
@@ -68,13 +77,114 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 	} else {
 		c.stats.misses.Add(1)
 		var memLat time.Duration
-		w, memLat = c.fill(now, set, addr, false)
+		var err error
+		w, memLat, err = c.fill(now, set, addr, false)
 		lat = memLat
+		if err != nil {
+			return lat, err
+		}
 	}
 	if err := c.readLineInto(c.physIndex(set, w), dst); err != nil {
-		return lat, err
+		if !errors.Is(err, ErrUncorrectable) {
+			return lat, err
+		}
+		recLat, rerr := c.recoverReadDUE(now, set, w, addr, dst)
+		return lat + recLat, rerr
 	}
 	return lat, nil
+}
+
+// recoverReadDUE services a read that hit an uncorrectable line — the
+// RAS path that turns a DUE into a managed event. A clean line is
+// reloaded from the backing memory and the read succeeds with the
+// extra miss-class latency; a dirty line's only copy is gone, so the
+// line is discarded (its slot is wiped, parity rebuilt around it) and
+// the read fails with an unrecoverable-data-loss event. Callers hold
+// c.mu; the returned latency is added to the access's.
+func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst []byte) (time.Duration, error) {
+	phys := c.physIndex(set, w)
+	if c.sets[set][w].dirty {
+		c.stats.dueDataLoss.Add(1)
+		c.emit(ras.KindDUEDataLoss, phys, c.lineAddr(addr), "dirty line discarded")
+		if err := c.discardLine(set, w); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("%w: line %d: dirty data lost", ErrUncorrectable, phys)
+	}
+	// Clean line: the backing store still holds the authoritative copy
+	// (nil = never written back = zeros). Refetch and rewrite.
+	memLat := c.mem.Access(now, c.lineAddr(addr), false)
+	line := c.backing[c.lineAddr(addr)]
+	if line == nil {
+		line = make([]byte, c.cfg.LineBytes)
+	}
+	if err := c.reloadLine(phys, line); err != nil {
+		return memLat, err
+	}
+	lat := memLat + dur(c.bankServe(ns(now+memLat), set, ns(c.cfg.WriteLatency))+c.crcCheckNs())
+	if err := c.readLineInto(phys, dst); err != nil {
+		if errors.Is(err, ErrUncorrectable) {
+			// The rewritten line is still bad: permanent damage beyond
+			// per-line repair (e.g. multiple stuck cells in a
+			// quarantined region). Give the slot up.
+			c.emit(ras.KindRecoveryFailed, phys, c.lineAddr(addr), "refetched line still uncorrectable")
+			if derr := c.discardLine(set, w); derr != nil {
+				return lat, derr
+			}
+			return lat, fmt.Errorf("%w: line %d: recovery failed", ErrUncorrectable, phys)
+		}
+		return lat, err
+	}
+	c.stats.dueRecovered.Add(1)
+	c.emit(ras.KindDUERecovered, phys, c.lineAddr(addr), "clean line refetched")
+	// A recovered DUE is strong evidence of a weak line: feed the
+	// retirement bucket directly.
+	c.noteCE(phys)
+	return lat, nil
+}
+
+// reloadLine overwrites a physical line with a fresh payload without
+// consulting its (presumed lost) old content: encode, store, rebuild
+// both covering parities from scratch, reassert permanent faults.
+func (c *STTRAM) reloadLine(phys int, data []byte) error {
+	if sp, ok := c.retired[phys]; ok {
+		copy(c.spareData[sp], data)
+		return nil
+	}
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	if err := c.scr.data.SetBytes(data); err != nil {
+		return err
+	}
+	if err := c.codec.EncodeInto(c.scr.data, c.scr.newStored); err != nil {
+		return err
+	}
+	if err := stored.CopyFrom(c.scr.newStored); err != nil {
+		return err
+	}
+	if err := c.rebuildParities(phys); err != nil {
+		return err
+	}
+	return c.reapplyStuck(phys)
+}
+
+// discardLine drops a line whose content is lost: the way is
+// invalidated, the stored codeword wiped to the (valid) zero codeword,
+// the covering parities rebuilt around it, and permanent faults
+// reasserted. The backing store keeps the last clean copy, so the next
+// miss returns stale-but-consistent data.
+func (c *STTRAM) discardLine(set, w int) error {
+	phys := c.physIndex(set, w)
+	c.sets[set][w] = way{}
+	if stored := c.stored[phys]; stored != nil {
+		stored.Zero()
+	}
+	if err := c.rebuildParities(phys); err != nil {
+		return err
+	}
+	return c.reapplyStuck(phys)
 }
 
 // Write stores a full 64-byte line at addr and returns the access
@@ -102,8 +212,12 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 	} else {
 		c.stats.misses.Add(1)
 		var memLat time.Duration
-		w, memLat = c.fill(now, set, addr, true)
+		var err error
+		w, memLat, err = c.fill(now, set, addr, true)
 		lat = memLat
+		if err != nil {
+			return lat, err
+		}
 	}
 	c.sets[set][w].dirty = true
 	phys := c.physIndex(set, w)
@@ -115,8 +229,10 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 
 // fill allocates a way for addr, evicting (and writing back) the
 // victim, and loads the line's data from the backing store. It returns
-// the chosen way and the miss latency.
-func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (int, time.Duration) {
+// the chosen way, the miss latency, and any substrate error from the
+// fill write (previously swallowed; now surfaced as a RAS event and
+// propagated).
+func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (int, time.Duration, error) {
 	v := c.victim(set)
 	entry := &c.sets[set][v]
 	if entry.valid {
@@ -128,10 +244,12 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 			_ = c.mem.Access(now, victimAddr, true)
 			if data, err := c.readLine(phys); err == nil {
 				c.backing[victimAddr] = data
+			} else if errors.Is(err, ErrUncorrectable) {
+				// An unrepairable dirty victim is data loss: the
+				// backing store keeps its previous (stale) copy.
+				c.stats.dueDataLoss.Add(1)
+				c.emit(ras.KindDUEDataLoss, phys, victimAddr, "dirty victim dropped on eviction")
 			}
-			// An unrepairable victim is dropped: the DUE was already
-			// counted when detected; the backing store keeps its
-			// previous copy.
 		}
 	}
 	memLat := c.mem.Access(now, c.lineAddr(addr), false)
@@ -143,14 +261,16 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 		line = make([]byte, c.cfg.LineBytes)
 	}
 	// Fill overwrites the physical cells; parity follows via the
-	// standard delta update.
-	if err := c.writeLine(phys, line); err != nil {
-		// writeLine only fails on geometry errors, which Validate
-		// rules out; keep the fill's timing behaviour regardless.
-		_ = err
-	}
+	// standard delta update (or a rebuild, if the slot's residue was
+	// uncorrectable).
 	fillLat := c.bankServe(ns(now+memLat), set, ns(c.cfg.WriteLatency))
-	return v, memLat + dur(fillLat+c.crcCheckNs())
+	lat := memLat + dur(fillLat+c.crcCheckNs())
+	if err := c.writeLine(phys, line); err != nil {
+		c.emit(ras.KindWriteLineError, phys, c.lineAddr(addr), err.Error())
+		c.sets[set][v] = way{} // the slot never received the line
+		return v, lat, fmt.Errorf("cache: fill of line %d: %w", phys, err)
+	}
+	return v, lat, nil
 }
 
 // readLine extracts (repairing as needed) the payload of a physical
@@ -165,8 +285,13 @@ func (c *STTRAM) readLine(phys int) ([]byte, error) {
 
 // readLineInto extracts (repairing as needed) the payload of a
 // physical line into dst, which must hold exactly LineBytes bytes. It
-// performs no allocation on the clean-line path.
+// performs no allocation on the clean-line path. Retired lines are
+// served from their hardened spare row.
 func (c *STTRAM) readLineInto(phys int, dst []byte) error {
+	if sp, ok := c.retired[phys]; ok {
+		copy(dst, c.spareData[sp])
+		return nil
+	}
 	if c.cfg.Protection == 0 {
 		// Unprotected caches store raw lines in stored[phys] as
 		// codeword-less vectors; empty means zeros.
@@ -208,6 +333,10 @@ func (c *STTRAM) readLineInto(phys int, dst []byte) error {
 // unrepairable the write proceeds and the affected parities are
 // rebuilt from scratch.
 func (c *STTRAM) writeLine(phys int, data []byte) error {
+	if sp, ok := c.retired[phys]; ok {
+		copy(c.spareData[sp], data)
+		return nil
+	}
 	if c.cfg.Protection == 0 {
 		if v := c.stored[phys]; v != nil && v.Len() == 8*len(data) {
 			return v.SetBytes(data)
@@ -227,6 +356,10 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 			if !errors.Is(err, ErrUncorrectable) {
 				return err
 			}
+			// Full-line write over uncorrectable content: the old
+			// payload was about to be replaced wholesale, so nothing
+			// observable is lost — but the incident is recorded.
+			c.emit(ras.KindDUEOverwritten, phys, ras.NoAddr, "full-line write over uncorrectable content")
 			rebuild = true
 		}
 	}
@@ -252,6 +385,16 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 		if err := c.rebuildParities(phys); err != nil {
 			return err
 		}
+		return c.reapplyStuck(phys)
+	}
+	// A quarantined region's Hash-1 parity line is bad: updating it
+	// would launder garbage, so writes bypass that table until the
+	// region is rebuilt. The Hash-2 parity stays fully maintained.
+	if len(c.quarantined) > 0 && c.quarantined[c.params.Hash1Of(phys)] {
+		if err := c.plt2.Update(c.params.Hash2Of(phys), c.scr.delta); err != nil {
+			return err
+		}
+		c.stats.pltWrites.Add(1)
 		return c.reapplyStuck(phys)
 	}
 	if err := c.plt1.Update(c.params.Hash1Of(phys), c.scr.delta); err != nil {
@@ -281,7 +424,15 @@ func (c *STTRAM) repairLine(phys int) error {
 		return nil
 	case core.StatusCorrected:
 		c.stats.singleRepairs.Add(1)
+		c.noteCE(phys)
 		return nil
+	}
+	// A quarantined region's group machinery is down (its parity line
+	// is bad); a multi-bit line there is a DUE until the region is
+	// rebuilt — the read path's refetch recovery takes over.
+	if len(c.quarantined) > 0 && c.quarantined[c.params.Hash1Of(phys)] {
+		c.stats.uncorrectableDUEs.Add(1)
+		return fmt.Errorf("%w: line %d (region quarantined)", ErrUncorrectable, phys)
 	}
 	report, err := c.zeng.RepairHash1Group(&cacheView{c}, c.params.Hash1Of(phys))
 	if err != nil {
@@ -362,6 +513,9 @@ func (c *STTRAM) InjectStuckAt(addr uint64, bit int, value bool) error {
 		return fmt.Errorf("cache: address %#x not resident", addr)
 	}
 	phys := c.physIndex(set, w)
+	if _, ok := c.retired[phys]; ok {
+		return nil // hardened spare rows absorb faults
+	}
 	stored, err := c.lineVec(phys)
 	if err != nil {
 		return err
@@ -422,7 +576,11 @@ func (c *STTRAM) InjectFault(addr uint64, bit int) error {
 	if w < 0 {
 		return fmt.Errorf("cache: address %#x not resident", addr)
 	}
-	stored, err := c.lineVec(c.physIndex(set, w))
+	phys := c.physIndex(set, w)
+	if _, ok := c.retired[phys]; ok {
+		return nil // hardened spare rows absorb faults
+	}
+	stored, err := c.lineVec(phys)
 	if err != nil {
 		return err
 	}
@@ -443,7 +601,11 @@ func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	lineBits := c.codec.StoredBits()
+	landed := 0
 	for _, pos := range r.SampleDistinct(c.cfg.Lines*lineBits, n) {
+		if _, ok := c.retired[pos/lineBits]; ok {
+			continue // hardened spare rows absorb faults
+		}
 		stored, err := c.lineVec(pos / lineBits)
 		if err != nil {
 			return err
@@ -451,8 +613,9 @@ func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
 		if err := stored.Flip(pos % lineBits); err != nil {
 			return err
 		}
+		landed++
 	}
-	c.stats.faultsInjected.Add(int64(n))
+	c.stats.faultsInjected.Add(int64(landed))
 	return nil
 }
 
@@ -475,6 +638,13 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 		if stored == nil {
 			continue
 		}
+		if _, ok := c.retired[phys]; ok {
+			continue // abandoned array cells; the spare row serves reads
+		}
+		if len(c.quarantined) > 0 && c.quarantined[c.params.Hash1Of(phys)] {
+			rep.QuarantineSkipped++
+			continue
+		}
 		rep.LinesChecked++
 		ok, err := c.codec.Validate(stored)
 		if err != nil {
@@ -490,6 +660,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 		switch st {
 		case core.StatusCorrected:
 			rep.SingleRepairs++
+			c.noteCE(phys)
 		case core.StatusUncorrectable:
 			if groups == nil {
 				groups = make(map[int]struct{})
@@ -530,5 +701,244 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			return rep, err
 		}
 	}
+	// Serviceability phases: retire chronic lines whose leaky bucket
+	// tripped, drain the buckets, and audit the parity tables.
+	if c.cfg.RetireCEThreshold > 0 {
+		if err := c.retireSweep(&rep); err != nil {
+			return rep, err
+		}
+	}
+	if c.cfg.QuarantineAuditPasses > 0 {
+		c.auditTick++
+		if c.auditTick >= c.cfg.QuarantineAuditPasses {
+			c.auditTick = 0
+			if err := c.auditParity(&rep); err != nil {
+				return rep, err
+			}
+		}
+	}
 	return rep, nil
+}
+
+// noteCE feeds one correctable-error token into a line's leaky bucket.
+// Callers hold c.mu. Retirement itself happens only in the scrub
+// pass's retireSweep, when the line's content is known-correctable.
+func (c *STTRAM) noteCE(phys int) {
+	if c.cfg.RetireCEThreshold <= 0 {
+		return
+	}
+	if _, ok := c.retired[phys]; ok {
+		return
+	}
+	c.ceBucket[phys]++
+}
+
+// retireSweep retires every line whose bucket reached the threshold,
+// then drains the buckets (halving every ceDecayPasses passes) so
+// isolated bursts decay while chronic lines keep climbing.
+func (c *STTRAM) retireSweep(rep *ScrubReport) error {
+	for phys, n := range c.ceBucket {
+		if n < c.cfg.RetireCEThreshold {
+			continue
+		}
+		ok, err := c.retire(phys)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rep.LinesRetired++
+		}
+	}
+	c.decayTick++
+	if c.decayTick >= ceDecayPasses {
+		c.decayTick = 0
+		for phys, n := range c.ceBucket {
+			if n /= 2; n == 0 {
+				delete(c.ceBucket, phys)
+			} else {
+				c.ceBucket[phys] = n
+			}
+		}
+	}
+	return nil
+}
+
+// retire remaps one physical line to a hardened spare row: the current
+// payload moves to the spare, the array cells are abandoned (stored
+// wiped to the zero codeword, parities rebuilt around it, stuck-cell
+// bookkeeping dropped), and the remap entry redirects all future
+// traffic. It reports false when the line had to stay in service (no
+// spare left, or content not presently recoverable).
+func (c *STTRAM) retire(phys int) (bool, error) {
+	if _, ok := c.retired[phys]; ok {
+		delete(c.ceBucket, phys)
+		return false, nil
+	}
+	if c.spareUsed >= len(c.spareData) {
+		// Out of spares: the chronic line stays in service. Drop the
+		// bucket so the event fires at a bounded rate (it refills if
+		// the line keeps erring).
+		delete(c.ceBucket, phys)
+		c.emit(ras.KindSpareExhausted, phys, ras.NoAddr, "spare pool empty; line stays in service")
+		return false, nil
+	}
+	stored := c.stored[phys]
+	if stored == nil {
+		return false, nil
+	}
+	// The chronic line typically arrives here with its permanent fault
+	// freshly reasserted; per-line repair recovers the intended content
+	// for the move. A multi-bit residue (a DUE in flight) defers the
+	// retirement to a later pass, after the read path has recovered or
+	// discarded the line.
+	if st, err := c.codec.Scrub(stored); err != nil {
+		return false, err
+	} else if st == core.StatusUncorrectable {
+		return false, nil
+	}
+	payload := make([]byte, c.cfg.LineBytes)
+	for w := 0; w < c.cfg.LineBytes/8; w++ {
+		binary.LittleEndian.PutUint64(payload[8*w:], stored.Word(w))
+	}
+	sp := c.spareUsed
+	c.spareUsed++
+	c.spareData[sp] = payload
+	delete(c.stuck, phys)
+	stored.Zero()
+	if err := c.rebuildParities(phys); err != nil {
+		return false, err
+	}
+	c.retired[phys] = sp
+	delete(c.ceBucket, phys)
+	c.stats.linesRetired.Add(1)
+	c.emit(ras.KindLineRetired, phys, ras.NoAddr, "correctable-error threshold")
+	return true, nil
+}
+
+// auditParity sweeps every Hash-1 group for the bad-parity signature:
+// all member lines individually check clean, yet the group parity
+// mismatches their XOR — only the parity line itself can be at fault.
+// Such regions are quarantined until RebuildQuarantined.
+func (c *STTRAM) auditParity(rep *ScrubReport) error {
+	for g := 0; g < c.params.NumGroups(); g++ {
+		if c.quarantined[g] {
+			continue
+		}
+		acc := c.scr.audit
+		acc.Zero()
+		empty := true
+		for _, m := range c.params.Hash1Members(g) {
+			if c.stored[m] == nil {
+				continue // lazy zero codeword contributes nothing
+			}
+			empty = false
+			if err := acc.XorInto(c.stored[m]); err != nil {
+				return err
+			}
+		}
+		if empty {
+			continue
+		}
+		par, err := c.plt1.Parity(g)
+		if err != nil {
+			return err
+		}
+		if acc.Equal(par) {
+			continue
+		}
+		// Mismatch: distinguish bad member data (normal repair
+		// territory, including stuck cells' persistent deviation) from
+		// a bad parity line.
+		clean := true
+		for _, m := range c.params.Hash1Members(g) {
+			if c.stored[m] == nil {
+				continue
+			}
+			if ok, err := c.codec.Check(c.stored[m]); err != nil {
+				return err
+			} else if !ok {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		c.quarantined[g] = true
+		rep.RegionsQuarantined++
+		c.emit(ras.KindRegionQuarantined, ras.NoLine, ras.NoAddr, fmt.Sprintf("hash1 group %d: parity line failed audit", g))
+	}
+	return nil
+}
+
+// RebuildQuarantined returns every quarantined region to service:
+// member lines get a per-line repair pass, the group parity is
+// recomputed from their (intended) contents, and permanent faults
+// reassert afterwards so they stay SDR-visible. It returns the number
+// of regions rebuilt.
+func (c *STTRAM) RebuildQuarantined() (int, error) {
+	if c.cfg.Protection == 0 {
+		return 0, ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for g := range c.quarantined {
+		members := c.params.Hash1Members(g)
+		// Repair what per-line ECC can reach so the rebuilt parity
+		// tracks intended contents, not accumulated faults.
+		for _, m := range members {
+			if c.stored[m] == nil {
+				continue
+			}
+			if _, err := c.codec.Scrub(c.stored[m]); err != nil {
+				return n, err
+			}
+		}
+		par, err := c.plt1.Parity(g)
+		if err != nil {
+			return n, err
+		}
+		par.Zero()
+		for _, m := range members {
+			if c.stored[m] == nil {
+				continue
+			}
+			if err := par.XorInto(c.stored[m]); err != nil {
+				return n, err
+			}
+		}
+		for _, m := range members {
+			if err := c.reapplyStuck(m); err != nil {
+				return n, err
+			}
+		}
+		delete(c.quarantined, g)
+		n++
+		c.emit(ras.KindRegionRebuilt, ras.NoLine, ras.NoAddr, fmt.Sprintf("hash1 group %d: parity recomputed", g))
+	}
+	return n, nil
+}
+
+// InjectParityFault flips one bit of a Hash-1 group's parity line —
+// the fault the quarantine audit exists to catch. Unlike line faults
+// it needs no resident address: parity lines are per-group state.
+func (c *STTRAM) InjectParityFault(group, bit int) error {
+	if c.cfg.Protection == 0 {
+		return ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if group < 0 || group >= c.params.NumGroups() {
+		return fmt.Errorf("cache: parity group %d out of range", group)
+	}
+	par, err := c.plt1.Parity(group)
+	if err != nil {
+		return err
+	}
+	if err := par.Flip(bit); err != nil {
+		return err
+	}
+	c.stats.faultsInjected.Add(1)
+	return nil
 }

@@ -1,0 +1,85 @@
+package hamming
+
+import (
+	"testing"
+
+	"sudoku/internal/bitvec"
+)
+
+// fuzzCodes covers the SuDoku line geometry (543 = 512 data + 31 CRC)
+// plus a small code whose check positions land densely among the
+// message bits.
+func fuzzCodes(f *testing.F) []*Code {
+	f.Helper()
+	var codes []*Code
+	for _, m := range []int{57, 543} {
+		c, err := New(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		codes = append(codes, c)
+	}
+	return codes
+}
+
+// FuzzEncodeDecodePrefix pins the word-parallel prefix kernels against
+// the position-walk bitwise reference, and exercises the single-error
+// correction round trip for arbitrary payloads and flip positions.
+func FuzzEncodeDecodePrefix(f *testing.F) {
+	codes := fuzzCodes(f)
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xff}, uint16(5))
+	f.Add(make([]byte, 69), uint16(550))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, uint16(1000))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint16) {
+		for _, code := range codes {
+			// Pad the payload to at least the message length so the
+			// Prefix forms accept it; surplus bits must be ignored.
+			buf := make([]byte, (code.MsgBits()+7)/8+3)
+			copy(buf, data)
+			v := bitvec.FromBytes(buf)
+			pristine := v.Clone()
+
+			check, err := code.EncodePrefix(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(code.syndromeBitwise(v)); check != want {
+				t.Errorf("msg=%d: EncodePrefix = %#x, bitwise %#x", code.MsgBits(), check, want)
+			}
+			// Clean decode: nothing to correct, nothing changed.
+			res, err := code.DecodePrefix(v, check)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Kind != Clean || !v.Equal(pristine) {
+				t.Fatalf("msg=%d: clean decode: %+v", code.MsgBits(), res)
+			}
+			// Single-error round trip: flip one message or check bit;
+			// decode must identify and undo exactly that flip.
+			idx := int(flip) % (code.MsgBits() + code.CheckBits())
+			badCheck := check
+			if idx < code.MsgBits() {
+				if err := v.Flip(idx); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				badCheck ^= 1 << (idx - code.MsgBits())
+			}
+			res, err = code.DecodePrefix(v, badCheck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx < code.MsgBits() {
+				if res.Kind != CorrectedMessage || res.Pos != idx {
+					t.Errorf("msg=%d: flip %d decoded as %+v", code.MsgBits(), idx, res)
+				}
+			} else if res.Kind != CorrectedParity || res.Pos != idx-code.MsgBits() {
+				t.Errorf("msg=%d: check-bit flip %d decoded as %+v", code.MsgBits(), idx-code.MsgBits(), res)
+			}
+			if !v.Equal(pristine) {
+				t.Errorf("msg=%d: correction did not restore the message", code.MsgBits())
+			}
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package ras is the Reliability/Availability/Serviceability event
+// substrate: a bounded event ring that turns every detectable fault
+// outcome — DUE recoveries, data loss, line retirements, region
+// quarantines, scrub stalls, daemon panics — into a managed, observable
+// event instead of a dead end.
+//
+// The paper budgets a nonzero DUE rate even at its strongest level
+// (§III-F: SuDoku-X sees a DUE every 3.71 s; Table III), so a
+// production controller needs the serviceability half of the story:
+// what happened, where, and what degradation followed. The Log is that
+// record. Appends are cheap (one short mutex hold); per-kind counters
+// are atomics so a monitoring read (Counts) never blocks an append, and
+// Snapshot copies the ring under the same short lock.
+package ras
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a RAS event.
+type EventKind int
+
+// The event taxonomy. DESIGN.md appendix 10 maps each kind onto the
+// paper's DUE/SDC accounting.
+const (
+	// KindDUERecovered: a clean line hit an uncorrectable pattern and
+	// was transparently refetched from the backing memory — the access
+	// succeeded with extra latency (a recovered DUE).
+	KindDUERecovered EventKind = iota
+	// KindDUEDataLoss: a dirty line hit an uncorrectable pattern; its
+	// only copy is gone. The line is discarded and the access fails —
+	// an unrecoverable-data-loss DUE.
+	KindDUEDataLoss
+	// KindDUEOverwritten: a full-line write landed on an uncorrectable
+	// line; the lost old content was about to be replaced wholesale, so
+	// no payload was lost — parity was rebuilt around the write.
+	KindDUEOverwritten
+	// KindRecoveryFailed: a clean-line refetch was attempted but the
+	// re-read still failed (permanent damage beyond per-line repair).
+	KindRecoveryFailed
+	// KindWriteLineError: an internal writeLine failed on the fill
+	// path — previously swallowed, now surfaced and propagated.
+	KindWriteLineError
+	// KindLineRetired: a line's correctable-error leaky bucket tripped;
+	// the line was remapped to a spare and withdrawn from the array.
+	KindLineRetired
+	// KindSpareExhausted: retirement was warranted but the spare pool
+	// is empty; the chronic line stays in service.
+	KindSpareExhausted
+	// KindRegionQuarantined: a parity-audit found a region whose parity
+	// line itself is bad; the region is quarantined (writes bypass its
+	// parity accounting, scrub skips it) until rebuilt.
+	KindRegionQuarantined
+	// KindRegionRebuilt: a quarantined region's parity was recomputed
+	// from line contents and the region returned to service.
+	KindRegionRebuilt
+	// KindScrubStall: the daemon watchdog flagged a scrub pass that
+	// exceeded its stall budget.
+	KindScrubStall
+	// KindDaemonPanic: the scrub daemon recovered from a panic and
+	// restarted its rotation loop.
+	KindDaemonPanic
+	// KindSDC: an external integrity checker (e.g. the stress harness's
+	// shadow verifier) observed silent data corruption — data returned
+	// without error that does not match what was written.
+	KindSDC
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindDUERecovered:
+		return "due-recovered"
+	case KindDUEDataLoss:
+		return "due-data-loss"
+	case KindDUEOverwritten:
+		return "due-overwritten"
+	case KindRecoveryFailed:
+		return "recovery-failed"
+	case KindWriteLineError:
+		return "writeline-error"
+	case KindLineRetired:
+		return "line-retired"
+	case KindSpareExhausted:
+		return "spare-exhausted"
+	case KindRegionQuarantined:
+		return "region-quarantined"
+	case KindRegionRebuilt:
+		return "region-rebuilt"
+	case KindScrubStall:
+		return "scrub-stall"
+	case KindDaemonPanic:
+		return "daemon-panic"
+	case KindSDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// NoAddr marks an event with no meaningful byte address.
+const NoAddr = ^uint64(0)
+
+// NoLine marks an event with no meaningful physical line.
+const NoLine = -1
+
+// Event is one RAS occurrence.
+type Event struct {
+	// Seq is the 1-based global append sequence number.
+	Seq uint64
+	// Time is the wall-clock append time.
+	Time time.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Shard is the shard the event originated in (0 for unsharded).
+	Shard int
+	// Line is the whole-cache physical line slot, or NoLine.
+	Line int
+	// Addr is the byte address involved, or NoAddr.
+	Addr uint64
+	// Detail is a short human-readable amplification.
+	Detail string
+}
+
+// String renders a compact one-line form.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s shard=%d", e.Seq, e.Kind, e.Shard)
+	if e.Line != NoLine {
+		s += fmt.Sprintf(" line=%d", e.Line)
+	}
+	if e.Addr != NoAddr {
+		s += fmt.Sprintf(" addr=%#x", e.Addr)
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Counts is a per-kind event census. All fields are lifetime totals;
+// the ring may have evicted the events themselves.
+type Counts struct {
+	DUERecovered       int64
+	DUEDataLoss        int64
+	DUEOverwritten     int64
+	RecoveryFailed     int64
+	WriteLineErrors    int64
+	LinesRetired       int64
+	SparesExhausted    int64
+	RegionsQuarantined int64
+	RegionsRebuilt     int64
+	ScrubStalls        int64
+	DaemonPanics       int64
+	SDC                int64
+}
+
+// DefaultCapacity is the ring size used when NewLog is given zero.
+const DefaultCapacity = 1024
+
+// Log is the bounded RAS event ring. Appends take a short mutex;
+// counter reads are lock-free. The zero value is not usable; use
+// NewLog. A nil *Log is a valid sink that drops everything, so
+// producers never need a nil check beyond the method receiver.
+type Log struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // total appends; ring[(next-1) % len] is the newest
+
+	counts [numKinds]atomic.Int64
+}
+
+// NewLog builds a ring holding the most recent capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{ring: make([]Event, 0, capacity)}
+}
+
+// Append records an event, stamping Seq and (if unset) Time. It is
+// safe for concurrent use and never blocks longer than one ring write.
+// Append on a nil log is a no-op.
+func (l *Log) Append(e Event) {
+	if l == nil {
+		return
+	}
+	if e.Kind >= 0 && e.Kind < numKinds {
+		l.counts[e.Kind].Add(1)
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	l.next++
+	e.Seq = l.next
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[(l.next-1)%uint64(cap(l.ring))] = e
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained events, oldest first. The slice is a
+// copy; the caller owns it. A nil log snapshots empty.
+func (l *Log) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		copy(out, l.ring)
+		return out
+	}
+	// Full ring: the oldest entry is at next % cap.
+	head := int(l.next % uint64(cap(l.ring)))
+	n := copy(out, l.ring[head:])
+	copy(out[n:], l.ring[:head])
+	return out
+}
+
+// Count returns the lifetime total for one kind, lock-free.
+func (l *Log) Count(k EventKind) int64 {
+	if l == nil || k < 0 || k >= numKinds {
+		return 0
+	}
+	return l.counts[k].Load()
+}
+
+// Counts returns the full per-kind census, lock-free. Loads are
+// individually atomic, not a consistent cut.
+func (l *Log) Counts() Counts {
+	if l == nil {
+		return Counts{}
+	}
+	return Counts{
+		DUERecovered:       l.counts[KindDUERecovered].Load(),
+		DUEDataLoss:        l.counts[KindDUEDataLoss].Load(),
+		DUEOverwritten:     l.counts[KindDUEOverwritten].Load(),
+		RecoveryFailed:     l.counts[KindRecoveryFailed].Load(),
+		WriteLineErrors:    l.counts[KindWriteLineError].Load(),
+		LinesRetired:       l.counts[KindLineRetired].Load(),
+		SparesExhausted:    l.counts[KindSpareExhausted].Load(),
+		RegionsQuarantined: l.counts[KindRegionQuarantined].Load(),
+		RegionsRebuilt:     l.counts[KindRegionRebuilt].Load(),
+		ScrubStalls:        l.counts[KindScrubStall].Load(),
+		DaemonPanics:       l.counts[KindDaemonPanic].Load(),
+		SDC:                l.counts[KindSDC].Load(),
+	}
+}
+
+// Total returns the lifetime number of appends (≥ len(Snapshot())).
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}

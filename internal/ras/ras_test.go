@@ -1,0 +1,122 @@
+package ras
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendAndSnapshotOrder(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 3; i++ {
+		l.Append(Event{Kind: KindDUERecovered, Line: i, Addr: NoAddr})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d, want 3", len(snap))
+	}
+	for i, e := range snap {
+		if e.Line != i || e.Seq != uint64(i+1) {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d: zero time", i)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: KindLineRetired, Line: i})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := 6 + i; e.Line != want {
+			t.Fatalf("event %d: line %d, want %d", i, e.Line, want)
+		}
+		if i > 0 && snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d after %d", i, snap[i].Seq, snap[i-1].Seq)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if l.Count(KindLineRetired) != 10 {
+		t.Fatalf("count = %d, want lifetime 10", l.Count(KindLineRetired))
+	}
+}
+
+func TestCountsCensus(t *testing.T) {
+	l := NewLog(8)
+	l.Append(Event{Kind: KindDUERecovered})
+	l.Append(Event{Kind: KindDUEDataLoss})
+	l.Append(Event{Kind: KindDUEDataLoss})
+	l.Append(Event{Kind: KindRegionQuarantined})
+	c := l.Counts()
+	if c.DUERecovered != 1 || c.DUEDataLoss != 2 || c.RegionsQuarantined != 1 || c.SDC != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestNilLogIsValidSink(t *testing.T) {
+	var l *Log
+	l.Append(Event{Kind: KindSDC}) // must not panic
+	if got := l.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if l.Count(KindSDC) != 0 || l.Counts() != (Counts{}) || l.Total() != 0 {
+		t.Fatal("nil log reported activity")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog(64)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(Event{Kind: KindDUERecovered, Addr: NoAddr, Line: NoLine})
+				_ = l.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != goroutines*per {
+		t.Fatalf("total = %d", l.Total())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("retained %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("gap at %d", i)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 7, Kind: KindRegionQuarantined, Shard: 2, Line: 99, Addr: 0x1000, Detail: "parity audit"}
+	s := e.String()
+	for _, want := range []string{"#7", "region-quarantined", "shard=2", "line=99", "0x1000", "parity audit"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	bare := Event{Seq: 1, Kind: KindScrubStall, Line: NoLine, Addr: NoAddr}.String()
+	if strings.Contains(bare, "line=") || strings.Contains(bare, "addr=") {
+		t.Fatalf("bare event leaked placeholders: %q", bare)
+	}
+	for k := EventKind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

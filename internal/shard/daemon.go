@@ -9,12 +9,15 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sudoku/internal/cache"
+	"sudoku/internal/ras"
 	"sudoku/internal/scrubber"
 )
 
@@ -46,6 +49,13 @@ type DaemonConfig struct {
 	// OnPass, when non-nil, receives every per-shard pass. It runs on
 	// the daemon goroutine; keep it fast.
 	OnPass func(Pass)
+	// Watchdog, when positive, bounds how long one per-shard pass
+	// (storm + scrub + OnPass) may run before the daemon flags it as
+	// stalled: a KindScrubStall event lands in the engine's RAS log and
+	// Stats().Stalls increments, once per stalled pass. Zero disables
+	// the watchdog. The pass is not killed — a stall is an observability
+	// signal, not an abort.
+	Watchdog time.Duration
 }
 
 // Pass describes one completed per-shard scrub pass.
@@ -75,6 +85,12 @@ type DaemonStats struct {
 	Backpressure int
 	// Interval is the current rotation interval (after Policy).
 	Interval time.Duration
+	// Stalls counts passes the watchdog flagged as exceeding their
+	// stall budget.
+	Stalls int
+	// Panics counts panics recovered inside the rotation loop; each one
+	// abandons the rotation in flight and restarts with the next.
+	Panics int
 	// Scrub aggregates the repair work, per-shard passes counted as
 	// scrubber passes.
 	Scrub scrubber.Stats
@@ -87,6 +103,8 @@ func (s *DaemonStats) Add(o DaemonStats) {
 	s.Rotations += o.Rotations
 	s.ShardPasses += o.ShardPasses
 	s.Backpressure += o.Backpressure
+	s.Stalls += o.Stalls
+	s.Panics += o.Panics
 	if o.Interval > 0 {
 		s.Interval = o.Interval
 	}
@@ -108,6 +126,12 @@ type ScrubDaemon struct {
 	stopCh    chan struct{}
 	doneCh    chan struct{}
 	stats     DaemonStats
+
+	// beat is the UnixNano start time of the pass in flight (0 between
+	// passes); beatShard is that pass's shard. The watchdog goroutine
+	// reads both lock-free.
+	beat      atomic.Int64
+	beatShard atomic.Int64
 }
 
 // NewScrubDaemon builds a daemon over the engine.
@@ -120,6 +144,9 @@ func NewScrubDaemon(eng *Engine, cfg DaemonConfig) (*ScrubDaemon, error) {
 	}
 	if cfg.StormPerPass < 0 {
 		return nil, fmt.Errorf("shard: StormPerPass %d", cfg.StormPerPass)
+	}
+	if cfg.Watchdog < 0 {
+		return nil, fmt.Errorf("shard: Watchdog %v", cfg.Watchdog)
 	}
 	d := &ScrubDaemon{eng: eng, cfg: cfg}
 	d.cond = sync.NewCond(&d.mu)
@@ -138,6 +165,9 @@ func (d *ScrubDaemon) Start() error {
 	d.doneCh = make(chan struct{})
 	d.running = true
 	go d.loop(d.stopCh, d.doneCh)
+	if d.cfg.Watchdog > 0 {
+		go d.watchdog(d.stopCh)
+	}
 	return nil
 }
 
@@ -170,6 +200,13 @@ func (d *ScrubDaemon) Stop() error {
 // present at the call visible to its pass. It returns ErrStopped if
 // the daemon stops first.
 func (d *ScrubDaemon) Drain() error {
+	return d.DrainContext(context.Background())
+}
+
+// DrainContext is Drain with a deadline: it additionally returns the
+// context's error if ctx is cancelled or times out before the target
+// rotation completes. The daemon itself keeps running either way.
+func (d *ScrubDaemon) DrainContext(ctx context.Context) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.running {
@@ -182,8 +219,19 @@ func (d *ScrubDaemon) Drain() error {
 		// after it.
 		target++
 	}
-	for d.running && d.completed < target {
+	// Wake the cond waiter when the context fires; AfterFunc's stop
+	// also detaches the callback if we return first.
+	stopWatch := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stopWatch()
+	for d.running && d.completed < target && ctx.Err() == nil {
 		d.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil && d.completed < target {
+		return err
 	}
 	if d.completed < target {
 		return ErrStopped
@@ -205,69 +253,134 @@ func (d *ScrubDaemon) Stats() DaemonStats {
 	return d.stats
 }
 
-// loop is the daemon goroutine body.
+// loop is the daemon goroutine body. Each rotation runs under a panic
+// guard: a panicking Policy, OnPass, or repair path abandons that
+// rotation (recorded as a KindDaemonPanic event) and the loop restarts
+// with the next one — the scrubber never silently dies.
 func (d *ScrubDaemon) loop(stop, done chan struct{}) {
 	defer close(done)
 	interval := d.cfg.Interval
-	shards := d.eng.Shards()
 	for rotation := 1; ; rotation++ {
-		d.mu.Lock()
-		d.active = true
-		d.mu.Unlock()
-		rotStart := time.Now()
-		var agg cache.ScrubReport
-		var firstErr error
-		slot := interval / time.Duration(shards)
-		for i := 0; i < shards; i++ {
+		if stopped := d.rotation(rotation, &interval, stop); stopped {
+			return
+		}
+	}
+}
+
+// rotation runs one full rotation and reports whether the loop should
+// exit. It recovers panics, converting them into RAS events.
+func (d *ScrubDaemon) rotation(rotation int, interval *time.Duration, stop chan struct{}) (stopped bool) {
+	defer func() {
+		d.beat.Store(0)
+		if r := recover(); r != nil {
+			d.mu.Lock()
+			d.stats.Panics++
+			d.active = false
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			d.eng.RecordEvent(ras.Event{
+				Kind: ras.KindDaemonPanic, Line: ras.NoLine, Addr: ras.NoAddr,
+				Detail: fmt.Sprintf("rotation %d abandoned: %v", rotation, r),
+			})
+		}
+	}()
+	shards := d.eng.Shards()
+	d.mu.Lock()
+	d.active = true
+	d.mu.Unlock()
+	rotStart := time.Now()
+	var agg cache.ScrubReport
+	var firstErr error
+	slot := *interval / time.Duration(shards)
+	for i := 0; i < shards; i++ {
+		select {
+		case <-stop:
+			return true
+		default:
+		}
+		d.beatShard.Store(int64(i))
+		d.beat.Store(time.Now().UnixNano())
+		pass := d.pass(rotation, i)
+		MergeReport(&agg, pass.Report)
+		if pass.Err != nil && firstErr == nil {
+			firstErr = pass.Err
+		}
+		if d.cfg.OnPass != nil {
+			d.cfg.OnPass(pass)
+		}
+		d.beat.Store(0) // pacing idle is not a stall
+		// Pace: every shard gets an equal slice of the rotation
+		// interval. A pass that outran its slice has a repair
+		// backlog — start the next one immediately (backpressure)
+		// rather than letting faults accumulate further.
+		if pass.Took < slot {
+			timer := time.NewTimer(slot - pass.Took)
 			select {
 			case <-stop:
-				return
-			default:
+				timer.Stop()
+				return true
+			case <-timer.C:
 			}
-			pass := d.pass(rotation, i)
-			MergeReport(&agg, pass.Report)
-			if pass.Err != nil && firstErr == nil {
-				firstErr = pass.Err
-			}
-			if d.cfg.OnPass != nil {
-				d.cfg.OnPass(pass)
-			}
-			// Pace: every shard gets an equal slice of the rotation
-			// interval. A pass that outran its slice has a repair
-			// backlog — start the next one immediately (backpressure)
-			// rather than letting faults accumulate further.
-			if pass.Took < slot {
-				timer := time.NewTimer(slot - pass.Took)
-				select {
-				case <-stop:
-					timer.Stop()
-					return
-				case <-timer.C:
-				}
-			} else {
-				d.mu.Lock()
-				d.stats.Backpressure++
-				d.mu.Unlock()
-			}
+		} else {
+			d.mu.Lock()
+			d.stats.Backpressure++
+			d.mu.Unlock()
 		}
-		if d.cfg.Policy != nil {
-			next := d.cfg.Policy.NextInterval(scrubber.Pass{
-				Seq:    rotation,
-				Report: agg,
-				Took:   time.Since(rotStart),
-				Err:    firstErr,
-			}, interval)
-			if next > 0 {
-				interval = next
-			}
+	}
+	if d.cfg.Policy != nil {
+		next := d.cfg.Policy.NextInterval(scrubber.Pass{
+			Seq:    rotation,
+			Report: agg,
+			Took:   time.Since(rotStart),
+			Err:    firstErr,
+		}, *interval)
+		if next > 0 {
+			*interval = next
 		}
+	}
+	d.mu.Lock()
+	d.active = false
+	d.completed = rotation
+	d.stats.Rotations++
+	d.stats.Interval = *interval
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return false
+}
+
+// watchdog flags passes that exceed the stall budget. It reads the
+// pass heartbeat lock-free and reports each stalled pass exactly once.
+func (d *ScrubDaemon) watchdog(stop chan struct{}) {
+	period := d.cfg.Watchdog / 4
+	if period <= 0 {
+		period = d.cfg.Watchdog
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	var flagged int64 // beat value already reported as stalled
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		beat := d.beat.Load()
+		if beat == 0 {
+			flagged = 0
+			continue // between passes
+		}
+		if time.Now().UnixNano()-beat < int64(d.cfg.Watchdog) || beat == flagged {
+			continue
+		}
+		flagged = beat
+		shard := int(d.beatShard.Load())
 		d.mu.Lock()
-		d.active = false
-		d.completed = rotation
-		d.stats.Rotations = rotation
-		d.stats.Interval = interval
-		d.cond.Broadcast()
+		d.stats.Stalls++
 		d.mu.Unlock()
+		d.eng.RecordEvent(ras.Event{
+			Kind: ras.KindScrubStall, Shard: shard, Line: ras.NoLine, Addr: ras.NoAddr,
+			Detail: fmt.Sprintf("pass on shard %d exceeded %v", shard, d.cfg.Watchdog),
+		})
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"sudoku/internal/cache"
+	"sudoku/internal/ras"
 	"sudoku/internal/rng"
 )
 
@@ -131,6 +132,10 @@ type Engine struct {
 	logS   uint
 	lineSz uint64
 	shards []*shardState
+	// ras collects RAS events from every shard (and from the daemon and
+	// external checkers via RecordEvent), with shard-local coordinates
+	// remapped to the whole-cache frame before they land in the ring.
+	ras *ras.Log
 }
 
 // New builds the engine. A zero Shards picks the largest power of two
@@ -168,6 +173,7 @@ func New(cfg Config) (*Engine, error) {
 	// order: the assignment of streams to shards is a pure function of
 	// (Seed, Shards).
 	master := rng.New(cfg.Seed)
+	e.ras = ras.NewLog(0)
 	for i := range e.shards {
 		mem, err := cfg.NewMemory()
 		if err != nil {
@@ -177,10 +183,28 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		shard := i
+		llc.SetEventSink(func(ev ras.Event) {
+			ev.Shard = shard
+			if ev.Line != ras.NoLine {
+				ev.Line = e.globalSlot(shard, ev.Line)
+			}
+			if ev.Addr != ras.NoAddr {
+				ev.Addr = e.globalAddr(shard, ev.Addr)
+			}
+			e.ras.Append(ev)
+		})
 		e.shards[i] = &shardState{llc: llc, rng: master.Split()}
 	}
 	return e, nil
 }
+
+// Events returns the engine's RAS event log.
+func (e *Engine) Events() *ras.Log { return e.ras }
+
+// RecordEvent appends an externally observed event (a daemon stall or
+// panic, a harness-detected SDC) to the engine's RAS log as-is.
+func (e *Engine) RecordEvent(ev ras.Event) { e.ras.Append(ev) }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
@@ -341,6 +365,71 @@ func (e *Engine) globalSlot(shard, subPhys int) int {
 	return (subSet*len(e.shards)+shard)*e.sub.Ways + way
 }
 
+// globalAddr maps a shard-local byte address back to the whole-cache
+// address space — the inverse of locate.
+func (e *Engine) globalAddr(shard int, sub uint64) uint64 {
+	line := sub / e.lineSz
+	return (line<<e.logS|uint64(shard))*e.lineSz + sub%e.lineSz
+}
+
+// RetiredLines returns the number of lines remapped to spares across
+// all shards.
+func (e *Engine) RetiredLines() int {
+	n := 0
+	for _, st := range e.shards {
+		n += st.llc.RetiredLines()
+	}
+	return n
+}
+
+// SparesFree returns the number of unused spare rows across all shards.
+func (e *Engine) SparesFree() int {
+	n := 0
+	for _, st := range e.shards {
+		n += st.llc.SparesFree()
+	}
+	return n
+}
+
+// QuarantinedRegions returns the number of quarantined parity regions
+// across all shards.
+func (e *Engine) QuarantinedRegions() int {
+	n := 0
+	for _, st := range e.shards {
+		n += st.llc.QuarantinedRegions()
+	}
+	return n
+}
+
+// RebuildQuarantined rebuilds every quarantined region in every shard
+// and returns the total number of regions returned to service.
+func (e *Engine) RebuildQuarantined() (int, error) {
+	total := 0
+	for i, st := range e.shards {
+		n, err := st.llc.RebuildQuarantined()
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return total, nil
+}
+
+// ParityGroups returns the number of Hash-1 parity groups per shard —
+// the valid group range for InjectParityFault.
+func (e *Engine) ParityGroups() int {
+	return e.shards[0].llc.ParityGroups()
+}
+
+// InjectParityFault flips one bit of a Hash-1 parity line in one shard
+// — the fault the scrub-time quarantine audit exists to catch.
+func (e *Engine) InjectParityFault(shard, group, bit int) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	return e.shards[shard].llc.InjectParityFault(group, bit)
+}
+
 // Scrub runs one full pass over every shard, ascending, holding one
 // shard at a time — a convenience for synchronous callers; the daemon
 // paces the same walk across the scrub interval instead.
@@ -363,6 +452,9 @@ func MergeReport(agg *cache.ScrubReport, rep cache.ScrubReport) {
 	agg.SDRRepairs += rep.SDRRepairs
 	agg.RAIDRepairs += rep.RAIDRepairs
 	agg.Hash2Repairs += rep.Hash2Repairs
+	agg.QuarantineSkipped += rep.QuarantineSkipped
+	agg.LinesRetired += rep.LinesRetired
+	agg.RegionsQuarantined += rep.RegionsQuarantined
 	agg.DUELines = append(agg.DUELines, rep.DUELines...)
 }
 

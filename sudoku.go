@@ -22,6 +22,7 @@
 package sudoku
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"sudoku/internal/core"
 	"sudoku/internal/dram"
 	"sudoku/internal/faultsim"
+	"sudoku/internal/ras"
 	"sudoku/internal/rng"
 	"sudoku/internal/scrubber"
 	"sudoku/internal/shard"
@@ -84,6 +86,19 @@ type Config struct {
 	// (NewConcurrent only). For a fixed (Seed, Shards) the engine's
 	// stochastic behaviour is reproducible bit-for-bit.
 	Seed uint64
+	// RetireCEThreshold enables line retirement: a line whose
+	// correctable-error leaky bucket reaches this count is remapped to
+	// a hardened spare row and withdrawn from the STTRAM array. Zero
+	// disables retirement. Requires protection.
+	RetireCEThreshold int
+	// SpareLines is the retirement spare-pool size (per shard in
+	// NewConcurrent). Zero with retirement enabled picks a default.
+	SpareLines int
+	// QuarantineAuditPasses enables region quarantine: every N scrub
+	// passes a parity audit hunts for regions whose parity line itself
+	// went bad, and quarantines them until RebuildQuarantined. Zero
+	// disables the audit. Requires protection.
+	QuarantineAuditPasses int
 }
 
 // DefaultConfig returns the paper's 64 MB, 8-way, SuDoku-Z cache. Note
@@ -105,6 +120,7 @@ func DefaultConfig() Config {
 // lines. It is safe for concurrent use.
 type Cache struct {
 	inner *cache.STTRAM
+	ras   *ras.Log
 	// clock is the logical time base in nanoseconds, advanced atomically
 	// by each access's modeled latency so concurrent accessors never
 	// race on it. Under concurrency the accumulation is approximate:
@@ -129,7 +145,9 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{inner: inner}, nil
+	log := ras.NewLog(0)
+	inner.SetEventSink(log.Append)
+	return &Cache{inner: inner, ras: log}, nil
 }
 
 // cacheConfig lowers the public Config onto the substrate geometry.
@@ -158,7 +176,42 @@ func (cfg Config) cacheConfig() (cache.Config, error) {
 		ccfg.Banks = cfg.Banks
 	}
 	ccfg.ECCStrength = cfg.ECCStrength
+	ccfg.RetireCEThreshold = cfg.RetireCEThreshold
+	ccfg.SpareLines = cfg.SpareLines
+	ccfg.QuarantineAuditPasses = cfg.QuarantineAuditPasses
 	return ccfg, nil
+}
+
+// RASEvent is one recorded reliability event (a DUE recovery, a line
+// retirement, a region quarantine, ...). Kind values print as short
+// slugs via String.
+type RASEvent = ras.Event
+
+// RASCounts is the lifetime per-kind event census.
+type RASCounts = ras.Counts
+
+// Health is a point-in-time serviceability snapshot: the RAS event
+// census and recent events, plus the degradation state the events led
+// to. The paper budgets a nonzero DUE rate even for SuDoku-Z
+// (Table III), so a deployment watches this rather than assuming
+// silence.
+type Health struct {
+	// Counts is the lifetime per-kind RAS event census.
+	Counts RASCounts
+	// Events is the bounded tail of recent events, oldest first.
+	Events []RASEvent
+	// RetiredLines is the number of lines remapped to spare rows.
+	RetiredLines int
+	// SparesFree is the number of spare rows still available.
+	SparesFree int
+	// QuarantinedRegions is the number of parity regions currently out
+	// of service awaiting RebuildQuarantined.
+	QuarantinedRegions int
+	// StuckCells is the number of injected permanent faults.
+	StuckCells int
+	// ScrubRunning reports whether the background scrub daemon is live
+	// (always false for the synchronous Cache).
+	ScrubRunning bool
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -231,6 +284,35 @@ func (c *Cache) Scrub() (ScrubReport, error) {
 // Stats returns the activity counters.
 func (c *Cache) Stats() Stats {
 	return c.inner.Stats()
+}
+
+// Health returns the cache's serviceability snapshot: the RAS event
+// census and tail plus the current degradation state.
+func (c *Cache) Health() Health {
+	return Health{
+		Counts:             c.ras.Counts(),
+		Events:             c.ras.Snapshot(),
+		RetiredLines:       c.inner.RetiredLines(),
+		SparesFree:         c.inner.SparesFree(),
+		QuarantinedRegions: c.inner.QuarantinedRegions(),
+		StuckCells:         c.inner.StuckCells(),
+	}
+}
+
+// RebuildQuarantined recomputes the parity of every quarantined region
+// and returns it to service, reporting how many regions were rebuilt.
+func (c *Cache) RebuildQuarantined() (int, error) {
+	return c.inner.RebuildQuarantined()
+}
+
+// ParityGroups returns the number of Hash-1 parity groups — the valid
+// group range for InjectParityFault.
+func (c *Cache) ParityGroups() int { return c.inner.ParityGroups() }
+
+// InjectParityFault flips one bit of a Hash-1 group's parity line —
+// the fault the scrub-time quarantine audit exists to catch.
+func (c *Cache) InjectParityFault(group, bit int) error {
+	return c.inner.InjectParityFault(group, bit)
 }
 
 // ScrubDaemonConfig parameterizes the concurrent engine's background
@@ -386,6 +468,62 @@ func (c *Concurrent) DrainScrub() error {
 		return d.Drain()
 	}
 	return ErrScrubNotRunning
+}
+
+// DrainScrubContext is DrainScrub bounded by a context: it returns the
+// context's error if ctx fires before the target rotation completes.
+// The daemon keeps running either way.
+func (c *Concurrent) DrainScrubContext(ctx context.Context) error {
+	if d := c.scrubDaemon(); d != nil {
+		return d.DrainContext(ctx)
+	}
+	return ErrScrubNotRunning
+}
+
+// Health returns the engine-wide serviceability snapshot: the RAS
+// event census and tail plus the current degradation state across all
+// shards.
+func (c *Concurrent) Health() Health {
+	log := c.eng.Events()
+	h := Health{
+		Counts:             log.Counts(),
+		Events:             log.Snapshot(),
+		RetiredLines:       c.eng.RetiredLines(),
+		SparesFree:         c.eng.SparesFree(),
+		QuarantinedRegions: c.eng.QuarantinedRegions(),
+		StuckCells:         c.eng.StuckCells(),
+	}
+	if d := c.scrubDaemon(); d != nil {
+		h.ScrubRunning = d.Running()
+	}
+	return h
+}
+
+// RebuildQuarantined rebuilds every quarantined region in every shard
+// and returns the total number returned to service.
+func (c *Concurrent) RebuildQuarantined() (int, error) {
+	return c.eng.RebuildQuarantined()
+}
+
+// ParityGroups returns the number of Hash-1 parity groups per shard —
+// the valid group range for InjectParityFault.
+func (c *Concurrent) ParityGroups() int { return c.eng.ParityGroups() }
+
+// InjectParityFault flips one bit of a Hash-1 parity line in one shard
+// — the fault the scrub-time quarantine audit exists to catch.
+func (c *Concurrent) InjectParityFault(shard, group, bit int) error {
+	return c.eng.InjectParityFault(shard, group, bit)
+}
+
+// RecordSDC records an externally detected silent data corruption — a
+// read that returned successfully with data that does not match what
+// was written, observed by an integrity checker outside the cache
+// (e.g. the stress harness's shadow verifier).
+func (c *Concurrent) RecordSDC(addr uint64, detail string) {
+	c.eng.RecordEvent(ras.Event{
+		Kind: ras.KindSDC, Shard: c.eng.ShardFor(addr),
+		Line: ras.NoLine, Addr: addr, Detail: detail,
+	})
 }
 
 // ScrubStats returns the daemon's aggregate counters, cumulative over
