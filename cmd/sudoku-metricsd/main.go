@@ -1,0 +1,363 @@
+// Command sudoku-metricsd runs a sharded SuDoku engine behind an HTTP
+// observability endpoint: Prometheus text exposition at /metrics, the
+// engine Health JSON at /healthz (503 while the scrub watchdog flags a
+// stalled pass), the expvar JSON tree at /debug/vars, and the standard
+// pprof handlers under /debug/pprof/. A synthetic load fleet plus the
+// scrub daemon's fault storm keep every series moving, which makes the
+// daemon a one-command demo of the telemetry surface — and, with
+// -selfcheck, a self-contained smoke test CI runs: it binds an
+// ephemeral port, scrapes /metrics twice under load, re-parses both
+// expositions with the strict checker, and fails unless every counter
+// is monotone and the traffic counters actually advanced.
+//
+// Usage:
+//
+//	sudoku-metricsd [-addr :9090] [-cachemb 1] [-shards 0] [-seed 1]
+//	                [-scrub 20ms] [-storm 50] [-load 4] [-readfrac 0.7]
+//	                [-events] [-selfcheck]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sudoku"
+	"sudoku/internal/rng"
+	"sudoku/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sudoku-metricsd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr      string
+	cachemb   int
+	shards    int
+	seed      uint64
+	scrub     time.Duration
+	storm     int
+	load      int
+	readfrac  float64
+	events    bool
+	selfcheck bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sudoku-metricsd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":9090", "HTTP listen address")
+	fs.IntVar(&o.cachemb, "cachemb", 1, "cache size in MB")
+	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = auto)")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
+	fs.DurationVar(&o.scrub, "scrub", 20*time.Millisecond, "scrub interval")
+	fs.IntVar(&o.storm, "storm", 50, "faults injected per scrub interval (0 = off)")
+	fs.IntVar(&o.load, "load", 4, "synthetic load goroutines (0 = serve an idle engine)")
+	fs.Float64Var(&o.readfrac, "readfrac", 0.7, "fraction of synthetic operations that are reads")
+	fs.BoolVar(&o.events, "events", false, "stream RAS events to stdout via a live tap")
+	fs.BoolVar(&o.selfcheck, "selfcheck", false, "bind an ephemeral port, scrape /metrics twice under load, verify, and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.cachemb <= 0 {
+		return fmt.Errorf("cachemb %d", o.cachemb)
+	}
+	if o.load < 0 {
+		return fmt.Errorf("load %d", o.load)
+	}
+	if o.readfrac < 0 || o.readfrac > 1 {
+		return fmt.Errorf("readfrac %g outside [0, 1]", o.readfrac)
+	}
+	if o.storm < 0 {
+		return fmt.Errorf("storm %d", o.storm)
+	}
+	if o.scrub <= 0 {
+		return fmt.Errorf("scrub interval %v", o.scrub)
+	}
+
+	c, err := sudoku.NewConcurrent(buildConfig(o))
+	if err != nil {
+		return err
+	}
+	if err := c.StartScrub(sudoku.ScrubDaemonConfig{
+		Interval:     o.scrub,
+		StormPerPass: storms(o.storm, c.Shards()),
+		Watchdog:     10 * o.scrub,
+	}); err != nil {
+		return err
+	}
+	defer func() { _ = c.StopScrub() }()
+
+	reg := c.NewRegistry()
+	publishExpvar(reg)
+	mux := newMux(reg, c.Health)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	startLoad(o, c, stop, &wg)
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	if o.selfcheck {
+		return selfcheck(mux, out)
+	}
+
+	if o.events {
+		sub := c.SubscribeEvents(256)
+		defer sub.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range sub.Events() {
+				fmt.Fprintf(out, "event %v\n", ev)
+			}
+		}()
+	}
+	return serve(o.addr, mux, out)
+}
+
+// buildConfig mirrors sudoku-stress: shrink parity groups until the
+// skewed hashes have Lines ≥ GroupSize² to work with.
+func buildConfig(o options) sudoku.Config {
+	cfg := sudoku.DefaultConfig()
+	cfg.CacheMB = o.cachemb
+	cfg.Shards = o.shards
+	cfg.Seed = o.seed
+	lines := o.cachemb << 20 / 64
+	for lines < cfg.GroupSize*cfg.GroupSize {
+		cfg.GroupSize /= 2
+	}
+	return cfg
+}
+
+// storms scales a per-interval fault budget to a per-shard-pass one.
+func storms(perInterval, shards int) int {
+	if perInterval == 0 {
+		return 0
+	}
+	per := perInterval / shards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// startLoad launches the synthetic traffic fleet that keeps the
+// histograms and repair counters moving while the endpoint is up.
+func startLoad(o options, c *sudoku.Concurrent, stop <-chan struct{}, wg *sync.WaitGroup) {
+	lines := uint64(o.cachemb << 20 / 64)
+	master := rng.New(o.seed)
+	for g := 0; g < o.load; g++ {
+		src := master.Split()
+		wg.Add(1)
+		go func(g int, src *rng.Source) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := range buf {
+				buf[i] = byte(g + 1)
+			}
+			rbuf := make([]byte, 64)
+			for n := 0; ; n++ {
+				if n%256 == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				addr := src.Uint64n(lines) * 64
+				if src.Float64() < o.readfrac {
+					_ = c.ReadInto(addr, rbuf)
+				} else {
+					_ = c.Write(addr, buf)
+				}
+			}
+		}(g, src)
+	}
+}
+
+// currentRegistry backs the process-wide expvar binding: expvar.Publish
+// panics on duplicate names, so the name is claimed once and the
+// published Func indirects through this pointer to whichever registry
+// the most recent run built (tests call run repeatedly in-process).
+var (
+	currentRegistry atomic.Pointer[sudoku.Registry]
+	publishOnce     sync.Once
+)
+
+func publishExpvar(reg *sudoku.Registry) {
+	currentRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("sudoku", expvar.Func(func() any {
+			r := currentRegistry.Load()
+			if r == nil {
+				return nil
+			}
+			var m map[string]any
+			if err := json.Unmarshal([]byte(r.String()), &m); err != nil {
+				return map[string]string{"error": err.Error()}
+			}
+			return m
+		}))
+	})
+}
+
+// newMux wires the observability surface: Prometheus exposition,
+// health JSON, expvar, and pprof.
+func newMux(reg *sudoku.Registry, health func() sudoku.Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/healthz", healthzHandler(health))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// healthzHandler serves the Health snapshot as indented JSON. A pass
+// the scrub watchdog has flagged as stalled turns the endpoint 503 so
+// ordinary HTTP health checks see the wedge without parsing the body.
+func healthzHandler(health func() sudoku.Health) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.ScrubStalled {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM.
+func serve(addr string, mux *http.ServeMux, out io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "serving /metrics /healthz /debug/vars /debug/pprof/ on %v\n", ln.Addr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}
+
+// selfcheck is the CI metrics-smoke mode: scrape twice under load and
+// prove the exposition parses and the counters behave like counters.
+func selfcheck(mux *http.ServeMux, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	first, err := scrape(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("first scrape: %w", err)
+	}
+	time.Sleep(100 * time.Millisecond) // let load and scrub advance
+	second, err := scrape(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("second scrape: %w", err)
+	}
+
+	// Every *_total series must be monotone non-decreasing between the
+	// scrapes, and the traffic counters strictly increasing.
+	checked := 0
+	for name, v := range first {
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if !strings.HasSuffix(family, "_total") {
+			continue
+		}
+		checked++
+		if second[name] < v {
+			return fmt.Errorf("counter %s went backwards: %v -> %v", name, v, second[name])
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no *_total series in exposition")
+	}
+	for _, name := range []string{"sudoku_reads_total", "sudoku_writes_total", "sudoku_faults_injected_total"} {
+		if second[name] <= first[name] {
+			return fmt.Errorf("%s did not advance under load: %v -> %v", name, first[name], second[name])
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return fmt.Errorf("/healthz JSON: %w", err)
+	}
+	for _, key := range []string{"Counts", "Uptime", "ScrubRunning"} {
+		if _, ok := health[key]; !ok {
+			return fmt.Errorf("/healthz missing %s", key)
+		}
+	}
+
+	fmt.Fprintf(out, "selfcheck: PASS (%d counter series monotone, reads %v -> %v)\n",
+		checked, first["sudoku_reads_total"], second["sudoku_reads_total"])
+	return nil
+}
+
+// scrape fetches one exposition and re-parses it with the strict
+// checker, returning the flattened sample map.
+func scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return nil, fmt.Errorf("content type %q", ct)
+	}
+	return telemetry.ParseExposition(resp.Body)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sudoku"
+)
+
+// TestSelfcheck runs the full -selfcheck path: ephemeral port, load
+// fleet, two scrapes, strict exposition parse, monotone counters.
+func TestSelfcheck(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-selfcheck", "-cachemb", "1", "-load", "2", "-scrub", "5ms", "-storm", "20",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "selfcheck: PASS") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-cachemb", "0"},
+		{"-load", "-1"},
+		{"-readfrac", "2"},
+		{"-storm", "-1"},
+		{"-scrub", "0s"},
+		{"-shards", "3"}, // not a power of two
+	}
+	for _, args := range cases {
+		if err := run(append([]string{"-selfcheck"}, args...), &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestMuxEndpoints exercises every route on the mux without a real
+// listener.
+func TestMuxEndpoints(t *testing.T) {
+	cfg := sudoku.DefaultConfig()
+	cfg.CacheMB = 1
+	cfg.GroupSize = 64
+	c, err := sudoku.NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.NewRegistry()
+	publishExpvar(reg)
+	mux := newMux(reg, c.Health)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "sudoku_reads_total") {
+		t.Fatalf("/metrics: %d\n%.200s", rec.Code, rec.Body.String())
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK ||
+		rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("/healthz: %d %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	rec := get("/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["sudoku"]; !ok {
+		t.Fatal("/debug/vars missing the sudoku tree")
+	}
+	if rec := get("/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", rec.Code)
+	}
+}
+
+// TestHealthzStalled pins the 503 contract: a Health snapshot with
+// ScrubStalled set must flip the status code while still serving the
+// JSON body.
+func TestHealthzStalled(t *testing.T) {
+	stalled := false
+	handler := healthzHandler(func() sudoku.Health {
+		return sudoku.Health{ScrubStalled: stalled, ScrubWatchdog: time.Second}
+	})
+	rec := httptest.NewRecorder()
+	handler(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy status %d", rec.Code)
+	}
+	stalled = true
+	rec = httptest.NewRecorder()
+	handler(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled status %d", rec.Code)
+	}
+	var h sudoku.Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.ScrubStalled || h.ScrubWatchdog != time.Second {
+		t.Fatalf("body %+v", h)
+	}
+}

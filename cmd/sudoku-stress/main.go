@@ -28,8 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
-	"math/bits"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -37,6 +35,7 @@ import (
 
 	"sudoku"
 	"sudoku/internal/rng"
+	"sudoku/internal/telemetry"
 )
 
 func main() {
@@ -144,7 +143,7 @@ type result struct {
 	ops      int64
 	dues     int64
 	elapsed  time.Duration
-	hist     histogram
+	hist     telemetry.HistogramSnapshot
 	stats    sudoku.Stats
 	rotation int // completed full-cache scrub sweeps
 	passes   int // scrub invocations (per-shard for the daemon)
@@ -158,12 +157,12 @@ func (r *result) print(out io.Writer, quiet bool) {
 	fmt.Fprintf(out, "engine=%s shards=%d ops=%d (%.0f ops/s) dues=%d scrub-sweeps=%d scrub-passes=%d\n",
 		r.name, r.shards, r.ops, r.throughput(), r.dues, r.rotation, r.passes)
 	fmt.Fprintf(out, "latency: p50=%v p90=%v p99=%v\n",
-		r.hist.percentile(0.50), r.hist.percentile(0.90), r.hist.percentile(0.99))
+		r.hist.Quantile(0.50), r.hist.Quantile(0.90), r.hist.Quantile(0.99))
 	fmt.Fprintf(out, "repairs: single=%d sdr=%d raid=%d hash2=%d faults-injected=%d\n",
 		r.stats.SingleRepairs, r.stats.SDRRepairs, r.stats.RAIDRepairs,
 		r.stats.Hash2Repairs, r.stats.FaultsInjected)
 	if !quiet {
-		r.hist.print(out)
+		printHist(out, r.hist)
 	}
 }
 
@@ -273,7 +272,7 @@ func load(o options, eng engine, res *result) {
 	deadline := time.Now().Add(o.duration)
 	var wg sync.WaitGroup
 	var ops, dues atomic.Int64
-	hists := make([]histogram, o.goroutines)
+	hists := make([]telemetry.LocalHistogram, o.goroutines)
 	master := rng.New(o.seed)
 	for g := 0; g < o.goroutines; g++ {
 		src := master.Split()
@@ -302,7 +301,9 @@ func load(o options, eng engine, res *result) {
 				} else {
 					err = eng.Write(addr, buf)
 				}
-				h.observe(time.Since(start))
+				// One LocalHistogram per goroutine, folded after the
+				// fleet joins — no synchronization on the record path.
+				h.ObserveNs(time.Since(start).Nanoseconds())
 				if errors.Is(err, sudoku.ErrUncorrectable) {
 					dues.Add(1) // DUEs under a storm are data, not failures
 				}
@@ -315,67 +316,16 @@ func load(o options, eng engine, res *result) {
 	res.ops = ops.Load()
 	res.dues = dues.Load()
 	for i := range hists {
-		res.hist.merge(&hists[i])
+		res.hist.Add(hists[i].Snapshot())
 	}
 }
 
-// histogram is a power-of-two latency histogram: bucket i counts
-// operations with latency in [2^i, 2^(i+1)) nanoseconds.
-type histogram struct {
-	buckets [40]int64
-	total   int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 1 {
-		ns = 1
-	}
-	i := bits.Len64(uint64(ns)) - 1
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i]++
-	h.total++
-}
-
-func (h *histogram) merge(o *histogram) {
-	for i := range h.buckets {
-		h.buckets[i] += o.buckets[i]
-	}
-	h.total += o.total
-}
-
-// percentile returns the upper bound of the bucket holding the q-th
-// quantile observation: the smallest bucket whose cumulative count
-// reaches rank ⌈q·total⌉, with rank clamped to [1, total] so q = 0
-// means the first observation and q = 1.0 the last (not the 2^40 ns
-// overflow sentinel the old `cum > rank` comparison fell through to).
-func (h *histogram) percentile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.total)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > h.total {
-		rank = h.total
-	}
-	var cum int64
-	for i, n := range h.buckets {
-		cum += n
-		if cum >= rank {
-			return time.Duration(int64(1) << (i + 1))
-		}
-	}
-	return time.Duration(int64(1) << len(h.buckets))
-}
-
-func (h *histogram) print(out io.Writer) {
+// printHist renders the telemetry power-of-two snapshot in the same
+// per-bucket star-chart format the tool has always printed.
+func printHist(out io.Writer, h telemetry.HistogramSnapshot) {
 	const width = 50
 	var max int64
-	for _, n := range h.buckets {
+	for _, n := range h.Buckets {
 		if n > max {
 			max = n
 		}
@@ -383,13 +333,13 @@ func (h *histogram) print(out io.Writer) {
 	if max == 0 {
 		return
 	}
-	for i, n := range h.buckets {
+	for i, n := range h.Buckets {
 		if n == 0 {
 			continue
 		}
 		bar := int(int64(width) * n / max)
 		fmt.Fprintf(out, "%10v %9d %s\n",
-			time.Duration(int64(1)<<i), n, stars(bar))
+			telemetry.BucketLower(i), n, stars(bar))
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-	"time"
 )
 
 func TestRunSharded(t *testing.T) {
@@ -94,60 +93,7 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-// TestPercentile is the regression test for the q = 1.0 sentinel bug:
-// the old rank comparison (`cum > rank` with rank = q·total) could
-// never be satisfied at q = 1.0, so p100 returned the 2^40 ns overflow
-// sentinel (~18 minutes) regardless of the data.
-func TestPercentile(t *testing.T) {
-	var h histogram
-	// 100 observations: 50 in [1,2) ns, 40 in [16,32) ns, 10 in
-	// [1024,2048) ns.
-	for i := 0; i < 50; i++ {
-		h.observe(1 * time.Nanosecond)
-	}
-	for i := 0; i < 40; i++ {
-		h.observe(20 * time.Nanosecond)
-	}
-	for i := 0; i < 10; i++ {
-		h.observe(1500 * time.Nanosecond)
-	}
-	cases := []struct {
-		q    float64
-		want time.Duration
-	}{
-		{0.0, 2 * time.Nanosecond},  // clamped to the first observation
-		{0.5, 2 * time.Nanosecond},  // rank 50 is the last of bucket 0
-		{0.9, 32 * time.Nanosecond}, // rank 90 is the last of bucket [16,32)
-		{0.99, 2048 * time.Nanosecond},
-		{1.0, 2048 * time.Nanosecond}, // the maximum, not the 2^40 sentinel
-	}
-	for _, tc := range cases {
-		if got := h.percentile(tc.q); got != tc.want {
-			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
-		}
-	}
-	if got := h.percentile(1.0); got >= time.Duration(int64(1)<<40) {
-		t.Fatalf("p100 returned the overflow sentinel: %v", got)
-	}
-}
-
-// TestPercentileEmpty pins the empty-histogram behaviour.
-func TestPercentileEmpty(t *testing.T) {
-	var h histogram
-	for _, q := range []float64{0, 0.5, 1.0} {
-		if got := h.percentile(q); got != 0 {
-			t.Errorf("empty percentile(%v) = %v, want 0", q, got)
-		}
-	}
-}
-
-// TestPercentileSingle checks rank clamping with one observation.
-func TestPercentileSingle(t *testing.T) {
-	var h histogram
-	h.observe(100 * time.Nanosecond)
-	for _, q := range []float64{0, 0.5, 0.99, 1.0} {
-		if got := h.percentile(q); got != 128*time.Nanosecond {
-			t.Errorf("percentile(%v) = %v, want 128ns", q, got)
-		}
-	}
-}
+// The percentile regression tests (q = 1.0 sentinel bug, empty
+// histogram, single-observation rank clamping) moved to
+// internal/telemetry with the histogram itself — see
+// internal/telemetry/histogram_test.go TestQuantile*.

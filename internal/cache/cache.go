@@ -21,6 +21,7 @@ import (
 	"sudoku/internal/bitvec"
 	"sudoku/internal/core"
 	"sudoku/internal/ras"
+	"sudoku/internal/telemetry"
 )
 
 // Memory is the next level below the LLC (DRAM): a timing model that
@@ -163,6 +164,10 @@ type Stats struct {
 	DUEDataLoss int64
 	// LinesRetired counts lines remapped to the spare pool.
 	LinesRetired int64
+	// CRCDetects counts accesses and scrub probes whose CRC-31 syndrome
+	// flagged the stored codeword as faulty — the paper's per-access
+	// detection events, before any repair is attempted.
+	CRCDetects int64
 }
 
 // Add accumulates another snapshot into s — the sharded engine folds
@@ -185,6 +190,37 @@ func (s *Stats) Add(o Stats) {
 	s.DUERecovered += o.DUERecovered
 	s.DUEDataLoss += o.DUEDataLoss
 	s.LinesRetired += o.LinesRetired
+	s.CRCDetects += o.CRCDetects
+}
+
+// Metrics extends Stats with the per-operation latency distributions:
+// everything a monitoring scrape needs from one cache (or one shard).
+type Metrics struct {
+	Stats
+	// ReadHit/ReadMiss/WriteHit/WriteMiss are modeled access-latency
+	// distributions in nanoseconds (bank serialization, STTRAM timings,
+	// CRC check, memory on misses).
+	ReadHit   telemetry.HistogramSnapshot
+	ReadMiss  telemetry.HistogramSnapshot
+	WriteHit  telemetry.HistogramSnapshot
+	WriteMiss telemetry.HistogramSnapshot
+	// DUERefetch is the extra recovery latency of clean-line DUE
+	// refetches on the read path.
+	DUERefetch telemetry.HistogramSnapshot
+	// ScrubPass is the wall-clock duration of full scrub passes.
+	ScrubPass telemetry.HistogramSnapshot
+}
+
+// Add folds another Metrics into m — the sharded engine merges
+// per-shard metrics through this.
+func (m *Metrics) Add(o Metrics) {
+	m.Stats.Add(o.Stats)
+	m.ReadHit.Add(o.ReadHit)
+	m.ReadMiss.Add(o.ReadMiss)
+	m.WriteHit.Add(o.WriteHit)
+	m.WriteMiss.Add(o.WriteMiss)
+	m.DUERefetch.Add(o.DUERefetch)
+	m.ScrubPass.Add(o.ScrubPass)
 }
 
 // counters is the live, lock-free form of Stats. Increment sites run
@@ -207,6 +243,7 @@ type counters struct {
 	dueRecovered      atomic.Int64
 	dueDataLoss       atomic.Int64
 	linesRetired      atomic.Int64
+	crcDetects        atomic.Int64
 }
 
 // snapshot loads every counter. Loads are individually atomic, not a
@@ -230,7 +267,21 @@ func (c *counters) snapshot() Stats {
 		DUERecovered:      c.dueRecovered.Load(),
 		DUEDataLoss:       c.dueDataLoss.Load(),
 		LinesRetired:      c.linesRetired.Load(),
+		CRCDetects:        c.crcDetects.Load(),
 	}
+}
+
+// histograms is the cache's latency-distribution block. Every record
+// AND every snapshot runs under c.mu, so the synchronization-free
+// LocalHistogram applies: a record is a plain increment, which is what
+// keeps the read-hit cost within the telemetry overhead budget (an
+// atomic record is ~14 ns — the whole budget — because atomic stores
+// are full barriers on amd64).
+type histograms struct {
+	readHit, readMiss   telemetry.LocalHistogram
+	writeHit, writeMiss telemetry.LocalHistogram
+	dueRefetch          telemetry.LocalHistogram
+	scrubPass           telemetry.LocalHistogram
 }
 
 type way struct {
@@ -280,6 +331,11 @@ type STTRAM struct {
 	// whose parity line failed the audit and awaits a rebuild.
 	quarantined map[int]bool
 	auditTick   int
+
+	// hist sits last: its ~2 KB of bucket counters would otherwise
+	// push the fields above onto distant cache lines and measurably
+	// slow the uninstrumented parts of the hit path.
+	hist histograms
 }
 
 // scratch holds the reusable line-sized staging vectors for the
@@ -441,6 +497,25 @@ func (c *STTRAM) Stats() Stats {
 	return c.stats.snapshot()
 }
 
+// Metrics returns the counters plus the latency histograms. The
+// counter block is lock-free (atomics), but the histogram snapshots
+// briefly take the engine mutex: keeping the record sites
+// synchronization-free is what holds telemetry inside the hot-path
+// overhead budget, and a scrape-rate reader waiting out an access is
+// the right side of that trade.
+func (c *STTRAM) Metrics() Metrics {
+	m := Metrics{Stats: c.stats.snapshot()}
+	c.mu.Lock()
+	m.ReadHit = c.hist.readHit.Snapshot()
+	m.ReadMiss = c.hist.readMiss.Snapshot()
+	m.WriteHit = c.hist.writeHit.Snapshot()
+	m.WriteMiss = c.hist.writeMiss.Snapshot()
+	m.DUERefetch = c.hist.dueRefetch.Snapshot()
+	m.ScrubPass = c.hist.scrubPass.Snapshot()
+	c.mu.Unlock()
+	return m
+}
+
 // lineVec returns the stored codeword of a physical line,
 // materializing the zero codeword for empty lines (valid: CRC(0)=0).
 func (c *STTRAM) lineVec(idx int) (*bitvec.Vector, error) {
@@ -548,9 +623,13 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 			if c.cfg.Protection != 0 {
 				c.stats.pltWrites.Add(2)
 			}
-			return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs(), true
+			lat := c.bankServe(nowNs, set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs()
+			c.hist.writeHit.ObserveNs(int64(lat))
+			return lat, true
 		}
-		return c.bankServe(nowNs, set, ns(c.cfg.ReadLatency)) + c.crcCheckNs(), true
+		lat := c.bankServe(nowNs, set, ns(c.cfg.ReadLatency)) + c.crcCheckNs()
+		c.hist.readHit.ObserveNs(int64(lat))
+		return lat, true
 	}
 	// Miss: fetch from memory, fill, possibly write back the victim.
 	c.stats.misses.Add(1)
@@ -568,5 +647,11 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 		c.stats.pltWrites.Add(2) // fill updates both parity tables
 	}
 	fill := c.bankServe(nowNs+memLat, set, ns(c.cfg.WriteLatency))
-	return memLat + fill + c.crcCheckNs(), false
+	lat := memLat + fill + c.crcCheckNs()
+	if write {
+		c.hist.writeMiss.ObserveNs(int64(lat))
+	} else {
+		c.hist.readMiss.ObserveNs(int64(lat))
+	}
+	return lat, false
 }

@@ -70,7 +70,8 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 
 	w := c.lookup(set, tag)
 	var lat time.Duration
-	if w >= 0 {
+	hit := w >= 0
+	if hit {
 		c.stats.hits.Add(1)
 		c.sets[set][w].lastUse = c.useClock
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency)) + c.crcCheckNs())
@@ -83,6 +84,11 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 		if err != nil {
 			return lat, err
 		}
+	}
+	if hit {
+		c.hist.readHit.ObserveNs(int64(lat))
+	} else {
+		c.hist.readMiss.ObserveNs(int64(lat))
 	}
 	if err := c.readLineInto(c.physIndex(set, w), dst); err != nil {
 		if !errors.Is(err, ErrUncorrectable) {
@@ -136,6 +142,7 @@ func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst 
 		return lat, err
 	}
 	c.stats.dueRecovered.Add(1)
+	c.hist.dueRefetch.ObserveNs(int64(lat))
 	c.emit(ras.KindDUERecovered, phys, c.lineAddr(addr), "clean line refetched")
 	// A recovered DUE is strong evidence of a weak line: feed the
 	// retirement bucket directly.
@@ -209,6 +216,7 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 		c.stats.hits.Add(1)
 		c.sets[set][w].lastUse = c.useClock
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs())
+		c.hist.writeHit.ObserveNs(int64(lat))
 	} else {
 		c.stats.misses.Add(1)
 		var memLat time.Duration
@@ -218,6 +226,7 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 		if err != nil {
 			return lat, err
 		}
+		c.hist.writeMiss.ObserveNs(int64(lat))
 	}
 	c.sets[set][w].dirty = true
 	phys := c.physIndex(set, w)
@@ -315,6 +324,7 @@ func (c *STTRAM) readLineInto(phys int, dst []byte) error {
 		return err
 	}
 	if !ok {
+		c.stats.crcDetects.Add(1)
 		if err := c.repairLine(phys); err != nil {
 			return err
 		}
@@ -352,6 +362,7 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 	if ok, err := c.codec.Check(stored); err != nil {
 		return err
 	} else if !ok {
+		c.stats.crcDetects.Add(1)
 		if err := c.repairLine(phys); err != nil {
 			if !errors.Is(err, ErrUncorrectable) {
 				return err
@@ -629,6 +640,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	var rep ScrubReport
 	// Allocated lazily: a clean pass (the steady-state common case)
 	// never touches the heap.
@@ -653,6 +665,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 		if ok {
 			continue
 		}
+		c.stats.crcDetects.Add(1)
 		st, err := c.codec.Scrub(stored)
 		if err != nil {
 			return rep, err
@@ -717,6 +730,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			}
 		}
 	}
+	c.hist.scrubPass.ObserveNs(int64(time.Since(start)))
 	return rep, nil
 }
 

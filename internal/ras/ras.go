@@ -103,6 +103,19 @@ func (k EventKind) String() string {
 	}
 }
 
+// NumKinds is the number of event kinds in the taxonomy.
+const NumKinds = int(numKinds)
+
+// Kinds returns every event kind in declaration order — exporters use
+// this to register one labeled series per kind.
+func Kinds() []EventKind {
+	out := make([]EventKind, numKinds)
+	for i := range out {
+		out[i] = EventKind(i)
+	}
+	return out
+}
+
 // NoAddr marks an event with no meaningful byte address.
 const NoAddr = ^uint64(0)
 
@@ -172,6 +185,12 @@ type Log struct {
 	next uint64 // total appends; ring[(next-1) % len] is the newest
 
 	counts [numKinds]atomic.Int64
+
+	// subs is the live-tap fan-out list; dropped counts events any
+	// subscriber's full buffer refused (the send is non-blocking, so a
+	// slow consumer loses events instead of stalling the producer).
+	subs    []*Subscription
+	dropped atomic.Int64
 }
 
 // NewLog builds a ring holding the most recent capacity events
@@ -204,7 +223,99 @@ func (l *Log) Append(e Event) {
 	} else {
 		l.ring[(l.next-1)%uint64(cap(l.ring))] = e
 	}
+	// Fan out to live taps without ever blocking: a subscriber whose
+	// buffer is full loses this event (counted on both the tap and the
+	// log) rather than stalling an access or a scrub pass. The send
+	// happens under l.mu so Close can safely close the channel.
+	for _, s := range l.subs {
+		if s.closed {
+			continue
+		}
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			l.dropped.Add(1)
+		}
+	}
 	l.mu.Unlock()
+}
+
+// Subscription is one live RAS event tap. Receive from Events; a full
+// buffer drops events (counted by Dropped) instead of blocking the
+// producer.
+type Subscription struct {
+	log *Log
+	ch  chan Event
+	// closed is only read/written under log.mu.
+	closed  bool
+	dropped atomic.Int64
+}
+
+// Events is the tap's receive channel. It is closed by Close.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this tap has lost to a full buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the tap and closes its channel. Events already
+// buffered remain receivable. Close is idempotent.
+func (s *Subscription) Close() {
+	if s.log == nil {
+		return // nil-log tap: born closed
+	}
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, sub := range s.log.subs {
+		if sub == s {
+			s.log.subs = append(s.log.subs[:i], s.log.subs[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
+}
+
+// Subscribe attaches a live event tap with the given channel buffer
+// (minimum 1). Every subsequent Append is offered to the tap; the offer
+// never blocks — when the buffer is full the event is dropped and
+// counted. Subscribing to a nil log returns a tap that never fires.
+func (l *Log) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscription{log: l, ch: make(chan Event, buffer)}
+	if l == nil {
+		// A detached, already-closed tap: Events yields nothing.
+		s.closed = true
+		close(s.ch)
+		return s
+	}
+	l.mu.Lock()
+	l.subs = append(l.subs, s)
+	l.mu.Unlock()
+	return s
+}
+
+// Dropped returns the total events lost across all taps (lifetime).
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Subscribers returns the number of attached taps.
+func (l *Log) Subscribers() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
 }
 
 // Snapshot returns the retained events, oldest first. The slice is a

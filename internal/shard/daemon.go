@@ -132,6 +132,10 @@ type ScrubDaemon struct {
 	// reads both lock-free.
 	beat      atomic.Int64
 	beatShard atomic.Int64
+	// lastPass is the UnixNano completion time of the most recent
+	// per-shard pass (0 until the first one finishes). Health endpoints
+	// read it lock-free to expose scrub-pass age.
+	lastPass atomic.Int64
 }
 
 // NewScrubDaemon builds a daemon over the engine.
@@ -253,6 +257,30 @@ func (d *ScrubDaemon) Stats() DaemonStats {
 	return d.stats
 }
 
+// LastPass returns the completion time of the most recent per-shard
+// pass (zero time before the first one finishes). Lock-free.
+func (d *ScrubDaemon) LastPass() time.Time {
+	ns := d.lastPass.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Watchdog returns the configured per-pass stall budget (0 = disabled).
+func (d *ScrubDaemon) Watchdog() time.Duration { return d.cfg.Watchdog }
+
+// Stalled reports whether the pass currently in flight has exceeded the
+// watchdog budget — the live form of the KindScrubStall event, for
+// health endpoints. Always false with the watchdog disabled. Lock-free.
+func (d *ScrubDaemon) Stalled() bool {
+	if d.cfg.Watchdog <= 0 {
+		return false
+	}
+	beat := d.beat.Load()
+	return beat != 0 && time.Now().UnixNano()-beat >= int64(d.cfg.Watchdog)
+}
+
 // loop is the daemon goroutine body. Each rotation runs under a panic
 // guard: a panicking Policy, OnPass, or repair path abandons that
 // rotation (recorded as a KindDaemonPanic event) and the loop restarts
@@ -309,6 +337,7 @@ func (d *ScrubDaemon) rotation(rotation int, interval *time.Duration, stop chan 
 			d.cfg.OnPass(pass)
 		}
 		d.beat.Store(0) // pacing idle is not a stall
+		d.lastPass.Store(time.Now().UnixNano())
 		// Pace: every shard gets an equal slice of the rotation
 		// interval. A pass that outran its slice has a repair
 		// backlog — start the next one immediately (backpressure)

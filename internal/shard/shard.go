@@ -469,3 +469,23 @@ func (e *Engine) Stats() cache.Stats {
 	}
 	return total
 }
+
+// Metrics folds the per-shard counters and latency histograms into one
+// aggregate view. Lock-free, like Stats.
+func (e *Engine) Metrics() cache.Metrics {
+	var total cache.Metrics
+	for _, st := range e.shards {
+		m := st.llc.Metrics()
+		total.Add(m)
+	}
+	return total
+}
+
+// ShardMetrics returns one shard's counters and latency histograms —
+// the per-shard view behind the exporter's shard-labeled series.
+func (e *Engine) ShardMetrics(shard int) (cache.Metrics, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return cache.Metrics{}, fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	return e.shards[shard].llc.Metrics(), nil
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantile ports the stress harness's percentile regression test:
+// the old rank comparison (`cum > rank` with rank = q·total) could
+// never be satisfied at q = 1.0, so p100 returned the 2^40 ns overflow
+// sentinel (~18 minutes) regardless of the data. The ceil-rank clamp
+// semantics from PR 2 stay pinned here.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations: 50 in [1,2) ns, 40 in [16,32) ns, 10 in
+	// [1024,2048) ns.
+	for i := 0; i < 50; i++ {
+		h.Observe(1 * time.Nanosecond)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(20 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500 * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.0, 2 * time.Nanosecond},  // clamped to the first observation
+		{0.5, 2 * time.Nanosecond},  // rank 50 is the last of bucket 0
+		{0.9, 32 * time.Nanosecond}, // rank 90 is the last of bucket [16,32)
+		{0.99, 2048 * time.Nanosecond},
+		{1.0, 2048 * time.Nanosecond}, // the maximum, not the 2^40 sentinel
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile(1.0); got >= time.Duration(int64(1)<<NumBuckets) {
+		t.Fatalf("p100 returned the overflow sentinel: %v", got)
+	}
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if want := int64(50*1 + 40*20 + 10*1500); s.SumNs != want {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, want)
+	}
+}
+
+// TestQuantileEmpty pins the empty-histogram behaviour.
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1.0} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+}
+
+// TestQuantileSingle checks rank clamping with one observation.
+func TestQuantileSingle(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1.0} {
+		if got := s.Quantile(q); got != 128*time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v, want 128ns", q, got)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10},
+		{1 << 39, 39}, {1<<62 + 7, NumBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.ns); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+// TestLocalMatchesAtomic checks the two histogram flavors agree.
+func TestLocalMatchesAtomic(t *testing.T) {
+	var a Histogram
+	var l LocalHistogram
+	for ns := int64(-1); ns < 5000; ns += 13 {
+		a.ObserveNs(ns)
+		l.ObserveNs(ns)
+	}
+	l.Observe(3 * time.Microsecond)
+	a.Observe(3 * time.Microsecond)
+	if a.Snapshot() != l.Snapshot() {
+		t.Fatal("LocalHistogram diverged from Histogram")
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	var h1, h2 Histogram
+	h1.ObserveNs(10)
+	h1.ObserveNs(100)
+	h2.ObserveNs(1000)
+	s := h1.Snapshot()
+	s.Add(h2.Snapshot())
+	if s.Count != 3 || s.SumNs != 1110 {
+		t.Fatalf("folded snapshot = count %d sum %d", s.Count, s.SumNs)
+	}
+}
+
+func TestStriped(t *testing.T) {
+	s := NewStriped(4)
+	if s.Stripes() != 4 {
+		t.Fatalf("Stripes = %d", s.Stripes())
+	}
+	for i := 0; i < 16; i++ {
+		s.Stripe(i).ObserveNs(int64(i + 1))
+	}
+	snap := s.Snapshot()
+	if snap.Count != 16 {
+		t.Fatalf("Count = %d, want 16", snap.Count)
+	}
+	if NewStriped(0).Stripes() != 1 {
+		t.Fatal("NewStriped(0) did not clamp to 1 stripe")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 6 {
+		t.Fatalf("Counter = %d, want 6", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("Gauge = %d, want 6", g.Value())
+	}
+}
+
+// TestRecordAllocs proves both record paths and Snapshot are
+// allocation-free — the property the CI 0-alloc gate extends to the
+// telemetry-enabled cache hot paths.
+func TestRecordAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.ObserveNs(42) }); n != 0 {
+		t.Fatalf("ObserveNs allocates %v/op", n)
+	}
+	var l LocalHistogram
+	if n := testing.AllocsPerRun(1000, func() { l.ObserveNs(42) }); n != 0 {
+		t.Fatalf("LocalHistogram.ObserveNs allocates %v/op", n)
+	}
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	var sink HistogramSnapshot
+	if n := testing.AllocsPerRun(100, func() { sink = h.Snapshot() }); n != 0 {
+		t.Fatalf("Snapshot allocates %v/op", n)
+	}
+	_ = sink
+}
+
+// TestConcurrentObserveSnapshot hammers atomic record + snapshot from
+// many goroutines; run under -race this proves the record path is
+// race-detector-clean, and the final count proves no increments were
+// lost on the atomic path.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 5000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent snapshot reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count < 0 || s.Count > writers*per {
+					t.Errorf("impossible mid-flight count %d", s.Count)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNs(int64(w*1000 + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Snapshot().Count; got != writers*per {
+		t.Fatalf("lost increments: count %d, want %d", got, writers*per)
+	}
+}
+
+// TestConcurrentStripedObserve models the striped arrangement: one
+// writer pinned per stripe with concurrent folded snapshots. Lossless
+// and race-clean under -race.
+func TestConcurrentStripedObserve(t *testing.T) {
+	s := NewStriped(4)
+	const per = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < s.Stripes(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Stripe(w)
+			for i := 0; i < per; i++ {
+				h.ObserveNs(int64(i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+	if got := s.Snapshot().Count; got != int64(s.Stripes()*per) {
+		t.Fatalf("lost increments: count %d, want %d", got, s.Stripes()*per)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i&1023) + 1)
+	}
+}
+
+func BenchmarkLocalHistogramObserve(b *testing.B) {
+	var h LocalHistogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i&1023) + 1)
+	}
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.ObserveNs(int64(i + 1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseExpositionValid(t *testing.T) {
+	in := `# HELP up Whether the target is up.
+# TYPE up gauge
+up 1
+# TYPE ops_total counter
+ops_total{shard="0"} 10
+ops_total{shard="1"} 12
+# a stray comment
+# TYPE lat histogram
+lat_bucket{le="2"} 5
+lat_bucket{le="4"} 9
+lat_bucket{le="+Inf"} 10
+lat_sum 123
+lat_count 10
+special{v="a\"b\\c"} -3.5
+inf_val +Inf
+nan_val NaN
+with_ts 4 1700000000
+`
+	samples, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["up"] != 1 || samples[`ops_total{shard="1"}`] != 12 {
+		t.Fatalf("samples: %v", samples)
+	}
+	if samples[`lat_bucket{le="4"}`] != 9 {
+		t.Fatalf("bucket sample: %v", samples)
+	}
+	if !math.IsInf(samples["inf_val"], 1) || !math.IsNaN(samples["nan_val"]) {
+		t.Fatalf("special values: %v", samples)
+	}
+	if samples["with_ts"] != 4 {
+		t.Fatalf("timestamped sample: %v", samples)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":   "9bad 1\n",
+		"no value":          "lonely\n",
+		"bad value":         "m xyz\n",
+		"bad timestamp":     "m 1 notatime\n",
+		"unquoted label":    "m{a=b} 1\n",
+		"bad label name":    `m{9a="b"} 1` + "\n",
+		"unterminated":      `m{a="b 1` + "\n",
+		"duplicate sample":  "m 1\nm 2\n",
+		"bad TYPE":          "# TYPE m weird\nm 1\n",
+		"second TYPE":       "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after sample": "m 1\n# TYPE m counter\n",
+		"malformed HELP":    "# HELP\n",
+		"no +Inf bucket": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 5` + "\n" + `h_bucket{le="4"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 4\n",
+		"bucket without le": "# TYPE h histogram\n" +
+			`h_bucket{shard="0"} 5` + "\nh_sum 1\nh_count 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+// TestParseExpositionPerLabelHistograms checks bucket bookkeeping keeps
+// differently-labeled series of one family separate.
+func TestParseExpositionPerLabelHistograms(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		`h_bucket{shard="0",le="2"} 5` + "\n" +
+		`h_bucket{shard="0",le="+Inf"} 5` + "\n" +
+		`h_sum{shard="0"} 9` + "\n" + `h_count{shard="0"} 5` + "\n" +
+		`h_bucket{le="2",shard="1"} 1` + "\n" +
+		`h_bucket{shard="1",le="+Inf"} 2` + "\n" +
+		`h_sum{shard="1"} 3` + "\n" + `h_count{shard="1"} 2` + "\n"
+	if _, err := ParseExposition(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType classifies a registered family.
+type MetricType int
+
+// The exposition types this registry renders.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("MetricType(%d)", int(t))
+	}
+}
+
+// series is one labeled instance of a family. Exactly one of the fns is
+// set, matching the family type.
+type series struct {
+	labels string // pre-rendered `a="b",c="d"` (sorted keys), "" if none
+	intFn  func() int64
+	fltFn  func() float64
+	histFn func() HistogramSnapshot
+}
+
+// family is one metric name: HELP/TYPE plus its labeled series.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	series []series
+}
+
+// Registry holds named metrics and renders them. Metric values are
+// pulled through caller-supplied closures at render time, so the
+// registry itself holds no counters and registration sites keep their
+// own (atomic) state. All methods are safe for concurrent use.
+//
+// Registry implements http.Handler (Prometheus text exposition,
+// /metrics) and expvar.Var (String renders a JSON object, so a registry
+// can be expvar.Publish'ed as one composite var).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter registers a monotonic counter series. labels are key/value
+// pairs ("shard", "3"). It panics on an invalid name, a name already
+// registered with a different type or help, or a duplicate label set —
+// all programmer errors a test catches on first render.
+func (r *Registry) Counter(name, help string, fn func() int64, labels ...string) {
+	r.register(name, help, TypeCounter, series{intFn: fn}, labels)
+}
+
+// Gauge registers an instantaneous-value series.
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, TypeGauge, series{fltFn: fn}, labels)
+}
+
+// Histogram registers a histogram series. fn is typically
+// (*Histogram).Snapshot, or a closure folding per-shard snapshots.
+func (r *Registry) Histogram(name, help string, fn func() HistogramSnapshot, labels ...string) {
+	r.register(name, help, TypeHistogram, series{histFn: fn}, labels)
+}
+
+func (r *Registry) register(name, help string, typ MetricType, s series, labels []string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s re-registered as %v (was %v)", name, typ, f.typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("telemetry: %s re-registered with different help", name))
+	}
+	for _, have := range f.series {
+		if have.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s{%s}", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// validName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	return validName(name) && !strings.Contains(name, ":")
+}
+
+// renderLabels turns key/value pairs into the canonical sorted
+// `a="b",c="d"` form. It panics on odd pairs or invalid label names.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label pairs %v", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validLabelName(pairs[i]) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", pairs[i]))
+		}
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// sortedFamilies returns the families sorted by name — the render order
+// is deterministic so golden-file tests break on renames, not dashboards.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4: `# HELP` / `# TYPE` lines per family, then one sample
+// line per series (histograms expand to cumulative `_bucket{le=...}`
+// lines plus `_sum` and `_count`).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch f.typ {
+			case TypeCounter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, wrapLabels(s.labels), s.intFn())
+			case TypeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, wrapLabels(s.labels),
+					strconv.FormatFloat(s.fltFn(), 'g', -1, 64))
+			case TypeHistogram:
+				writeHistogram(bw, f.name, s.labels, s.histFn())
+			}
+		}
+	}
+	return bw.err
+}
+
+// wrapLabels renders a pre-joined label body as `{...}` or nothing.
+func wrapLabels(body string) string {
+	if body == "" {
+		return ""
+	}
+	return "{" + body + "}"
+}
+
+// leLabels appends le="bound" to an existing label body.
+func leLabels(body, le string) string {
+	if body == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + body + `,le="` + le + `"}`
+}
+
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			leLabels(labels, strconv.FormatInt(int64(BucketUpper(i)), 10)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabels(labels, "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, wrapLabels(labels), s.SumNs)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, wrapLabels(labels), s.Count)
+}
+
+// errWriter latches the first write error so the render loop stays
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}
+
+// ServeHTTP serves the Prometheus exposition — mount the registry at
+// /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// String renders the registry as a JSON object — the expvar renderer:
+// expvar.Publish("sudoku", reg) exposes every metric under one var at
+// /debug/vars. Counters render as integers, gauges as floats, and
+// histograms as {count, sum_ns, p50_ns, p99_ns, buckets} with only the
+// non-empty buckets listed (keyed by their upper bound in ns).
+func (r *Registry) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			key := f.name
+			if s.labels != "" {
+				key += "{" + s.labels + "}"
+			}
+			b.WriteString(strconv.Quote(key))
+			b.WriteByte(':')
+			switch f.typ {
+			case TypeCounter:
+				b.WriteString(strconv.FormatInt(s.intFn(), 10))
+			case TypeGauge:
+				b.WriteString(strconv.FormatFloat(s.fltFn(), 'g', -1, 64))
+			case TypeHistogram:
+				writeHistogramJSON(&b, s.histFn())
+			}
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeHistogramJSON(b *strings.Builder, s HistogramSnapshot) {
+	fmt.Fprintf(b, `{"count":%d,"sum_ns":%d,"p50_ns":%d,"p99_ns":%d,"buckets":{`,
+		s.Count, s.SumNs, int64(s.Quantile(0.50)), int64(s.Quantile(0.99)))
+	first := true
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(b, `"%d":%d`, int64(BucketUpper(i)), n)
+	}
+	b.WriteString("}}")
+}

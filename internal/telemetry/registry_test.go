@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testRegistry builds a fully deterministic registry exercising every
+// metric type, labeled and unlabeled series, and escaping.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "Total operations.", func() int64 { return 1234 })
+	r.Counter("test_events_total", "Per-kind events.",
+		func() int64 { return 7 }, "kind", "due-recovered")
+	r.Counter("test_events_total", "Per-kind events.",
+		func() int64 { return 3 }, "kind", "sdc")
+	r.Gauge("test_temperature", "A gauge with\nweird \"help\" and \\ slashes.",
+		func() float64 { return 36.5 })
+	r.Gauge("test_labeled_gauge", "Sorted label keys.",
+		func() float64 { return -2 }, "zeta", "z", "alpha", `a"quote\slash`)
+	var h Histogram
+	h.ObserveNs(1)
+	h.ObserveNs(20)
+	h.ObserveNs(1500)
+	r.Histogram("test_latency_ns", "Latency distribution.", h.Snapshot)
+	return r
+}
+
+// TestPrometheusGolden pins the exact text exposition — stable metric
+// names, label order, HELP/TYPE lines — so renames break CI instead of
+// dashboards. Regenerate with `go test ./internal/telemetry -update`.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden (run with -update if intended)\n got:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestExpositionParses round-trips the renderer through the package's
+// own minimal checker.
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples["test_ops_total"]; got != 1234 {
+		t.Fatalf("test_ops_total = %v", got)
+	}
+	if got := samples[`test_events_total{kind="sdc"}`]; got != 3 {
+		t.Fatalf("labeled counter = %v", got)
+	}
+	if got := samples["test_latency_ns_count"]; got != 3 {
+		t.Fatalf("histogram _count = %v", got)
+	}
+	if got := samples["test_latency_ns_sum"]; got != 1521 {
+		t.Fatalf("histogram _sum = %v", got)
+	}
+	if got := samples[`test_latency_ns_bucket{le="+Inf"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %v", got)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	rec := httptest.NewRecorder()
+	testRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if _, err := ParseExposition(rec.Body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpvarString checks the JSON renderer emits one valid object —
+// the contract that lets a registry be expvar.Publish'ed.
+func TestExpvarString(t *testing.T) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(testRegistry().String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["test_ops_total"] != float64(1234) {
+		t.Fatalf("test_ops_total = %v", m["test_ops_total"])
+	}
+	hist, ok := m["test_latency_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("test_latency_ns = %T", m["test_latency_ns"])
+	}
+	if hist["count"] != float64(3) {
+		t.Fatalf("count = %v", hist["count"])
+	}
+	if hist["p99_ns"] != float64(2048) {
+		t.Fatalf("p99_ns = %v", hist["p99_ns"])
+	}
+}
+
+// TestRegisterPanics pins the programmer-error cases.
+func TestRegisterPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"invalid name": func(r *Registry) {
+			r.Counter("0bad", "h", func() int64 { return 0 })
+		},
+		"type mismatch": func(r *Registry) {
+			r.Counter("x_total", "h", func() int64 { return 0 })
+			r.Gauge("x_total", "h", func() float64 { return 0 })
+		},
+		"help mismatch": func(r *Registry) {
+			r.Counter("x_total", "h", func() int64 { return 0 })
+			r.Counter("x_total", "other", func() int64 { return 0 })
+		},
+		"duplicate series": func(r *Registry) {
+			r.Counter("x_total", "h", func() int64 { return 0 }, "a", "b")
+			r.Counter("x_total", "h", func() int64 { return 0 }, "a", "b")
+		},
+		"odd labels": func(r *Registry) {
+			r.Counter("x_total", "h", func() int64 { return 0 }, "a")
+		},
+		"bad label name": func(r *Registry) {
+			r.Counter("x_total", "h", func() int64 { return 0 }, "le:bad", "v")
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestLabelSortingAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h", func() int64 { return 1 },
+		"zz", "1", "aa", "line\nbreak")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_total{aa="line\nbreak",zz="1"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, buf.String())
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sudoku/internal/scrubber"
 	"sudoku/internal/shard"
 	"sudoku/internal/sttram"
+	"sudoku/internal/telemetry"
 )
 
 // Protection selects the SuDoku variant.
@@ -55,6 +56,23 @@ const (
 
 // Stats is the cache activity counter set.
 type Stats = cache.Stats
+
+// Metrics extends Stats with per-operation latency distributions.
+type Metrics = cache.Metrics
+
+// HistogramSnapshot is a point-in-time latency distribution:
+// power-of-two buckets with ceil-rank Quantile and exact Mean.
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// Registry is a pull-model metric registry that renders Prometheus
+// text exposition (it implements http.Handler — mount it at /metrics)
+// and expvar-style JSON (it implements expvar.Var).
+type Registry = telemetry.Registry
+
+// RASSubscription is a live RAS event tap: receive from Events();
+// a full buffer drops events (counted by Dropped) rather than ever
+// blocking an access, a repair, or a scrub pass.
+type RASSubscription = ras.Subscription
 
 // ScrubReport summarizes one scrub pass.
 type ScrubReport = cache.ScrubReport
@@ -121,6 +139,7 @@ func DefaultConfig() Config {
 type Cache struct {
 	inner *cache.STTRAM
 	ras   *ras.Log
+	start time.Time
 	// clock is the logical time base in nanoseconds, advanced atomically
 	// by each access's modeled latency so concurrent accessors never
 	// race on it. Under concurrency the accumulation is approximate:
@@ -147,7 +166,7 @@ func New(cfg Config) (*Cache, error) {
 	}
 	log := ras.NewLog(0)
 	inner.SetEventSink(log.Append)
-	return &Cache{inner: inner, ras: log}, nil
+	return &Cache{inner: inner, ras: log, start: time.Now()}, nil
 }
 
 // cacheConfig lowers the public Config onto the substrate geometry.
@@ -212,6 +231,25 @@ type Health struct {
 	// ScrubRunning reports whether the background scrub daemon is live
 	// (always false for the synchronous Cache).
 	ScrubRunning bool
+	// Uptime is the time since the cache was constructed.
+	Uptime time.Duration
+	// LastScrubPass is the completion time of the daemon's most recent
+	// per-shard pass (zero before the first pass, and always for the
+	// synchronous Cache).
+	LastScrubPass time.Time
+	// ScrubPassAge is the time since LastScrubPass (0 when none yet) —
+	// the staleness a monitoring alert keys on: a healthy daemon keeps
+	// it below the rotation interval.
+	ScrubPassAge time.Duration
+	// ScrubStalled reports whether the scrub pass currently in flight
+	// has exceeded the daemon's watchdog budget.
+	ScrubStalled bool
+	// ScrubWatchdog is the daemon's per-pass stall budget (0 when the
+	// watchdog is disabled or no daemon is configured).
+	ScrubWatchdog time.Duration
+	// EventsDropped is the lifetime count of RAS events lost across all
+	// live taps because a subscriber's buffer was full.
+	EventsDropped int64
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -286,6 +324,22 @@ func (c *Cache) Stats() Stats {
 	return c.inner.Stats()
 }
 
+// Metrics returns the counters plus per-operation latency histograms.
+// The counters are lock-free; the histogram snapshots briefly share the
+// engine mutex with accesses (the price of synchronization-free record
+// sites on the hot path).
+func (c *Cache) Metrics() Metrics {
+	return c.inner.Metrics()
+}
+
+// SubscribeEvents attaches a live RAS event tap with the given channel
+// buffer. The fan-out never blocks: a full buffer drops events (the
+// tap's Dropped counts them) rather than stalling an access or a scrub.
+// Close the subscription when done.
+func (c *Cache) SubscribeEvents(buffer int) *RASSubscription {
+	return c.ras.Subscribe(buffer)
+}
+
 // Health returns the cache's serviceability snapshot: the RAS event
 // census and tail plus the current degradation state.
 func (c *Cache) Health() Health {
@@ -296,7 +350,25 @@ func (c *Cache) Health() Health {
 		SparesFree:         c.inner.SparesFree(),
 		QuarantinedRegions: c.inner.QuarantinedRegions(),
 		StuckCells:         c.inner.StuckCells(),
+		Uptime:             time.Since(c.start),
+		EventsDropped:      c.ras.Dropped(),
 	}
+}
+
+// NewRegistry builds a metric registry over this cache: activity and
+// repair counters, latency histograms, serviceability gauges, and the
+// per-kind RAS event census, all pulled live at scrape time.
+func (c *Cache) NewRegistry() *Registry {
+	r := telemetry.NewRegistry()
+	registerEngine(r, c.Metrics, c.ras)
+	registerServiceability(r, serviceability{
+		retired:     c.inner.RetiredLines,
+		sparesFree:  c.inner.SparesFree,
+		quarantined: c.inner.QuarantinedRegions,
+		stuckCells:  c.inner.StuckCells,
+		start:       c.start,
+	})
+	return r
 }
 
 // RebuildQuarantined recomputes the parity of every quarantined region
@@ -351,7 +423,8 @@ var (
 // never contend on a shared mutex. Stats snapshots are lock-free. All
 // methods are safe for concurrent use.
 type Concurrent struct {
-	eng *shard.Engine
+	eng   *shard.Engine
+	start time.Time
 
 	mu     sync.Mutex
 	daemon *shard.ScrubDaemon
@@ -380,7 +453,7 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{eng: eng}, nil
+	return &Concurrent{eng: eng, start: time.Now()}, nil
 }
 
 // Shards returns the resolved shard count.
@@ -424,6 +497,24 @@ func (c *Concurrent) Scrub() (ScrubReport, error) { return c.eng.Scrub() }
 // Stats folds the per-shard counters into an aggregate snapshot
 // without taking any engine lock.
 func (c *Concurrent) Stats() Stats { return c.eng.Stats() }
+
+// Metrics folds the per-shard counters and latency histograms into one
+// aggregate view without taking any engine lock.
+func (c *Concurrent) Metrics() Metrics { return c.eng.Metrics() }
+
+// ShardMetrics returns one shard's counters and latency histograms —
+// the per-shard view (Metrics is the fold of all of them).
+func (c *Concurrent) ShardMetrics(shard int) (Metrics, error) {
+	return c.eng.ShardMetrics(shard)
+}
+
+// SubscribeEvents attaches a live RAS event tap with the given channel
+// buffer. The fan-out never blocks: a full buffer drops events (the
+// tap's Dropped counts them) rather than stalling an access, a repair,
+// or a scrub pass. Close the subscription when done.
+func (c *Concurrent) SubscribeEvents(buffer int) *RASSubscription {
+	return c.eng.Events().Subscribe(buffer)
+}
 
 // StartScrub launches the background scrub daemon: incremental
 // per-shard passes paced across the interval, with graceful
@@ -492,11 +583,39 @@ func (c *Concurrent) Health() Health {
 		SparesFree:         c.eng.SparesFree(),
 		QuarantinedRegions: c.eng.QuarantinedRegions(),
 		StuckCells:         c.eng.StuckCells(),
+		Uptime:             time.Since(c.start),
+		EventsDropped:      log.Dropped(),
 	}
 	if d := c.scrubDaemon(); d != nil {
 		h.ScrubRunning = d.Running()
+		h.ScrubStalled = d.Stalled()
+		h.ScrubWatchdog = d.Watchdog()
+		if last := d.LastPass(); !last.IsZero() {
+			h.LastScrubPass = last
+			h.ScrubPassAge = time.Since(last)
+		}
 	}
 	return h
+}
+
+// NewRegistry builds a metric registry over the engine: folded activity
+// and repair counters, latency histograms, serviceability gauges, the
+// per-kind RAS event census, per-shard traffic series, and the scrub
+// daemon's counters, all pulled live at scrape time. Mount the result
+// at /metrics (it implements http.Handler) or expvar.Publish it.
+func (c *Concurrent) NewRegistry() *Registry {
+	r := telemetry.NewRegistry()
+	registerEngine(r, c.Metrics, c.eng.Events())
+	registerServiceability(r, serviceability{
+		retired:     c.eng.RetiredLines,
+		sparesFree:  c.eng.SparesFree,
+		quarantined: c.eng.QuarantinedRegions,
+		stuckCells:  c.eng.StuckCells,
+		start:       c.start,
+	})
+	registerShards(r, c.eng)
+	registerScrubDaemon(r, c)
+	return r
 }
 
 // RebuildQuarantined rebuilds every quarantined region in every shard

@@ -1,0 +1,182 @@
+// Registry builders: the families a Cache or Concurrent exposes at
+// /metrics. Every series is a pull closure over the engine's own atomic
+// state, so registration adds no hot-path cost — the engine pays for
+// telemetry only when something scrapes. DESIGN.md appendix 11 maps
+// each family onto the paper quantity it reproduces.
+package sudoku
+
+import (
+	"strconv"
+	"time"
+
+	"sudoku/internal/ras"
+	"sudoku/internal/shard"
+	"sudoku/internal/telemetry"
+)
+
+// registerEngine registers the families every engine flavor shares:
+// traffic and repair-ladder counters, the six latency histograms, and
+// the per-kind RAS event census.
+func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
+	stat := func(pick func(Stats) int64) func() int64 {
+		return func() int64 { return pick(metrics().Stats) }
+	}
+	r.Counter("sudoku_reads_total", "Line reads served.",
+		stat(func(s Stats) int64 { return s.Reads }))
+	r.Counter("sudoku_writes_total", "Line writes served.",
+		stat(func(s Stats) int64 { return s.Writes }))
+	r.Counter("sudoku_hits_total", "Accesses that hit a resident line.",
+		stat(func(s Stats) int64 { return s.Hits }))
+	r.Counter("sudoku_misses_total", "Accesses that missed and filled from memory.",
+		stat(func(s Stats) int64 { return s.Misses }))
+	r.Counter("sudoku_evictions_total", "Victim lines evicted on fill.",
+		stat(func(s Stats) int64 { return s.Evictions }))
+	r.Counter("sudoku_writebacks_total", "Dirty victims written back to memory.",
+		stat(func(s Stats) int64 { return s.WriteBacks }))
+	r.Counter("sudoku_plt_writes_total", "Parity-table (PLT) update operations.",
+		stat(func(s Stats) int64 { return s.PLTWrites }))
+
+	// The repair ladder, one counter per rung (appendix 11: ECC-1 is the
+	// per-line inner code, CRC-31 the detector, RAID-4/SDR/Hash-2 the
+	// SuDoku-X/Y/Z group machinery).
+	r.Counter("sudoku_crc_detections_total", "Accesses and scrub probes whose CRC-31 syndrome flagged a faulty codeword.",
+		stat(func(s Stats) int64 { return s.CRCDetects }))
+	r.Counter("sudoku_ecc1_corrections_total", "Single-bit faults corrected by the per-line ECC-1 inner code.",
+		stat(func(s Stats) int64 { return s.SingleRepairs }))
+	r.Counter("sudoku_raid_reconstructions_total", "Lines reconstructed from RAID-4 group parity (SuDoku-X).",
+		stat(func(s Stats) int64 { return s.RAIDRepairs }))
+	r.Counter("sudoku_sdr_resurrections_total", "Lines repaired by Sequential Data Resurrection (SuDoku-Y).",
+		stat(func(s Stats) int64 { return s.SDRRepairs }))
+	r.Counter("sudoku_hash2_retries_total", "Lines recovered via the second skew-hashed parity group (SuDoku-Z).",
+		stat(func(s Stats) int64 { return s.Hash2Repairs }))
+	r.Counter("sudoku_uncorrectable_dues_total", "Detectable uncorrectable errors past the full repair ladder.",
+		stat(func(s Stats) int64 { return s.UncorrectableDUEs }))
+	r.Counter("sudoku_due_recovered_total", "Clean-line DUEs transparently refetched from backing memory.",
+		stat(func(s Stats) int64 { return s.DUERecovered }))
+	r.Counter("sudoku_due_data_loss_total", "Dirty-line DUEs whose only copy was lost.",
+		stat(func(s Stats) int64 { return s.DUEDataLoss }))
+	r.Counter("sudoku_scrub_passes_total", "Completed scrub passes (per shard in the concurrent engine).",
+		stat(func(s Stats) int64 { return s.ScrubPasses }))
+	r.Counter("sudoku_faults_injected_total", "Faults injected by tests, storms, and chaos harnesses.",
+		stat(func(s Stats) int64 { return s.FaultsInjected }))
+	r.Counter("sudoku_lines_retired_total", "Lines remapped to hardened spare rows.",
+		stat(func(s Stats) int64 { return s.LinesRetired }))
+
+	hist := func(pick func(Metrics) HistogramSnapshot) func() telemetry.HistogramSnapshot {
+		return func() telemetry.HistogramSnapshot { return pick(metrics()) }
+	}
+	r.Histogram("sudoku_read_hit_latency_ns", "Modeled latency of read hits.",
+		hist(func(m Metrics) HistogramSnapshot { return m.ReadHit }))
+	r.Histogram("sudoku_read_miss_latency_ns", "Modeled latency of read misses (fill included).",
+		hist(func(m Metrics) HistogramSnapshot { return m.ReadMiss }))
+	r.Histogram("sudoku_write_hit_latency_ns", "Modeled latency of write hits (read-modify-write).",
+		hist(func(m Metrics) HistogramSnapshot { return m.WriteHit }))
+	r.Histogram("sudoku_write_miss_latency_ns", "Modeled latency of write misses (fill included).",
+		hist(func(m Metrics) HistogramSnapshot { return m.WriteMiss }))
+	r.Histogram("sudoku_due_refetch_latency_ns", "Extra recovery latency of clean-line DUE refetches.",
+		hist(func(m Metrics) HistogramSnapshot { return m.DUERefetch }))
+	r.Histogram("sudoku_scrub_pass_duration_ns", "Wall-clock duration of scrub passes.",
+		hist(func(m Metrics) HistogramSnapshot { return m.ScrubPass }))
+
+	for _, k := range ras.Kinds() {
+		kind := k
+		r.Counter("sudoku_ras_events_total", "RAS events by kind.",
+			func() int64 { return log.Count(kind) }, "kind", kind.String())
+	}
+	r.Counter("sudoku_ras_events_dropped_total", "RAS events lost to full subscriber tap buffers.",
+		log.Dropped)
+	r.Gauge("sudoku_ras_subscribers", "Attached live RAS event taps.",
+		func() float64 { return float64(log.Subscribers()) })
+}
+
+// serviceability is the degradation-state source for the gauges shared
+// by both engine flavors.
+type serviceability struct {
+	retired, sparesFree, quarantined, stuckCells func() int
+	start                                        time.Time
+}
+
+func registerServiceability(r *Registry, s serviceability) {
+	igauge := func(fn func() int) func() float64 {
+		return func() float64 { return float64(fn()) }
+	}
+	r.Gauge("sudoku_retired_lines", "Lines currently remapped to spare rows.", igauge(s.retired))
+	r.Gauge("sudoku_spares_free", "Unused spare rows remaining.", igauge(s.sparesFree))
+	r.Gauge("sudoku_quarantined_regions", "Parity regions currently out of service.", igauge(s.quarantined))
+	r.Gauge("sudoku_stuck_cells", "Injected permanent faults currently present.", igauge(s.stuckCells))
+	r.Gauge("sudoku_uptime_seconds", "Seconds since the cache was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// registerShards registers the per-shard traffic series — the labeled
+// view behind Concurrent.ShardMetrics.
+func registerShards(r *Registry, eng *shard.Engine) {
+	r.Gauge("sudoku_shards", "Resolved shard count.",
+		func() float64 { return float64(eng.Shards()) })
+	for i := 0; i < eng.Shards(); i++ {
+		shardIdx := i
+		label := strconv.Itoa(i)
+		pick := func(f func(Stats) int64) func() int64 {
+			return func() int64 {
+				m, err := eng.ShardMetrics(shardIdx)
+				if err != nil {
+					return 0
+				}
+				return f(m.Stats)
+			}
+		}
+		r.Counter("sudoku_shard_reads_total", "Line reads served, by shard.",
+			pick(func(s Stats) int64 { return s.Reads }), "shard", label)
+		r.Counter("sudoku_shard_writes_total", "Line writes served, by shard.",
+			pick(func(s Stats) int64 { return s.Writes }), "shard", label)
+		r.Counter("sudoku_shard_dues_total", "Uncorrectable DUEs, by shard.",
+			pick(func(s Stats) int64 { return s.UncorrectableDUEs }), "shard", label)
+	}
+}
+
+// registerScrubDaemon registers the daemon's counters. The closures go
+// through Concurrent.ScrubStats/Health so they survive daemon restarts
+// and read zero before the first StartScrub.
+func registerScrubDaemon(r *Registry, c *Concurrent) {
+	dstat := func(pick func(ScrubDaemonStats) int64) func() int64 {
+		return func() int64 { return pick(c.ScrubStats()) }
+	}
+	r.Counter("sudoku_scrub_rotations_total", "Completed full scrub rotations over all shards.",
+		dstat(func(s ScrubDaemonStats) int64 { return int64(s.Rotations) }))
+	r.Counter("sudoku_scrub_shard_passes_total", "Completed per-shard scrub passes.",
+		dstat(func(s ScrubDaemonStats) int64 { return int64(s.ShardPasses) }))
+	r.Counter("sudoku_scrub_backpressure_total", "Passes whose repair work outran their interval slice.",
+		dstat(func(s ScrubDaemonStats) int64 { return int64(s.Backpressure) }))
+	r.Counter("sudoku_scrub_stalls_total", "Passes the watchdog flagged as stalled.",
+		dstat(func(s ScrubDaemonStats) int64 { return int64(s.Stalls) }))
+	r.Counter("sudoku_scrub_daemon_panics_total", "Panics recovered inside the scrub rotation loop.",
+		dstat(func(s ScrubDaemonStats) int64 { return int64(s.Panics) }))
+	r.Gauge("sudoku_scrub_interval_seconds", "Current (possibly adapted) rotation interval.",
+		func() float64 { return c.ScrubStats().Interval.Seconds() })
+	r.Gauge("sudoku_scrub_running", "1 while the scrub daemon loop is live.",
+		func() float64 {
+			if d := c.scrubDaemon(); d != nil && d.Running() {
+				return 1
+			}
+			return 0
+		})
+	r.Gauge("sudoku_scrub_stalled", "1 while the in-flight pass exceeds the watchdog budget.",
+		func() float64 {
+			if d := c.scrubDaemon(); d != nil && d.Stalled() {
+				return 1
+			}
+			return 0
+		})
+	r.Gauge("sudoku_scrub_pass_age_seconds", "Seconds since the most recent per-shard pass completed (0 before the first).",
+		func() float64 {
+			d := c.scrubDaemon()
+			if d == nil {
+				return 0
+			}
+			last := d.LastPass()
+			if last.IsZero() {
+				return 0
+			}
+			return time.Since(last).Seconds()
+		})
+}
