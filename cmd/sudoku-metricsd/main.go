@@ -96,6 +96,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Storm control starts before the scrub daemon so the daemon's
+	// interval policy picks up the storm override; default thresholds
+	// are fine for the demo load, but never let the ladder shrink the
+	// interval below a quarter of the configured one.
+	if err := c.StartStormControl(sudoku.StormConfig{MinInterval: o.scrub / 4}); err != nil {
+		return err
+	}
+	defer func() { _ = c.StopStormControl() }()
 	if err := c.StartScrub(sudoku.ScrubDaemonConfig{
 		Interval:     o.scrub,
 		StormPerPass: storms(o.storm, c.Shards()),

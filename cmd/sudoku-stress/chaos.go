@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,10 +100,91 @@ func runChaos(o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	budget := chaosStormBudget(o.cachemb << 20 / 64)
+
+	// Campaign routing: -campaign replaces both the daemon's per-pass
+	// storms and the controller's extra bursts as the fault source. The
+	// campaign's uniform base is half the chaos budget: the multi-bit
+	// repair rate grows roughly quadratically with fault density (two
+	// hits must land on one line between repair visits), so a full-budget
+	// base alone would sit at storm level and a bounded burst window
+	// could never stand out against it — while at half budget the ×8
+	// window still outruns both the steady rate and the chaos churn's
+	// episodic repair clumps by well over an order of magnitude.
+	campaignBase := budget / 2
+	var plan *sudoku.FaultPlan
+	var cam sudoku.FaultCampaign
+	if o.campaign != "" {
+		cam, err = loadCampaign(o.campaign, int(o.duration/o.scrub)+1, campaignBase)
+		if err != nil {
+			return err
+		}
+		plan, err = sudoku.CompileCampaign(cam, c.Geometry(), o.seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	// The storm controller watches the whole soak; its thresholds must
+	// sit well above the steady clustered-repair rate so that only
+	// genuine pressure spikes — a burst window, a hotspot — escalate the
+	// ladder. Without a campaign that rate is estimated from the fault
+	// budget up front. Campaign runs calibrate instead: the steady rate
+	// is dominated by access-path repairs and so depends on machine
+	// speed, goroutine count, and the race detector, which no static
+	// model survives — the calibrator below measures it live before the
+	// earliest bounded-pressure window can open (intervals/4 ≈
+	// duration/4) and then arms the controller at multiples of the
+	// measurement. Daemon restarts from the churn loop re-wire the
+	// storm's scrub-interval policy once the controller is up.
+	stormReady := make(chan struct{})
+	var calibrated atomic.Int64 // steady weighted rate measured by the calibrator
+	if plan == nil {
+		effective := budget + budget/2 // daemon storms + controller bursts
+		if err := c.StartStormControl(chaosStormConfig(effective, o.cachemb<<20/64, c.Shards(), o.scrub)); err != nil {
+			return err
+		}
+		close(stormReady)
+	} else {
+		go func() {
+			defer close(stormReady)
+			time.Sleep(300 * time.Millisecond) // skip cold-start transients
+			beforeCounts, beforeStats := c.Health().Counts, c.Stats()
+			span := 1200 * time.Millisecond // long enough to average over churn clumps
+			time.Sleep(span)
+			afterCounts, afterStats := c.Health().Counts, c.Stats()
+			rate := weightedEventDelta(beforeCounts, afterCounts, beforeStats, afterStats) / span.Seconds()
+			calibrated.Store(int64(rate))
+			// The floors matter as much as the multipliers: the chaos
+			// churn's quarantine rebuilds and daemon-restart backlogs land
+			// as repair clumps of a few hundred weight in one instant, and
+			// a bucket whose capacity (rate × window) is below the clump
+			// size would trip on housekeeping. Quiet is kept short:
+			// standing fully down from Critical costs drain + 2×Quiet.
+			// RegionRate is per-(shard,group): the steady rate spreads
+			// across all regions (~rate/regions each), while a hotspot
+			// concentrates hundreds of weight per second into a handful —
+			// a threshold a few times the global steady rate divided by a
+			// small region count separates the two cleanly and lets the
+			// targeted-scrub rung of the ladder fire in-run.
+			_ = c.StartStormControl(sudoku.StormConfig{
+				ElevatedRate: 2*rate + 150,
+				CriticalRate: 5*rate + 450,
+				RegionRate:   rate/4 + 60,
+				Window:       500 * time.Millisecond,
+				Quiet:        time.Second,
+				MinInterval:  o.scrub / 4,
+			})
+		}()
+	}
+
 	daemonCfg := sudoku.ScrubDaemonConfig{
 		Interval:     o.scrub,
-		StormPerPass: storms(chaosStormBudget(o.cachemb<<20/64), c.Shards()),
+		StormPerPass: storms(budget, c.Shards()),
 		Watchdog:     4*o.scrub + 200*time.Millisecond,
+	}
+	if plan != nil {
+		daemonCfg.StormPerPass = 0
 	}
 	if err := c.StartScrub(daemonCfg); err != nil {
 		return err
@@ -112,6 +194,17 @@ func runChaos(o options, out io.Writer) error {
 	var cnt chaosCounters
 	deadline := time.Now().Add(o.duration)
 	var wg sync.WaitGroup
+
+	// Campaign stepper: a dedicated goroutine on a strict ticker, so the
+	// plan's interval schedule (and with it any bounded burst window)
+	// holds even while the chaos controller below is busy churning.
+	stopStepper := func() {}
+	if plan != nil {
+		stopStepper, err = startCampaignStepper(c, plan, o.scrub)
+		if err != nil {
+			return err
+		}
+	}
 
 	// Load fleet: goroutine g owns lines ≡ g (mod goroutines+1);
 	// residue `goroutines` is reserved for the chaos controller's
@@ -194,9 +287,14 @@ func runChaos(o options, out io.Writer) error {
 		for time.Now().Before(deadline) {
 			time.Sleep(o.scrub)
 			tick++
-			// An extra whole-cache burst on top of the daemon's
-			// per-pass storms.
-			_ = c.InjectRandomFaults(src.Uint64(), chaosStormBudget(int(lines))/2)
+			if plan == nil {
+				// An extra whole-cache burst on top of the daemon's
+				// per-pass storms. (Campaign mode replaces this with the
+				// dedicated stepper goroutine: this loop's churn duties
+				// make its tick rate too slack to keep a plan on
+				// schedule.)
+				_ = c.InjectRandomFaults(src.Uint64(), chaosStormBudget(int(lines))/2)
+			}
 			if tick%3 == 0 && groups > 0 {
 				shard := int(src.Uint64n(uint64(c.Shards())))
 				group := int(src.Uint64n(uint64(groups)))
@@ -232,6 +330,43 @@ func runChaos(o options, out io.Writer) error {
 
 	wg.Wait()
 	<-ctlDone
+	stopStepper()
+	<-stormReady // the calibrator owns StartStormControl; join before judging
+	// All pressure has stopped (stepper, load, churn) — but repairable
+	// residue has not: regions still quarantined with corrupt parity are
+	// re-detected by the daemon every rotation, a standing weighted-event
+	// floor that rightly keeps the ladder up. Judging de-escalation means
+	// first doing what an operator would — return quarantined regions to
+	// service and drain the repair backlog — and then giving the
+	// controller its own stand-down budget: bucket drain plus two Quiet
+	// windows per ladder level plus ticker slack.
+	if plan != nil {
+		// One rebuild+scrub round is not always enough: a region that sat
+		// quarantined (and unscrubbed) through the window can fail its
+		// parity audit again right after rebuild. Iterate until a pass
+		// comes back clean — no group-level repairs, no skips, nothing
+		// newly quarantined — before starting the stand-down clock.
+		for round := 0; round < 8; round++ {
+			if _, err := c.RebuildQuarantined(); err != nil {
+				return err
+			}
+			rep, err := c.Scrub()
+			if err != nil {
+				return err
+			}
+			if rep.SDRRepairs+rep.RAIDRepairs+rep.Hash2Repairs+len(rep.DUELines)+
+				rep.QuarantineSkipped+rep.RegionsQuarantined == 0 {
+				break
+			}
+		}
+		grace := time.Now().Add(5 * time.Second)
+		for c.StormState() != sudoku.StormNormal && time.Now().Before(grace) {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	stormFinal := c.StormState()
+	stormStats := c.StormStats()
+	_ = c.StopStormControl()
 	_ = c.StopScrub()
 	// Settle: return quarantined regions to service and let two full
 	// synchronous passes drain the repair backlog before judging.
@@ -249,6 +384,14 @@ func runChaos(o options, out io.Writer) error {
 	scrub := c.ScrubStats()
 	fmt.Fprintf(out, "chaos: shards=%d ops=%d storm=%d/interval (10x paper BER)\n",
 		c.Shards(), cnt.ops.Load(), chaosStormBudget(int(lines)))
+	if plan != nil {
+		fmt.Fprintf(out, "chaos: campaign=%q intervals=%d seed=%d calibrated-rate=%d/s\n",
+			cam.Name, plan.Intervals(), o.seed, calibrated.Load())
+	}
+	fmt.Fprintf(out, "storm: final=%v peak=%v escalations=%d deescalations=%d targeted-scrubs=%d region-audits=%d trips=%d events=%d\n",
+		stormFinal, stormStats.Peak, stormStats.Escalations, stormStats.DeEscalations,
+		stormStats.TargetedScrubs, stormStats.RegionAudits, stormStats.RegionTrips,
+		stormStats.EventsSeen)
 	fmt.Fprintf(out, "chaos: daemon restarts=%d stuck planted=%d parity faults=%d rebuilds=%d\n",
 		cnt.daemonRestarts.Load(), cnt.stuckPlanted.Load(), cnt.parityFaults.Load(), cnt.rebuilds.Load())
 	fmt.Fprintf(out, "health: due-recovered=%d due-data-loss=%d due-overwritten=%d recovery-failed=%d\n",
@@ -256,8 +399,9 @@ func runChaos(o options, out io.Writer) error {
 	fmt.Fprintf(out, "health: retired=%d spares-free=%d quarantined=%d (lifetime %d, rebuilt %d) stalls=%d panics=%d\n",
 		h.RetiredLines, h.SparesFree, h.QuarantinedRegions,
 		h.Counts.RegionsQuarantined, h.Counts.RegionsRebuilt, scrub.Stalls, scrub.Panics)
-	fmt.Fprintf(out, "load: dues-seen=%d shadow-resets=%d repairs: single=%d sdr=%d raid=%d\n",
-		cnt.dues.Load(), cnt.lost.Load(), st.SingleRepairs, st.SDRRepairs, st.RAIDRepairs)
+	fmt.Fprintf(out, "load: dues-seen=%d shadow-resets=%d repairs: single=%d sdr=%d raid=%d hash2=%d faults-injected=%d\n",
+		cnt.dues.Load(), cnt.lost.Load(), st.SingleRepairs, st.SDRRepairs, st.RAIDRepairs,
+		st.Hash2Repairs, st.FaultsInjected)
 	if !o.quiet {
 		for _, ev := range tailEvents(h.Events, 10) {
 			fmt.Fprintf(out, "event: %v\n", ev)
@@ -269,8 +413,62 @@ func runChaos(o options, out io.Writer) error {
 	if h.Counts.RecoveryFailed > 0 {
 		return fmt.Errorf("chaos: %d clean-line DUE recoveries failed", h.Counts.RecoveryFailed)
 	}
+	if plan != nil && boundedPressure(cam) {
+		// A bounded pressure window (e.g. the burst preset) must both
+		// drive the ladder to Critical and fully stand down once the
+		// window closes — the storm controller's end-to-end contract.
+		if stormStats.Peak < sudoku.StormCritical {
+			return fmt.Errorf("chaos: campaign %q never reached critical (peak %v)", cam.Name, stormStats.Peak)
+		}
+		if stormFinal != sudoku.StormNormal {
+			return fmt.Errorf("chaos: storm still %v after the pressure window closed", stormFinal)
+		}
+	}
 	fmt.Fprintln(out, "chaos: PASS (zero SDC, all clean-line DUEs recovered)")
 	return nil
+}
+
+// chaosStormConfig derives the controller thresholds from the fault
+// budget. The incremental daemon visits each shard once per rotation
+// (shards × scrub), so by the time a line is scrubbed it has accrued
+// λ = F·shards/L faults on average; the multi-bit fraction is the
+// Poisson tail p₂(λ) = 1 − (1+λ)e^(−λ) and the steady weighted event
+// rate is at most the scan rate L/rotation times p₂. Access-path
+// repairs clear a share of those lines early, so the model runs a few
+// times hot — which is exactly the headroom the elevated bar needs to
+// ignore the steady soak. A burst window multiplies F severalfold and
+// drives p₂ toward 1, clearing the critical bar by an order of
+// magnitude.
+func chaosStormConfig(faultsPerInterval, lines, shards int, scrub time.Duration) sudoku.StormConfig {
+	f := float64(faultsPerInterval)
+	lambda := f * float64(shards) / float64(lines)
+	p2 := 1 - (1+lambda)*math.Exp(-lambda)
+	scanRate := float64(lines) / (float64(shards) * scrub.Seconds())
+	base := scanRate * p2
+	return sudoku.StormConfig{
+		ElevatedRate: base + 20,
+		CriticalRate: 3*base + 60,
+		Window:       500 * time.Millisecond,
+		Quiet:        1500 * time.Millisecond,
+		MinInterval:  scrub / 4,
+	}
+}
+
+// weightedEventDelta scores the RAS activity between two snapshots
+// with the storm controller's own severity weights (group-ladder
+// repairs 1 per line, recovered/overwritten DUE 2, data loss and
+// failed recovery 4, SDC 8) so the calibrated thresholds are in the
+// controller's units. Per-line repair stats, not the group-repair
+// event count, mirror the controller's Repairs-scaled weighting.
+func weightedEventDelta(bc, ac sudoku.RASCounts, bs, as sudoku.Stats) float64 {
+	return float64((as.SDRRepairs-bs.SDRRepairs)+
+		(as.RAIDRepairs-bs.RAIDRepairs)+
+		(as.Hash2Repairs-bs.Hash2Repairs)) +
+		2*float64(ac.DUERecovered-bc.DUERecovered) +
+		2*float64(ac.DUEOverwritten-bc.DUEOverwritten) +
+		4*float64(ac.DUEDataLoss-bc.DUEDataLoss) +
+		4*float64(ac.RecoveryFailed-bc.RecoveryFailed) +
+		8*float64(ac.SDC-bc.SDC)
 }
 
 func isZero(b []byte) bool {

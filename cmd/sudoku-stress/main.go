@@ -58,6 +58,7 @@ type options struct {
 	seed       uint64
 	quiet      bool
 	chaos      bool
+	campaign   string
 }
 
 func run(args []string, out io.Writer) error {
@@ -74,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-bucket histogram")
 	fs.BoolVar(&o.chaos, "chaos", false, "chaos mode: RAS soak on the sharded engine (10x paper BER, daemon churn, retirement, quarantine; fails on any SDC)")
+	fs.StringVar(&o.campaign, "campaign", "", "correlated-fault campaign: a preset name ("+presetList()+") or a JSON file path; replaces the uniform -storm scatter, with -storm as the per-interval base budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +134,8 @@ type engine interface {
 	ReadInto(addr uint64, dst []byte) error
 	Write(addr uint64, data []byte) error
 	InjectRandomFaults(seed uint64, n int) error
+	ApplyFaults(ip sudoku.FaultIntervalPlan) (int, error)
+	Geometry() sudoku.FaultGeometry
 	Scrub() (sudoku.ScrubReport, error)
 	Stats() sudoku.Stats
 }
@@ -195,9 +199,15 @@ func runEngine(o options, name string) (*result, error) {
 			return nil, err
 		}
 		res.shards = c.Shards()
+		perPass := storms(o.storm, c.Shards())
+		if o.campaign != "" {
+			// The campaign stepper is the sole fault source; the daemon
+			// scrubs but does not storm.
+			perPass = 0
+		}
 		if err := c.StartScrub(sudoku.ScrubDaemonConfig{
 			Interval:     o.scrub,
-			StormPerPass: storms(o.storm, c.Shards()),
+			StormPerPass: perPass,
 		}); err != nil {
 			return nil, err
 		}
@@ -228,7 +238,7 @@ func runEngine(o options, name string) (*result, error) {
 				case <-stop:
 					return
 				case <-ticker.C:
-					if o.storm > 0 {
+					if o.storm > 0 && o.campaign == "" {
 						_ = c.InjectRandomFaults(src.Uint64(), o.storm)
 					}
 					_, _ = c.Scrub()
@@ -247,7 +257,19 @@ func runEngine(o options, name string) (*result, error) {
 		return nil, fmt.Errorf("unknown engine %q", name)
 	}
 
+	stopStepper := func() {}
+	if o.campaign != "" {
+		plan, err := resolveCampaign(o, eng.Geometry())
+		if err != nil {
+			return nil, err
+		}
+		stopStepper, err = startCampaignStepper(eng, plan, o.scrub)
+		if err != nil {
+			return nil, err
+		}
+	}
 	load(o, eng, res)
+	stopStepper()
 	stopScrub()
 	res.stats = eng.Stats()
 	return res, nil

@@ -168,6 +168,10 @@ type Stats struct {
 	// flagged the stored codeword as faulty — the paper's per-access
 	// detection events, before any repair is attempted.
 	CRCDetects int64
+	// TargetedScrubs counts out-of-band single-region scrubs (the storm
+	// controller's ScrubRegion calls); deliberately separate from
+	// ScrubPasses so rotation accounting stays honest.
+	TargetedScrubs int64
 }
 
 // Add accumulates another snapshot into s — the sharded engine folds
@@ -191,6 +195,7 @@ func (s *Stats) Add(o Stats) {
 	s.DUEDataLoss += o.DUEDataLoss
 	s.LinesRetired += o.LinesRetired
 	s.CRCDetects += o.CRCDetects
+	s.TargetedScrubs += o.TargetedScrubs
 }
 
 // Metrics extends Stats with the per-operation latency distributions:
@@ -244,6 +249,7 @@ type counters struct {
 	dueDataLoss       atomic.Int64
 	linesRetired      atomic.Int64
 	crcDetects        atomic.Int64
+	targetedScrubs    atomic.Int64
 }
 
 // snapshot loads every counter. Loads are individually atomic, not a
@@ -268,6 +274,7 @@ func (c *counters) snapshot() Stats {
 		DUEDataLoss:       c.dueDataLoss.Load(),
 		LinesRetired:      c.linesRetired.Load(),
 		CRCDetects:        c.crcDetects.Load(),
+		TargetedScrubs:    c.targetedScrubs.Load(),
 	}
 }
 

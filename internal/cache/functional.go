@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sudoku/internal/bitvec"
@@ -453,6 +454,7 @@ func (c *STTRAM) repairLine(phys int) error {
 	c.stats.sdrRepairs.Add(int64(report.Hash1.SDRRepairs))
 	c.stats.raidRepairs.Add(int64(report.Hash1.RAIDRepairs))
 	c.stats.hash2Repairs.Add(int64(report.Hash2Repairs))
+	c.emitGroupRepair(c.params.Hash1Of(phys), report)
 	// Other lines touched by the group repair regain their permanent
 	// faults immediately; the target line's are reapplied by the
 	// caller after its data buffer is extracted.
@@ -471,6 +473,30 @@ func (c *STTRAM) repairLine(phys int) error {
 		}
 	}
 	return nil
+}
+
+// emitGroupRepair records one invocation of the group repair ladder —
+// the storm detector's primary clustered-fault signal. Line carries the
+// region's first member slot so consumers can map the event back to its
+// (shard, group) region; the Sprintf runs only on the cold multi-bit
+// path. Callers hold c.mu.
+func (c *STTRAM) emitGroupRepair(group int, report core.ZReport) {
+	if c.events == nil {
+		return
+	}
+	repairs := report.Hash1.SDRRepairs + report.Hash1.RAIDRepairs + report.Hash2Repairs
+	c.events(ras.Event{
+		Kind:    ras.KindGroupRepair,
+		Line:    group * c.params.GroupSize,
+		Addr:    ras.NoAddr,
+		Repairs: repairs,
+		// A pass that fixed nothing and only re-observed lines it
+		// cannot fix is bookkeeping, not new fault pressure.
+		Futile: repairs == 0 && len(report.Unrepaired) > 0,
+		Detail: fmt.Sprintf("hash1 group %d: sdr=%d raid=%d hash2=%d unrepaired=%d",
+			group, report.Hash1.SDRRepairs, report.Hash1.RAIDRepairs,
+			report.Hash2Repairs, len(report.Unrepaired)),
+	})
 }
 
 // rebuildParities recomputes the two parity lines covering a physical
@@ -630,6 +656,176 @@ func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
 	return nil
 }
 
+// StoredBits returns the per-line stored codeword width in bits — the
+// fault-injection bit space is Lines × StoredBits. Zero when protection
+// is off.
+func (c *STTRAM) StoredBits() int {
+	if c.cfg.Protection == 0 {
+		return 0
+	}
+	return c.codec.StoredBits()
+}
+
+// InjectFaultsAt flips the stored bits at the given global positions
+// (pos = phys*StoredBits() + bit) — the campaign-driven counterpart of
+// InjectRandomFaults: faults land by physical location regardless of
+// residency, so correlated campaigns can target contiguous line runs.
+// Retired lines absorb their faults (hardened spares). Returns the
+// number of flips that landed.
+func (c *STTRAM) InjectFaultsAt(positions []int) (int, error) {
+	if c.cfg.Protection == 0 {
+		return 0, ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lineBits := c.codec.StoredBits()
+	limit := c.cfg.Lines * lineBits
+	landed := 0
+	for _, pos := range positions {
+		if pos < 0 || pos >= limit {
+			c.stats.faultsInjected.Add(int64(landed))
+			return landed, fmt.Errorf("cache: fault position %d outside [0, %d)", pos, limit)
+		}
+		if _, ok := c.retired[pos/lineBits]; ok {
+			continue // hardened spare rows absorb faults
+		}
+		stored, err := c.lineVec(pos / lineBits)
+		if err != nil {
+			c.stats.faultsInjected.Add(int64(landed))
+			return landed, err
+		}
+		if err := stored.Flip(pos % lineBits); err != nil {
+			c.stats.faultsInjected.Add(int64(landed))
+			return landed, err
+		}
+		landed++
+	}
+	c.stats.faultsInjected.Add(int64(landed))
+	return landed, nil
+}
+
+// InjectStuckAtPhys pins one cell of a physical line slot to a fixed
+// value — the campaign-driven form of InjectStuckAt, addressed by slot
+// instead of a resident address so stuck-at cohorts can land anywhere.
+func (c *STTRAM) InjectStuckAtPhys(phys, bit int, value bool) error {
+	if c.cfg.Protection == 0 {
+		return ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if phys < 0 || phys >= c.cfg.Lines {
+		return fmt.Errorf("cache: line %d outside [0, %d)", phys, c.cfg.Lines)
+	}
+	if _, ok := c.retired[phys]; ok {
+		return nil // hardened spare rows absorb faults
+	}
+	stored, err := c.lineVec(phys)
+	if err != nil {
+		return err
+	}
+	if bit < 0 || bit >= stored.Len() {
+		return fmt.Errorf("cache: stuck bit %d out of range", bit)
+	}
+	if c.stuck[phys] == nil {
+		c.stuck[phys] = make(map[int]bool)
+	}
+	c.stuck[phys][bit] = value
+	c.stats.faultsInjected.Add(1)
+	return stored.SetTo(bit, value)
+}
+
+// ScrubRegion scrubs the member lines of one Hash-1 group out of band —
+// the storm controller's targeted response to a hot region, ahead of
+// the rotation. It runs the same validate/repair ladder as a full pass
+// restricted to the group, but deliberately does NOT count as a scrub
+// pass: ScrubPasses, the retirement sweep, the quarantine-audit tick,
+// and the pass-duration histogram are untouched, so targeted scrubs
+// never skew rotation accounting or the daemon's heartbeat (it counts
+// into Stats.TargetedScrubs instead).
+func (c *STTRAM) ScrubRegion(group int) (ScrubReport, error) {
+	if c.cfg.Protection == 0 {
+		return ScrubReport{}, ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if group < 0 || group >= c.params.NumGroups() {
+		return ScrubReport{}, fmt.Errorf("cache: region %d outside [0, %d)", group, c.params.NumGroups())
+	}
+	var rep ScrubReport
+	members := c.params.Hash1Members(group)
+	if len(c.quarantined) > 0 && c.quarantined[group] {
+		rep.QuarantineSkipped = len(members)
+		c.stats.targetedScrubs.Add(1)
+		return rep, nil
+	}
+	needGroup := false
+	var singles []int
+	for _, phys := range members {
+		stored := c.stored[phys]
+		if stored == nil {
+			continue
+		}
+		if _, ok := c.retired[phys]; ok {
+			continue
+		}
+		rep.LinesChecked++
+		ok, err := c.codec.Validate(stored)
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			continue
+		}
+		c.stats.crcDetects.Add(1)
+		st, err := c.codec.Scrub(stored)
+		if err != nil {
+			return rep, err
+		}
+		switch st {
+		case core.StatusCorrected:
+			rep.SingleRepairs++
+			c.noteCE(phys)
+		case core.StatusUncorrectable:
+			needGroup = true
+			singles = append(singles, phys)
+		}
+	}
+	if needGroup {
+		report, err := c.zeng.RepairHash1Group(&cacheView{c}, group)
+		if err != nil {
+			return rep, err
+		}
+		rep.SingleRepairs += report.Hash1.SinglesCorrected
+		rep.SDRRepairs += report.Hash1.SDRRepairs
+		rep.RAIDRepairs += report.Hash1.RAIDRepairs
+		rep.Hash2Repairs += report.Hash2Repairs
+		c.emitGroupRepair(group, report)
+	}
+	for _, phys := range singles {
+		ok, err := c.codec.Check(c.stored[phys])
+		if err != nil {
+			return rep, err
+		}
+		if !ok {
+			rep.DUELines = append(rep.DUELines, phys)
+		}
+	}
+	c.stats.uncorrectableDUEs.Add(int64(len(rep.DUELines)))
+	c.stats.singleRepairs.Add(int64(rep.SingleRepairs))
+	c.stats.sdrRepairs.Add(int64(rep.SDRRepairs))
+	c.stats.raidRepairs.Add(int64(rep.RAIDRepairs))
+	c.stats.hash2Repairs.Add(int64(rep.Hash2Repairs))
+	c.stats.targetedScrubs.Add(1)
+	// A Hash-2 retry can rewrite lines outside this group, so permanent
+	// faults reassert cache-wide, exactly as after a full pass.
+	for phys := range c.stuck {
+		if err := c.reapplyStuck(phys); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
 // Scrub performs one full scrub pass (§II-D): every materialized line
 // is checked; single-bit faults are repaired in place and multi-bit
 // faults invoke the group machinery. Unrepaired lines are reported as
@@ -682,7 +878,15 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			singles = append(singles, phys)
 		}
 	}
+	// Repair groups in ascending order: a Hash-2 retry can rewrite lines
+	// outside the group under repair, so map-iteration order would make
+	// replay counters nondeterministic.
+	var groupList []int
 	for g := range groups {
+		groupList = append(groupList, g)
+	}
+	sort.Ints(groupList)
+	for _, g := range groupList {
 		report, err := c.zeng.RepairHash1Group(&cacheView{c}, g)
 		if err != nil {
 			return rep, err
@@ -691,6 +895,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 		rep.SDRRepairs += report.Hash1.SDRRepairs
 		rep.RAIDRepairs += report.Hash1.RAIDRepairs
 		rep.Hash2Repairs += report.Hash2Repairs
+		c.emitGroupRepair(g, report)
 	}
 	for _, phys := range singles {
 		ok, err := c.codec.Check(c.stored[phys])
@@ -838,51 +1043,83 @@ func (c *STTRAM) auditParity(rep *ScrubReport) error {
 		if c.quarantined[g] {
 			continue
 		}
-		acc := c.scr.audit
-		acc.Zero()
-		empty := true
-		for _, m := range c.params.Hash1Members(g) {
-			if c.stored[m] == nil {
-				continue // lazy zero codeword contributes nothing
-			}
-			empty = false
-			if err := acc.XorInto(c.stored[m]); err != nil {
-				return err
-			}
-		}
-		if empty {
-			continue
-		}
-		par, err := c.plt1.Parity(g)
+		quarantined, err := c.auditGroup(g)
 		if err != nil {
 			return err
 		}
-		if acc.Equal(par) {
-			continue
+		if quarantined {
+			rep.RegionsQuarantined++
 		}
-		// Mismatch: distinguish bad member data (normal repair
-		// territory, including stuck cells' persistent deviation) from
-		// a bad parity line.
-		clean := true
-		for _, m := range c.params.Hash1Members(g) {
-			if c.stored[m] == nil {
-				continue
-			}
-			if ok, err := c.codec.Check(c.stored[m]); err != nil {
-				return err
-			} else if !ok {
-				clean = false
-				break
-			}
-		}
-		if !clean {
-			continue
-		}
-		c.quarantined[g] = true
-		rep.RegionsQuarantined++
-		c.emit(ras.KindRegionQuarantined, ras.NoLine, ras.NoAddr, fmt.Sprintf("hash1 group %d: parity line failed audit", g))
 	}
 	return nil
+}
+
+// auditGroup runs the bad-parity audit on one Hash-1 group, reporting
+// whether it newly quarantined the region. Callers hold c.mu and have
+// already filtered out quarantined groups.
+func (c *STTRAM) auditGroup(g int) (bool, error) {
+	acc := c.scr.audit
+	acc.Zero()
+	empty := true
+	for _, m := range c.params.Hash1Members(g) {
+		if c.stored[m] == nil {
+			continue // lazy zero codeword contributes nothing
+		}
+		empty = false
+		if err := acc.XorInto(c.stored[m]); err != nil {
+			return false, err
+		}
+	}
+	if empty {
+		return false, nil
+	}
+	par, err := c.plt1.Parity(g)
+	if err != nil {
+		return false, err
+	}
+	if acc.Equal(par) {
+		return false, nil
+	}
+	// Mismatch: distinguish bad member data (normal repair territory,
+	// including stuck cells' persistent deviation) from a bad parity
+	// line.
+	for _, m := range c.params.Hash1Members(g) {
+		if c.stored[m] == nil {
+			continue
+		}
+		if ok, err := c.codec.Check(c.stored[m]); err != nil {
+			return false, err
+		} else if !ok {
+			return false, nil
+		}
+	}
+	c.quarantined[g] = true
+	c.emit(ras.KindRegionQuarantined, ras.NoLine, ras.NoAddr, fmt.Sprintf("hash1 group %d: parity line failed audit", g))
+	return true, nil
+}
+
+// AuditRegion runs the bad-parity audit on a single Hash-1 group out of
+// band — the storm controller's proactive probe of a region whose
+// event-rate detector tripped, ahead of the rotation's periodic audit.
+// It reports whether the region is quarantined afterwards (newly or
+// already). A cache built without quarantine support (zero
+// QuarantineAuditPasses) audits nothing and reports false.
+func (c *STTRAM) AuditRegion(group int) (bool, error) {
+	if c.cfg.Protection == 0 {
+		return false, ErrNotProtected
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if group < 0 || group >= c.params.NumGroups() {
+		return false, fmt.Errorf("cache: region %d outside [0, %d)", group, c.params.NumGroups())
+	}
+	if c.cfg.QuarantineAuditPasses <= 0 {
+		return false, nil
+	}
+	if c.quarantined[group] {
+		return true, nil
+	}
+	return c.auditGroup(group)
 }
 
 // RebuildQuarantined returns every quarantined region to service:

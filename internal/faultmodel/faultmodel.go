@@ -1,0 +1,426 @@
+// Package faultmodel builds deterministic, correlated fault campaigns:
+// declarative timelines of fault events (thermal hot-spots, global
+// burst windows, weak-cell populations, stuck-at cohorts) that compile
+// against a cache geometry into per-interval injection plans. Uniform
+// Binomial scatter — everything the repo injected before this package —
+// is precisely the regime where one-bad-line-per-region RAID-4 recovery
+// is easy; the paper's hard case is clustered failures that put several
+// uncorrectable lines into the same Hash-1 region (§V–VI), which is
+// what the hot-spot and burst events reproduce.
+//
+// Determinism contract: Compile draws every event population and one
+// sub-seed per interval from a single seeded stream in a fixed order,
+// so the same (campaign, geometry, seed) triple always yields the same
+// plan, and Plan.At is a pure function of the interval index — plans
+// can be replayed, stepped out of order, or cycled without drift.
+package faultmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"sudoku/internal/rng"
+)
+
+// Geometry is the physical bit space a campaign compiles against:
+// Lines×LineBits stored cells, addressed by global bit position
+// pos = line*LineBits + bit. It matches cache.STTRAM's stored codeword
+// array (LineBits = codec.StoredBits()) and faultsim's fault space.
+type Geometry struct {
+	Lines    int
+	LineBits int
+}
+
+// TotalBits returns the size of the injectable bit space.
+func (g Geometry) TotalBits() int { return g.Lines * g.LineBits }
+
+func (g Geometry) validate() error {
+	if g.Lines <= 0 || g.LineBits <= 0 {
+		return fmt.Errorf("faultmodel: geometry %d lines × %d bits", g.Lines, g.LineBits)
+	}
+	return nil
+}
+
+// Event kinds. An Event is active on intervals [Start, End); End == 0
+// means "until the end of the campaign".
+const (
+	// KindHotspot multiplies the base BER by a Gaussian bump over the
+	// physical line space: lines near Center (a fraction of the line
+	// space) see up to Multiplier× the base rate, falling off with
+	// standard deviation Sigma (also a fraction). This is the thermal
+	// hot-spot model — and the clustered-fault stress case for Hash-1
+	// regions, which are contiguous runs of physical lines.
+	KindHotspot = "hotspot"
+	// KindBurst multiplies the base BER globally by Multiplier for the
+	// event window — the retention-failure storm of a transient
+	// temperature excursion (the paper's Δ/σ knee is exponential in
+	// temperature).
+	KindBurst = "burst"
+	// KindWeakCells seeds a fixed population of Cells weak cells, each
+	// flipping independently with probability FlipProb per interval
+	// while the event is active — the heavy-tail per-cell heterogeneity
+	// of real STTRAM error populations.
+	KindWeakCells = "weakcells"
+	// KindStuckAt pins a cohort of Cells cells to StuckValue starting
+	// at interval Start — permanent faults layered under the transient
+	// ones.
+	KindStuckAt = "stuckat"
+)
+
+// Event is one entry in a campaign timeline.
+type Event struct {
+	Kind  string `json:"kind"`
+	Start int    `json:"start,omitempty"`
+	// End is exclusive; 0 means the campaign end.
+	End int `json:"end,omitempty"`
+
+	// Hotspot parameters (fractions of the line space).
+	Center float64 `json:"center,omitempty"`
+	Sigma  float64 `json:"sigma,omitempty"`
+
+	// Hotspot/burst intensity.
+	Multiplier float64 `json:"multiplier,omitempty"`
+
+	// Weak-cell / stuck-at population size.
+	Cells int `json:"cells,omitempty"`
+	// Weak-cell per-interval flip probability.
+	FlipProb float64 `json:"flip_prob,omitempty"`
+	// Stuck-at value.
+	StuckValue bool `json:"stuck_value,omitempty"`
+}
+
+// end resolves the exclusive end interval against the campaign length.
+func (e Event) end(intervals int) int {
+	if e.End == 0 {
+		return intervals
+	}
+	return e.End
+}
+
+// active reports whether the event covers interval i.
+func (e Event) active(i, intervals int) bool {
+	return i >= e.Start && i < e.end(intervals)
+}
+
+// Campaign is a declarative fault timeline. Exactly one of BaseBER and
+// BaseFaults sets the uniform background: BaseBER directly, BaseFaults
+// as an expected per-interval fault count (converted to a BER at
+// compile time, mirroring the count-based -storm budgets of the stress
+// tools). Both zero means no uniform background — only events inject.
+type Campaign struct {
+	Name       string  `json:"name"`
+	Intervals  int     `json:"intervals"`
+	BaseBER    float64 `json:"base_ber,omitempty"`
+	BaseFaults int     `json:"base_faults,omitempty"`
+	Events     []Event `json:"events,omitempty"`
+}
+
+// Validate checks the geometry-independent invariants.
+func (c Campaign) Validate() error {
+	if c.Intervals <= 0 {
+		return fmt.Errorf("faultmodel: campaign %q: intervals %d", c.Name, c.Intervals)
+	}
+	if c.BaseBER < 0 || c.BaseBER >= 1 {
+		return fmt.Errorf("faultmodel: campaign %q: base BER %g outside [0, 1)", c.Name, c.BaseBER)
+	}
+	if c.BaseFaults < 0 {
+		return fmt.Errorf("faultmodel: campaign %q: base faults %d", c.Name, c.BaseFaults)
+	}
+	if c.BaseBER > 0 && c.BaseFaults > 0 {
+		return fmt.Errorf("faultmodel: campaign %q: both base_ber and base_faults set", c.Name)
+	}
+	for i, e := range c.Events {
+		if e.Start < 0 || e.Start >= c.Intervals || e.end(c.Intervals) <= e.Start || e.end(c.Intervals) > c.Intervals {
+			return fmt.Errorf("faultmodel: campaign %q event %d: window [%d, %d) outside [0, %d)",
+				c.Name, i, e.Start, e.end(c.Intervals), c.Intervals)
+		}
+		switch e.Kind {
+		case KindHotspot:
+			if e.Sigma <= 0 || e.Sigma > 0.5 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: hotspot sigma %g outside (0, 0.5]", c.Name, i, e.Sigma)
+			}
+			if e.Center < 0 || e.Center > 1 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: hotspot center %g outside [0, 1]", c.Name, i, e.Center)
+			}
+			if e.Multiplier <= 1 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: hotspot multiplier %g must exceed 1", c.Name, i, e.Multiplier)
+			}
+			if c.BaseBER == 0 && c.BaseFaults == 0 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: hotspot multiplies the base rate, but no base is set", c.Name, i)
+			}
+		case KindBurst:
+			if e.Multiplier <= 1 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: burst multiplier %g must exceed 1", c.Name, i, e.Multiplier)
+			}
+			if c.BaseBER == 0 && c.BaseFaults == 0 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: burst multiplies the base rate, but no base is set", c.Name, i)
+			}
+		case KindWeakCells:
+			if e.Cells <= 0 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: weak-cell population %d", c.Name, i, e.Cells)
+			}
+			if e.FlipProb <= 0 || e.FlipProb > 1 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: flip probability %g outside (0, 1]", c.Name, i, e.FlipProb)
+			}
+		case KindStuckAt:
+			if e.Cells <= 0 {
+				return fmt.Errorf("faultmodel: campaign %q event %d: stuck-at cohort %d", c.Name, i, e.Cells)
+			}
+		default:
+			return fmt.Errorf("faultmodel: campaign %q event %d: unknown kind %q", c.Name, i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// StuckCell is a permanent-fault cell: global bit position and pinned
+// value.
+type StuckCell struct {
+	Pos   int
+	Value bool
+}
+
+// IntervalPlan is one interval's injection: transient bit flips (global
+// positions, sorted, deduplicated) plus the stuck cells newly pinned
+// this interval. Stuck cells persist on a live engine; simulators must
+// carry them forward themselves.
+type IntervalPlan struct {
+	Index int
+	Flips []int
+	Stuck []StuckCell
+}
+
+// Plan is a compiled campaign. At(i) is pure — intervals can be stepped
+// in any order or replayed — because compilation pre-draws every event
+// population and a private sub-seed per interval.
+type Plan struct {
+	cam     Campaign
+	geom    Geometry
+	baseBER float64
+	ivSeeds []uint64
+	weak    []weakPopulation
+	stuck   map[int][]StuckCell // interval -> cells newly pinned there
+}
+
+type weakPopulation struct {
+	ev    Event
+	cells []int
+}
+
+// Compile resolves a campaign against a geometry. The draw order is
+// fixed — event populations first (in event order), then one sub-seed
+// per interval — so identical inputs always produce identical plans.
+func Compile(c Campaign, geom Geometry, seed uint64) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := geom.validate(); err != nil {
+		return nil, err
+	}
+	baseBER := c.BaseBER
+	if c.BaseFaults > 0 {
+		baseBER = float64(c.BaseFaults) / float64(geom.TotalBits())
+	}
+	p := &Plan{
+		cam:     c,
+		geom:    geom,
+		baseBER: baseBER,
+		stuck:   make(map[int][]StuckCell),
+	}
+	master := rng.New(seed)
+	for _, e := range c.Events {
+		switch e.Kind {
+		case KindWeakCells:
+			cells := master.SampleDistinct(geom.TotalBits(), min(e.Cells, geom.TotalBits()))
+			sort.Ints(cells)
+			p.weak = append(p.weak, weakPopulation{ev: e, cells: cells})
+		case KindStuckAt:
+			cells := master.SampleDistinct(geom.TotalBits(), min(e.Cells, geom.TotalBits()))
+			sort.Ints(cells)
+			for _, pos := range cells {
+				p.stuck[e.Start] = append(p.stuck[e.Start], StuckCell{Pos: pos, Value: e.StuckValue})
+			}
+		}
+	}
+	p.ivSeeds = make([]uint64, c.Intervals)
+	for i := range p.ivSeeds {
+		p.ivSeeds[i] = master.Uint64()
+	}
+	return p, nil
+}
+
+// Intervals returns the timeline length.
+func (p *Plan) Intervals() int { return len(p.ivSeeds) }
+
+// Geometry returns the geometry the plan was compiled against.
+func (p *Plan) Geometry() Geometry { return p.geom }
+
+// Campaign returns the source campaign.
+func (p *Plan) Campaign() Campaign { return p.cam }
+
+// BaseBER returns the resolved uniform background rate.
+func (p *Plan) BaseBER() float64 { return p.baseBER }
+
+// At materializes interval i's injection plan. Pure: same plan + same
+// index always yields the same flips and stuck cells.
+func (p *Plan) At(i int) (IntervalPlan, error) {
+	if i < 0 || i >= len(p.ivSeeds) {
+		return IntervalPlan{}, fmt.Errorf("faultmodel: interval %d outside [0, %d)", i, len(p.ivSeeds))
+	}
+	r := rng.New(p.ivSeeds[i])
+	var flips []int
+
+	// Uniform background, scaled by every active burst window. Burst
+	// scales only the background; a hot-spot's bump rides on the
+	// unscaled base.
+	ber := p.baseBER
+	for _, e := range p.cam.Events {
+		if e.Kind == KindBurst && e.active(i, p.cam.Intervals) {
+			ber *= e.Multiplier
+		}
+	}
+	if ber > 0 {
+		if ber > 1 {
+			ber = 1
+		}
+		n := r.Binomial(p.geom.TotalBits(), ber)
+		flips = append(flips, r.SampleDistinct(p.geom.TotalBits(), n)...)
+	}
+
+	// Hot-spot bumps: the extra fault mass of a Gaussian BER profile
+	// base×(Multiplier−1)×exp(−(x−center)²/2σ²) integrated over the
+	// line space is base×(M−1)×σ×√(2π) faults per bit-column, drawn as
+	// a Poisson count and placed by Gaussian line offset.
+	for _, e := range p.cam.Events {
+		if e.Kind != KindHotspot || !e.active(i, p.cam.Intervals) {
+			continue
+		}
+		sigmaLines := e.Sigma * float64(p.geom.Lines)
+		lambda := p.baseBER * (e.Multiplier - 1) * sigmaLines * math.Sqrt(2*math.Pi) * float64(p.geom.LineBits)
+		center := e.Center * float64(p.geom.Lines)
+		n := r.Poisson(lambda)
+		for k := 0; k < n; k++ {
+			line := int(math.Round(center + sigmaLines*r.NormFloat64()))
+			if line < 0 || line >= p.geom.Lines {
+				continue // clipped tail mass, negligible at validated sigmas
+			}
+			flips = append(flips, line*p.geom.LineBits+r.Intn(p.geom.LineBits))
+		}
+	}
+
+	// Weak cells: independent Bernoulli per population member.
+	for _, w := range p.weak {
+		if !w.ev.active(i, p.cam.Intervals) {
+			continue
+		}
+		for _, cell := range w.cells {
+			if r.Float64() < w.ev.FlipProb {
+				flips = append(flips, cell)
+			}
+		}
+	}
+
+	// Sources can collide on a cell; a double flip would cancel, so
+	// dedupe (and sort, making plans canonical).
+	sort.Ints(flips)
+	flips = dedupeSorted(flips)
+
+	return IntervalPlan{Index: i, Flips: flips, Stuck: p.stuck[i]}, nil
+}
+
+func dedupeSorted(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PresetNames lists the built-in campaigns.
+func PresetNames() []string {
+	return []string{"uniform", "hotspot", "burst", "weakcells"}
+}
+
+// Preset returns a built-in campaign. intervals is the timeline length;
+// baseFaults the expected uniform faults per interval (the same budget
+// a `-storm N` flag expresses).
+func Preset(name string, intervals, baseFaults int) (Campaign, error) {
+	if intervals <= 0 {
+		return Campaign{}, fmt.Errorf("faultmodel: preset intervals %d", intervals)
+	}
+	if baseFaults <= 0 {
+		return Campaign{}, fmt.Errorf("faultmodel: preset base faults %d", baseFaults)
+	}
+	base := Campaign{Name: name, Intervals: intervals, BaseFaults: baseFaults}
+	switch name {
+	case "uniform":
+		return base, nil
+	case "hotspot":
+		// A hot-spot over ~2% of the line space (σ = 1%), sized so the
+		// bump's extra fault mass ≈ 4× the uniform budget: with
+		// extra = (M−1)·σ·√(2π)·baseFaults, M−1 = 4/(0.01·√(2π)) ≈ 160.
+		// The footprint spans enough parity groups that regional
+		// containment (targeted scrubs, quarantine) cannot silently
+		// absorb it — a real thermal event, not a single bad neighbor.
+		base.Events = []Event{{
+			Kind:       KindHotspot,
+			Start:      intervals / 4,
+			End:        3 * intervals / 4,
+			Center:     0.5,
+			Sigma:      0.01,
+			Multiplier: 161,
+		}}
+		return base, nil
+	case "burst":
+		// Global ×8 storm for a quarter of the timeline, leaving a long
+		// quiet tail for de-escalation.
+		base.Events = []Event{{
+			Kind:       KindBurst,
+			Start:      intervals / 4,
+			End:        intervals / 2,
+			Multiplier: 8,
+		}}
+		return base, nil
+	case "weakcells":
+		// 64 weak cells flipping with p=0.25 per interval, on top of the
+		// uniform background, for the whole timeline.
+		base.Events = []Event{{
+			Kind:     KindWeakCells,
+			Cells:    64,
+			FlipProb: 0.25,
+		}}
+		return base, nil
+	default:
+		return Campaign{}, fmt.Errorf("faultmodel: unknown preset %q (have %v)", name, PresetNames())
+	}
+}
+
+// Parse decodes a JSON campaign spec and validates it. Unknown fields
+// are rejected so typos in specs fail loudly.
+func Parse(data []byte) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Campaign{}, fmt.Errorf("faultmodel: parse campaign: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Campaign{}, err
+	}
+	return c, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

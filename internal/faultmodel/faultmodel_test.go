@@ -1,0 +1,273 @@
+package faultmodel
+
+import (
+	"reflect"
+	"testing"
+)
+
+var testGeom = Geometry{Lines: 16384, LineBits: 553}
+
+func TestValidate(t *testing.T) {
+	bad := []Campaign{
+		{Name: "no-intervals"},
+		{Name: "ber-range", Intervals: 4, BaseBER: 1.5},
+		{Name: "both-bases", Intervals: 4, BaseBER: 1e-6, BaseFaults: 10},
+		{Name: "window", Intervals: 4, BaseFaults: 1, Events: []Event{{Kind: KindBurst, Start: 4, Multiplier: 2}}},
+		{Name: "window-rev", Intervals: 8, BaseFaults: 1, Events: []Event{{Kind: KindBurst, Start: 4, End: 2, Multiplier: 2}}},
+		{Name: "hotspot-sigma", Intervals: 4, BaseFaults: 1, Events: []Event{{Kind: KindHotspot, Sigma: 0, Multiplier: 10}}},
+		{Name: "hotspot-nobase", Intervals: 4, Events: []Event{{Kind: KindHotspot, Sigma: 0.01, Multiplier: 10}}},
+		{Name: "burst-mult", Intervals: 4, BaseFaults: 1, Events: []Event{{Kind: KindBurst, Multiplier: 1}}},
+		{Name: "weak-prob", Intervals: 4, Events: []Event{{Kind: KindWeakCells, Cells: 4, FlipProb: 2}}},
+		{Name: "stuck-cells", Intervals: 4, Events: []Event{{Kind: KindStuckAt}}},
+		{Name: "unknown", Intervals: 4, Events: []Event{{Kind: "meteor"}}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("campaign %q accepted", c.Name)
+		}
+	}
+	if err := (Campaign{Name: "ok", Intervals: 4, BaseFaults: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsCompile(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name, 16, 100)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		p, err := Compile(c, testGeom, 42)
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		total := 0
+		for i := 0; i < p.Intervals(); i++ {
+			ip, err := p.At(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(ip.Flips)
+			// Flips must be sorted, deduplicated, in range.
+			for j, pos := range ip.Flips {
+				if pos < 0 || pos >= testGeom.TotalBits() {
+					t.Fatalf("%s interval %d: flip %d out of range", name, i, pos)
+				}
+				if j > 0 && ip.Flips[j-1] >= pos {
+					t.Fatalf("%s interval %d: flips not strictly sorted at %d", name, i, j)
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("preset %s injected nothing over 16 intervals", name)
+		}
+	}
+	if _, err := Preset("meteor", 16, 100); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// Replay determinism is the contract everything else builds on: same
+// campaign + geometry + seed ⇒ identical plans, and At is pure so
+// out-of-order stepping matches in-order stepping.
+func TestCompileDeterministic(t *testing.T) {
+	c, err := Preset("hotspot", 12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Compile(c, testGeom, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(c, testGeom, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p1.Intervals(); i++ {
+		a, _ := p1.At(i)
+		b, _ := p2.At(i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("interval %d differs between identical compiles", i)
+		}
+	}
+	// Pure At: re-reading an earlier interval after later ones.
+	first, _ := p1.At(0)
+	for i := p1.Intervals() - 1; i >= 0; i-- {
+		if _, err := p1.At(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, _ := p1.At(0)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("At(0) changed after out-of-order stepping")
+	}
+	// A different seed must actually change the plan.
+	p3, err := Compile(c, testGeom, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p1.At(0)
+	b, _ := p3.At(0)
+	if reflect.DeepEqual(a.Flips, b.Flips) && len(a.Flips) > 0 {
+		t.Fatal("different seeds produced identical flips")
+	}
+}
+
+// The hotspot preset must actually cluster: during the event window the
+// fault mass near the center should vastly exceed a uniform share.
+func TestHotspotClusters(t *testing.T) {
+	c, err := Preset("hotspot", 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(c, testGeom, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.Events[0]
+	lo := int((ev.Center - 3*ev.Sigma) * float64(testGeom.Lines))
+	hi := int((ev.Center + 3*ev.Sigma) * float64(testGeom.Lines))
+	in, out := 0, 0
+	for i := ev.Start; i < ev.End; i++ {
+		ip, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pos := range ip.Flips {
+			if line := pos / testGeom.LineBits; line >= lo && line < hi {
+				in++
+			} else {
+				out++
+			}
+		}
+	}
+	// The ±3σ band is 3% of the line space but holds the whole bump
+	// (~2× the uniform budget): expect well over half the mass inside.
+	if in < out {
+		t.Fatalf("hotspot not clustered: %d flips in ±3σ band, %d outside", in, out)
+	}
+	// Outside the window the band should hold roughly its uniform share.
+	ip, err := p.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inQuiet := 0
+	for _, pos := range ip.Flips {
+		if line := pos / testGeom.LineBits; line >= lo && line < hi {
+			inQuiet++
+		}
+	}
+	if inQuiet > len(ip.Flips)/2 {
+		t.Fatalf("hotspot active outside its window: %d/%d flips in band at interval 0", inQuiet, len(ip.Flips))
+	}
+}
+
+func TestBurstWindow(t *testing.T) {
+	c, err := Preset("burst", 16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(c, testGeom, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.Events[0]
+	quiet, stormy := 0, 0
+	nQuiet, nStormy := 0, 0
+	for i := 0; i < p.Intervals(); i++ {
+		ip, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.active(i, c.Intervals) {
+			stormy += len(ip.Flips)
+			nStormy++
+		} else {
+			quiet += len(ip.Flips)
+			nQuiet++
+		}
+	}
+	// ×8 burst: the per-interval average inside the window should be
+	// several times the outside average (margin for Binomial noise).
+	if float64(stormy)/float64(nStormy) < 3*float64(quiet)/float64(nQuiet) {
+		t.Fatalf("burst window not elevated: %d flips in %d stormy intervals vs %d in %d quiet",
+			stormy, nStormy, quiet, nQuiet)
+	}
+}
+
+func TestStuckCohort(t *testing.T) {
+	c := Campaign{
+		Name:      "stuck",
+		Intervals: 6,
+		Events: []Event{
+			{Kind: KindStuckAt, Start: 2, Cells: 8, StuckValue: true},
+		},
+	}
+	p, err := Compile(c, testGeom, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Intervals(); i++ {
+		ip, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if i == 2 {
+			want = 8
+		}
+		if len(ip.Stuck) != want {
+			t.Fatalf("interval %d: %d stuck cells, want %d", i, len(ip.Stuck), want)
+		}
+		for _, sc := range ip.Stuck {
+			if !sc.Value {
+				t.Fatal("stuck value lost")
+			}
+			if sc.Pos < 0 || sc.Pos >= testGeom.TotalBits() {
+				t.Fatalf("stuck cell %d out of range", sc.Pos)
+			}
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	spec := []byte(`{
+		"name": "custom",
+		"intervals": 10,
+		"base_faults": 50,
+		"events": [
+			{"kind": "hotspot", "start": 2, "end": 8, "center": 0.25, "sigma": 0.01, "multiplier": 40},
+			{"kind": "stuckat", "start": 1, "cells": 4, "stuck_value": true}
+		]
+	}`)
+	c, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "custom" || len(c.Events) != 2 || c.Events[0].Multiplier != 40 {
+		t.Fatalf("parsed campaign %+v", c)
+	}
+	if _, err := Parse([]byte(`{"name": "x", "intervals": 4, "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`{"name": "x"}`)); err == nil {
+		t.Fatal("invalid campaign accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAtBounds(t *testing.T) {
+	c, _ := Preset("uniform", 4, 10)
+	p, err := Compile(c, testGeom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.At(-1); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, err := p.At(4); err == nil {
+		t.Fatal("past-end interval accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+
+	"sudoku/internal/faultmodel"
+)
+
+// Geometry returns the simulator's fault-model geometry, for compiling
+// campaigns against it.
+func (s *Simulator) Geometry() faultmodel.Geometry {
+	return faultmodel.Geometry{
+		Lines:    s.cfg.Params.NumLines,
+		LineBits: s.codec.StoredBits(),
+	}
+}
+
+// RunCampaign replays a compiled fault campaign: each interval's fault
+// set comes from the plan instead of the uniform Binomial draw, so
+// correlated campaigns (hotspots, bursts, weak-cell cohorts, stuck-at
+// faults) exercise the repair ladder the way the paper's process-
+// variation model predicts. The simulator's own Config.BER is ignored
+// here — the plan is the complete fault source.
+//
+// Stuck-at cells persist across intervals: a stuck-at-1 cell
+// contributes its error bit to every subsequent interval (and is
+// re-repaired each time), while a stuck-at-0 cell pins the correct
+// zero-codeword value and masks any transient flip landing on it.
+//
+// The replay is deterministic: the same plan produces the same Result,
+// bit for bit, on every run.
+func (s *Simulator) RunCampaign(p *faultmodel.Plan) (Result, error) {
+	var res Result
+	if p == nil {
+		return res, fmt.Errorf("faultsim: nil campaign plan")
+	}
+	if g := s.Geometry(); p.Geometry() != g {
+		return res, fmt.Errorf("faultsim: plan geometry %+v != simulator %+v", p.Geometry(), g)
+	}
+	stuck := make(map[int]bool) // bit position -> stuck value
+	stuck1 := []int(nil)        // sorted stuck-at-1 positions, for replay order
+	for i := 0; i < p.Intervals(); i++ {
+		ip, err := p.At(i)
+		if err != nil {
+			return res, err
+		}
+		for _, sc := range ip.Stuck {
+			if _, dup := stuck[sc.Pos]; !dup {
+				stuck[sc.Pos] = sc.Value
+				if sc.Value {
+					stuck1 = append(stuck1, sc.Pos)
+				}
+			}
+		}
+		sort.Ints(stuck1)
+		if err := s.runPlannedInterval(ip, stuck, stuck1, &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runPlannedInterval is runInterval with the fault set supplied by the
+// plan: transient flips (minus those masked by stuck cells) plus the
+// standing stuck-at-1 error bits.
+func (s *Simulator) runPlannedInterval(ip faultmodel.IntervalPlan, stuck map[int]bool, stuck1 []int, res *Result) error {
+	res.Intervals++
+	lineBits := s.codec.StoredBits()
+
+	clear(s.faults)
+	injected := 0
+	for _, pos := range ip.Flips {
+		if _, pinned := stuck[pos]; pinned {
+			// Stuck cells don't flip: stuck-at-0 suppresses the fault,
+			// stuck-at-1 already contributes its error bit below.
+			continue
+		}
+		s.faults[pos/lineBits] = append(s.faults[pos/lineBits], pos%lineBits)
+		injected++
+	}
+	for _, pos := range stuck1 {
+		s.faults[pos/lineBits] = append(s.faults[pos/lineBits], pos%lineBits)
+		injected++
+	}
+	res.FaultsInjected += int64(injected)
+	if injected == 0 {
+		return nil
+	}
+	res.FaultyLines += int64(len(s.faults))
+
+	clear(s.store.lines)
+	groups := make(map[int]struct{})
+	for line, bits := range s.faults {
+		v, err := s.store.Line(line)
+		if err != nil {
+			return err
+		}
+		for _, b := range bits {
+			if err := v.Flip(b); err != nil {
+				return err
+			}
+		}
+		if len(bits) >= 2 {
+			res.MultiBitLines++
+			groups[s.cfg.Params.Hash1Of(line)] = struct{}{}
+		}
+	}
+
+	if err := s.repairGroups(groups, res); err != nil {
+		return err
+	}
+	if err := s.scrubRemaining(res); err != nil {
+		return err
+	}
+	return s.judge(res)
+}

@@ -1,0 +1,136 @@
+package faultsim
+
+import (
+	"testing"
+
+	"sudoku/internal/core"
+	"sudoku/internal/faultmodel"
+)
+
+func campaignSim(t *testing.T) *Simulator {
+	t.Helper()
+	sim, err := New(Config{
+		Params: core.Params{NumLines: 1 << 14, GroupSize: 64},
+		BER:    1e-9,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestRunCampaignDeterministic(t *testing.T) {
+	sim := campaignSim(t)
+	cam, err := faultmodel.Preset("hotspot", 16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faultmodel.Compile(cam, sim.Geometry(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.RunCampaign(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FaultsInjected == 0 || first.FaultyLines == 0 {
+		t.Fatalf("campaign injected nothing: %+v", first)
+	}
+	// Fresh simulator, same plan: bit-identical result.
+	again, err := campaignSim(t).RunCampaign(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("replay diverged:\n  %+v\n  %+v", first, again)
+	}
+	// Recompiled plan, same seed: still identical.
+	plan2, err := faultmodel.Compile(cam, sim.Geometry(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := campaignSim(t).RunCampaign(plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != third {
+		t.Fatalf("recompiled replay diverged:\n  %+v\n  %+v", first, third)
+	}
+}
+
+func TestRunCampaignGeometryMismatch(t *testing.T) {
+	sim := campaignSim(t)
+	cam, err := faultmodel.Preset("uniform", 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := sim.Geometry()
+	wrong.Lines *= 2
+	plan, err := faultmodel.Compile(cam, wrong, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunCampaign(plan); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	if _, err := sim.RunCampaign(nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+// A stuck-at-1 cohort keeps re-contributing its error bits every
+// interval; a weak-cell campaign with no base faults exercises only
+// those cells.
+func TestRunCampaignStuckPersists(t *testing.T) {
+	sim := campaignSim(t)
+	cam := faultmodel.Campaign{
+		Name:      "stuck-only",
+		Intervals: 8,
+		Events: []faultmodel.Event{
+			{Kind: faultmodel.KindStuckAt, Cells: 5, StuckValue: true},
+		},
+	}
+	plan, err := faultmodel.Compile(cam, sim.Geometry(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunCampaign(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 standing error bits × 8 intervals, re-injected each time.
+	if res.FaultsInjected != 40 {
+		t.Fatalf("FaultsInjected = %d, want 40", res.FaultsInjected)
+	}
+	if res.SDCLines != 0 {
+		t.Fatalf("SDC from isolated stuck bits: %+v", res)
+	}
+}
+
+func TestRunCampaignUniformMatchesBudget(t *testing.T) {
+	sim := campaignSim(t)
+	cam, err := faultmodel.Preset("uniform", 32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faultmodel.Compile(cam, sim.Geometry(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunCampaign(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals != 32 {
+		t.Fatalf("Intervals = %d", res.Intervals)
+	}
+	// Binomial(totalBits, 100/totalBits) over 32 intervals: the mean is
+	// 3200; a 3× window is astronomically safe.
+	if res.FaultsInjected < 3200/3 || res.FaultsInjected > 3200*3 {
+		t.Fatalf("uniform budget off: %d faults", res.FaultsInjected)
+	}
+	if res.SDCLines != 0 {
+		t.Fatalf("SDC under uniform low-rate campaign: %+v", res)
+	}
+}

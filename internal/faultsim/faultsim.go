@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"sudoku/internal/bitvec"
@@ -272,8 +273,32 @@ func (s *Simulator) runInterval(res *Result) error {
 		}
 	}
 
-	// Group repairs (RAID-4 / SDR / Hash-2).
+	// Group repairs (RAID-4 / SDR / Hash-2), in ascending group order:
+	// Hash-2 retries rewrite lines outside the group under repair, so
+	// iteration order affects counters and map order would make replays
+	// of the same seed diverge.
+	if err := s.repairGroups(groups, res); err != nil {
+		return err
+	}
+
+	// Individual scrub of remaining faulty lines (single-bit cases in
+	// untouched groups).
+	if err := s.scrubRemaining(res); err != nil {
+		return err
+	}
+
+	// Judgement: ground truth is the zero codeword.
+	return s.judge(res)
+}
+
+// repairGroups runs the full ladder over each group, ascending.
+func (s *Simulator) repairGroups(groups map[int]struct{}, res *Result) error {
+	order := make([]int, 0, len(groups))
 	for g := range groups {
+		order = append(order, g)
+	}
+	sort.Ints(order)
+	for _, g := range order {
 		report, err := s.zeng.RepairHash1Group(s.store, g)
 		if err != nil {
 			return err
@@ -283,9 +308,12 @@ func (s *Simulator) runInterval(res *Result) error {
 		res.RAIDRepairs += int64(report.Hash1.RAIDRepairs)
 		res.Hash2Repairs += int64(report.Hash2Repairs)
 	}
+	return nil
+}
 
-	// Individual scrub of remaining faulty lines (single-bit cases in
-	// untouched groups).
+// scrubRemaining runs the per-line inner code over every still-faulty
+// materialized line (single-bit cases in groups the ladder skipped).
+func (s *Simulator) scrubRemaining(res *Result) error {
 	for line := range s.faults {
 		v := s.store.lines[line]
 		if v == nil || v.IsZero() {
@@ -299,8 +327,11 @@ func (s *Simulator) runInterval(res *Result) error {
 			res.SingleRepairs++
 		}
 	}
+	return nil
+}
 
-	// Judgement: ground truth is the zero codeword.
+// judge classifies every line still nonzero after scrub.
+func (s *Simulator) judge(res *Result) error {
 	dueThisInterval := false
 	for _, v := range s.store.lines {
 		if v.IsZero() {

@@ -1,0 +1,83 @@
+package ras
+
+import (
+	"fmt"
+	"time"
+)
+
+// RateDetector is a leaky-bucket threshold detector over a weighted
+// event stream: arrivals fill the bucket, which drains at the
+// configured sustainable rate. Arrivals at or below the rate keep the
+// level near zero; sustained excess fills it, and the detector trips
+// once roughly `window` worth of rate-budget has accumulated. The level
+// is capped at twice the trip capacity so recovery after a storm takes
+// at most 2×window of silence.
+//
+// The detector is deliberately unsynchronized — it is owned by a single
+// consumer goroutine (the storm controller) that serializes Observe
+// calls with its event loop.
+type RateDetector struct {
+	drainPerSec float64 // sustainable weighted-event rate
+	capacity    float64 // trip threshold: drainPerSec × window
+	level       float64
+	last        time.Time
+}
+
+// NewRateDetector builds a detector that trips when the observed
+// weighted-event rate exceeds ratePerSec for about window.
+func NewRateDetector(ratePerSec float64, window time.Duration) (*RateDetector, error) {
+	if ratePerSec <= 0 || window <= 0 {
+		return nil, fmt.Errorf("ras: rate detector %g/s over %v", ratePerSec, window)
+	}
+	return &RateDetector{
+		drainPerSec: ratePerSec,
+		capacity:    ratePerSec * window.Seconds(),
+	}, nil
+}
+
+// drain applies the elapsed leak since the last touch.
+func (d *RateDetector) drain(now time.Time) {
+	if !d.last.IsZero() {
+		if dt := now.Sub(d.last).Seconds(); dt > 0 {
+			d.level -= dt * d.drainPerSec
+			if d.level < 0 {
+				d.level = 0
+			}
+		}
+	}
+	d.last = now
+}
+
+// Observe records a weighted arrival and reports whether the detector
+// is tripped afterwards.
+func (d *RateDetector) Observe(weight float64, now time.Time) bool {
+	d.drain(now)
+	d.level += weight
+	if max := 2 * d.capacity; d.level > max {
+		d.level = max
+	}
+	return d.level >= d.capacity
+}
+
+// Tripped reports the threshold state at `now` without recording an
+// arrival (the level still leaks).
+func (d *RateDetector) Tripped(now time.Time) bool {
+	d.drain(now)
+	return d.level >= d.capacity
+}
+
+// Level returns the current bucket level at `now`.
+func (d *RateDetector) Level(now time.Time) float64 {
+	d.drain(now)
+	return d.level
+}
+
+// Capacity returns the trip threshold.
+func (d *RateDetector) Capacity() float64 { return d.capacity }
+
+// Reset empties the bucket — used after the consumer has acted on a
+// trip so the same backlog is not double-counted.
+func (d *RateDetector) Reset(now time.Time) {
+	d.level = 0
+	d.last = now
+}

@@ -1,0 +1,85 @@
+package ras
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateDetectorValidation(t *testing.T) {
+	if _, err := NewRateDetector(0, time.Second); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewRateDetector(10, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// Arrivals at the sustainable rate must never trip; a rate above it
+// must trip after about one window.
+func TestRateDetectorTripsOnSustainedExcess(t *testing.T) {
+	d, err := NewRateDetector(10, time.Second) // capacity 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(0, 0)
+
+	// 10 events/s for 5 s: level stays ≈ 1 event.
+	now := base
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		if d.Observe(1, now) {
+			t.Fatalf("tripped at sustainable rate (event %d)", i)
+		}
+	}
+
+	// 30 events/s: net fill 20/s, capacity 10 → trips within ~0.5 s.
+	tripped := false
+	for i := 0; i < 30; i++ {
+		now = now.Add(time.Second / 30)
+		if d.Observe(1, now) {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("3× rate never tripped within one second")
+	}
+}
+
+// After a storm, silence must clear the trip within 2×window (the level
+// cap bounds the recovery time).
+func TestRateDetectorRecovers(t *testing.T) {
+	d, err := NewRateDetector(10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ { // massive burst at one instant
+		d.Observe(1, now)
+	}
+	if !d.Tripped(now) {
+		t.Fatal("burst did not trip")
+	}
+	if d.Level(now) > 2*d.Capacity() {
+		t.Fatalf("level %g exceeds cap %g", d.Level(now), 2*d.Capacity())
+	}
+	if d.Tripped(now.Add(2100 * time.Millisecond)) {
+		t.Fatal("still tripped after 2×window of silence")
+	}
+}
+
+func TestRateDetectorWeightsAndReset(t *testing.T) {
+	d, err := NewRateDetector(10, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	// A single weight-10 arrival fills the bucket to capacity at once.
+	if !d.Observe(10, now) {
+		t.Fatal("weighted arrival at capacity did not trip")
+	}
+	d.Reset(now)
+	if d.Tripped(now) || d.Level(now) != 0 {
+		t.Fatal("reset did not clear the bucket")
+	}
+}

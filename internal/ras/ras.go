@@ -67,6 +67,16 @@ const (
 	// shadow verifier) observed silent data corruption — data returned
 	// without error that does not match what was written.
 	KindSDC
+	// KindGroupRepair: a multi-bit line escalated past per-line ECC into
+	// the group repair ladder (RAID-4 / SDR / Hash-2) on its Hash-1
+	// region. Line is the region's first member slot, so consumers can
+	// bucket repairs by region — the storm detector's primary
+	// clustered-fault signal.
+	KindGroupRepair
+	// KindStormEscalated / KindStormDeEscalated: the storm controller
+	// moved the degraded-mode defense ladder up or down one level.
+	KindStormEscalated
+	KindStormDeEscalated
 
 	numKinds
 )
@@ -98,6 +108,12 @@ func (k EventKind) String() string {
 		return "daemon-panic"
 	case KindSDC:
 		return "sdc"
+	case KindGroupRepair:
+		return "group-repair"
+	case KindStormEscalated:
+		return "storm-escalated"
+	case KindStormDeEscalated:
+		return "storm-deescalated"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -138,6 +154,20 @@ type Event struct {
 	Addr uint64
 	// Detail is a short human-readable amplification.
 	Detail string
+	// Repairs counts the lines this action actually repaired. One
+	// group-repair invocation can fix dozens of lines when damage is
+	// clustered; rate-based consumers scale the event's weight by this
+	// count so concentrated fault mass is not underweighted relative
+	// to the same mass scattered one line per event. Zero means "not a
+	// repair action" and leaves the kind's base weight unscaled.
+	Repairs int
+	// Futile marks a repair action that re-observed damage it could
+	// not repair — e.g. a scrub pass walking over a stuck line whose
+	// write-back never takes. Re-detections of the same standing
+	// damage arrive every rotation forever; rate-based consumers (the
+	// storm controller) skip futile events so known-permanent residue
+	// does not read as fresh fault pressure.
+	Futile bool
 }
 
 // String renders a compact one-line form.
@@ -170,6 +200,9 @@ type Counts struct {
 	ScrubStalls        int64
 	DaemonPanics       int64
 	SDC                int64
+	GroupRepairs       int64
+	StormEscalations   int64
+	StormDeEscalations int64
 }
 
 // DefaultCapacity is the ring size used when NewLog is given zero.
@@ -365,6 +398,9 @@ func (l *Log) Counts() Counts {
 		ScrubStalls:        l.counts[KindScrubStall].Load(),
 		DaemonPanics:       l.counts[KindDaemonPanic].Load(),
 		SDC:                l.counts[KindSDC].Load(),
+		GroupRepairs:       l.counts[KindGroupRepair].Load(),
+		StormEscalations:   l.counts[KindStormEscalated].Load(),
+		StormDeEscalations: l.counts[KindStormDeEscalated].Load(),
 	}
 }
 

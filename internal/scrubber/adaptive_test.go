@@ -78,6 +78,38 @@ func TestAdaptiveGrowsAfterQuietStreak(t *testing.T) {
 	}
 }
 
+// TestAdaptiveQuietCounterReset: a noisy pass must zero the quiet
+// streak, so growth needs a full QuietPasses run of clean passes again
+// — not just the remainder of the interrupted streak.
+func TestAdaptiveQuietCounterReset(t *testing.T) {
+	p, err := NewAdaptivePolicy(5*time.Millisecond, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := 20 * time.Millisecond
+	for i := 0; i < 4; i++ {
+		cur = p.NextInterval(quietPass(), cur)
+	}
+	if cur != 25*time.Millisecond {
+		t.Fatalf("after full quiet streak: %v, want 25ms", cur)
+	}
+	cur = p.NextInterval(noisyPass(), cur)
+	if cur != 12500*time.Microsecond {
+		t.Fatalf("after pressure: %v, want 12.5ms", cur)
+	}
+	// Three quiet passes after the reset must not grow — the noisy pass
+	// wiped the streak, they are passes 1..3 of a fresh one.
+	for i := 0; i < 3; i++ {
+		if next := p.NextInterval(quietPass(), cur); next != cur {
+			t.Fatalf("grew after only %d post-reset quiet passes: %v", i+1, next)
+		}
+	}
+	cur = p.NextInterval(quietPass(), cur) // fourth: streak complete
+	if cur != 15625*time.Microsecond {
+		t.Fatalf("after fresh quiet streak: %v, want 15.625ms", cur)
+	}
+}
+
 func TestAdaptiveTreatsErrorsAsPressure(t *testing.T) {
 	p, err := NewAdaptivePolicy(time.Millisecond, time.Second)
 	if err != nil {

@@ -3,11 +3,14 @@ package shard
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sudoku/internal/core"
+	"sudoku/internal/ras"
 	"sudoku/internal/scrubber"
 )
 
@@ -171,6 +174,62 @@ func TestDaemonBackpressure(t *testing.T) {
 	st := d.Stats()
 	if st.Backpressure == 0 {
 		t.Fatalf("no backpressure under an impossible interval: %+v", st)
+	}
+}
+
+// panicPolicy panics exactly once, then behaves as a fixed policy.
+type panicPolicy struct {
+	fired atomic.Bool
+}
+
+func (p *panicPolicy) NextInterval(_ scrubber.Pass, current time.Duration) time.Duration {
+	if p.fired.CompareAndSwap(false, true) {
+		panic("synthetic policy failure")
+	}
+	return current
+}
+
+// TestDaemonSurvivesPolicyPanic: a panicking Policy abandons its
+// rotation but the daemon restarts, later rotations complete with the
+// policy still consulted, and the panic is on the RAS record.
+func TestDaemonSurvivesPolicyPanic(t *testing.T) {
+	e := seededEngine(t)
+	pol := &panicPolicy{}
+	d, err := NewScrubDaemon(e, DaemonConfig{
+		Interval: 2 * time.Millisecond,
+		Policy:   pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.Drain(); err != nil {
+		t.Fatalf("daemon did not recover: %v", err)
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Panics < 1 {
+		t.Fatalf("policy panic not counted: %+v", st)
+	}
+	if st.Rotations < 1 {
+		t.Fatalf("no rotations completed after panic: %+v", st)
+	}
+	if e.Events().Count(ras.KindDaemonPanic) < 1 {
+		t.Fatal("no daemon-panic event")
+	}
+	found := false
+	for _, ev := range e.Events().Snapshot() {
+		if ev.Kind == ras.KindDaemonPanic && strings.Contains(ev.Detail, "synthetic policy failure") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic event lost its payload")
 	}
 }
 

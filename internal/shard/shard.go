@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"sudoku/internal/cache"
+	"sudoku/internal/faultmodel"
 	"sudoku/internal/ras"
 	"sudoku/internal/rng"
 )
@@ -370,6 +371,101 @@ func (e *Engine) globalSlot(shard, subPhys int) int {
 func (e *Engine) globalAddr(shard int, sub uint64) uint64 {
 	line := sub / e.lineSz
 	return (line<<e.logS|uint64(shard))*e.lineSz + sub%e.lineSz
+}
+
+// subSlot inverts globalSlot: whole-cache physical slot → (shard,
+// shard-local slot).
+func (e *Engine) subSlot(global int) (shard, subPhys int) {
+	way := global % e.sub.Ways
+	gSet := global / e.sub.Ways
+	shard = gSet % len(e.shards)
+	subSet := gSet / len(e.shards)
+	return shard, subSet*e.sub.Ways + way
+}
+
+// Lines returns the whole-cache physical line count.
+func (e *Engine) Lines() int { return e.cfg.Cache.Lines }
+
+// StoredBits returns the per-line stored codeword width in bits; the
+// whole-cache fault-injection bit space is Lines() × StoredBits().
+func (e *Engine) StoredBits() int { return e.shards[0].llc.StoredBits() }
+
+// RegionOf maps a whole-cache physical slot to its (shard, Hash-1
+// group) region — the storm controller's bucketing key for per-region
+// event-rate detectors.
+func (e *Engine) RegionOf(globalSlot int) (shard, group int) {
+	s, subPhys := e.subSlot(globalSlot)
+	if e.sub.GroupSize <= 0 {
+		return s, 0
+	}
+	return s, subPhys / e.sub.GroupSize
+}
+
+// ApplyFaults drives one campaign interval into the live engine: flips
+// land by whole-cache physical position (bucketed per shard, then
+// injected one shard lock at a time, ascending) and stuck cells are
+// pinned through the slot-addressed stuck-at primitive. Returns the
+// number of flips that landed (retired lines absorb theirs).
+func (e *Engine) ApplyFaults(p faultmodel.IntervalPlan) (int, error) {
+	lineBits := e.StoredBits()
+	if lineBits == 0 {
+		return 0, cache.ErrNotProtected
+	}
+	limit := e.cfg.Cache.Lines * lineBits
+	perShard := make([][]int, len(e.shards))
+	for _, pos := range p.Flips {
+		if pos < 0 || pos >= limit {
+			return 0, fmt.Errorf("shard: fault position %d outside [0, %d)", pos, limit)
+		}
+		s, subPhys := e.subSlot(pos / lineBits)
+		perShard[s] = append(perShard[s], subPhys*lineBits+pos%lineBits)
+	}
+	landed := 0
+	for s, positions := range perShard {
+		if len(positions) == 0 {
+			continue
+		}
+		n, err := e.shards[s].llc.InjectFaultsAt(positions)
+		landed += n
+		if err != nil {
+			return landed, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	for _, sc := range p.Stuck {
+		if sc.Pos < 0 || sc.Pos >= limit {
+			return landed, fmt.Errorf("shard: stuck position %d outside [0, %d)", sc.Pos, limit)
+		}
+		s, subPhys := e.subSlot(sc.Pos / lineBits)
+		if err := e.shards[s].llc.InjectStuckAtPhys(subPhys, sc.Pos%lineBits, sc.Value); err != nil {
+			return landed, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return landed, nil
+}
+
+// ScrubRegion runs an out-of-band targeted scrub of one Hash-1 group in
+// one shard — the storm controller's response to a hot region. DUE
+// lines in the report are remapped to whole-cache slots, like
+// ScrubShard. It does not touch rotation accounting (see
+// cache.ScrubRegion).
+func (e *Engine) ScrubRegion(shard, group int) (cache.ScrubReport, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return cache.ScrubReport{}, fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	rep, err := e.shards[shard].llc.ScrubRegion(group)
+	for i, p := range rep.DUELines {
+		rep.DUELines[i] = e.globalSlot(shard, p)
+	}
+	return rep, err
+}
+
+// AuditRegion runs the bad-parity audit on one Hash-1 group in one
+// shard, reporting whether the region is quarantined afterwards.
+func (e *Engine) AuditRegion(shard, group int) (bool, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return false, fmt.Errorf("shard: index %d out of range [0,%d)", shard, len(e.shards))
+	}
+	return e.shards[shard].llc.AuditRegion(group)
 }
 
 // RetiredLines returns the number of lines remapped to spares across

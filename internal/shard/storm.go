@@ -1,0 +1,483 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudoku/internal/ras"
+	"sudoku/internal/scrubber"
+)
+
+// StormState is the storm controller's defense-ladder level.
+type StormState int32
+
+const (
+	// StormNormal: background fault rates; the configured scrub policy
+	// runs untouched.
+	StormNormal StormState = iota
+	// StormElevated: the weighted repair/DUE event rate tripped the
+	// elevated detector — the scrub interval shrinks by Shrink.
+	StormElevated
+	// StormCritical: the critical detector tripped — the interval
+	// shrinks by Shrink², and region responses stay armed.
+	StormCritical
+)
+
+// String implements fmt.Stringer.
+func (s StormState) String() string {
+	switch s {
+	case StormNormal:
+		return "normal"
+	case StormElevated:
+		return "elevated"
+	case StormCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("StormState(%d)", int32(s))
+	}
+}
+
+// MarshalText makes Health JSON show the state name, not a number.
+func (s StormState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the state name back, so Health JSON round-trips
+// through clients that decode into the typed struct.
+func (s *StormState) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "normal":
+		*s = StormNormal
+	case "elevated":
+		*s = StormElevated
+	case "critical":
+		*s = StormCritical
+	default:
+		return fmt.Errorf("shard: unknown storm state %q", text)
+	}
+	return nil
+}
+
+// ErrStormRunning is returned by Start on a running controller.
+var ErrStormRunning = errors.New("shard: storm controller already running")
+
+// ErrStormNotRunning is returned by Stop on a stopped controller.
+var ErrStormNotRunning = errors.New("shard: storm controller not running")
+
+// StormConfig tunes the storm controller. The zero value of any field
+// takes the documented default.
+type StormConfig struct {
+	// ElevatedRate / CriticalRate are sustained weighted-event rates
+	// (events/s; group repairs weigh 1, DUE-class events more — see
+	// stormWeight) that trip the Normal→Elevated and →Critical
+	// escalations. Defaults 50 and 4×ElevatedRate.
+	ElevatedRate float64
+	CriticalRate float64
+	// Window is how long the rate must be sustained to trip (leaky
+	// bucket depth). Default 500ms.
+	Window time.Duration
+	// Quiet is how long the detectors must stay drained before the
+	// ladder steps down one level (additive-slow de-escalation).
+	// Default 4×Window.
+	Quiet time.Duration
+	// RegionRate is the per-region weighted rate that triggers a
+	// targeted out-of-band scrub + audit of that region. Default
+	// CriticalRate/4.
+	RegionRate float64
+	// Shrink is the per-level scrub-interval multiplier (Elevated:
+	// ×Shrink, Critical: ×Shrink²). Default 0.5.
+	Shrink float64
+	// MinInterval floors the shrunken scrub interval. Default 0 (no
+	// extra floor beyond a 1ms sanity clamp).
+	MinInterval time.Duration
+	// TapBuffer is the RAS subscription buffer. Default 1024.
+	TapBuffer int
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.ElevatedRate == 0 {
+		c.ElevatedRate = 50
+	}
+	if c.CriticalRate == 0 {
+		c.CriticalRate = 4 * c.ElevatedRate
+	}
+	if c.Window == 0 {
+		c.Window = 500 * time.Millisecond
+	}
+	if c.Quiet == 0 {
+		c.Quiet = 4 * c.Window
+	}
+	if c.RegionRate == 0 {
+		c.RegionRate = c.CriticalRate / 4
+	}
+	if c.Shrink == 0 {
+		c.Shrink = 0.5
+	}
+	if c.TapBuffer == 0 {
+		c.TapBuffer = 1024
+	}
+	return c
+}
+
+func (c StormConfig) validate() error {
+	if c.ElevatedRate <= 0 || c.CriticalRate < c.ElevatedRate {
+		return fmt.Errorf("shard: storm rates elevated=%g critical=%g", c.ElevatedRate, c.CriticalRate)
+	}
+	if c.Window <= 0 || c.Quiet <= 0 {
+		return fmt.Errorf("shard: storm window=%v quiet=%v", c.Window, c.Quiet)
+	}
+	if c.RegionRate <= 0 {
+		return fmt.Errorf("shard: storm region rate %g", c.RegionRate)
+	}
+	if c.Shrink <= 0 || c.Shrink >= 1 {
+		return fmt.Errorf("shard: storm shrink %g outside (0, 1)", c.Shrink)
+	}
+	if c.MinInterval < 0 {
+		return fmt.Errorf("shard: storm min interval %v", c.MinInterval)
+	}
+	return nil
+}
+
+// StormStats is a snapshot of the controller's lifetime counters.
+type StormStats struct {
+	State StormState
+	// Peak is the highest state ever entered.
+	Peak StormState
+	// Escalations / DeEscalations count ladder steps up and down.
+	Escalations   int64
+	DeEscalations int64
+	// TargetedScrubs / RegionAudits count out-of-band region responses;
+	// RegionsQuarantined those audits that left the region quarantined.
+	TargetedScrubs     int64
+	RegionAudits       int64
+	RegionsQuarantined int64
+	// RegionTrips counts per-region detector trips.
+	RegionTrips int64
+	// EventsSeen counts weighted RAS events consumed.
+	EventsSeen int64
+}
+
+// stormWeight scores an event for the rate detectors. Group repairs are
+// the base clustered-fault signal; DUE-class events weigh more because
+// they mean the ladder is already losing ground. The storm controller's
+// own events weigh zero — no feedback loop.
+func stormWeight(k ras.EventKind) float64 {
+	switch k {
+	case ras.KindGroupRepair:
+		return 1
+	case ras.KindDUERecovered, ras.KindDUEOverwritten:
+		return 2
+	case ras.KindDUEDataLoss, ras.KindRecoveryFailed:
+		return 4
+	case ras.KindSDC:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// StormController is the closed-loop degraded-mode ladder: it consumes
+// the engine's RAS event tap, feeds leaky-bucket rate detectors (two
+// global, one lazily per region), and responds by escalating StormState
+// (which the stormPolicy wrapper turns into a shorter scrub interval),
+// scheduling out-of-band targeted scrubs of hot regions, and proactively
+// auditing them for quarantine. Escalation is immediate on a detector
+// trip; de-escalation steps down one level per Quiet window of drained
+// detectors.
+type StormController struct {
+	eng *Engine
+	cfg StormConfig
+
+	state atomic.Int32
+	peak  atomic.Int32
+
+	escalations   atomic.Int64
+	deescalations atomic.Int64
+	targeted      atomic.Int64
+	audits        atomic.Int64
+	quarantined   atomic.Int64
+	regionTrips   atomic.Int64
+	seen          atomic.Int64
+
+	mu      sync.Mutex
+	running bool
+	sub     *ras.Subscription
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+// NewStormController validates the config and binds a controller to an
+// engine. Call Start to begin consuming events.
+func NewStormController(eng *Engine, cfg StormConfig) (*StormController, error) {
+	if eng == nil {
+		return nil, errors.New("shard: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &StormController{eng: eng, cfg: cfg}, nil
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (s *StormController) Config() StormConfig { return s.cfg }
+
+// State returns the current ladder level.
+func (s *StormController) State() StormState { return StormState(s.state.Load()) }
+
+// Stats snapshots the controller counters. Valid after Stop too.
+func (s *StormController) Stats() StormStats {
+	return StormStats{
+		State:              s.State(),
+		Peak:               StormState(s.peak.Load()),
+		Escalations:        s.escalations.Load(),
+		DeEscalations:      s.deescalations.Load(),
+		TargetedScrubs:     s.targeted.Load(),
+		RegionAudits:       s.audits.Load(),
+		RegionsQuarantined: s.quarantined.Load(),
+		RegionTrips:        s.regionTrips.Load(),
+		EventsSeen:         s.seen.Load(),
+	}
+}
+
+// Running reports whether the consumer goroutine is live.
+func (s *StormController) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Start subscribes to the engine's RAS log and launches the consumer.
+func (s *StormController) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return ErrStormRunning
+	}
+	s.sub = s.eng.Events().Subscribe(s.cfg.TapBuffer)
+	s.stopCh = make(chan struct{})
+	s.doneCh = make(chan struct{})
+	s.running = true
+	go s.loop(s.stopCh, s.doneCh, s.sub)
+	return nil
+}
+
+// Stop terminates the consumer and closes the tap. Counters and the
+// final StormState remain readable.
+func (s *StormController) Stop() error {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return ErrStormNotRunning
+	}
+	stopCh, doneCh, sub := s.stopCh, s.doneCh, s.sub
+	s.mu.Unlock()
+	close(stopCh)
+	<-doneCh
+	sub.Close()
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+	return nil
+}
+
+// loop is the consumer goroutine: weighted events feed the detectors,
+// a ticker drives additive-slow de-escalation.
+func (s *StormController) loop(stop <-chan struct{}, done chan<- struct{}, sub *ras.Subscription) {
+	defer close(done)
+	elevated, _ := ras.NewRateDetector(s.cfg.ElevatedRate, s.cfg.Window)
+	critical, _ := ras.NewRateDetector(s.cfg.CriticalRate, s.cfg.Window)
+	regions := make(map[int]*ras.RateDetector)
+	groups := s.eng.ParityGroups()
+
+	tick := s.cfg.Quiet / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	quietMark := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			w := stormWeight(ev.Kind)
+			if w == 0 || ev.Futile {
+				// Futile events re-observe standing damage (stuck lines,
+				// exhausted spares) every rotation; counting them would
+				// hold the ladder up forever once any permanent fault
+				// exists.
+				continue
+			}
+			if ev.Repairs > 1 {
+				// One clustered group repair carries the fault mass of
+				// many scattered ones; weight by lines repaired so a
+				// hotspot concentrated in a few groups reads as the
+				// pressure it is.
+				w *= float64(ev.Repairs)
+			}
+			now := time.Now()
+			s.seen.Add(1)
+			// Both global detectors see every weighted event.
+			critTripped := critical.Observe(w, now)
+			elevTripped := elevated.Observe(w, now)
+			if critTripped {
+				if s.escalateTo(StormCritical) {
+					quietMark = now
+				}
+			} else if elevTripped {
+				if s.escalateTo(StormElevated) {
+					quietMark = now
+				}
+			}
+			// Per-region bucketing, keyed by (shard, group).
+			if ev.Line != ras.NoLine && groups > 0 {
+				sh, g := s.eng.RegionOf(ev.Line)
+				key := sh*groups + g
+				det := regions[key]
+				if det == nil {
+					det, _ = ras.NewRateDetector(s.cfg.RegionRate, s.cfg.Window)
+					regions[key] = det
+				}
+				if det.Observe(w, now) {
+					s.regionTrips.Add(1)
+					det.Reset(now)
+					s.respondToRegion(sh, g)
+				}
+			}
+		case now := <-ticker.C:
+			if s.State() == StormNormal {
+				quietMark = now
+				continue
+			}
+			// De-escalate only once both buckets have drained low and
+			// stayed that way for a full Quiet window.
+			if elevated.Level(now) > 0.25*elevated.Capacity() ||
+				critical.Level(now) > 0.25*critical.Capacity() {
+				quietMark = now
+				continue
+			}
+			if now.Sub(quietMark) >= s.cfg.Quiet {
+				s.deescalate()
+				quietMark = now
+			}
+		}
+	}
+}
+
+// escalateTo raises the ladder to at least target, reporting whether a
+// transition happened.
+func (s *StormController) escalateTo(target StormState) bool {
+	cur := s.State()
+	if cur >= target {
+		return false
+	}
+	s.state.Store(int32(target))
+	if int32(target) > s.peak.Load() {
+		s.peak.Store(int32(target))
+	}
+	s.escalations.Add(1)
+	s.eng.RecordEvent(ras.Event{
+		Kind:   ras.KindStormEscalated,
+		Shard:  0,
+		Line:   ras.NoLine,
+		Addr:   ras.NoAddr,
+		Detail: fmt.Sprintf("%v -> %v", cur, target),
+	})
+	return true
+}
+
+// deescalate steps the ladder down one level.
+func (s *StormController) deescalate() {
+	cur := s.State()
+	if cur == StormNormal {
+		return
+	}
+	next := cur - 1
+	s.state.Store(int32(next))
+	s.deescalations.Add(1)
+	s.eng.RecordEvent(ras.Event{
+		Kind:   ras.KindStormDeEscalated,
+		Shard:  0,
+		Line:   ras.NoLine,
+		Addr:   ras.NoAddr,
+		Detail: fmt.Sprintf("%v -> %v", cur, next),
+	})
+}
+
+// respondToRegion is the targeted response to a hot region: scrub it
+// out of band (repairing the backlog ahead of the rotation), then audit
+// its parity for the quarantine signature. Runs on the consumer
+// goroutine; the engine locks only the one shard involved, and the
+// events these calls emit fan out non-blockingly, so no deadlock.
+func (s *StormController) respondToRegion(shard, group int) {
+	if _, err := s.eng.ScrubRegion(shard, group); err == nil {
+		s.targeted.Add(1)
+	}
+	q, err := s.eng.AuditRegion(shard, group)
+	if err == nil {
+		s.audits.Add(1)
+		if q {
+			s.quarantined.Add(1)
+		}
+	}
+}
+
+// Policy wraps a scrub policy with the controller's interval override:
+// Elevated multiplies the pre-storm interval by Shrink, Critical by
+// Shrink². The pre-storm interval is remembered and restored on the
+// return to Normal, and the inner policy is bypassed (not fed) while
+// stormy so its quiet-streak bookkeeping is not polluted by storm
+// passes. NextInterval runs on the daemon goroutine only (the
+// scrubber.Policy contract), so the saved field needs no lock.
+func (s *StormController) Policy(inner scrubber.Policy) scrubber.Policy {
+	return &stormPolicy{ctl: s, inner: inner}
+}
+
+type stormPolicy struct {
+	ctl   *StormController
+	inner scrubber.Policy
+	saved time.Duration
+}
+
+var _ scrubber.Policy = (*stormPolicy)(nil)
+
+func (p *stormPolicy) NextInterval(pass scrubber.Pass, current time.Duration) time.Duration {
+	switch p.ctl.State() {
+	case StormElevated:
+		if p.saved == 0 {
+			p.saved = current
+		}
+		return p.clamp(time.Duration(float64(p.saved) * p.ctl.cfg.Shrink))
+	case StormCritical:
+		if p.saved == 0 {
+			p.saved = current
+		}
+		return p.clamp(time.Duration(float64(p.saved) * p.ctl.cfg.Shrink * p.ctl.cfg.Shrink))
+	default:
+		if p.saved > 0 {
+			current = p.saved
+			p.saved = 0
+		}
+		if p.inner != nil {
+			return p.inner.NextInterval(pass, current)
+		}
+		return current
+	}
+}
+
+func (p *stormPolicy) clamp(d time.Duration) time.Duration {
+	if p.ctl.cfg.MinInterval > 0 && d < p.ctl.cfg.MinInterval {
+		return p.ctl.cfg.MinInterval
+	}
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
+}

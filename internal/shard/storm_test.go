@@ -1,0 +1,328 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sudoku/internal/core"
+	"sudoku/internal/ras"
+	"sudoku/internal/scrubber"
+)
+
+func stormTestConfig() StormConfig {
+	return StormConfig{
+		ElevatedRate: 20,
+		CriticalRate: 80,
+		Window:       100 * time.Millisecond,
+		Quiet:        200 * time.Millisecond,
+		RegionRate:   1e9, // effectively off unless a test lowers it
+	}
+}
+
+// pump feeds fabricated weighted events through the engine's RAS log.
+func pump(e *Engine, kind ras.EventKind, line, n int) {
+	for i := 0; i < n; i++ {
+		e.RecordEvent(ras.Event{Kind: kind, Line: line, Addr: ras.NoAddr})
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestStormControllerValidate(t *testing.T) {
+	e := seededEngine(t)
+	if _, err := NewStormController(nil, StormConfig{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewStormController(e, StormConfig{Shrink: 2}); err == nil {
+		t.Fatal("shrink ≥ 1 accepted")
+	}
+	if _, err := NewStormController(e, StormConfig{ElevatedRate: 100, CriticalRate: 50}); err == nil {
+		t.Fatal("critical < elevated accepted")
+	}
+	s, err := NewStormController(e, StormConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.CriticalRate != 4*cfg.ElevatedRate || cfg.Quiet != 4*cfg.Window {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if err := s.Stop(); !errors.Is(err, ErrStormNotRunning) {
+		t.Fatalf("Stop before Start: %v", err)
+	}
+}
+
+// Futile events — repair passes that re-observed standing damage
+// without fixing anything — must not move the ladder: permanent stuck
+// lines re-emit them every rotation forever, and weighting them would
+// pin the controller at Elevated for the machine's remaining lifetime.
+func TestStormIgnoresFutileEvents(t *testing.T) {
+	e := seededEngine(t)
+	s, err := NewStormController(e, stormTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 10; i++ {
+			e.RecordEvent(ras.Event{Kind: ras.KindGroupRepair, Line: 0, Addr: ras.NoAddr, Futile: true})
+		}
+		if s.State() != StormNormal {
+			t.Fatalf("futile events escalated the ladder to %v", s.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The same rate without the futile mark must trip immediately —
+	// proving the stream above was hot enough to matter.
+	pump(e, ras.KindGroupRepair, 0, 50)
+	waitFor(t, 2*time.Second, "escalation from real events", func() bool {
+		return s.State() != StormNormal
+	})
+}
+
+// The core ladder contract: a sustained event storm escalates all the
+// way to Critical, and silence de-escalates back to Normal one level
+// per quiet window, with every transition recorded in the RAS log.
+func TestStormEscalatesAndDeEscalates(t *testing.T) {
+	e := seededEngine(t)
+	s, err := NewStormController(e, stormTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); !errors.Is(err, ErrStormRunning) {
+		t.Fatalf("double Start: %v", err)
+	}
+	defer func() { _ = s.Stop() }()
+
+	if s.State() != StormNormal {
+		t.Fatalf("initial state %v", s.State())
+	}
+	// Feed far past the critical bucket capacity (80/s × 0.1s = 8).
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pump(e, ras.KindGroupRepair, ras.NoLine, 10)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	waitFor(t, 2*time.Second, "critical escalation", func() bool {
+		return s.State() == StormCritical
+	})
+	close(stop)
+
+	// Silence: Critical → Elevated → Normal within a few quiet windows
+	// (bucket drain ≤ 2×window, then one Quiet per step).
+	waitFor(t, 3*time.Second, "de-escalation to normal", func() bool {
+		return s.State() == StormNormal
+	})
+
+	st := s.Stats()
+	if st.Peak != StormCritical {
+		t.Fatalf("peak %v, want critical", st.Peak)
+	}
+	if st.Escalations < 1 || st.DeEscalations < 2 {
+		t.Fatalf("escalations=%d deescalations=%d", st.Escalations, st.DeEscalations)
+	}
+	if st.EventsSeen == 0 {
+		t.Fatal("no events consumed")
+	}
+	counts := e.Events().Counts()
+	if counts.StormEscalations == 0 || counts.StormDeEscalations == 0 {
+		t.Fatalf("RAS census missed storm transitions: %+v", counts)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Running() {
+		t.Fatal("running after Stop")
+	}
+	// Stats survive Stop.
+	if s.Stats().Peak != StormCritical {
+		t.Fatal("stats lost after Stop")
+	}
+}
+
+// A hot region must draw a targeted out-of-band scrub and a parity
+// audit, without the global scrub-pass counters moving.
+func TestStormRegionResponse(t *testing.T) {
+	e := seededEngine(t)
+	cfg := stormTestConfig()
+	cfg.RegionRate = 20 // capacity 2: a small burst on one region trips it
+	s, err := NewStormController(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Stop() }()
+
+	passesBefore := e.Stats().ScrubPasses
+	// Region of global slot 0 is (shard 0, group 0); hammer it.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pump(e, ras.KindGroupRepair, 0, 4)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	waitFor(t, 2*time.Second, "targeted region response", func() bool {
+		st := s.Stats()
+		return st.RegionTrips >= 1 && st.TargetedScrubs >= 1 && st.RegionAudits >= 1
+	})
+	close(stop)
+
+	stats := e.Stats()
+	if stats.TargetedScrubs < 1 {
+		t.Fatalf("engine counted %d targeted scrubs", stats.TargetedScrubs)
+	}
+	if stats.ScrubPasses != passesBefore {
+		t.Fatalf("targeted scrubs leaked into ScrubPasses: %d -> %d", passesBefore, stats.ScrubPasses)
+	}
+}
+
+// The policy wrapper: shrink under Elevated, shrink² under Critical,
+// restore the remembered pre-storm interval on the return to Normal,
+// and only then delegate to the inner policy.
+func TestStormPolicyWrapper(t *testing.T) {
+	e := seededEngine(t)
+	cfg := stormTestConfig()
+	cfg.MinInterval = 2 * time.Millisecond
+	s, err := NewStormController(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := scrubber.NewAdaptivePolicy(time.Millisecond, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := s.Policy(inner)
+
+	base := 40 * time.Millisecond
+	// Normal: delegates to the inner policy (quiet pass → unchanged).
+	if got := pol.NextInterval(scrubber.Pass{}, base); got != base {
+		t.Fatalf("normal: %v, want %v", got, base)
+	}
+
+	s.state.Store(int32(StormElevated))
+	if got := pol.NextInterval(scrubber.Pass{}, base); got != 20*time.Millisecond {
+		t.Fatalf("elevated: %v, want 20ms", got)
+	}
+	s.state.Store(int32(StormCritical))
+	// The saved pre-storm interval (40ms) anchors the shrink: ×0.25.
+	if got := pol.NextInterval(scrubber.Pass{}, 20*time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("critical: %v, want 10ms", got)
+	}
+	// MinInterval floors the shrink.
+	s2, _ := NewStormController(e, cfg)
+	p2 := s2.Policy(nil)
+	s2.state.Store(int32(StormCritical))
+	if got := p2.NextInterval(scrubber.Pass{}, 4*time.Millisecond); got != cfg.MinInterval {
+		t.Fatalf("floor: %v, want %v", got, cfg.MinInterval)
+	}
+
+	// Back to Normal: the pre-storm interval is restored regardless of
+	// how far the storm had shrunk it.
+	s.state.Store(int32(StormNormal))
+	if got := pol.NextInterval(scrubber.Pass{}, 10*time.Millisecond); got != base {
+		t.Fatalf("restore: %v, want %v", got, base)
+	}
+}
+
+// End-to-end with a live daemon: the wrapped policy shrinks the scrub
+// interval while the controller is stormy and restores it afterwards.
+func TestStormShrinksDaemonInterval(t *testing.T) {
+	e := seededEngine(t)
+	s, err := NewStormController(e, stormTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Stop() }()
+
+	base := 30 * time.Millisecond
+	d, err := NewScrubDaemon(e, DaemonConfig{Interval: base, Policy: s.Policy(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Stop() }()
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pump(e, ras.KindGroupRepair, ras.NoLine, 10)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	waitFor(t, 3*time.Second, "daemon interval shrink", func() bool {
+		return d.Stats().Interval < base
+	})
+	close(stop)
+	waitFor(t, 5*time.Second, "daemon interval restore", func() bool {
+		return s.State() == StormNormal && d.Stats().Interval == base
+	})
+}
+
+func TestRegionOfRoundTrip(t *testing.T) {
+	e := mustEngine(t, testConfig(core.ProtectionZ))
+	lines := e.Lines()
+	groups := e.ParityGroups()
+	seen := make(map[[2]int]bool)
+	for slot := 0; slot < lines; slot++ {
+		sh, g := e.RegionOf(slot)
+		if sh < 0 || sh >= e.Shards() || g < 0 || g >= groups {
+			t.Fatalf("slot %d: region (%d, %d) out of range", slot, sh, g)
+		}
+		seen[[2]int{sh, g}] = true
+	}
+	if len(seen) != e.Shards()*groups {
+		t.Fatalf("%d distinct regions, want %d", len(seen), e.Shards()*groups)
+	}
+	// Spot-check the inverse against globalSlot.
+	for _, sub := range []int{0, 1, 63, 100} {
+		for sh := 0; sh < e.Shards(); sh++ {
+			gotSh, gotSub := e.subSlot(e.globalSlot(sh, sub))
+			if gotSh != sh || gotSub != sub {
+				t.Fatalf("subSlot(globalSlot(%d, %d)) = (%d, %d)", sh, sub, gotSh, gotSub)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseExposition throws arbitrary text at the strict exposition
+// parser. The parser guards CI's metrics-smoke and the chaos harness's
+// scrape loop, so it must reject garbage with an error — never panic,
+// never hang, and never return non-finite samples from finite input.
+func FuzzParseExposition(f *testing.F) {
+	f.Add("")
+	f.Add("# HELP sudoku_reads_total Reads.\n# TYPE sudoku_reads_total counter\nsudoku_reads_total 42\n")
+	f.Add("# TYPE m gauge\nm 1\nm 2\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n")
+	f.Add("m{label=\"a\\\"b\\\\c\"} 1\n")
+	f.Add("# TYPE m counter\nm NaN\n")
+	f.Add("# HELP only a help line, no samples")
+	f.Add("name_without_value\n")
+	f.Add("m 1 1700000000000\n")
+	f.Add("# TYPE m histogram\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"1\"} 4\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		samples, err := ParseExposition(strings.NewReader(s))
+		if err != nil {
+			if samples != nil {
+				t.Fatalf("error %v with non-nil samples", err)
+			}
+			return
+		}
+		// A successful parse must round-trip its own sample names:
+		// every key non-empty and every value produced from the input.
+		for name, v := range samples {
+			if name == "" {
+				t.Fatal("empty sample name accepted")
+			}
+			if math.IsInf(v, 0) && !strings.Contains(s, "Inf") && !strings.Contains(s, "inf") {
+				t.Fatalf("sample %s inf from input without Inf: %q", name, s)
+			}
+		}
+	})
+}

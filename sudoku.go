@@ -32,6 +32,7 @@ import (
 	"sudoku/internal/cache"
 	"sudoku/internal/core"
 	"sudoku/internal/dram"
+	"sudoku/internal/faultmodel"
 	"sudoku/internal/faultsim"
 	"sudoku/internal/ras"
 	"sudoku/internal/rng"
@@ -250,6 +251,11 @@ type Health struct {
 	// EventsDropped is the lifetime count of RAS events lost across all
 	// live taps because a subscriber's buffer was full.
 	EventsDropped int64
+	// Storm is the defense-ladder controller snapshot (zero value, state
+	// "normal", when no controller was ever started). Storm.State is the
+	// headline: anything above StormNormal means the engine is actively
+	// compensating for clustered-fault pressure.
+	Storm StormStats
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -311,6 +317,29 @@ func (c *Cache) InjectStuckAt(addr uint64, bit int, value bool) error {
 // StuckCells returns the number of permanently faulty cells injected.
 func (c *Cache) StuckCells() int {
 	return c.inner.StuckCells()
+}
+
+// Geometry returns the cache's fault-model geometry, for compiling
+// fault campaigns against it.
+func (c *Cache) Geometry() FaultGeometry {
+	return FaultGeometry{Lines: c.inner.Config().Lines, LineBits: c.inner.StoredBits()}
+}
+
+// ApplyFaults injects one compiled campaign interval: the planned
+// transient flips plus any newly begun stuck-at cells. It returns the
+// number of flips that landed in live (non-retired) cells.
+func (c *Cache) ApplyFaults(ip FaultIntervalPlan) (int, error) {
+	landed, err := c.inner.InjectFaultsAt(ip.Flips)
+	if err != nil {
+		return landed, err
+	}
+	bits := c.inner.StoredBits()
+	for _, sc := range ip.Stuck {
+		if err := c.inner.InjectStuckAtPhys(sc.Pos/bits, sc.Pos%bits, sc.Value); err != nil {
+			return landed, err
+		}
+	}
+	return landed, nil
 }
 
 // Scrub runs one scrub pass, repairing everything the protection level
@@ -416,6 +445,80 @@ var (
 	ErrScrubStopped        = shard.ErrStopped
 )
 
+// FaultCampaign is a declarative description of a correlated-fault
+// scenario: a base uniform fault budget plus hotspot, burst, weak-cell,
+// and stuck-at events over a fixed number of scrub intervals. Compile
+// it against a cache geometry to get a replayable injection plan.
+type FaultCampaign = faultmodel.Campaign
+
+// FaultEvent is one correlated-fault feature of a campaign.
+type FaultEvent = faultmodel.Event
+
+// FaultPlan is a compiled campaign: a deterministic, random-access
+// schedule of per-interval fault injections.
+type FaultPlan = faultmodel.Plan
+
+// FaultIntervalPlan is one interval's worth of planned faults.
+type FaultIntervalPlan = faultmodel.IntervalPlan
+
+// FaultGeometry is the (lines, bits-per-line) target a plan compiles
+// against.
+type FaultGeometry = faultmodel.Geometry
+
+// Campaign event kinds.
+const (
+	FaultHotspot   = faultmodel.KindHotspot
+	FaultBurst     = faultmodel.KindBurst
+	FaultWeakCells = faultmodel.KindWeakCells
+	FaultStuckAt   = faultmodel.KindStuckAt
+)
+
+// CampaignPreset returns a named built-in campaign (see
+// CampaignPresetNames) spanning the given intervals with the given
+// per-interval uniform fault budget.
+func CampaignPreset(name string, intervals, baseFaults int) (FaultCampaign, error) {
+	return faultmodel.Preset(name, intervals, baseFaults)
+}
+
+// CampaignPresetNames lists the built-in campaign presets.
+func CampaignPresetNames() []string { return faultmodel.PresetNames() }
+
+// ParseCampaign decodes a campaign from its JSON form (unknown fields
+// rejected) and validates it.
+func ParseCampaign(data []byte) (FaultCampaign, error) { return faultmodel.Parse(data) }
+
+// CompileCampaign compiles a campaign against a geometry with a seed.
+// The same (campaign, geometry, seed) always yields the same plan.
+func CompileCampaign(c FaultCampaign, g FaultGeometry, seed uint64) (*FaultPlan, error) {
+	return faultmodel.Compile(c, g, seed)
+}
+
+// Storm-mode types: the closed-loop defense ladder that watches the
+// RAS event stream for clustered-fault pressure and responds by
+// shrinking the scrub interval and targeting hot regions.
+
+// StormState is the defense-ladder level (Normal, Elevated, Critical).
+type StormState = shard.StormState
+
+// Storm ladder levels.
+const (
+	StormNormal   = shard.StormNormal
+	StormElevated = shard.StormElevated
+	StormCritical = shard.StormCritical
+)
+
+// StormConfig tunes the storm controller's detectors and responses.
+type StormConfig = shard.StormConfig
+
+// StormStats is the controller's lifetime counter snapshot.
+type StormStats = shard.StormStats
+
+// Storm-controller lifecycle errors.
+var (
+	ErrStormRunning    = shard.ErrStormRunning
+	ErrStormNotRunning = shard.ErrStormNotRunning
+)
+
 // Concurrent is the bank-sharded concurrent SuDoku cache: the line
 // space is interleaved across independently locked shards (one per
 // bank by default), each with its own repair engine and parity domain,
@@ -432,6 +535,10 @@ type Concurrent struct {
 	// been stopped, so ScrubStats stays cumulative across stop/start
 	// cycles instead of resetting with each StartScrub.
 	scrubBase ScrubDaemonStats
+	// storm is the defense-ladder controller, nil until
+	// StartStormControl. A daemon started afterwards gets its policy
+	// wrapped with the storm interval override.
+	storm *shard.StormController
 }
 
 // NewConcurrent builds the sharded engine. cfg.Shards selects the
@@ -532,6 +639,11 @@ func (c *Concurrent) StartScrub(cfg ScrubDaemonConfig) error {
 		c.scrubBase.Add(c.daemon.Stats())
 		c.daemon = nil
 	}
+	if c.storm != nil {
+		// Route interval decisions through the storm ladder; the inner
+		// policy (possibly nil) still governs Normal operation.
+		cfg.Policy = c.storm.Policy(cfg.Policy)
+	}
 	d, err := shard.NewScrubDaemon(c.eng, cfg)
 	if err != nil {
 		return err
@@ -595,6 +707,9 @@ func (c *Concurrent) Health() Health {
 			h.ScrubPassAge = time.Since(last)
 		}
 	}
+	if ctl := c.stormController(); ctl != nil {
+		h.Storm = ctl.Stats()
+	}
 	return h
 }
 
@@ -615,6 +730,7 @@ func (c *Concurrent) NewRegistry() *Registry {
 	})
 	registerShards(r, c.eng)
 	registerScrubDaemon(r, c)
+	registerStorm(r, c)
 	return r
 }
 
@@ -664,6 +780,86 @@ func (c *Concurrent) scrubDaemon() *shard.ScrubDaemon {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.daemon
+}
+
+// Geometry returns the engine's fault-model geometry, for compiling
+// fault campaigns against it.
+func (c *Concurrent) Geometry() FaultGeometry {
+	return FaultGeometry{Lines: c.eng.Lines(), LineBits: c.eng.StoredBits()}
+}
+
+// ApplyFaults injects one compiled campaign interval across the shards:
+// the planned transient flips plus any newly begun stuck-at cells. Each
+// shard's injection takes only that shard's lock. It returns the number
+// of flips that landed in live (non-retired) cells.
+func (c *Concurrent) ApplyFaults(ip FaultIntervalPlan) (int, error) {
+	return c.eng.ApplyFaults(ip)
+}
+
+// StartStormControl launches the storm controller: it consumes the RAS
+// event tap, rates group-repair and DUE pressure through leaky-bucket
+// detectors, and escalates StormState (Normal → Elevated → Critical),
+// shrinking the scrub interval and issuing targeted scrubs and audits
+// of hot regions. Start it before StartScrub so the daemon's interval
+// policy picks up the storm override; de-escalation is additive-slow
+// (one level per quiet window).
+func (c *Concurrent) StartStormControl(cfg StormConfig) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.storm != nil && c.storm.Running() {
+		return ErrStormRunning
+	}
+	ctl, err := shard.NewStormController(c.eng, cfg)
+	if err != nil {
+		return err
+	}
+	if err := ctl.Start(); err != nil {
+		return err
+	}
+	c.storm = ctl
+	return nil
+}
+
+// StopStormControl stops the controller. Its final state and counters
+// remain readable via StormState and StormStats.
+func (c *Concurrent) StopStormControl() error {
+	c.mu.Lock()
+	ctl := c.storm
+	c.mu.Unlock()
+	if ctl == nil {
+		return ErrStormNotRunning
+	}
+	return ctl.Stop()
+}
+
+// StormState returns the current defense-ladder level (StormNormal when
+// no controller was ever started).
+func (c *Concurrent) StormState() StormState {
+	c.mu.Lock()
+	ctl := c.storm
+	c.mu.Unlock()
+	if ctl == nil {
+		return StormNormal
+	}
+	return ctl.State()
+}
+
+// StormStats returns the controller's counter snapshot (zero value when
+// no controller was ever started).
+func (c *Concurrent) StormStats() StormStats {
+	c.mu.Lock()
+	ctl := c.storm
+	c.mu.Unlock()
+	if ctl == nil {
+		return StormStats{}
+	}
+	return ctl.Stats()
+}
+
+func (c *Concurrent) stormController() *shard.StormController {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storm
 }
 
 // ReliabilityConfig parameterizes the closed-form evaluation.

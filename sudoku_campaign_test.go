@@ -1,0 +1,156 @@
+package sudoku
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// campaignTestConfig is a 1 MB, 4-shard SuDoku-Z engine — small enough
+// that a compiled campaign runs in milliseconds, large enough that the
+// hotspot's Gaussian blob spans several Hash-1 groups per shard.
+func campaignTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CacheMB = 1
+	cfg.GroupSize = 64
+	cfg.Shards = 4
+	cfg.Seed = 11
+	return cfg
+}
+
+// hotspotCampaign concentrates roughly twice the uniform budget into a
+// ±3σ window of ~100 physical lines around the cache midpoint — enough
+// group-local fault mass to overwhelm SDR's mismatch cap and force the
+// ladder onto the second skewed hash.
+func hotspotCampaign(intervals int) FaultCampaign {
+	return FaultCampaign{
+		Name:       "test-hotspot",
+		Intervals:  intervals,
+		BaseFaults: 120,
+		Events: []FaultEvent{
+			{Kind: FaultHotspot, Center: 0.5, Sigma: 0.002, Multiplier: 400},
+		},
+	}
+}
+
+// campaignOutcome is everything a deterministic replay must reproduce.
+type campaignOutcome struct {
+	stats   Stats
+	reports []ScrubReport
+	landed  []int
+	dues    int
+}
+
+// runCampaign drives a fresh engine through the campaign one interval
+// at a time (inject, then scrub), then verifies every line against the
+// written ground truth. A read error is a DUE (counted); a successful
+// read with wrong data is an SDC and fails immediately.
+func runCampaign(t *testing.T, cam FaultCampaign, seed uint64) campaignOutcome {
+	t.Helper()
+	c, err := NewConcurrent(campaignTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := c.Geometry()
+	line := make([]byte, 64)
+	for i := 0; i < geom.Lines; i++ {
+		for j := range line {
+			line[j] = byte(i + j*3)
+		}
+		if err := c.Write(uint64(i)*64, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := CompileCampaign(cam, geom, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out campaignOutcome
+	for i := 0; i < plan.Intervals(); i++ {
+		ip, err := plan.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		landed, err := c.ApplyFaults(ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.landed = append(out.landed, landed)
+		rep, err := c.Scrub()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.reports = append(out.reports, rep)
+	}
+	got := make([]byte, 64)
+	want := make([]byte, 64)
+	for i := 0; i < geom.Lines; i++ {
+		err := c.ReadInto(uint64(i)*64, got)
+		if err != nil {
+			out.dues++ // detected loss: visible, not silent
+			continue
+		}
+		for j := range want {
+			want[j] = byte(i + j*3)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("SDC: line %d read back wrong data under campaign %q", i, cam.Name)
+		}
+	}
+	out.stats = c.Stats()
+	return out
+}
+
+// The headline tentpole property: a seeded hotspot campaign drives the
+// repair ladder all the way to Hash-2 retries with zero silent
+// corruption, while the same fault budget scattered uniformly (same
+// seed) never needs the second hash at all. This is the paper's case
+// for SuDoku-Z: correlated faults are what the dual skewed parity
+// groups exist to survive.
+func TestCampaignHotspotEarnsHash2(t *testing.T) {
+	const intervals = 8
+	const seed = 42
+
+	hot := runCampaign(t, hotspotCampaign(intervals), seed)
+	if hot.stats.Hash2Repairs < 1 {
+		t.Fatalf("hotspot campaign never reached Hash-2: %+v", hot.stats)
+	}
+
+	uniform, err := CampaignPreset("uniform", intervals, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := runCampaign(t, uniform, seed)
+	if flat.stats.Hash2Repairs != 0 {
+		t.Fatalf("uniform scatter reached Hash-2 (%d repairs): clustering assumption broken",
+			flat.stats.Hash2Repairs)
+	}
+	if flat.stats.FaultsInjected == 0 {
+		t.Fatal("uniform campaign injected nothing")
+	}
+}
+
+// Same seed, same campaign, fresh engine: the fault sequence, every
+// scrub report, and the final counters must replay bit-for-bit.
+func TestCampaignReplayDeterministic(t *testing.T) {
+	cam := hotspotCampaign(6)
+	first := runCampaign(t, cam, 1234)
+	second := runCampaign(t, cam, 1234)
+	if !reflect.DeepEqual(first.landed, second.landed) {
+		t.Fatalf("fault landings diverged:\n  %v\n  %v", first.landed, second.landed)
+	}
+	if !reflect.DeepEqual(first.reports, second.reports) {
+		t.Fatalf("scrub reports diverged:\n  %+v\n  %+v", first.reports, second.reports)
+	}
+	if first.stats != second.stats {
+		t.Fatalf("final stats diverged:\n  %+v\n  %+v", first.stats, second.stats)
+	}
+	if first.dues != second.dues {
+		t.Fatalf("DUE counts diverged: %d vs %d", first.dues, second.dues)
+	}
+	// A different seed must actually change the fault sequence.
+	third := runCampaign(t, cam, 1235)
+	if reflect.DeepEqual(first.landed, third.landed) && first.stats == third.stats {
+		t.Fatal("seed has no effect on the campaign")
+	}
+}

@@ -61,6 +61,8 @@ func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
 		stat(func(s Stats) int64 { return s.FaultsInjected }))
 	r.Counter("sudoku_lines_retired_total", "Lines remapped to hardened spare rows.",
 		stat(func(s Stats) int64 { return s.LinesRetired }))
+	r.Counter("sudoku_targeted_scrubs_total", "Out-of-band single-region scrubs (storm-mode responses).",
+		stat(func(s Stats) int64 { return s.TargetedScrubs }))
 
 	hist := func(pick func(Metrics) HistogramSnapshot) func() telemetry.HistogramSnapshot {
 		return func() telemetry.HistogramSnapshot { return pick(metrics()) }
@@ -179,4 +181,30 @@ func registerScrubDaemon(r *Registry, c *Concurrent) {
 			}
 			return time.Since(last).Seconds()
 		})
+}
+
+// registerStorm registers the defense-ladder series. The closures go
+// through Concurrent.StormStats, so they read zero (state normal)
+// before the first StartStormControl and keep their final values after
+// StopStormControl.
+func registerStorm(r *Registry, c *Concurrent) {
+	sstat := func(pick func(StormStats) int64) func() int64 {
+		return func() int64 { return pick(c.StormStats()) }
+	}
+	r.Gauge("sudoku_storm_state", "Defense-ladder level: 0 normal, 1 elevated, 2 critical.",
+		func() float64 { return float64(c.StormState()) })
+	r.Counter("sudoku_storm_escalations_total", "Ladder steps up (Normal toward Critical).",
+		sstat(func(s StormStats) int64 { return s.Escalations }))
+	r.Counter("sudoku_storm_deescalations_total", "Ladder steps down after quiet windows.",
+		sstat(func(s StormStats) int64 { return s.DeEscalations }))
+	r.Counter("sudoku_storm_targeted_scrubs_total", "Out-of-band region scrubs the controller issued.",
+		sstat(func(s StormStats) int64 { return s.TargetedScrubs }))
+	r.Counter("sudoku_storm_region_audits_total", "Proactive parity audits of hot regions.",
+		sstat(func(s StormStats) int64 { return s.RegionAudits }))
+	r.Counter("sudoku_storm_regions_quarantined_total", "Hot-region audits that ended in quarantine.",
+		sstat(func(s StormStats) int64 { return s.RegionsQuarantined }))
+	r.Counter("sudoku_storm_region_trips_total", "Per-region rate-detector trips.",
+		sstat(func(s StormStats) int64 { return s.RegionTrips }))
+	r.Counter("sudoku_storm_events_total", "Weighted RAS events the controller consumed.",
+		sstat(func(s StormStats) int64 { return s.EventsSeen }))
 }
