@@ -1,0 +1,123 @@
+// Batch-amortization benchmarks: one ReadBatch/WriteBatch of N lines
+// versus N single ops, on both the single-lock substrate and the
+// sharded engine (uncontended and contended). The single-op loop pays
+// the engine mutex once per line; the batch pays it once per shard per
+// batch — under fan-in the lock, not the codec, is the ceiling, so the
+// batch forms are what the sudoku-cached server serves from.
+package sudoku
+
+import (
+	"sync"
+	"testing"
+)
+
+// batchFixture builds a concurrent engine with batchN resident lines
+// and returns the address set.
+const batchN = 64
+
+func batchFixture(b *testing.B) (*Concurrent, []uint64, []byte) {
+	b.Helper()
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 8
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint64, batchN)
+	data := make([]byte, batchN*64)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+		for j := 0; j < 64; j++ {
+			data[i*64+j] = byte(i + j)
+		}
+	}
+	if errs, err := c.WriteBatch(addrs, data); err != nil || errs != nil {
+		b.Fatalf("prefill: errs=%v err=%v", errs, err)
+	}
+	return c, addrs, data
+}
+
+// BenchmarkReadSingles64 is the baseline: 64 resident read hits as 64
+// independent ReadInto calls (64 lock acquisitions).
+func BenchmarkReadSingles64(b *testing.B) {
+	c, addrs, _ := batchFixture(b)
+	buf := make([]byte, 64)
+	b.SetBytes(batchN * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			if err := c.ReadInto(a, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReadBatch64 is the amortized form: the same 64 lines as one
+// ReadBatch (one lock acquisition per shard touched).
+func BenchmarkReadBatch64(b *testing.B) {
+	c, addrs, _ := batchFixture(b)
+	dst := make([]byte, batchN*64)
+	b.SetBytes(batchN * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errs, err := c.ReadBatch(addrs, dst); err != nil || errs != nil {
+			b.Fatalf("errs=%v err=%v", errs, err)
+		}
+	}
+}
+
+// BenchmarkWriteSingles64 / BenchmarkWriteBatch64: the write-path dual
+// (read-modify-write plus both PLT delta updates per line).
+func BenchmarkWriteSingles64(b *testing.B) {
+	c, addrs, data := batchFixture(b)
+	b.SetBytes(batchN * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, a := range addrs {
+			if err := c.Write(a, data[j*64:(j+1)*64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkWriteBatch64(b *testing.B) {
+	c, addrs, data := batchFixture(b)
+	b.SetBytes(batchN * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if errs, err := c.WriteBatch(addrs, data); err != nil || errs != nil {
+			b.Fatalf("errs=%v err=%v", errs, err)
+		}
+	}
+}
+
+// BenchmarkReadBatchContended pits 4 goroutines hammering batch reads
+// against the same engine — the fan-in regime the server lives in,
+// where lock amortization pays the most.
+func BenchmarkReadBatchContended(b *testing.B) {
+	c, addrs, _ := batchFixture(b)
+	const workers = 4
+	b.SetBytes(batchN * 64 * workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]byte, batchN*64)
+				if errs, err := c.ReadBatch(addrs, dst); err != nil || errs != nil {
+					b.Errorf("errs=%v err=%v", errs, err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

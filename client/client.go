@@ -1,0 +1,271 @@
+// Package client is the Go client for sudoku-cached: it speaks the
+// length-prefixed frame protocol (internal/server/wire) over
+// cleartext HTTP/2, multiplexing every request and event stream of one
+// process over a single connection. The stress swarm drives its load
+// through this package, so the client is also the reference
+// implementation of good citizenship: it surfaces shed responses as
+// typed errors carrying the server's Retry-After so callers can back
+// off instead of hammering a storm-mode engine.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sudoku/internal/server/wire"
+)
+
+// LineBytes is the server's cache-line size.
+const LineBytes = 64
+
+// Options configures a Client.
+type Options struct {
+	// Addr is the server's host:port. Required.
+	Addr string
+	// Codec picks the payload encoding for requests
+	// (wire.CodecBinary by default; JSON aids debugging).
+	Codec uint8
+	// HTTPTimeout bounds each non-streaming request end to end.
+	// Zero means no client-side bound (the server still applies its
+	// batch-scaled deadline).
+	HTTPTimeout time.Duration
+}
+
+// Client is safe for concurrent use; all requests share one h2c
+// connection pool.
+type Client struct {
+	base  string
+	codec uint8
+	hc    *http.Client
+	// evhc has no timeout: event streams are open-ended.
+	evhc *http.Client
+}
+
+// ShedError is a server rejection from admission control or rate
+// limiting. RetryAfter is the server's backoff hint.
+type ShedError struct {
+	Detail     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("client: %s (retry after %v)", e.Detail, e.RetryAfter)
+}
+
+// ItemError reports per-item failures of a partial batch: Errs[i] is
+// "" when item i succeeded. Read data for successful items is valid.
+type ItemError struct {
+	Errs []string
+}
+
+func (e *ItemError) Error() string {
+	n := 0
+	for _, s := range e.Errs {
+		if s != "" {
+			n++
+		}
+	}
+	return fmt.Sprintf("client: %d of %d batch items failed", n, len(e.Errs))
+}
+
+// Health mirrors the server's OpHealth summary payload.
+type Health struct {
+	Storm              string  `json:"storm"`
+	ScrubRunning       bool    `json:"scrub_running"`
+	ScrubStalled       bool    `json:"scrub_stalled"`
+	RetiredLines       int     `json:"retired_lines"`
+	QuarantinedRegions int     `json:"quarantined_regions"`
+	EventsDropped      int64   `json:"events_dropped"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Inflight           int64   `json:"inflight"`
+}
+
+// New builds a client. The transport speaks HTTP/2 without TLS
+// (prior-knowledge h2c), matching the daemon's listener.
+func New(opts Options) *Client {
+	h2c := func() *http.Transport {
+		tr := &http.Transport{Protocols: new(http.Protocols)}
+		tr.Protocols.SetUnencryptedHTTP2(true)
+		return tr
+	}
+	return &Client{
+		base:  "http://" + opts.Addr,
+		codec: opts.Codec,
+		hc:    &http.Client{Transport: h2c(), Timeout: opts.HTTPTimeout},
+		evhc:  &http.Client{Transport: h2c()},
+	}
+}
+
+// do sends one framed request and decodes the framed response,
+// mapping protocol-level rejections to typed errors.
+func (c *Client) do(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error) {
+	payload, err := wire.EncodeRequest(c.codec, req)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	if err := wire.WriteFrame(&body, wire.Header{Version: wire.Version, Codec: c.codec, Op: op}, payload); err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/op", &body)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/x-sudoku-frame")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	h, rp, err := wire.ReadFrame(hresp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response frame (HTTP %d): %w", hresp.StatusCode, err)
+	}
+	resp, err := wire.DecodeResponse(h.Codec, rp)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case wire.StatusShed:
+		return nil, &ShedError{
+			Detail:     resp.Detail,
+			RetryAfter: time.Duration(resp.RetryAfterMillis) * time.Millisecond,
+		}
+	case wire.StatusError:
+		return nil, fmt.Errorf("client: server error (HTTP %d): %s", hresp.StatusCode, resp.Detail)
+	}
+	return resp, nil
+}
+
+// Read fetches one line.
+func (c *Client) Read(ctx context.Context, tn string, addr uint64) ([]byte, error) {
+	resp, err := c.do(ctx, wire.OpRead, &wire.Request{Tenant: tn, Addrs: []uint64{addr}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == wire.StatusPartial {
+		return nil, &ItemError{Errs: resp.Errs}
+	}
+	if len(resp.Data) != LineBytes {
+		return nil, fmt.Errorf("client: read returned %d bytes", len(resp.Data))
+	}
+	return resp.Data, nil
+}
+
+// Write stores one 64-byte line.
+func (c *Client) Write(ctx context.Context, tn string, addr uint64, data []byte) error {
+	resp, err := c.do(ctx, wire.OpWrite, &wire.Request{Tenant: tn, Addrs: []uint64{addr}, Data: data})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StatusPartial {
+		return &ItemError{Errs: resp.Errs}
+	}
+	return nil
+}
+
+// ReadBatch fetches len(addrs) lines in one sync. On full success the
+// returned buffer holds item i at [i*64:(i+1)*64] and err is nil; on a
+// partial batch err is an *ItemError and successful items' data is
+// still valid.
+func (c *Client) ReadBatch(ctx context.Context, tn string, addrs []uint64) ([]byte, error) {
+	resp, err := c.do(ctx, wire.OpReadBatch, &wire.Request{Tenant: tn, Addrs: addrs})
+	if err != nil {
+		return nil, err
+	}
+	if want := len(addrs) * LineBytes; len(resp.Data) != want {
+		return nil, fmt.Errorf("client: batch read returned %d bytes, want %d", len(resp.Data), want)
+	}
+	if resp.Status == wire.StatusPartial {
+		return resp.Data, &ItemError{Errs: resp.Errs}
+	}
+	return resp.Data, nil
+}
+
+// WriteBatch stores len(addrs) lines (item i at data[i*64:]) in one
+// sync. A partial batch returns *ItemError.
+func (c *Client) WriteBatch(ctx context.Context, tn string, addrs []uint64, data []byte) error {
+	resp, err := c.do(ctx, wire.OpWriteBatch, &wire.Request{Tenant: tn, Addrs: addrs, Data: data})
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StatusPartial {
+		return &ItemError{Errs: resp.Errs}
+	}
+	return nil
+}
+
+// Health fetches the engine health summary (bypasses admission
+// server-side, so it works on a saturated server).
+func (c *Client) Health(ctx context.Context, tn string) (*Health, error) {
+	resp, err := c.do(ctx, wire.OpHealth, &wire.Request{Tenant: tn})
+	if err != nil {
+		return nil, err
+	}
+	h := new(Health)
+	if err := json.Unmarshal(resp.Data, h); err != nil {
+		return nil, fmt.Errorf("client: health payload: %w", err)
+	}
+	return h, nil
+}
+
+// EventStream is one open tenant tap. Next blocks for the next event;
+// Close tears the stream down (a pending Next returns an error).
+type EventStream struct {
+	body io.ReadCloser
+}
+
+// Events opens the tenant's RAS tap. The stream stays open until
+// Close, ctx cancellation, or server shutdown.
+func (c *Client) Events(ctx context.Context, tn string) (*EventStream, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/events?tenant="+tn, nil)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.evhc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		hresp.Body.Close()
+		return nil, fmt.Errorf("client: events stream: HTTP %d: %s", hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return &EventStream{body: hresp.Body}, nil
+}
+
+// Next returns the next event. io.EOF means the server closed the
+// stream cleanly.
+func (s *EventStream) Next() (*wire.Event, error) {
+	h, payload, err := wire.ReadFrame(s.body)
+	if err != nil {
+		return nil, err
+	}
+	if h.Op != wire.OpEvent {
+		return nil, fmt.Errorf("client: unexpected op %d on event stream", h.Op)
+	}
+	ev := new(wire.Event)
+	if err := json.Unmarshal(payload, ev); err != nil {
+		return nil, fmt.Errorf("client: event payload: %w", err)
+	}
+	return ev, nil
+}
+
+// Close tears down the stream.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// IsShed reports whether err is a shed/rate rejection and returns the
+// server's backoff hint.
+func IsShed(err error) (time.Duration, bool) {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se.RetryAfter, true
+	}
+	return 0, false
+}

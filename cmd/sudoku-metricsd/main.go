@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -28,15 +29,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
 
 	"sudoku"
 	"sudoku/internal/rng"
+	"sudoku/internal/server/lifecycle"
 	"sudoku/internal/telemetry"
 )
 
@@ -140,7 +140,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}()
 	}
-	return serve(o.addr, mux, out)
+	return serve(o.addr, mux, c, out)
 }
 
 // buildConfig mirrors sudoku-stress: shrink parity groups until the
@@ -261,26 +261,24 @@ func healthzHandler(health func() sudoku.Health) http.HandlerFunc {
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM.
-func serve(addr string, mux *http.ServeMux, out io.Writer) error {
+func serve(addr string, mux *http.ServeMux, c *sudoku.Concurrent, out io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: mux}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(out, "serving /metrics /healthz /debug/vars /debug/pprof/ on %v\n", ln.Addr())
+	fmt.Fprintf(out, "routes: /metrics /healthz /debug/vars /debug/pprof/\n")
+	return lifecycle.Run(context.Background(), lifecycle.Config{
+		Server:   &http.Server{Handler: mux},
+		Listener: ln,
+		Drain:    lifecycle.EngineDrain(c, notRunning),
+		Out:      out,
+	})
+}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
-	select {
-	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutdownCtx)
-	case err := <-errCh:
-		return err
-	}
+// notRunning classifies the engine sentinels that mean "that machinery
+// was never started" — a clean drain outcome, not a failure.
+func notRunning(err error) bool {
+	return errors.Is(err, sudoku.ErrScrubNotRunning) || errors.Is(err, sudoku.ErrStormNotRunning)
 }
 
 // selfcheck is the CI metrics-smoke mode: scrape twice under load and

@@ -10,6 +10,12 @@
 //	              [-duration 2s] [-cachemb 1] [-shards 0] [-readfrac 0.7]
 //	              [-storm 50] [-scrub 20ms] [-seed 1] [-quiet] [-chaos]
 //
+// Server swarm mode (-server host:port) drives a running sudoku-cached
+// daemon through the client package instead of an in-process engine:
+// each goroutine shadow-verifies its own address stripe, an event tap
+// streams the tenant's RAS feed, and optional gates (-p99gate,
+// -requireshed, -requirestorm) turn the run into a CI smoke check.
+//
 // Chaos mode (-chaos) ignores -engine and -storm: it soaks the sharded
 // engine's RAS pipeline under 10× the paper's bit-error rate with
 // scrub-daemon kill/restart churn, permanent-fault retirement churn,
@@ -59,6 +65,19 @@ type options struct {
 	quiet      bool
 	chaos      bool
 	campaign   string
+
+	// Server swarm mode (-server): drive a remote sudoku-cached
+	// through the client package instead of an in-process engine.
+	server       string
+	tenant       string
+	codec        string
+	lines        int
+	batch        int
+	batchfrac    float64
+	p99gate      time.Duration
+	requireshed  bool
+	requirestorm bool
+	settle       time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -76,6 +95,16 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-bucket histogram")
 	fs.BoolVar(&o.chaos, "chaos", false, "chaos mode: RAS soak on the sharded engine (10x paper BER, daemon churn, retirement, quarantine; fails on any SDC)")
 	fs.StringVar(&o.campaign, "campaign", "", "correlated-fault campaign: a preset name ("+presetList()+") or a JSON file path; replaces the uniform -storm scatter, with -storm as the per-interval base budget")
+	fs.StringVar(&o.server, "server", "", "swarm mode: drive a running sudoku-cached at this host:port instead of an in-process engine")
+	fs.StringVar(&o.tenant, "tenant", "alpha", "swarm mode: tenant to drive")
+	fs.StringVar(&o.codec, "codec", "binary", "swarm mode: wire codec (binary or json)")
+	fs.IntVar(&o.lines, "lines", 4096, "swarm mode: lines of the tenant window to hammer")
+	fs.IntVar(&o.batch, "batch", 16, "swarm mode: items per batch operation")
+	fs.Float64Var(&o.batchfrac, "batchfrac", 0.05, "swarm mode: fraction of operations that are batches")
+	fs.DurationVar(&o.p99gate, "p99gate", 0, "swarm mode: fail if client-observed p99 exceeds this (0 = no gate)")
+	fs.BoolVar(&o.requireshed, "requireshed", false, "swarm mode: fail unless the server shed at least one request")
+	fs.BoolVar(&o.requirestorm, "requirestorm", false, "swarm mode: fail unless the storm ladder escalated and recovered, with tap events delivered")
+	fs.DurationVar(&o.settle, "settle", 10*time.Second, "swarm mode: how long to wait for the storm ladder to return to normal after load stops")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +124,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("scrub interval %v", o.scrub)
 	}
 
+	if o.server != "" {
+		if o.batchfrac < 0 || o.batchfrac > 1 {
+			return fmt.Errorf("batchfrac %g outside [0, 1]", o.batchfrac)
+		}
+		return runServerSwarm(o, out)
+	}
 	if o.chaos {
 		return runChaos(o, out)
 	}

@@ -1,0 +1,394 @@
+// Server swarm mode: -server <addr> turns sudoku-stress into a client
+// fleet for a running sudoku-cached daemon. Each goroutine owns a
+// disjoint stripe of the tenant's namespace and shadow-verifies every
+// read against what it last wrote there, so any silent corruption in
+// the engine, the wire codecs, or the server's gather/scatter shows up
+// as an SDC — and the run fails. A tap goroutine streams the tenant's
+// RAS events for the whole run; health polling tracks the storm ladder.
+//
+// Exit gates (all optional except SDC=0, which always applies):
+//
+//	-p99gate D        fail when client-observed p99 exceeds D
+//	-requireshed      fail unless the server shed at least one request
+//	-requirestorm     fail unless the storm ladder left normal during
+//	                  the run AND returned to normal by the end, with
+//	                  at least one RAS event delivered on the tap
+//
+// The run always fails if the server reports dropped tap events
+// (sudoku_server_tap_dropped_total > 0) — the event pipe must keep up
+// with the fault storm it is narrating.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sudoku/client"
+	"sudoku/internal/rng"
+	"sudoku/internal/server/wire"
+	"sudoku/internal/telemetry"
+)
+
+// swarmResult aggregates one swarm run.
+type swarmResult struct {
+	ops      int64
+	sheds    int64
+	dues     int64
+	sdcs     int64
+	events   int64
+	elapsed  time.Duration
+	hist     telemetry.HistogramSnapshot
+	maxStorm string
+	endStorm string
+}
+
+// stripePattern is the deterministic line content for (line, version):
+// reproducible at verify time without storing 64 bytes per line.
+func stripePattern(line uint64, version uint32, dst []byte) {
+	for j := range dst {
+		dst[j] = byte(line) ^ byte(line>>8) ^ byte(version) ^ byte(j*7)
+	}
+}
+
+// runServerSwarm drives the remote daemon.
+func runServerSwarm(o options, out io.Writer) error {
+	codec := wire.CodecBinary
+	if o.codec == "json" {
+		codec = wire.CodecJSON
+	} else if o.codec != "" && o.codec != "binary" {
+		return fmt.Errorf("codec %q: want binary or json", o.codec)
+	}
+	if o.lines <= 0 {
+		return fmt.Errorf("lines %d", o.lines)
+	}
+	if o.batch <= 0 {
+		o.batch = 16
+	}
+	cl := client.New(client.Options{Addr: o.server, Codec: codec})
+	ctx := context.Background()
+	if _, err := cl.Health(ctx, o.tenant); err != nil {
+		return fmt.Errorf("server %s tenant %s unreachable: %w", o.server, o.tenant, err)
+	}
+
+	res := &swarmResult{maxStorm: "normal", endStorm: "normal"}
+	tapCtx, tapCancel := context.WithCancel(ctx)
+	defer tapCancel()
+	var tapWG sync.WaitGroup
+
+	// The tap runs for the whole load window; every event it drains is
+	// one the server did not have to drop.
+	stream, err := cl.Events(tapCtx, o.tenant)
+	if err != nil {
+		return fmt.Errorf("event tap: %w", err)
+	}
+	tapWG.Add(1)
+	go func() {
+		defer tapWG.Done()
+		defer stream.Close()
+		for {
+			if _, err := stream.Next(); err != nil {
+				return
+			}
+			atomic.AddInt64(&res.events, 1)
+		}
+	}()
+
+	// Health poller: watches the ladder escalate and (after the run)
+	// recover.
+	stormRank := map[string]int{"normal": 0, "elevated": 1, "critical": 2}
+	pollStorm := func() string {
+		h, err := cl.Health(ctx, o.tenant)
+		if err != nil {
+			return ""
+		}
+		return h.Storm
+	}
+	pollCtx, pollCancel := context.WithCancel(ctx)
+	defer pollCancel()
+	var pollWG sync.WaitGroup
+	var maxSeen atomic.Int32
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollCtx.Done():
+				return
+			case <-tick.C:
+				if s := pollStorm(); stormRank[s] > int(maxSeen.Load()) {
+					maxSeen.Store(int32(stormRank[s]))
+				}
+			}
+		}
+	}()
+
+	// The fleet. Goroutine g owns lines {l : l mod G == g} of the
+	// first o.lines lines — disjoint stripes, so shadow state needs no
+	// cross-goroutine synchronization and a batch sync never races a
+	// sibling's writes.
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	var wg sync.WaitGroup
+	var ops, sheds, dues, sdcs atomic.Int64
+	hists := make([]telemetry.LocalHistogram, o.goroutines)
+	master := rng.New(o.seed)
+	var firstErr atomic.Pointer[error]
+	for g := 0; g < o.goroutines; g++ {
+		src := master.Split()
+		wg.Add(1)
+		go func(g int, src *rng.Source) {
+			defer wg.Done()
+			h := &hists[g]
+			shadow := make(map[uint64]uint32) // line -> version (0 = unknown)
+			mine := make([]uint64, 0, o.lines/o.goroutines+1)
+			for l := uint64(g); l < uint64(o.lines); l += uint64(o.goroutines) {
+				mine = append(mine, l)
+			}
+			if len(mine) == 0 {
+				return
+			}
+			buf := make([]byte, 64)
+			expect := make([]byte, 64)
+			batchAddrs := make([]uint64, 0, o.batch)
+			batchData := make([]byte, 0, o.batch*64)
+			verify := func(line uint64, got []byte) {
+				v := shadow[line]
+				if v == 0 {
+					return // never written by us (or reset after a DUE)
+				}
+				stripePattern(line, v, expect)
+				for j := range expect {
+					if got[j] != expect[j] {
+						sdcs.Add(1)
+						return
+					}
+				}
+			}
+			for n := int64(0); ; n++ {
+				if n%64 == 0 && time.Now().After(deadline) {
+					break
+				}
+				line := mine[src.Uint64n(uint64(len(mine)))]
+				addr := line * 64
+				isBatch := src.Float64() < o.batchfrac
+				isRead := src.Float64() < o.readfrac
+				opStart := time.Now()
+				var err error
+				switch {
+				case isBatch:
+					// A contiguous run of this goroutine's stripe.
+					batchAddrs = batchAddrs[:0]
+					batchData = batchData[:0]
+					base := src.Uint64n(uint64(len(mine)))
+					for k := 0; k < o.batch; k++ {
+						l := mine[(base+uint64(k))%uint64(len(mine))]
+						batchAddrs = append(batchAddrs, l*64)
+					}
+					if isRead {
+						var data []byte
+						data, err = cl.ReadBatch(ctx, o.tenant, batchAddrs)
+						var ie *client.ItemError
+						if err == nil || errors.As(err, &ie) {
+							for k, a := range batchAddrs {
+								if ie != nil && ie.Errs[k] != "" {
+									dues.Add(1)
+									delete(shadow, a/64)
+									continue
+								}
+								verify(a/64, data[k*64:(k+1)*64])
+							}
+							err = nil
+						}
+					} else {
+						for _, a := range batchAddrs {
+							l := a / 64
+							stripePattern(l, shadow[l]+1, buf)
+							batchData = append(batchData, buf...)
+						}
+						err = cl.WriteBatch(ctx, o.tenant, batchAddrs, batchData)
+						// Commit shadow versions only once the server
+						// confirms: a shed batch never executed, so the
+						// old shadow stays valid.
+						var ie *client.ItemError
+						switch {
+						case err == nil:
+							for _, a := range batchAddrs {
+								shadow[a/64]++
+							}
+						case errors.As(err, &ie):
+							for k, a := range batchAddrs {
+								if ie.Errs[k] != "" {
+									dues.Add(1)
+									delete(shadow, a/64)
+								} else {
+									shadow[a/64]++
+								}
+							}
+							err = nil
+						}
+					}
+				case isRead:
+					var data []byte
+					data, err = cl.Read(ctx, o.tenant, addr)
+					if err == nil {
+						verify(line, data)
+					} else if isItemError(err) {
+						dues.Add(1)
+						delete(shadow, line)
+						err = nil
+					}
+				default:
+					v := shadow[line] + 1
+					stripePattern(line, v, buf)
+					err = cl.Write(ctx, o.tenant, addr, buf)
+					if err == nil {
+						shadow[line] = v
+					} else if isItemError(err) {
+						dues.Add(1)
+						delete(shadow, line)
+						err = nil
+					}
+				}
+				h.ObserveNs(time.Since(opStart).Nanoseconds())
+				if err != nil {
+					if ra, shed := client.IsShed(err); shed {
+						sheds.Add(1)
+						// Honor the server's hint, but never sleep the
+						// deadline away.
+						if ra > 200*time.Millisecond {
+							ra = 200 * time.Millisecond
+						}
+						time.Sleep(ra)
+						continue
+					}
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
+				ops.Add(1)
+			}
+		}(g, src)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.ops = ops.Load()
+	res.sheds = sheds.Load()
+	res.dues = dues.Load()
+	res.sdcs = sdcs.Load()
+	for i := range hists {
+		res.hist.Add(hists[i].Snapshot())
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return fmt.Errorf("swarm worker failed: %w", *ep)
+	}
+
+	// Let the ladder settle, then take the final storm reading.
+	settleUntil := time.Now().Add(o.settle)
+	for {
+		s := pollStorm()
+		if s != "" {
+			res.endStorm = s
+		}
+		if res.endStorm == "normal" || time.Now().After(settleUntil) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	pollCancel()
+	pollWG.Wait()
+	tapCancel()
+	tapWG.Wait()
+	for name, rank := range stormRank {
+		if rank == int(maxSeen.Load()) {
+			res.maxStorm = name
+		}
+	}
+
+	// Final metrics scrape: shed totals and the tap-drop gate.
+	shedTotal, dropTotal, err := scrapeServerMetrics("http://" + o.server + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+
+	fmt.Fprintf(out, "swarm: server=%s tenant=%s codec=%s goroutines=%d\n",
+		o.server, o.tenant, o.codec, o.goroutines)
+	fmt.Fprintf(out, "ops=%d (%.0f ops/s) sheds(client)=%d sheds(server)=%d dues=%d sdcs=%d\n",
+		res.ops, float64(res.ops)/res.elapsed.Seconds(), res.sheds, shedTotal, res.dues, res.sdcs)
+	fmt.Fprintf(out, "latency: p50=%v p90=%v p99=%v\n",
+		res.hist.Quantile(0.50), res.hist.Quantile(0.90), res.hist.Quantile(0.99))
+	fmt.Fprintf(out, "storm: peak=%s end=%s tap-events=%d tap-dropped=%d\n",
+		res.maxStorm, res.endStorm, atomic.LoadInt64(&res.events), dropTotal)
+	if !o.quiet {
+		printHist(out, res.hist)
+	}
+
+	var fails []string
+	if res.sdcs > 0 {
+		fails = append(fails, fmt.Sprintf("%d silent corruptions", res.sdcs))
+	}
+	if dropTotal > 0 {
+		fails = append(fails, fmt.Sprintf("%d dropped tap events", dropTotal))
+	}
+	if o.p99gate > 0 {
+		if p99 := res.hist.Quantile(0.99); p99 > o.p99gate {
+			fails = append(fails, fmt.Sprintf("p99 %v exceeds gate %v", p99, o.p99gate))
+		}
+	}
+	if o.requireshed && shedTotal == 0 {
+		fails = append(fails, "no requests shed (admission control never engaged)")
+	}
+	if o.requirestorm {
+		if res.maxStorm == "normal" {
+			fails = append(fails, "storm ladder never escalated")
+		}
+		if res.endStorm != "normal" {
+			fails = append(fails, fmt.Sprintf("storm ladder stuck at %s after %v settle", res.endStorm, o.settle))
+		}
+		if atomic.LoadInt64(&res.events) == 0 {
+			fails = append(fails, "no RAS events delivered on the tap")
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("swarm gates failed: %s", strings.Join(fails, "; "))
+	}
+	fmt.Fprintln(out, "swarm: PASS")
+	return nil
+}
+
+func isItemError(err error) bool {
+	var ie *client.ItemError
+	return errors.As(err, &ie)
+}
+
+// scrapeServerMetrics pulls the daemon's exposition and folds the
+// sudoku_server_shed_total and sudoku_server_tap_dropped_total series
+// across tenants and reasons.
+func scrapeServerMetrics(url string) (shed, dropped int64, err error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	series, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for key, v := range series {
+		switch {
+		case strings.HasPrefix(key, "sudoku_server_shed_total"):
+			shed += int64(v)
+		case strings.HasPrefix(key, "sudoku_server_tap_dropped_total"):
+			dropped += int64(v)
+		}
+	}
+	return shed, dropped, nil
+}

@@ -64,6 +64,12 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.readIntoLocked(now, addr, dst)
+}
+
+// readIntoLocked is the body of ReadInto; callers hold c.mu and have
+// validated len(dst).
+func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.useClock++
@@ -206,6 +212,12 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.writeLocked(now, addr, data)
+}
+
+// writeLocked is the body of Write; callers hold c.mu and have
+// validated len(data).
+func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.useClock++

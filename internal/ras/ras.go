@@ -264,6 +264,9 @@ func (l *Log) Append(e Event) {
 		if s.closed {
 			continue
 		}
+		if s.keep != nil && !s.keep(e) {
+			continue // filtered out, not a drop
+		}
 		select {
 		case s.ch <- e:
 		default:
@@ -280,6 +283,11 @@ func (l *Log) Append(e Event) {
 type Subscription struct {
 	log *Log
 	ch  chan Event
+	// keep, when non-nil, selects which events this tap receives; it
+	// runs under log.mu on every append, so it must be fast and must
+	// not call back into the log. Events it rejects are filtered, not
+	// dropped: they never count against Dropped.
+	keep func(Event) bool
 	// closed is only read/written under log.mu.
 	closed  bool
 	dropped atomic.Int64
@@ -317,10 +325,21 @@ func (s *Subscription) Close() {
 // never blocks — when the buffer is full the event is dropped and
 // counted. Subscribing to a nil log returns a tap that never fires.
 func (l *Log) Subscribe(buffer int) *Subscription {
+	return l.SubscribeFunc(buffer, nil)
+}
+
+// SubscribeFunc is Subscribe with a selection predicate: only events
+// for which keep returns true are offered to the tap — the multi-tenant
+// server uses this to give each tenant a tap scoped to its own address
+// namespace. A nil keep receives everything. The predicate runs on the
+// append path under the log mutex, so it must be fast and must not call
+// back into the log; events it rejects are filtered, not dropped (they
+// never count against Dropped).
+func (l *Log) SubscribeFunc(buffer int, keep func(Event) bool) *Subscription {
 	if buffer < 1 {
 		buffer = 1
 	}
-	s := &Subscription{log: l, ch: make(chan Event, buffer)}
+	s := &Subscription{log: l, ch: make(chan Event, buffer), keep: keep}
 	if l == nil {
 		// A detached, already-closed tap: Events yields nothing.
 		s.closed = true

@@ -102,6 +102,51 @@ func TestConcurrentAppend(t *testing.T) {
 	}
 }
 
+func TestSubscribeFuncFilters(t *testing.T) {
+	l := NewLog(16)
+	sub := l.SubscribeFunc(8, func(e Event) bool {
+		return e.Addr != NoAddr && e.Addr < 0x1000
+	})
+	defer sub.Close()
+	all := l.Subscribe(8)
+	defer all.Close()
+
+	l.Append(Event{Kind: KindDUERecovered, Addr: 0x40, Line: NoLine})
+	l.Append(Event{Kind: KindDUERecovered, Addr: 0x4000, Line: NoLine})
+	l.Append(Event{Kind: KindScrubStall, Addr: NoAddr, Line: NoLine})
+	l.Append(Event{Kind: KindDUERecovered, Addr: 0x80, Line: NoLine})
+
+	got := 0
+	for len(sub.Events()) > 0 {
+		e := <-sub.Events()
+		if e.Addr >= 0x1000 {
+			t.Fatalf("filtered tap received %+v", e)
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("filtered tap received %d events, want 2", got)
+	}
+	if n := len(all.Events()); n != 4 {
+		t.Fatalf("unfiltered tap received %d events, want 4", n)
+	}
+	// Filtered-out events are not drops.
+	if sub.Dropped() != 0 || l.Dropped() != 0 {
+		t.Fatalf("filtering counted as drops: tap=%d log=%d", sub.Dropped(), l.Dropped())
+	}
+}
+
+func TestSubscribeFuncFullBufferStillDrops(t *testing.T) {
+	l := NewLog(16)
+	sub := l.SubscribeFunc(1, func(e Event) bool { return true })
+	defer sub.Close()
+	l.Append(Event{Kind: KindSDC, Addr: NoAddr, Line: NoLine})
+	l.Append(Event{Kind: KindSDC, Addr: NoAddr, Line: NoLine})
+	if sub.Dropped() != 1 || l.Dropped() != 1 {
+		t.Fatalf("dropped: tap=%d log=%d, want 1/1", sub.Dropped(), l.Dropped())
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{Seq: 7, Kind: KindRegionQuarantined, Shard: 2, Line: 99, Addr: 0x1000, Detail: "parity audit"}
 	s := e.String()

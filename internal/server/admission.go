@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sudoku"
+	"sudoku/internal/server/tenant"
+)
+
+// Shed reasons, used as the "reason" label on sudoku_server_shed_total
+// and in Decision.Reason.
+const (
+	ShedInflight = "inflight"
+	ShedStorm    = "storm"
+	ShedRate     = "rate"
+)
+
+// Decision is one admission verdict.
+type Decision struct {
+	Allow      bool
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// admission is the storm-aware gate in front of the engine. Two
+// mechanisms compose:
+//
+//   - A headroom-reserving inflight cap: client traffic is admitted
+//     only up to MaxInflight×(1−Headroom) concurrent requests. The
+//     reserved fraction keeps engine-lock bandwidth available for the
+//     scrub daemon's targeted scrubs and parity audits even when the
+//     service is saturated — maintenance traffic never queues behind a
+//     full client line.
+//
+//   - A storm ladder keyed off the engine's defense state. Elevated
+//     sheds low-priority batch traffic (bulk movers are the cheapest
+//     loss and the biggest lock consumers); Critical sheds all
+//     low-priority traffic and every batch, admitting only
+//     high-priority single-line operations so interactive traffic
+//     survives while the engine fights the fault storm.
+//
+// Shed responses carry a Retry-After so well-behaved clients back off
+// instead of hammering a degraded engine.
+type admission struct {
+	max      int64
+	soft     int64
+	inflight atomic.Int64
+	storm    func() sudoku.StormState
+}
+
+func newAdmission(maxInflight int, headroom float64, storm func() sudoku.StormState) *admission {
+	soft := int64(float64(maxInflight) * (1 - headroom))
+	if soft < 1 {
+		soft = 1
+	}
+	return &admission{max: int64(maxInflight), soft: soft, storm: storm}
+}
+
+// Retry hints by shed reason: inflight sheds clear in one request
+// service time; storm sheds last until the controller de-escalates,
+// which takes at least one evaluation interval.
+const (
+	retryInflight = 100 * time.Millisecond
+	retryElevated = 500 * time.Millisecond
+	retryCritical = 2 * time.Second
+)
+
+// admit gates one request. When admitted, the returned release must be
+// called when the request completes; when shed, release is nil.
+func (a *admission) admit(pri tenant.Priority, batch bool) (release func(), d Decision) {
+	switch a.storm() {
+	case sudoku.StormElevated:
+		if batch && pri == tenant.Low {
+			return nil, Decision{Reason: ShedStorm, RetryAfter: retryElevated}
+		}
+	case sudoku.StormCritical:
+		if pri == tenant.Low || batch {
+			return nil, Decision{Reason: ShedStorm, RetryAfter: retryCritical}
+		}
+	}
+	// Optimistic increment with a bounds check keeps the gate one
+	// atomic op in the admitted case.
+	if a.inflight.Add(1) > a.soft {
+		a.inflight.Add(-1)
+		return nil, Decision{Reason: ShedInflight, RetryAfter: retryInflight}
+	}
+	return func() { a.inflight.Add(-1) }, Decision{Allow: true}
+}
+
+// Inflight reports the current admitted-request count, for the
+// sudoku_server_inflight gauge.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }

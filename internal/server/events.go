@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"sudoku"
+	"sudoku/internal/ras"
+	"sudoku/internal/server/wire"
+)
+
+func encodeJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// handleEvents streams the tenant's RAS-event tap: one JSON-encoded
+// frame per event, flushed as it happens, until the client disconnects.
+//
+// The tap is scoped to the tenant: address-carrying events are kept
+// only when they fall inside the tenant's window (and are rebased into
+// its namespace before streaming); engine-wide events with no address
+// (scrub-pass and storm-transition notices) are delivered to every
+// tap, since they describe shared-substrate health every tenant's
+// operator needs during a storm. Filtering runs engine-side in the
+// subscription predicate, so out-of-window events never consume this
+// tap's buffer — isolation also buys headroom.
+//
+// A slow consumer drops events rather than stalling the engine's
+// append path; drops are counted on sudoku_server_tap_dropped_total
+// and the CI smoke gate holds the count at zero under the stress
+// swarm's drain rate.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	tn, err := s.tenants.Lookup(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	tm := s.metrics[name]
+	lo, hi := tn.Window()
+	sub := s.engine.SubscribeEventsFunc(s.evBuf, func(e sudoku.RASEvent) bool {
+		return e.Addr == ras.NoAddr || (e.Addr >= lo && e.Addr < hi)
+	})
+	untrack := tm.trackTap(sub)
+	defer untrack()
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "application/x-sudoku-frame-stream")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers so the client's stream opens now
+	}
+	hdr := wire.Header{Version: wire.Version, Codec: wire.CodecJSON, Op: wire.OpEvent}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-sub.Events():
+			addr := e.Addr
+			if addr != ras.NoAddr {
+				if rebased, ok := tn.UnmapAddr(addr); ok {
+					addr = rebased
+				}
+			}
+			we := wire.Event{
+				Seq:      e.Seq,
+				TimeUnix: e.Time.UnixNano(),
+				Kind:     e.Kind.String(),
+				Shard:    e.Shard,
+				Line:     e.Line,
+				Addr:     addr,
+				Detail:   e.Detail,
+				Repairs:  e.Repairs,
+				Futile:   e.Futile,
+			}
+			payload, err := json.Marshal(we)
+			if err != nil {
+				return
+			}
+			if err := wire.WriteFrame(w, hdr, payload); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// TestRunDrainsInOrder cancels the context and checks the HTTP server
+// quiesces first, then every drain step runs in registration order.
+func TestRunDrainsInOrder(t *testing.T) {
+	ln := listen(t)
+	// Drain steps run sequentially on Run's goroutine; the receive on
+	// done below orders the read of order after every append.
+	var order []string
+	step := func(name string) Step {
+		return Step{Name: name, Run: func(context.Context) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var sb strings.Builder
+	go func() {
+		done <- Run(ctx, Config{
+			Server:    &http.Server{Handler: http.NewServeMux()},
+			Listener:  ln,
+			Grace:     2 * time.Second,
+			Drain:     []Step{step("first"), step("second"), step("third")},
+			Out:       &sb,
+			NoSignals: true,
+		})
+	}()
+	// Prove the server is actually serving before shutdown.
+	waitServing(t, ln.Addr().String())
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return")
+	}
+	if got := strings.Join(order, ","); got != "first,second,third" {
+		t.Fatalf("drain order %q", got)
+	}
+	if !strings.Contains(sb.String(), "drain second: done") {
+		t.Fatalf("progress output missing drain notes: %q", sb.String())
+	}
+}
+
+// TestRunWaitsForInflightRequests starts a slow request, shuts down,
+// and checks the request completed rather than being severed.
+func TestRunWaitsForInflightRequests(t *testing.T) {
+	ln := listen(t)
+	addr := ln.Addr().String()
+	var completed atomic.Bool
+	mux := http.NewServeMux()
+	started := make(chan struct{})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(300 * time.Millisecond)
+		completed.Store(true)
+		fmt.Fprint(w, "done")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- Run(ctx, Config{
+			Server: &http.Server{Handler: mux}, Listener: ln,
+			Grace: 5 * time.Second, NoSignals: true,
+		})
+	}()
+	waitServing(t, addr)
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err == nil {
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		reqDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request severed: %v", err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !completed.Load() {
+		t.Fatal("handler did not finish before shutdown returned")
+	}
+}
+
+// TestRunReportsDrainFailure: a failing step is reported but does not
+// stop later steps.
+func TestRunReportsDrainFailure(t *testing.T) {
+	ln := listen(t)
+	boom := errors.New("pass stuck")
+	var ranLater atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, Config{
+			Server: &http.Server{Handler: http.NewServeMux()}, Listener: ln,
+			Grace: time.Second, NoSignals: true,
+			Drain: []Step{
+				{Name: "bad", Run: func(context.Context) error { return boom }},
+				{Name: "later", Run: func(context.Context) error { ranLater.Store(true); return nil }},
+			},
+		})
+	}()
+	waitServing(t, ln.Addr().String())
+	cancel()
+	err := <-done
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !ranLater.Load() {
+		t.Fatal("failing step halted the drain sequence")
+	}
+}
+
+// TestEngineDrainIgnoresNotRunning: the standard engine sequence
+// treats not-started machinery as a clean outcome.
+func TestEngineDrainIgnoresNotRunning(t *testing.T) {
+	sentinel := errors.New("not running")
+	eng := &fakeEngine{scrubErr: sentinel, stormErr: sentinel}
+	steps := EngineDrain(eng, func(err error) bool { return errors.Is(err, sentinel) })
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	for _, st := range steps {
+		if err := st.Run(context.Background()); err != nil {
+			t.Fatalf("step %s: %v", st.Name, err)
+		}
+	}
+	// A real failure still surfaces.
+	eng.scrubErr = errors.New("disk on fire")
+	if err := steps[1].Run(context.Background()); err == nil {
+		t.Fatal("real stop error swallowed")
+	}
+}
+
+type fakeEngine struct {
+	scrubErr error
+	stormErr error
+}
+
+func (f *fakeEngine) DrainScrubContext(context.Context) error { return f.scrubErr }
+func (f *fakeEngine) StopScrub() error                        { return f.scrubErr }
+func (f *fakeEngine) StopStormControl() error                 { return f.stormErr }
+
+func waitServing(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never came up")
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sudoku"
+	"sudoku/internal/ras"
+	"sudoku/internal/telemetry"
+)
+
+// Request outcomes, used as the "outcome" label on
+// sudoku_server_requests_total.
+const (
+	outcomeOK      = "ok"
+	outcomePartial = "partial"
+	outcomeError   = "error"
+	outcomeTimeout = "timeout"
+)
+
+var outcomes = []string{outcomeOK, outcomePartial, outcomeError, outcomeTimeout}
+var shedReasons = []string{ShedInflight, ShedStorm, ShedRate}
+
+// tenantMetrics is one tenant's slice of the sudoku_server_* families.
+// All fields are atomics or internally synchronized; handlers update
+// them lock-free and scrapes pull them live.
+type tenantMetrics struct {
+	requests map[string]*atomic.Int64 // by outcome
+	shed     map[string]*atomic.Int64 // by reason
+	latency  *telemetry.Histogram
+
+	// tapDropped folds the Dropped() counts of closed event taps;
+	// live taps are summed in at scrape time via the taps set.
+	tapDropped atomic.Int64
+	tapsMu     sync.Mutex
+	taps       map[*ras.Subscription]struct{}
+}
+
+func newTenantMetrics() *tenantMetrics {
+	tm := &tenantMetrics{
+		requests: make(map[string]*atomic.Int64, len(outcomes)),
+		shed:     make(map[string]*atomic.Int64, len(shedReasons)),
+		latency:  &telemetry.Histogram{},
+		taps:     make(map[*ras.Subscription]struct{}),
+	}
+	for _, o := range outcomes {
+		tm.requests[o] = new(atomic.Int64)
+	}
+	for _, r := range shedReasons {
+		tm.shed[r] = new(atomic.Int64)
+	}
+	return tm
+}
+
+// trackTap registers a live event tap so its drop count is visible to
+// scrapes while the stream is open; the returned func folds the final
+// count into the cumulative total on stream close.
+func (tm *tenantMetrics) trackTap(sub *ras.Subscription) (untrack func()) {
+	tm.tapsMu.Lock()
+	tm.taps[sub] = struct{}{}
+	tm.tapsMu.Unlock()
+	return func() {
+		tm.tapsMu.Lock()
+		delete(tm.taps, sub)
+		tm.tapsMu.Unlock()
+		tm.tapDropped.Add(sub.Dropped())
+	}
+}
+
+// droppedTotal is cumulative drops across closed and live taps.
+func (tm *tenantMetrics) droppedTotal() int64 {
+	total := tm.tapDropped.Load()
+	tm.tapsMu.Lock()
+	for sub := range tm.taps {
+		total += sub.Dropped()
+	}
+	tm.tapsMu.Unlock()
+	return total
+}
+
+// Register adds the sudoku_server_* families to r. The tenant set is
+// fixed at construction, so every series can be registered up front
+// and pulled live at scrape time.
+func (s *Server) Register(r *sudoku.Registry) {
+	r.Gauge("sudoku_server_inflight",
+		"Admitted requests currently being served.",
+		func() float64 { return float64(s.adm.Inflight()) })
+	r.Gauge("sudoku_server_storm_state",
+		"Defense-ladder level the admission controller is keyed to (0 normal, 1 elevated, 2 critical).",
+		func() float64 { return float64(s.storm()) })
+	for name, tm := range s.metrics {
+		for _, o := range outcomes {
+			c := tm.requests[o]
+			r.Counter("sudoku_server_requests_total",
+				"Requests served, by tenant and outcome.",
+				c.Load, "tenant", name, "outcome", o)
+		}
+		for _, reason := range shedReasons {
+			c := tm.shed[reason]
+			r.Counter("sudoku_server_shed_total",
+				"Requests rejected by admission control, by tenant and reason.",
+				c.Load, "tenant", name, "reason", reason)
+		}
+		tmc := tm
+		r.Histogram("sudoku_server_request_latency_ns",
+			"End-to-end request service time in nanoseconds, by tenant.",
+			tmc.latency.Snapshot, "tenant", name)
+		r.Counter("sudoku_server_tap_dropped_total",
+			"RAS events dropped from this tenant's tap streams (slow consumer).",
+			tmc.droppedTotal, "tenant", name)
+	}
+}

@@ -1,0 +1,339 @@
+// Package server is the sudoku-cached service layer: it fronts one
+// shared sudoku.Concurrent engine to many network tenants over an
+// HTTP/2-carried frame protocol (package wire), with per-tenant
+// namespaces, rate limits and session discipline (package tenant),
+// storm-aware admission control, and a streaming per-tenant RAS-event
+// tap. The daemon in cmd/sudoku-cached wires this to h2c listeners,
+// telemetry, and lifecycle management.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sudoku"
+	"sudoku/internal/server/tenant"
+	"sudoku/internal/server/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the shared cache engine. Required.
+	Engine *sudoku.Concurrent
+	// Tenants is the namespace registry. Required, fixed for the
+	// server's lifetime.
+	Tenants *tenant.Registry
+	// MaxInflight caps concurrent admitted requests. Default 256.
+	MaxInflight int
+	// Headroom is the fraction of MaxInflight reserved away from
+	// client traffic so scrubs and parity audits never starve.
+	// Default 0.2.
+	Headroom float64
+	// EventBuffer is the per-tap channel depth for /v1/events
+	// streams. Default 256.
+	EventBuffer int
+	// StormFn overrides the admission controller's storm-state
+	// source; default is Engine.StormState. Tests use this to force
+	// ladder levels.
+	StormFn func() sudoku.StormState
+}
+
+// Server serves the sudoku-cached protocol. Construct with New, mount
+// Handler on an h2c-enabled http.Server, and Register the metrics on
+// the daemon's telemetry registry.
+type Server struct {
+	engine  *sudoku.Concurrent
+	tenants *tenant.Registry
+	adm     *admission
+	storm   func() sudoku.StormState
+	evBuf   int
+	metrics map[string]*tenantMetrics
+}
+
+// New validates opts and builds the server.
+func New(opts Options) (*Server, error) {
+	if opts.Engine == nil || opts.Tenants == nil {
+		return nil, errors.New("server: Engine and Tenants are required")
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 256
+	}
+	if opts.Headroom <= 0 {
+		opts.Headroom = 0.2
+	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = 256
+	}
+	storm := opts.StormFn
+	if storm == nil {
+		storm = opts.Engine.StormState
+	}
+	s := &Server{
+		engine:  opts.Engine,
+		tenants: opts.Tenants,
+		storm:   storm,
+		adm:     newAdmission(opts.MaxInflight, opts.Headroom, storm),
+		evBuf:   opts.EventBuffer,
+		metrics: make(map[string]*tenantMetrics),
+	}
+	for _, t := range opts.Tenants.Tenants() {
+		s.metrics[t.Name()] = newTenantMetrics()
+	}
+	return s, nil
+}
+
+// Handler returns the server's route table: POST /v1/op (one frame in,
+// one frame out) and GET /v1/events (frame stream).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/op", s.handleOp)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	return mux
+}
+
+// writeError sends an error frame with the given HTTP status.
+func writeError(w http.ResponseWriter, codec uint8, httpStatus int, op uint8, detail string) {
+	resp := &wire.Response{Status: wire.StatusError, Detail: detail}
+	writeResponse(w, codec, httpStatus, op, resp)
+}
+
+// writeShed sends a 429 with Retry-After (whole seconds, minimum 1,
+// per the HTTP header's granularity; the frame carries milliseconds).
+func writeShed(w http.ResponseWriter, codec uint8, op uint8, d Decision) {
+	secs := int(d.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeResponse(w, codec, http.StatusTooManyRequests, op, &wire.Response{
+		Status:           wire.StatusShed,
+		RetryAfterMillis: uint32(d.RetryAfter.Milliseconds()),
+		Detail:           "shed: " + d.Reason,
+	})
+}
+
+func writeResponse(w http.ResponseWriter, codec uint8, httpStatus int, op uint8, resp *wire.Response) {
+	payload, err := wire.EncodeResponse(codec, resp)
+	if err != nil {
+		// Response built by this package; encode failure is a bug.
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-sudoku-frame")
+	w.WriteHeader(httpStatus)
+	_ = wire.WriteFrame(w, wire.Header{Version: wire.Version, Codec: codec, Op: op}, payload)
+}
+
+func isBatch(op uint8) bool { return op == wire.OpReadBatch || op == wire.OpWriteBatch }
+func isWrite(op uint8) bool { return op == wire.OpWrite || op == wire.OpWriteBatch }
+
+// handleOp serves one framed request.
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	h, payload, err := wire.ReadFrame(http.MaxBytesReader(w, r.Body, wire.MaxFrame+4))
+	if err != nil {
+		writeError(w, wire.CodecJSON, http.StatusBadRequest, 0, err.Error())
+		return
+	}
+	req, err := wire.DecodeRequest(h, payload)
+	if err != nil {
+		writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+		return
+	}
+	tn, err := s.tenants.Lookup(req.Tenant)
+	if err != nil {
+		writeError(w, h.Codec, http.StatusNotFound, h.Op, err.Error())
+		return
+	}
+	tm := s.metrics[req.Tenant]
+
+	if h.Op == wire.OpHealth {
+		// Health is the liveness probe of last resort: it bypasses
+		// admission so operators can see a saturated server.
+		s.handleHealth(w, h, tm, start)
+		return
+	}
+
+	items := len(req.Addrs)
+	if err := validateShape(h.Op, req); err != nil {
+		tm.requests[outcomeError].Add(1)
+		writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+		return
+	}
+
+	release, decision := s.adm.admit(tn.Priority(), isBatch(h.Op))
+	if !decision.Allow {
+		tm.shed[decision.Reason].Add(1)
+		writeShed(w, h.Codec, h.Op, decision)
+		return
+	}
+	defer release()
+
+	if err := tn.TakeTokens(items); err != nil {
+		var re *tenant.RateError
+		if errors.As(err, &re) {
+			tm.shed[ShedRate].Add(1)
+			writeShed(w, h.Codec, h.Op, Decision{Reason: ShedRate, RetryAfter: re.RetryAfter})
+			return
+		}
+		tm.requests[outcomeError].Add(1)
+		writeError(w, h.Codec, http.StatusInternalServerError, h.Op, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), tn.Timeout(items))
+	defer cancel()
+
+	// Batch ops are syncs: one at a time per tenant session, spaced
+	// by the tenant's min delay. Singles bypass the session and ride
+	// on the engine's own shard concurrency.
+	if isBatch(h.Op) {
+		rel, err := tn.AcquireSync(ctx)
+		if err != nil {
+			rel()
+			tm.requests[outcomeTimeout].Add(1)
+			writeError(w, h.Codec, http.StatusGatewayTimeout, h.Op,
+				fmt.Sprintf("session acquire: %v", err))
+			return
+		}
+		defer rel()
+	}
+
+	engineAddrs := make([]uint64, items)
+	for i, a := range req.Addrs {
+		ea, err := tn.MapAddr(a)
+		if err != nil {
+			tm.requests[outcomeError].Add(1)
+			writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+			return
+		}
+		engineAddrs[i] = ea
+	}
+
+	resp := s.execute(h.Op, engineAddrs, req.Data)
+	outcome := outcomeOK
+	if resp.Status == wire.StatusPartial {
+		outcome = outcomePartial
+	} else if resp.Status == wire.StatusError {
+		outcome = outcomeError
+	}
+	tm.requests[outcome].Add(1)
+	tm.latency.Observe(time.Since(start))
+	writeResponse(w, h.Codec, http.StatusOK, h.Op, resp)
+}
+
+// validateShape checks op-specific request invariants before any
+// engine work: item counts, data sizing, single-vs-batch arity.
+func validateShape(op uint8, req *wire.Request) error {
+	items := len(req.Addrs)
+	switch op {
+	case wire.OpRead, wire.OpWrite:
+		if items != 1 {
+			return fmt.Errorf("single op carries %d addrs", items)
+		}
+	case wire.OpReadBatch, wire.OpWriteBatch:
+		if items == 0 {
+			return errors.New("empty batch")
+		}
+	default:
+		return fmt.Errorf("unknown op %d", op)
+	}
+	if isWrite(op) {
+		if len(req.Data) != items*tenant.LineBytes {
+			return fmt.Errorf("write data is %d bytes, want %d for %d lines",
+				len(req.Data), items*tenant.LineBytes, items)
+		}
+	} else if len(req.Data) != 0 {
+		return errors.New("read carries data")
+	}
+	return nil
+}
+
+// execute runs the op against the engine and builds the response.
+// Per-item repair failures are data, not transport errors: they come
+// back as StatusPartial with the errs vector, and successful items'
+// data is still delivered.
+func (s *Server) execute(op uint8, addrs []uint64, data []byte) *wire.Response {
+	items := len(addrs)
+	switch op {
+	case wire.OpRead:
+		buf := make([]byte, tenant.LineBytes)
+		if err := s.engine.ReadInto(addrs[0], buf); err != nil {
+			return &wire.Response{Status: wire.StatusPartial, Errs: []string{err.Error()}}
+		}
+		return &wire.Response{Status: wire.StatusOK, Data: buf}
+	case wire.OpWrite:
+		if err := s.engine.Write(addrs[0], data); err != nil {
+			return &wire.Response{Status: wire.StatusPartial, Errs: []string{err.Error()}}
+		}
+		return &wire.Response{Status: wire.StatusOK}
+	case wire.OpReadBatch:
+		buf := make([]byte, items*tenant.LineBytes)
+		errs, err := s.engine.ReadBatch(addrs, buf)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+		}
+		if errs == nil {
+			return &wire.Response{Status: wire.StatusOK, Data: buf}
+		}
+		return &wire.Response{Status: wire.StatusPartial, Errs: errStrings(errs), Data: buf}
+	case wire.OpWriteBatch:
+		errs, err := s.engine.WriteBatch(addrs, data)
+		if err != nil {
+			return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
+		}
+		if errs == nil {
+			return &wire.Response{Status: wire.StatusOK}
+		}
+		return &wire.Response{Status: wire.StatusPartial, Errs: errStrings(errs)}
+	}
+	return &wire.Response{Status: wire.StatusError, Detail: "unreachable op"}
+}
+
+func errStrings(errs []error) []string {
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		if e != nil {
+			out[i] = e.Error()
+		}
+	}
+	return out
+}
+
+// HealthSummary is the OpHealth payload (JSON in Response.Data).
+type HealthSummary struct {
+	Storm              string  `json:"storm"`
+	ScrubRunning       bool    `json:"scrub_running"`
+	ScrubStalled       bool    `json:"scrub_stalled"`
+	RetiredLines       int     `json:"retired_lines"`
+	QuarantinedRegions int     `json:"quarantined_regions"`
+	EventsDropped      int64   `json:"events_dropped"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Inflight           int64   `json:"inflight"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, h wire.Header, tm *tenantMetrics, start time.Time) {
+	hr := s.engine.Health()
+	sum := HealthSummary{
+		Storm:              s.storm().String(),
+		ScrubRunning:       hr.ScrubRunning,
+		ScrubStalled:       hr.ScrubStalled,
+		RetiredLines:       hr.RetiredLines,
+		QuarantinedRegions: hr.QuarantinedRegions,
+		EventsDropped:      hr.EventsDropped,
+		UptimeSeconds:      hr.Uptime.Seconds(),
+		Inflight:           s.adm.Inflight(),
+	}
+	payload, err := encodeJSON(sum)
+	if err != nil {
+		writeError(w, h.Codec, http.StatusInternalServerError, h.Op, err.Error())
+		return
+	}
+	tm.requests[outcomeOK].Add(1)
+	tm.latency.Observe(time.Since(start))
+	writeResponse(w, h.Codec, http.StatusOK, h.Op, &wire.Response{Status: wire.StatusOK, Data: payload})
+}

@@ -1,0 +1,158 @@
+// Soak coverage for the session discipline, mirroring the consecutive-
+// access test programme of the gosn-style sync client: back-to-back
+// syncs on one session must be spaced by the configured minimum delay,
+// concurrent syncs on one session must serialize (never interleave,
+// never deadlock), and the whole regime must hold under -race with
+// many goroutines hammering one tenant.
+package tenant
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConsecutiveSyncsMinDelay drives five consecutive syncs and
+// checks every adjacent pair is separated by at least MinDelay — the
+// consecutive-item discipline (sync 2..5 each wait out the spacing
+// from their predecessor).
+func TestConsecutiveSyncsMinDelay(t *testing.T) {
+	const minDelay = 30 * time.Millisecond
+	r, _ := NewRegistry(64, []Config{{Name: "t", Lines: 64, MinDelay: minDelay}})
+	tn, _ := r.Lookup("t")
+	var stamps []time.Time
+	for i := 0; i < 5; i++ {
+		rel, err := tn.AcquireSync(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps = append(stamps, time.Now())
+		rel()
+	}
+	for i := 1; i < len(stamps); i++ {
+		// Allow 2ms of scheduler slack below the configured floor.
+		if gap := stamps[i].Sub(stamps[i-1]); gap < minDelay-2*time.Millisecond {
+			t.Fatalf("syncs %d→%d spaced %v, want ≥ %v", i-1, i, gap, minDelay)
+		}
+	}
+}
+
+// TestConcurrentSyncsSerialize launches two syncs on one session at
+// once: exactly one may hold the session at a time, and both must
+// complete (no deadlock). This is the concurrent-sync-prevention
+// behavior: the second caller waits rather than erroring or racing.
+func TestConcurrentSyncsSerialize(t *testing.T) {
+	r, _ := NewRegistry(64, []Config{{Name: "t", Lines: 64}})
+	tn, _ := r.Lookup("t")
+	var inSync atomic.Int32
+	var overlap atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := tn.AcquireSync(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if inSync.Add(1) > 1 {
+				overlap.Store(true)
+			}
+			time.Sleep(10 * time.Millisecond) // simulated sync body
+			inSync.Add(-1)
+			rel()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent syncs deadlocked")
+	}
+	if overlap.Load() {
+		t.Fatal("two syncs ran inside one session simultaneously")
+	}
+}
+
+// TestSessionSoak is the long-haul version: many goroutines, several
+// tenants, min delays, token charges, and context cancels all at once,
+// under -race. Invariants: at most one sync in a session at any
+// instant, every admitted sync's predecessor finished at least
+// MinDelay earlier, and nothing deadlocks.
+func TestSessionSoak(t *testing.T) {
+	const (
+		tenants   = 3
+		workers   = 8
+		perWorker = 15
+		minDelay  = 2 * time.Millisecond
+	)
+	cfgs := make([]Config, tenants)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Name: string(rune('a' + i)), Lines: 64,
+			MinDelay: minDelay, RateOps: 1e6, Burst: 1e6,
+		}
+	}
+	r, err := NewRegistry(tenants*64, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sess struct {
+		active   atomic.Int32
+		lastDone atomic.Int64 // UnixNano of the previous sync's end
+	}
+	states := make([]sess, tenants)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ti := (w + i) % tenants
+				tn, _ := r.Lookup(cfgs[ti].Name)
+				// A slice of the traffic carries a cancelable context
+				// that sometimes expires inside the min-delay wait.
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (w+i)%5 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, minDelay/2)
+				}
+				if err := tn.TakeTokens(4); err != nil {
+					cancel()
+					continue
+				}
+				rel, err := tn.AcquireSync(ctx)
+				if err != nil {
+					rel()
+					cancel()
+					continue
+				}
+				st := &states[ti]
+				if st.active.Add(1) != 1 {
+					t.Errorf("tenant %d: overlapping syncs", ti)
+				}
+				if prev := st.lastDone.Load(); prev != 0 {
+					if gap := time.Now().UnixNano() - prev; gap < int64(minDelay)-int64(time.Millisecond) {
+						t.Errorf("tenant %d: syncs spaced %v, want ≥ %v", ti, time.Duration(gap), minDelay)
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+				st.lastDone.Store(time.Now().UnixNano())
+				st.active.Add(-1)
+				rel()
+				cancel()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("soak deadlocked")
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, codec := range []uint8{CodecJSON, CodecBinary} {
+		var buf bytes.Buffer
+		h := Header{Version: Version, Codec: codec, Op: OpReadBatch, Flags: 7}
+		payload := []byte("hello frames")
+		if err := WriteFrame(&buf, h, payload); err != nil {
+			t.Fatal(err)
+		}
+		gh, gp, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gh != h || !bytes.Equal(gp, payload) {
+			t.Fatalf("codec %d: got %+v %q", codec, gh, gp)
+		}
+		// A clean second read is io.EOF, not ErrShortFrame.
+		if _, _, err := ReadFrame(&buf); err != io.EOF {
+			t.Fatalf("at stream end: err=%v, want io.EOF", err)
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, MaxFrame+1)
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"oversized length", huge, ErrFrameTooLarge},
+		{"length below header", []byte{0, 0, 0, 2, 1, 0}, ErrShortFrame},
+		{"truncated body", []byte{0, 0, 0, 20, 1, 0, 1, 0}, ErrShortFrame},
+		{"partial length prefix", []byte{0, 0}, ErrShortFrame},
+		{"bad version", []byte{0, 0, 0, 4, 99, 0, 1, 0}, ErrBadVersion},
+		{"bad codec", []byte{0, 0, 0, 4, 1, 9, 1, 0}, ErrBadCodec},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadFrame(bytes.NewReader(tc.raw)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err=%v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Tenant: "acme",
+		Addrs:  []uint64{0, 64, 1 << 40},
+		Data:   bytes.Repeat([]byte{0xAB}, 192),
+	}
+	for _, codec := range []uint8{CodecJSON, CodecBinary} {
+		p, err := EncodeRequest(codec, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(Header{Version: Version, Codec: codec, Op: OpWriteBatch}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("codec %d: round trip mismatch: %+v", codec, got)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		Status:           StatusPartial,
+		RetryAfterMillis: 1500,
+		Errs:             []string{"", "sudoku: uncorrectable", ""},
+		Data:             bytes.Repeat([]byte{0x5A}, 128),
+		Detail:           "one item lost",
+	}
+	for _, codec := range []uint8{CodecJSON, CodecBinary} {
+		p, err := EncodeResponse(codec, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResponse(codec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("codec %d: round trip mismatch: %+v", codec, got)
+		}
+	}
+}
+
+func TestDecodeRequestBinaryBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"tenant len past end", []byte{200, 'a'}},
+		// nAddrs = 0xFFFFFFFF with no addr bytes: the decoder must
+		// reject before allocating 32 GiB.
+		{"addr count bomb", []byte{1, 'a', 0xFF, 0xFF, 0xFF, 0xFF}},
+		{"data len bomb", []byte{1, 'a', 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}},
+		{"truncated addrs", []byte{1, 'a', 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 64}},
+	}
+	h := Header{Version: Version, Codec: CodecBinary, Op: OpRead}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(h, tc.raw); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: err=%v, want ErrBadPayload", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeResponseBinaryBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"err count bomb", []byte{0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}},
+		{"truncated err", []byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 50, 'x'}},
+		{"missing data len", []byte{0, 0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeResponse(CodecBinary, tc.raw); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: err=%v, want ErrBadPayload", tc.name, err)
+		}
+	}
+}
+
+func TestTenantNameTooLong(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'t'}, 256))
+	if _, err := EncodeRequest(CodecBinary, &Request{Tenant: long}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err=%v, want ErrBadPayload", err)
+	}
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// batchScratch holds one batch's grouped view: item indices reordered
+// so each shard's items are contiguous (shard s owns
+// order[start[s]:start[s+1]], with subAddrs[k] the shard-local address
+// of item order[k]). Scratch lives in a pool on the engine — the batch
+// paths exist to amortize per-item overhead, so the planner must not
+// reintroduce it as per-call allocation.
+type batchScratch struct {
+	order    []int
+	start    []int
+	cursor   []int
+	subAddrs []uint64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// planBatch groups addrs by shard with two counting passes into pooled
+// scratch. Callers must return sc via batchScratchPool.Put once the
+// batch completes; nothing in it escapes.
+func (e *Engine) planBatch(addrs []uint64) *batchScratch {
+	n := len(e.shards)
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.start = grown(sc.start, n+1)
+	sc.cursor = grown(sc.cursor, n)
+	sc.order = grown(sc.order, len(addrs))
+	sc.subAddrs = grown(sc.subAddrs, len(addrs))
+	for s := 0; s <= n; s++ {
+		sc.start[s] = 0
+	}
+	for _, a := range addrs {
+		s, _ := e.locate(a)
+		sc.start[s+1]++
+	}
+	for s := 1; s <= n; s++ {
+		sc.start[s] += sc.start[s-1]
+	}
+	copy(sc.cursor, sc.start[:n])
+	for i, a := range addrs {
+		s, sub := e.locate(a)
+		k := sc.cursor[s]
+		sc.cursor[s]++
+		sc.order[k] = i
+		sc.subAddrs[k] = sub
+	}
+	return sc
+}
+
+// validateBatch checks the engine-level batch contract.
+func (e *Engine) validateBatch(addrs []uint64, buf []byte, errs []error) error {
+	if want := len(addrs) * int(e.lineSz); len(buf) != want {
+		return fmt.Errorf("shard: batch buffer of %d bytes, want %d for %d lines", len(buf), want, len(addrs))
+	}
+	if len(errs) < len(addrs) {
+		return fmt.Errorf("shard: batch errs len %d < %d items", len(errs), len(addrs))
+	}
+	return nil
+}
+
+// ReadBatch reads len(addrs) lines into dst (len(addrs)×LineBytes,
+// item i at dst[i*LineBytes:]), grouping items by shard so each
+// shard's engine mutex is acquired once per batch instead of once per
+// line — the amortization the server's batch endpoints ride on. Item
+// outcomes land in errs[i] (nil on success); failed counts the
+// non-nil entries. Shards are visited in ascending order holding one
+// sub-cache lock at a time, per the engine locking protocol; err
+// reports only structural misuse.
+func (e *Engine) ReadBatch(addrs []uint64, dst []byte, errs []error) (failed int, err error) {
+	if err := e.validateBatch(addrs, dst, errs); err != nil {
+		return 0, err
+	}
+	p := e.planBatch(addrs)
+	defer batchScratchPool.Put(p)
+	for s := range e.shards {
+		lo, hi := p.start[s], p.start[s+1]
+		if lo == hi {
+			continue
+		}
+		st := e.shards[s]
+		lat, f, berr := st.llc.ReadBatchInto(st.now(), p.subAddrs[lo:hi], p.order[lo:hi], dst, errs)
+		st.advance(lat)
+		failed += f
+		if berr != nil {
+			return failed, fmt.Errorf("shard %d: %w", s, berr)
+		}
+	}
+	return failed, nil
+}
+
+// WriteBatch writes len(addrs) lines from data (item i at
+// data[i*LineBytes:]), grouped by shard like ReadBatch: each shard's
+// lock is taken once and every item's read-modify-write plus both PLT
+// delta updates run inside that one critical section.
+func (e *Engine) WriteBatch(addrs []uint64, data []byte, errs []error) (failed int, err error) {
+	if err := e.validateBatch(addrs, data, errs); err != nil {
+		return 0, err
+	}
+	p := e.planBatch(addrs)
+	defer batchScratchPool.Put(p)
+	for s := range e.shards {
+		lo, hi := p.start[s], p.start[s+1]
+		if lo == hi {
+			continue
+		}
+		st := e.shards[s]
+		lat, f, berr := st.llc.WriteBatch(st.now(), p.subAddrs[lo:hi], p.order[lo:hi], data, errs)
+		st.advance(lat)
+		failed += f
+		if berr != nil {
+			return failed, fmt.Errorf("shard %d: %w", s, berr)
+		}
+	}
+	return failed, nil
+}

@@ -294,6 +294,61 @@ func (c *Cache) Write(addr uint64, data []byte) error {
 	return err
 }
 
+// batchErrsPool recycles the per-item error slices of the batch APIs:
+// on the all-success path the slice never escapes to the caller (the
+// APIs return a nil slice), so the common case stays allocation-free.
+var batchErrsPool = sync.Pool{New: func() any { return new([]error) }}
+
+func getBatchErrs(n int) []error {
+	p := batchErrsPool.Get().(*[]error)
+	if cap(*p) < n {
+		return make([]error, n)
+	}
+	return (*p)[:n]
+}
+
+func putBatchErrs(s []error) {
+	// Clear before pooling: an aborted batch can leave stale non-nil
+	// entries past the point of abort.
+	for i := range s {
+		s[i] = nil
+	}
+	s = s[:0]
+	batchErrsPool.Put(&s)
+}
+
+// ReadBatch reads len(addrs) lines into dst (64×len(addrs) bytes, item
+// i at dst[i*64:]) under a single engine-lock acquisition, amortizing
+// the per-call overhead across the batch. Per-item outcomes come back
+// in the returned slice (nil when every item succeeded, else one entry
+// per item with nil for successes); err reports structural misuse
+// (mismatched buffer length), in which case nothing was read.
+func (c *Cache) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
+	errs := getBatchErrs(len(addrs))
+	lat, failed, err := c.inner.ReadBatchInto(c.now(), addrs, nil, dst, errs)
+	c.advance(lat)
+	if err != nil || failed == 0 {
+		putBatchErrs(errs)
+		return nil, err
+	}
+	return errs, nil
+}
+
+// WriteBatch writes len(addrs) lines from data (item i at data[i*64:])
+// under a single engine-lock acquisition: every item's
+// read-modify-write and both PLT delta updates run inside one critical
+// section. Return contract as in ReadBatch.
+func (c *Cache) WriteBatch(addrs []uint64, data []byte) ([]error, error) {
+	errs := getBatchErrs(len(addrs))
+	lat, failed, err := c.inner.WriteBatch(c.now(), addrs, nil, data, errs)
+	c.advance(lat)
+	if err != nil || failed == 0 {
+		putBatchErrs(errs)
+		return nil, err
+	}
+	return errs, nil
+}
+
 // InjectFault flips one stored bit (0 ≤ bit < 553 across data, CRC,
 // and ECC fields) of the resident line holding addr.
 func (c *Cache) InjectFault(addr uint64, bit int) error {
@@ -578,6 +633,38 @@ func (c *Concurrent) ReadInto(addr uint64, dst []byte) error { return c.eng.Read
 // Write stores a 64-byte line at addr.
 func (c *Concurrent) Write(addr uint64, data []byte) error { return c.eng.Write(addr, data) }
 
+// ReadBatch reads len(addrs) lines into dst (64×len(addrs) bytes, item
+// i at dst[i*64:]), grouping items by shard so each shard's lock is
+// acquired once per batch instead of once per line — the amortized
+// form the sudoku-cached batch endpoints serve from. Per-item outcomes
+// come back in the returned slice (nil when every item succeeded, else
+// one entry per item with nil for successes); err reports structural
+// misuse (mismatched buffer length), in which case the batch may be
+// partially executed.
+func (c *Concurrent) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
+	errs := getBatchErrs(len(addrs))
+	failed, err := c.eng.ReadBatch(addrs, dst, errs)
+	if err != nil || failed == 0 {
+		putBatchErrs(errs)
+		return nil, err
+	}
+	return errs, nil
+}
+
+// WriteBatch writes len(addrs) lines from data (item i at data[i*64:]),
+// grouped by shard like ReadBatch: each shard's lock is taken once and
+// every item's read-modify-write plus both PLT delta updates run
+// inside that one critical section. Return contract as in ReadBatch.
+func (c *Concurrent) WriteBatch(addrs []uint64, data []byte) ([]error, error) {
+	errs := getBatchErrs(len(addrs))
+	failed, err := c.eng.WriteBatch(addrs, data, errs)
+	if err != nil || failed == 0 {
+		putBatchErrs(errs)
+		return nil, err
+	}
+	return errs, nil
+}
+
 // InjectFault flips one stored bit of the resident line holding addr.
 func (c *Concurrent) InjectFault(addr uint64, bit int) error { return c.eng.InjectFault(addr, bit) }
 
@@ -621,6 +708,16 @@ func (c *Concurrent) ShardMetrics(shard int) (Metrics, error) {
 // or a scrub pass. Close the subscription when done.
 func (c *Concurrent) SubscribeEvents(buffer int) *RASSubscription {
 	return c.eng.Events().Subscribe(buffer)
+}
+
+// SubscribeEventsFunc is SubscribeEvents with a selection predicate:
+// only events for which keep returns true are offered to the tap — the
+// multi-tenant server scopes each tenant's tap to its own address
+// namespace this way. The predicate runs on the event append path, so
+// it must be fast and must not call back into the engine; events it
+// rejects are filtered, not counted as drops.
+func (c *Concurrent) SubscribeEventsFunc(buffer int, keep func(RASEvent) bool) *RASSubscription {
+	return c.eng.Events().SubscribeFunc(buffer, keep)
 }
 
 // StartScrub launches the background scrub daemon: incremental
