@@ -5,6 +5,8 @@
 package sudoku
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"sudoku/internal/bitvec"
@@ -125,6 +127,66 @@ func BenchmarkScrubPass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := llc.Scrub(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// contendedFixture builds a sharded engine with 64 resident lines, the
+// seqlock fast path on or off (DisableFastReads=true is the locked
+// baseline the contended gate compares against).
+func contendedFixture(b *testing.B, disableFast bool) (*Concurrent, []uint64) {
+	b.Helper()
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 8
+	cfg.DisableFastReads = disableFast
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint64, 64)
+	data := make([]byte, len(addrs)*64)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	if errs, err := c.WriteBatch(addrs, data); err != nil || errs != nil {
+		b.Fatalf("prefill: errs=%v err=%v", errs, err)
+	}
+	return c, addrs
+}
+
+// BenchmarkReadContended measures resident read hits with G goroutines
+// hammering the same 64 lines, fast (seqlock) versus locked
+// (DisableFastReads) — the regime the seqlock exists for. The
+// bench-smoke gate asserts fast ≥ locked at 16 goroutines; run with
+// -cpu 4 (or more) for the contention to be real.
+func BenchmarkReadContended(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fast", false}, {"locked", true}} {
+		for _, g := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode.name, g), func(b *testing.B) {
+				c, addrs := contendedFixture(b, mode.disable)
+				per := (b.N + g - 1) / g
+				b.SetBytes(64)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						buf := make([]byte, 64)
+						for i := 0; i < per; i++ {
+							if err := c.ReadInto(addrs[(w+i)%len(addrs)], buf); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
 		}
 	}
 }

@@ -52,6 +52,26 @@ func FromWords(words []uint64, n int) *Vector {
 	return v
 }
 
+// View wraps backing words as an n-bit vector WITHOUT copying: the
+// returned value aliases words directly. Surplus bits beyond n in the
+// last word are masked off in place. Built for the seqlock read fast
+// path, which stages a codeword snapshot in a stack array and needs to
+// run the (read-only) CRC check over it without allocating — the value
+// return plus non-escaping callees keep the whole wrap on the caller's
+// stack. The caller must not hand the view to anything that retains or
+// resizes it.
+func View(words []uint64, n int) Vector {
+	if n < 0 {
+		n = 0
+	}
+	if need := (n + WordBits - 1) / WordBits; len(words) > need {
+		words = words[:need]
+	}
+	v := Vector{words: words, nbits: n}
+	v.maskTail()
+	return v
+}
+
 // FromBytes builds a vector of len(b)*8 bits, bit i of byte j mapping to
 // vector bit j*8+i (little-endian bit order within bytes).
 func FromBytes(b []byte) *Vector {

@@ -80,6 +80,13 @@ type Config struct {
 	// until RebuildQuarantined recomputes the parity. Zero disables the
 	// audit. Requires protection.
 	QuarantineAuditPasses int
+	// DisableFastReads turns off the lock-free seqlock read fast path
+	// (fastpath.go), forcing every read hit through the mutex. The
+	// contended-throughput regression gate uses it as the "locked"
+	// baseline; production configs leave it false. The fast path also
+	// self-disables when Protection == 0 (no CRC to validate snapshots
+	// with).
+	DisableFastReads bool
 }
 
 // DefaultSpareLines is the spare-pool size used when retirement is
@@ -172,6 +179,14 @@ type Stats struct {
 	// controller's ScrubRegion calls); deliberately separate from
 	// ScrubPasses so rotation accounting stays honest.
 	TargetedScrubs int64
+	// SeqlockReads counts read hits served by the lock-free seqlock
+	// fast path (already included in Reads/Hits).
+	SeqlockReads int64
+	// SeqlockFallbacks counts optimistic read attempts abandoned to the
+	// locked path after locating the line: torn copies, concurrent
+	// publishes, stale generations, or CRC-flagged snapshots. Misses are
+	// not fallbacks.
+	SeqlockFallbacks int64
 }
 
 // Add accumulates another snapshot into s — the sharded engine folds
@@ -196,6 +211,8 @@ func (s *Stats) Add(o Stats) {
 	s.LinesRetired += o.LinesRetired
 	s.CRCDetects += o.CRCDetects
 	s.TargetedScrubs += o.TargetedScrubs
+	s.SeqlockReads += o.SeqlockReads
+	s.SeqlockFallbacks += o.SeqlockFallbacks
 }
 
 // Metrics extends Stats with the per-operation latency distributions:
@@ -250,6 +267,8 @@ type counters struct {
 	linesRetired      atomic.Int64
 	crcDetects        atomic.Int64
 	targetedScrubs    atomic.Int64
+	seqlockReads      atomic.Int64
+	seqlockFallbacks  atomic.Int64
 }
 
 // snapshot loads every counter. Loads are individually atomic, not a
@@ -275,21 +294,33 @@ func (c *counters) snapshot() Stats {
 		LinesRetired:      c.linesRetired.Load(),
 		CRCDetects:        c.crcDetects.Load(),
 		TargetedScrubs:    c.targetedScrubs.Load(),
+		SeqlockReads:      c.seqlockReads.Load(),
+		SeqlockFallbacks:  c.seqlockFallbacks.Load(),
 	}
 }
 
-// histograms is the cache's latency-distribution block. Every record
-// AND every snapshot runs under c.mu, so the synchronization-free
-// LocalHistogram applies: a record is a plain increment, which is what
-// keeps the read-hit cost within the telemetry overhead budget (an
-// atomic record is ~14 ns — the whole budget — because atomic stores
-// are full barriers on amd64).
+// histograms is the cache's latency-distribution block. readHit is the
+// exception: the seqlock fast path records hits WITHOUT holding c.mu,
+// so a LocalHistogram's plain increments would race the locked path's —
+// it uses a set-striped atomic telemetry.Striped instead (distinct sets
+// land on distinct stripes, so the atomic adds rarely share a cache
+// line; the ~14 ns atomic-store cost only bites when they do). Every
+// other series records AND snapshots under c.mu, so the
+// synchronization-free LocalHistogram still applies there: a record is
+// a plain increment (~2 ns), which is what keeps those paths within the
+// telemetry overhead budget.
 type histograms struct {
-	readHit, readMiss   telemetry.LocalHistogram
+	readHit             *telemetry.Striped
+	readMiss            telemetry.LocalHistogram
 	writeHit, writeMiss telemetry.LocalHistogram
 	dueRefetch          telemetry.LocalHistogram
 	scrubPass           telemetry.LocalHistogram
 }
+
+// readHitStripes is the stripe count for the read-hit histogram: wide
+// enough that 64 concurrent readers on distinct sets rarely collide,
+// small enough that the bucket arrays stay cache-resident.
+const readHitStripes = 64
 
 type way struct {
 	tag     uint64
@@ -316,9 +347,12 @@ type STTRAM struct {
 	backing  map[uint64][]byte
 	stuck    map[int]map[int]bool // phys -> bit -> forced value (§VI permanent faults)
 	bankFree []float64            // per-bank next-free time, float64 ns
-	useClock uint64
+	useClock atomic.Uint64        // LRU clock; atomic: the fast path ticks it lock-free
 	scr      scratch
 	stats    counters
+
+	// fp is the seqlock read fast path (fastpath.go); nil when disabled.
+	fp *fastPath
 
 	// events is the RAS sink; emissions happen under c.mu with Shard 0
 	// and shard-local Line/Addr (the sharded engine's sink remaps them
@@ -442,7 +476,11 @@ func New(cfg Config, mem Memory) (*STTRAM, error) {
 		if cfg.QuarantineAuditPasses > 0 {
 			c.quarantined = make(map[int]bool)
 		}
+		if !cfg.DisableFastReads {
+			c.fp = newFastPath(cfg.Lines, c.codec.StoredBits())
+		}
 	}
+	c.hist.readHit = telemetry.NewStriped(readHitStripes)
 	return c, nil
 }
 
@@ -512,8 +550,10 @@ func (c *STTRAM) Stats() Stats {
 // the right side of that trade.
 func (c *STTRAM) Metrics() Metrics {
 	m := Metrics{Stats: c.stats.snapshot()}
-	c.mu.Lock()
+	// readHit is atomic (the fast path records into it lock-free), so
+	// its snapshot needs no mutex.
 	m.ReadHit = c.hist.readHit.Snapshot()
+	c.mu.Lock()
 	m.ReadMiss = c.hist.readMiss.Snapshot()
 	m.WriteHit = c.hist.writeHit.Snapshot()
 	m.WriteMiss = c.hist.writeMiss.Snapshot()
@@ -589,15 +629,16 @@ func (c *STTRAM) lookup(set int, tag uint64) int {
 	return -1
 }
 
-// victim picks the LRU way of a set.
+// victim picks the LRU way of a set. lastUse is loaded atomically
+// because the fast path touches it without the mutex.
 func (c *STTRAM) victim(set int) int {
 	best, bestUse := 0, ^uint64(0)
 	for i := range c.sets[set] {
 		if !c.sets[set][i].valid {
 			return i
 		}
-		if c.sets[set][i].lastUse < bestUse {
-			best, bestUse = i, c.sets[set][i].lastUse
+		if use := atomic.LoadUint64(&c.sets[set][i].lastUse); use < bestUse {
+			best, bestUse = i, use
 		}
 	}
 	return best
@@ -612,7 +653,6 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 	defer c.mu.Unlock()
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	c.useClock++
 	if write {
 		c.stats.writes.Add(1)
 	} else {
@@ -621,7 +661,7 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 	w := c.lookup(set, tag)
 	if w >= 0 {
 		c.stats.hits.Add(1)
-		c.sets[set][w].lastUse = c.useClock
+		c.touchWay(set, w)
 		if write {
 			c.sets[set][w].dirty = true
 			// Read-modify-write (§III-B) plus the PLT parity update;
@@ -635,7 +675,7 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 			return lat, true
 		}
 		lat := c.bankServe(nowNs, set, ns(c.cfg.ReadLatency)) + c.crcCheckNs()
-		c.hist.readHit.ObserveNs(int64(lat))
+		c.hist.readHit.Stripe(set).ObserveNs(int64(lat))
 		return lat, true
 	}
 	// Miss: fetch from memory, fill, possibly write back the victim.
@@ -649,7 +689,12 @@ func (c *STTRAM) AccessTiming(nowNs float64, addr uint64, write bool) (latencyNs
 		}
 	}
 	memLat := ns(c.mem.Access(dur(nowNs), c.lineAddr(addr), false))
-	c.sets[set][v] = way{tag: tag, valid: true, dirty: write, lastUse: c.useClock}
+	// Timing-only fill: the slot's identity changes while stored keeps
+	// the old occupant's codeword, so the mirror must go odd BEFORE the
+	// new tag is published (a fast reader of the new tag must never
+	// validate the old data).
+	c.invalidateMirror(c.physIndex(set, v))
+	c.setWay(set, v, tag, true, write, c.useClock.Add(1))
 	if c.cfg.Protection != 0 {
 		c.stats.pltWrites.Add(2) // fill updates both parity tables
 	}

@@ -1,0 +1,276 @@
+// Seqlock read fast path: resident clean read hits served without the
+// engine mutex.
+//
+// Every mutation of a line's stored codeword happens under c.mu and is
+// republished to a per-line mirror of atomic words bracketed by a
+// sequence counter (odd while a publish is in flight, even and
+// monotonically increasing between publishes). An optimistic reader
+// locates the line through an atomic tag table, snapshots the mirror
+// words into a stack buffer, runs the CRC-31 check over the snapshot,
+// and then re-reads the sequence word: an unchanged even sequence
+// proves no publish overlapped the copy, so the snapshot is the exact
+// codeword some locked mutator published — the same bytes a locked
+// read would have returned. Anything else (torn copy, concurrent
+// publish, CRC-detected fault, missing mirror, stale generation) falls
+// back to the locked path, where the full repair ladder, RAS events,
+// and retirement accounting live. The CRC alone is NOT sufficient: a
+// copy torn across two different valid codewords can pass it, and a
+// stale mirror under a recycled tag would pass it with the wrong
+// line's data — the sequence recheck and the invalidate-before-tag
+// ordering close both holes (DESIGN.md appendix 14).
+//
+// Mutators whose touched-line set is enumerable (writeLine, reloads,
+// per-line scrub repairs, injections) resync or invalidate exactly the
+// mirrors they touched. Mutators that can rewrite an unenumerable set
+// of lines (Hash-1 group repairs with Hash-2 retries, quarantine
+// rebuilds, bulk fault campaigns) instead bump a cache-wide
+// generation; a mirror published under an older generation is treated
+// as missing and the locked path lazily resyncs it on the next read.
+package cache
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+
+	"sudoku/internal/bitvec"
+)
+
+// mirrorWords is the stack-snapshot capacity in 64-bit words. The
+// default codeword is 553 bits (9 words); BCH-strength lines stay
+// under 1024 bits. A geometry that ever exceeded this disables the
+// fast path rather than truncating.
+const mirrorWords = 16
+
+// lineMirror is one line's lock-free publication: the stored codeword
+// words, the generation they were published under, and the seqlock
+// word bracketing every publish.
+type lineMirror struct {
+	// seq is odd while a publish is in flight (or permanently, for
+	// retired lines, whose truth lives in the spare row) and even
+	// between publishes. It only ever increases.
+	seq atomic.Uint64
+	// gen is the cache generation the words were published under.
+	gen atomic.Uint64
+	// words mirrors the stored codeword. Atomic loads are plain MOVs on
+	// amd64; the stores all happen under c.mu.
+	words []atomic.Uint64
+}
+
+// fastPath is the lock-free read-side state hanging off an STTRAM.
+// Nil (protection off, DisableFastReads, or oversized codewords) means
+// every read takes the locked path.
+type fastPath struct {
+	// gen is the cache-wide generation, bumped under c.mu after any
+	// mutation whose touched-line set is not enumerated (group repairs,
+	// quarantine rebuilds, bulk campaigns).
+	gen atomic.Uint64
+	// tags holds tag<<1|valid per physical slot, published in lockstep
+	// with the (mutex-guarded) way metadata so optimistic readers can
+	// resolve addr→phys without the lock.
+	tags []atomic.Uint64
+	// lines holds the lazily materialized per-line mirrors.
+	lines []atomic.Pointer[lineMirror]
+	// nw is the mirror width in words.
+	nw int
+	// readHook, when non-nil, runs inside tryReadFast between the
+	// sequence acquire and the word copy — the deterministic
+	// interleaving point the seqlock unit tests drive concurrent
+	// publishes through. Set it before any traffic; test-only.
+	readHook func(m *lineMirror)
+}
+
+func newFastPath(lines int, storedBits int) *fastPath {
+	nw := (storedBits + 63) / 64
+	if nw > mirrorWords {
+		return nil
+	}
+	return &fastPath{
+		tags:  make([]atomic.Uint64, lines),
+		lines: make([]atomic.Pointer[lineMirror], lines),
+		nw:    nw,
+	}
+}
+
+// encodeTag packs (tag, valid) into one atomic word; 0 is "invalid".
+func encodeTag(tag uint64, valid bool) uint64 {
+	if !valid {
+		return 0
+	}
+	return tag<<1 | 1
+}
+
+// publishTag mirrors a slot's tag/valid transition into the atomic tag
+// table. Callers hold c.mu. Identity changes must invalidate the
+// slot's mirror BEFORE publishing the new tag: a reader that observes
+// the new tag is then guaranteed to observe an odd (or resynced)
+// sequence, never the previous occupant's clean codeword.
+func (c *STTRAM) publishTag(phys int, tag uint64, valid bool) {
+	if c.fp == nil {
+		return
+	}
+	c.fp.tags[phys].Store(encodeTag(tag, valid))
+}
+
+// bumpGen invalidates every mirror at once by advancing the cache-wide
+// generation. Callers hold c.mu. Locked reads resync stale mirrors
+// lazily via syncLine.
+func (c *STTRAM) bumpGen() {
+	if c.fp == nil {
+		return
+	}
+	c.fp.gen.Add(1)
+}
+
+// invalidateMirror turns a line's mirror odd so every optimistic read
+// of it falls back until the next syncLine. Callers hold c.mu. It must
+// precede any mutation of the line's identity or stored words that is
+// not itself followed by a syncLine.
+func (c *STTRAM) invalidateMirror(phys int) {
+	if c.fp == nil {
+		return
+	}
+	m := c.fp.lines[phys].Load()
+	if m == nil {
+		return
+	}
+	if s := m.seq.Load(); s&1 == 0 {
+		m.seq.Store(s + 1)
+	}
+}
+
+// syncLine republishes a line's stored codeword to its mirror:
+// sequence to odd, words copied, generation stamped, sequence to the
+// next even value. Callers hold c.mu and call it after every
+// enumerable mutation settles (writeLine, reloadLine, a locked read's
+// repairs). Retired lines are left permanently odd — their truth lives
+// in the spare row and only the locked path knows the remap.
+func (c *STTRAM) syncLine(phys int) {
+	fp := c.fp
+	if fp == nil {
+		return
+	}
+	if _, ok := c.retired[phys]; ok {
+		c.invalidateMirror(phys)
+		return
+	}
+	m := fp.lines[phys].Load()
+	if m == nil {
+		m = &lineMirror{words: make([]atomic.Uint64, fp.nw)}
+		m.seq.Store(1) // born odd; readers can't use it until published
+		fp.lines[phys].Store(m)
+	} else if s := m.seq.Load(); s&1 == 0 {
+		m.seq.Store(s + 1)
+	}
+	stored := c.stored[phys]
+	for i := 0; i < fp.nw; i++ {
+		var w uint64
+		if stored != nil {
+			w = stored.Word(i)
+		}
+		m.words[i].Store(w)
+	}
+	m.gen.Store(fp.gen.Load())
+	m.seq.Store(m.seq.Load() + 1) // odd → next even
+}
+
+// setWay rewrites a slot's way metadata field-wise, keeping the atomic
+// tag table in lockstep and the lastUse word safe against the fast
+// path's concurrent atomic LRU touches. Callers hold c.mu and have
+// already invalidated the slot's mirror if the identity changed.
+func (c *STTRAM) setWay(set, w int, tag uint64, valid, dirty bool, lastUse uint64) {
+	e := &c.sets[set][w]
+	e.tag = tag
+	e.valid = valid
+	e.dirty = dirty
+	atomic.StoreUint64(&e.lastUse, lastUse)
+	c.publishTag(c.physIndex(set, w), tag, valid)
+}
+
+// touchWay bumps a slot's LRU stamp. Callers hold c.mu OR are the fast
+// path (which never holds it) — hence the atomic store; the clock
+// itself is atomic for the same reason.
+func (c *STTRAM) touchWay(set, w int) {
+	atomic.StoreUint64(&c.sets[set][w].lastUse, c.useClock.Add(1))
+}
+
+// TryReadInto attempts the optimistic seqlock read of the line holding
+// addr into dst, never taking the engine mutex. It returns ok=false —
+// with dst untouched — whenever the locked path must run instead: the
+// line is not (observably) resident, its mirror is missing, stale, or
+// mid-publish, the copy was torn, or the CRC flagged the snapshot.
+// Non-clean outcomes (CE, DUE, refetch) therefore always reach the
+// locked repair ladder. The sharded engine's batch pre-pass calls this
+// per item; ReadInto calls it first on every single read.
+func (c *STTRAM) TryReadInto(now time.Duration, addr uint64, dst []byte) (time.Duration, bool) {
+	fp := c.fp
+	if fp == nil || len(dst) != c.cfg.LineBytes {
+		return 0, false
+	}
+	set := c.setIndex(addr)
+	enc := encodeTag(c.tagOf(addr), true)
+	base := set * c.cfg.Ways
+	w := -1
+	for i := 0; i < c.cfg.Ways; i++ {
+		if fp.tags[base+i].Load() == enc {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		// Not resident (or mid-fill): a miss, not a fallback — there was
+		// no optimistic copy to abandon.
+		return 0, false
+	}
+	phys := base + w
+	m := fp.lines[phys].Load()
+	if m == nil {
+		c.stats.seqlockFallbacks.Add(1)
+		return 0, false
+	}
+	gen := fp.gen.Load()
+	s1 := m.seq.Load()
+	if s1&1 != 0 || m.gen.Load() != gen {
+		c.stats.seqlockFallbacks.Add(1)
+		return 0, false
+	}
+	if hook := fp.readHook; hook != nil {
+		hook(m)
+	}
+	var buf [mirrorWords]uint64
+	for i := 0; i < fp.nw; i++ {
+		buf[i] = m.words[i].Load()
+	}
+	v := bitvec.View(buf[:fp.nw], c.codec.StoredBits())
+	if ok, err := c.codec.Check(&v); err != nil || !ok {
+		// A genuine fault or a torn copy — indistinguishable here, and
+		// deliberately uncounted as a CRC detection: the locked path
+		// re-checks the real codeword and owns crcDetects/repair
+		// accounting, so the ladder's counters never double-fire.
+		c.stats.seqlockFallbacks.Add(1)
+		return 0, false
+	}
+	if m.seq.Load() != s1 || fp.tags[phys].Load() != enc {
+		// Torn: a publish overlapped the copy, or the slot was recycled.
+		c.stats.seqlockFallbacks.Add(1)
+		return 0, false
+	}
+	// The snapshot is validated and provably untorn; only now may dst
+	// be written (the "buffer contents unspecified on error" contract:
+	// a failed optimistic attempt leaves dst exactly as it was, and the
+	// locked fallback then fully overwrites it).
+	for i := 0; i < c.cfg.LineBytes/8; i++ {
+		binary.LittleEndian.PutUint64(dst[8*i:], buf[i])
+	}
+	c.stats.reads.Add(1)
+	c.stats.hits.Add(1)
+	c.stats.seqlockReads.Add(1)
+	c.touchWay(set, w)
+	// Timing model: the array read plus the syndrome-check cycle. The
+	// bank queue is mutex-guarded state; a lock-free hit deliberately
+	// models the uncontended bank (DESIGN.md appendix 14 quantifies the
+	// approximation).
+	lat := dur(ns(c.cfg.ReadLatency) + c.crcCheckNs())
+	c.hist.readHit.Stripe(set).ObserveNs(int64(lat))
+	return lat, true
+}

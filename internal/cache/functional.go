@@ -62,6 +62,9 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 	if len(dst) != c.cfg.LineBytes {
 		return 0, fmt.Errorf("cache: read buffer of %d bytes, want %d", len(dst), c.cfg.LineBytes)
 	}
+	if lat, ok := c.TryReadInto(now, addr, dst); ok {
+		return lat, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.readIntoLocked(now, addr, dst)
@@ -72,7 +75,6 @@ func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Dura
 func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	c.useClock++
 	c.stats.reads.Add(1)
 
 	w := c.lookup(set, tag)
@@ -80,7 +82,7 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 	hit := w >= 0
 	if hit {
 		c.stats.hits.Add(1)
-		c.sets[set][w].lastUse = c.useClock
+		c.touchWay(set, w)
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency)) + c.crcCheckNs())
 	} else {
 		c.stats.misses.Add(1)
@@ -93,7 +95,7 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 		}
 	}
 	if hit {
-		c.hist.readHit.ObserveNs(int64(lat))
+		c.hist.readHit.Stripe(set).ObserveNs(int64(lat))
 	} else {
 		c.hist.readMiss.ObserveNs(int64(lat))
 	}
@@ -104,6 +106,9 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 		recLat, rerr := c.recoverReadDUE(now, set, w, addr, dst)
 		return lat + recLat, rerr
 	}
+	// Republish the mirror: a locked read is where a mirror left odd by
+	// a repair — or stale by a generation bump — lazily comes back.
+	c.syncLine(c.physIndex(set, w))
 	return lat, nil
 }
 
@@ -181,7 +186,11 @@ func (c *STTRAM) reloadLine(phys int, data []byte) error {
 	if err := c.rebuildParities(phys); err != nil {
 		return err
 	}
-	return c.reapplyStuck(phys)
+	if err := c.reapplyStuck(phys); err != nil {
+		return err
+	}
+	c.syncLine(phys)
+	return nil
 }
 
 // discardLine drops a line whose content is lost: the way is
@@ -191,14 +200,19 @@ func (c *STTRAM) reloadLine(phys int, data []byte) error {
 // miss returns stale-but-consistent data.
 func (c *STTRAM) discardLine(set, w int) error {
 	phys := c.physIndex(set, w)
-	c.sets[set][w] = way{}
+	c.invalidateMirror(phys)
+	c.setWay(set, w, 0, false, false, 0)
 	if stored := c.stored[phys]; stored != nil {
 		stored.Zero()
 	}
 	if err := c.rebuildParities(phys); err != nil {
 		return err
 	}
-	return c.reapplyStuck(phys)
+	if err := c.reapplyStuck(phys); err != nil {
+		return err
+	}
+	c.syncLine(phys)
+	return nil
 }
 
 // Write stores a full 64-byte line at addr and returns the access
@@ -220,14 +234,13 @@ func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Durati
 func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
-	c.useClock++
 	c.stats.writes.Add(1)
 
 	w := c.lookup(set, tag)
 	var lat time.Duration
 	if w >= 0 {
 		c.stats.hits.Add(1)
-		c.sets[set][w].lastUse = c.useClock
+		c.touchWay(set, w)
 		lat = dur(c.bankServe(ns(now), set, ns(c.cfg.ReadLatency+c.cfg.WriteLatency)) + c.crcCheckNs())
 		c.hist.writeHit.ObserveNs(int64(lat))
 	} else {
@@ -275,7 +288,11 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 		}
 	}
 	memLat := c.mem.Access(now, c.lineAddr(addr), false)
-	*entry = way{tag: c.tagOf(addr), valid: true, dirty: forWrite, lastUse: c.useClock}
+	// Identity change: the mirror (still holding the victim's codeword)
+	// must go odd before the new tag is published, so a fast reader of
+	// the new address can never validate the victim's data.
+	c.invalidateMirror(c.physIndex(set, v))
+	c.setWay(set, v, c.tagOf(addr), true, forWrite, c.useClock.Add(1))
 
 	phys := c.physIndex(set, v)
 	line := c.backing[c.lineAddr(addr)]
@@ -289,7 +306,7 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 	lat := memLat + dur(fillLat+c.crcCheckNs())
 	if err := c.writeLine(phys, line); err != nil {
 		c.emit(ras.KindWriteLineError, phys, c.lineAddr(addr), err.Error())
-		c.sets[set][v] = way{} // the slot never received the line
+		c.setWay(set, v, 0, false, false, 0) // the slot never received the line
 		return v, lat, fmt.Errorf("cache: fill of line %d: %w", phys, err)
 	}
 	return v, lat, nil
@@ -371,6 +388,11 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Mirror goes odd for the whole rewrite: concurrent fast readers
+	// fall back (and serialize behind c.mu), and an error on any exit
+	// below leaves the mirror invalid rather than stale. syncLine
+	// republishes on each success path.
+	c.invalidateMirror(phys)
 	rebuild := false
 	if ok, err := c.codec.Check(stored); err != nil {
 		return err
@@ -409,7 +431,11 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 		if err := c.rebuildParities(phys); err != nil {
 			return err
 		}
-		return c.reapplyStuck(phys)
+		if err := c.reapplyStuck(phys); err != nil {
+			return err
+		}
+		c.syncLine(phys)
+		return nil
 	}
 	// A quarantined region's Hash-1 parity line is bad: updating it
 	// would launder garbage, so writes bypass that table until the
@@ -419,7 +445,11 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 			return err
 		}
 		c.stats.pltWrites.Add(1)
-		return c.reapplyStuck(phys)
+		if err := c.reapplyStuck(phys); err != nil {
+			return err
+		}
+		c.syncLine(phys)
+		return nil
 	}
 	if err := c.plt1.Update(c.params.Hash1Of(phys), c.scr.delta); err != nil {
 		return err
@@ -428,7 +458,11 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 		return err
 	}
 	c.stats.pltWrites.Add(2)
-	return c.reapplyStuck(phys)
+	if err := c.reapplyStuck(phys); err != nil {
+		return err
+	}
+	c.syncLine(phys)
+	return nil
 }
 
 // repairLine runs the full repair ladder on one faulty line: per-line
@@ -439,6 +473,10 @@ func (c *STTRAM) repairLine(phys int) error {
 	if err != nil {
 		return err
 	}
+	// The repair rewrites stored in place; the mirror goes odd first so
+	// the caller's eventual syncLine (or a later locked read) is the
+	// only way it comes back.
+	c.invalidateMirror(phys)
 	st, err := c.codec.Repair(stored)
 	if err != nil {
 		return err
@@ -459,6 +497,10 @@ func (c *STTRAM) repairLine(phys int) error {
 		return fmt.Errorf("%w: line %d (region quarantined)", ErrUncorrectable, phys)
 	}
 	report, err := c.zeng.RepairHash1Group(&cacheView{c}, c.params.Hash1Of(phys))
+	// The group repair (and its Hash-2 retries) can rewrite an
+	// unenumerable set of member lines: invalidate every mirror at once
+	// via the generation, even on error.
+	c.bumpGen()
 	if err != nil {
 		return err
 	}
@@ -577,6 +619,7 @@ func (c *STTRAM) InjectStuckAt(addr uint64, bit int, value bool) error {
 	}
 	c.stuck[phys][bit] = value
 	c.stats.faultsInjected.Add(1)
+	c.invalidateMirror(phys)
 	return stored.SetTo(bit, value)
 }
 
@@ -633,6 +676,7 @@ func (c *STTRAM) InjectFault(addr uint64, bit int) error {
 	if err != nil {
 		return err
 	}
+	c.invalidateMirror(phys)
 	if err := stored.Flip(bit); err != nil {
 		return err
 	}
@@ -659,6 +703,7 @@ func (c *STTRAM) InjectRandomFaults(r *rng.Source, n int) error {
 		if err != nil {
 			return err
 		}
+		c.invalidateMirror(pos / lineBits)
 		if err := stored.Flip(pos % lineBits); err != nil {
 			return err
 		}
@@ -706,6 +751,7 @@ func (c *STTRAM) InjectFaultsAt(positions []int) (int, error) {
 			c.stats.faultsInjected.Add(int64(landed))
 			return landed, err
 		}
+		c.invalidateMirror(pos / lineBits)
 		if err := stored.Flip(pos % lineBits); err != nil {
 			c.stats.faultsInjected.Add(int64(landed))
 			return landed, err
@@ -743,6 +789,7 @@ func (c *STTRAM) InjectStuckAtPhys(phys, bit int, value bool) error {
 	}
 	c.stuck[phys][bit] = value
 	c.stats.faultsInjected.Add(1)
+	c.invalidateMirror(phys)
 	return stored.SetTo(bit, value)
 }
 
@@ -771,6 +818,7 @@ func (c *STTRAM) ScrubRegion(group int) (ScrubReport, error) {
 		return rep, nil
 	}
 	needGroup := false
+	mutated := false
 	var singles []int
 	for _, phys := range members {
 		stored := c.stored[phys]
@@ -789,6 +837,9 @@ func (c *STTRAM) ScrubRegion(group int) (ScrubReport, error) {
 			continue
 		}
 		c.stats.crcDetects.Add(1)
+		// codec.Scrub rewrites stored in place; one generation bump at
+		// the end (below) invalidates every mirror this pass touched.
+		mutated = true
 		st, err := c.codec.Scrub(stored)
 		if err != nil {
 			return rep, err
@@ -802,8 +853,12 @@ func (c *STTRAM) ScrubRegion(group int) (ScrubReport, error) {
 			singles = append(singles, phys)
 		}
 	}
+	if mutated {
+		c.bumpGen()
+	}
 	if needGroup {
 		report, err := c.zeng.RepairHash1Group(&cacheView{c}, group)
+		c.bumpGen()
 		if err != nil {
 			return rep, err
 		}
@@ -850,6 +905,10 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 	defer c.mu.Unlock()
 	start := time.Now()
 	var rep ScrubReport
+	// mutated tracks whether the pass rewrote any stored codeword; a
+	// clean pass (the steady state) then skips the generation bump and
+	// leaves every mirror valid.
+	mutated := false
 	// Allocated lazily: a clean pass (the steady-state common case)
 	// never touches the heap.
 	var groups map[int]struct{}
@@ -874,6 +933,7 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			continue
 		}
 		c.stats.crcDetects.Add(1)
+		mutated = true
 		st, err := c.codec.Scrub(stored)
 		if err != nil {
 			return rep, err
@@ -889,6 +949,9 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 			groups[c.params.Hash1Of(phys)] = struct{}{}
 			singles = append(singles, phys)
 		}
+	}
+	if mutated {
+		c.bumpGen()
 	}
 	// Repair groups in ascending order: a Hash-2 retry can rewrite lines
 	// outside the group under repair, so map-iteration order would make
@@ -1035,6 +1098,9 @@ func (c *STTRAM) retire(phys int) (bool, error) {
 	c.spareUsed++
 	c.spareData[sp] = payload
 	delete(c.stuck, phys)
+	// Retired lines keep a permanently odd mirror: the spare-row remap
+	// is locked-path-only state (syncLine refuses retired lines too).
+	c.invalidateMirror(phys)
 	stored.Zero()
 	if err := c.rebuildParities(phys); err != nil {
 		return false, err
@@ -1179,6 +1245,10 @@ func (c *STTRAM) RebuildQuarantined() (int, error) {
 		delete(c.quarantined, g)
 		n++
 		c.emit(ras.KindRegionRebuilt, ras.NoLine, ras.NoAddr, fmt.Sprintf("hash1 group %d: parity recomputed", g))
+	}
+	if n > 0 {
+		// The per-line repair passes above rewrote member codewords.
+		c.bumpGen()
 	}
 	return n, nil
 }

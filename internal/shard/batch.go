@@ -16,6 +16,11 @@ type batchScratch struct {
 	start    []int
 	cursor   []int
 	subAddrs []uint64
+	// resAddrs/resIdx stage the residue of ReadBatch's optimistic
+	// pre-pass: the addresses the seqlock fast path could not serve and
+	// their original item indices.
+	resAddrs []uint64
+	resIdx   []int
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -27,12 +32,11 @@ func grown[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-// planBatch groups addrs by shard with two counting passes into pooled
-// scratch. Callers must return sc via batchScratchPool.Put once the
-// batch completes; nothing in it escapes.
-func (e *Engine) planBatch(addrs []uint64) *batchScratch {
+// planInto groups addrs by shard with two counting passes into sc's
+// pooled slices (addrs may alias sc.resAddrs; only order, start,
+// cursor, and subAddrs are written). Nothing in sc escapes.
+func (e *Engine) planInto(sc *batchScratch, addrs []uint64) {
 	n := len(e.shards)
-	sc := batchScratchPool.Get().(*batchScratch)
 	sc.start = grown(sc.start, n+1)
 	sc.cursor = grown(sc.cursor, n)
 	sc.order = grown(sc.order, len(addrs))
@@ -55,6 +59,14 @@ func (e *Engine) planBatch(addrs []uint64) *batchScratch {
 		sc.order[k] = i
 		sc.subAddrs[k] = sub
 	}
+}
+
+// planBatch is planInto with pool bookkeeping for the callers that plan
+// the whole batch. Callers must return sc via batchScratchPool.Put once
+// the batch completes.
+func (e *Engine) planBatch(addrs []uint64) *batchScratch {
+	sc := batchScratchPool.Get().(*batchScratch)
+	e.planInto(sc, addrs)
 	return sc
 }
 
@@ -81,8 +93,37 @@ func (e *Engine) ReadBatch(addrs []uint64, dst []byte, errs []error) (failed int
 	if err := e.validateBatch(addrs, dst, errs); err != nil {
 		return 0, err
 	}
-	p := e.planBatch(addrs)
+	lb := int(e.lineSz)
+	p := batchScratchPool.Get().(*batchScratch)
 	defer batchScratchPool.Put(p)
+	// Optimistic pre-pass: serve what the seqlock fast path can without
+	// any shard lock, collecting the residue (misses, faulty lines, torn
+	// attempts) for the locked plan below.
+	p.resAddrs = grown(p.resAddrs, len(addrs))
+	p.resIdx = grown(p.resIdx, len(addrs))
+	res := 0
+	for i, a := range addrs {
+		s, sub := e.locate(a)
+		st := e.shards[s]
+		if lat, ok := st.llc.TryReadInto(st.now(), sub, dst[i*lb:(i+1)*lb]); ok {
+			st.advance(lat)
+			errs[i] = nil
+			continue
+		}
+		p.resAddrs[res] = a
+		p.resIdx[res] = i
+		res++
+	}
+	if res == 0 {
+		return 0, nil
+	}
+	// Plan only the residue, then rewrite the plan's order entries from
+	// residue-relative to original item indices so ReadBatchInto lands
+	// results in the caller's dst/errs slots directly.
+	e.planInto(p, p.resAddrs[:res])
+	for k := 0; k < res; k++ {
+		p.order[k] = p.resIdx[p.order[k]]
+	}
 	for s := range e.shards {
 		lo, hi := p.start[s], p.start[s+1]
 		if lo == hi {

@@ -118,6 +118,10 @@ type Config struct {
 	// went bad, and quarantines them until RebuildQuarantined. Zero
 	// disables the audit. Requires protection.
 	QuarantineAuditPasses int
+	// DisableFastReads forces every read hit through the engine mutex
+	// instead of the lock-free seqlock fast path — the contended-
+	// throughput benchmarks' locked baseline. Leave false in production.
+	DisableFastReads bool
 }
 
 // DefaultConfig returns the paper's 64 MB, 8-way, SuDoku-Z cache. Note
@@ -199,6 +203,7 @@ func (cfg Config) cacheConfig() (cache.Config, error) {
 	ccfg.RetireCEThreshold = cfg.RetireCEThreshold
 	ccfg.SpareLines = cfg.SpareLines
 	ccfg.QuarantineAuditPasses = cfg.QuarantineAuditPasses
+	ccfg.DisableFastReads = cfg.DisableFastReads
 	return ccfg, nil
 }
 
@@ -299,22 +304,29 @@ func (c *Cache) Write(addr uint64, data []byte) error {
 // APIs return a nil slice), so the common case stays allocation-free.
 var batchErrsPool = sync.Pool{New: func() any { return new([]error) }}
 
-func getBatchErrs(n int) []error {
+// getBatchErrs hands out the pooled box itself (not the slice) so
+// putBatchErrs can return the same box: a put that re-boxes the slice
+// (`Put(&s)`) heap-allocates a fresh pointer on every call, which was
+// the batch paths' residual 1 alloc/op.
+func getBatchErrs(n int) *[]error {
 	p := batchErrsPool.Get().(*[]error)
 	if cap(*p) < n {
-		return make([]error, n)
+		*p = make([]error, n)
+	} else {
+		*p = (*p)[:n]
 	}
-	return (*p)[:n]
+	return p
 }
 
-func putBatchErrs(s []error) {
+func putBatchErrs(p *[]error) {
 	// Clear before pooling: an aborted batch can leave stale non-nil
 	// entries past the point of abort.
+	s := *p
 	for i := range s {
 		s[i] = nil
 	}
-	s = s[:0]
-	batchErrsPool.Put(&s)
+	*p = s[:0]
+	batchErrsPool.Put(p)
 }
 
 // ReadBatch reads len(addrs) lines into dst (64×len(addrs) bytes, item
@@ -324,14 +336,14 @@ func putBatchErrs(s []error) {
 // per item with nil for successes); err reports structural misuse
 // (mismatched buffer length), in which case nothing was read.
 func (c *Cache) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
-	errs := getBatchErrs(len(addrs))
-	lat, failed, err := c.inner.ReadBatchInto(c.now(), addrs, nil, dst, errs)
+	ep := getBatchErrs(len(addrs))
+	lat, failed, err := c.inner.ReadBatchInto(c.now(), addrs, nil, dst, *ep)
 	c.advance(lat)
 	if err != nil || failed == 0 {
-		putBatchErrs(errs)
+		putBatchErrs(ep)
 		return nil, err
 	}
-	return errs, nil
+	return *ep, nil // escapes to the caller; its box is dropped
 }
 
 // WriteBatch writes len(addrs) lines from data (item i at data[i*64:])
@@ -339,14 +351,14 @@ func (c *Cache) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
 // read-modify-write and both PLT delta updates run inside one critical
 // section. Return contract as in ReadBatch.
 func (c *Cache) WriteBatch(addrs []uint64, data []byte) ([]error, error) {
-	errs := getBatchErrs(len(addrs))
-	lat, failed, err := c.inner.WriteBatch(c.now(), addrs, nil, data, errs)
+	ep := getBatchErrs(len(addrs))
+	lat, failed, err := c.inner.WriteBatch(c.now(), addrs, nil, data, *ep)
 	c.advance(lat)
 	if err != nil || failed == 0 {
-		putBatchErrs(errs)
+		putBatchErrs(ep)
 		return nil, err
 	}
-	return errs, nil
+	return *ep, nil
 }
 
 // InjectFault flips one stored bit (0 ≤ bit < 553 across data, CRC,
@@ -642,13 +654,13 @@ func (c *Concurrent) Write(addr uint64, data []byte) error { return c.eng.Write(
 // misuse (mismatched buffer length), in which case the batch may be
 // partially executed.
 func (c *Concurrent) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
-	errs := getBatchErrs(len(addrs))
-	failed, err := c.eng.ReadBatch(addrs, dst, errs)
+	ep := getBatchErrs(len(addrs))
+	failed, err := c.eng.ReadBatch(addrs, dst, *ep)
 	if err != nil || failed == 0 {
-		putBatchErrs(errs)
+		putBatchErrs(ep)
 		return nil, err
 	}
-	return errs, nil
+	return *ep, nil
 }
 
 // WriteBatch writes len(addrs) lines from data (item i at data[i*64:]),
@@ -656,13 +668,13 @@ func (c *Concurrent) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
 // every item's read-modify-write plus both PLT delta updates run
 // inside that one critical section. Return contract as in ReadBatch.
 func (c *Concurrent) WriteBatch(addrs []uint64, data []byte) ([]error, error) {
-	errs := getBatchErrs(len(addrs))
-	failed, err := c.eng.WriteBatch(addrs, data, errs)
+	ep := getBatchErrs(len(addrs))
+	failed, err := c.eng.WriteBatch(addrs, data, *ep)
 	if err != nil || failed == 0 {
-		putBatchErrs(errs)
+		putBatchErrs(ep)
 		return nil, err
 	}
-	return errs, nil
+	return *ep, nil
 }
 
 // InjectFault flips one stored bit of the resident line holding addr.

@@ -63,6 +63,10 @@ func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
 		stat(func(s Stats) int64 { return s.LinesRetired }))
 	r.Counter("sudoku_targeted_scrubs_total", "Out-of-band single-region scrubs (storm-mode responses).",
 		stat(func(s Stats) int64 { return s.TargetedScrubs }))
+	r.Counter("sudoku_seqlock_reads_total", "Read hits served by the lock-free seqlock fast path.",
+		stat(func(s Stats) int64 { return s.SeqlockReads }))
+	r.Counter("sudoku_seqlock_fallbacks_total", "Optimistic reads abandoned to the locked path (torn copy, concurrent publish, stale mirror, or CRC-flagged snapshot).",
+		stat(func(s Stats) int64 { return s.SeqlockFallbacks }))
 
 	hist := func(pick func(Metrics) HistogramSnapshot) func() telemetry.HistogramSnapshot {
 		return func() telemetry.HistogramSnapshot { return pick(metrics()) }
