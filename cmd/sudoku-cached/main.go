@@ -72,6 +72,9 @@ type options struct {
 	rate          float64
 	burst         float64
 	selfcheck     bool
+	ckptDir       string
+	ckptEvery     time.Duration
+	restore       bool
 }
 
 func run(args []string, out io.Writer) error {
@@ -93,8 +96,14 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&o.rate, "rate", 0, "per-tenant token-bucket ops/sec (0 = unlimited)")
 	fs.Float64Var(&o.burst, "burst", 0, "per-tenant bucket burst (0 = one second of rate)")
 	fs.BoolVar(&o.selfcheck, "selfcheck", false, "end-to-end smoke on an ephemeral port, then exit")
+	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "snapshot directory for crash-consistent RAS checkpoints (empty = off)")
+	fs.DurationVar(&o.ckptEvery, "checkpoint", 0, "checkpoint interval (0 = default when -checkpoint-dir is set)")
+	fs.BoolVar(&o.restore, "restore", false, "warm-restart from -checkpoint-dir before serving (cold start if no snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.restore && o.ckptDir == "" {
+		return errors.New("-restore requires -checkpoint-dir")
 	}
 	if o.cachemb <= 0 || o.scrub <= 0 || o.storm < 0 || o.maxInflight <= 0 {
 		return fmt.Errorf("invalid sizing flags (cachemb %d, scrub %v, storm %d, maxinflight %d)",
@@ -117,6 +126,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if o.restore {
+		// Before any daemon starts: the scrub/storm starts below then
+		// pick up the persisted cursor and ladder level.
+		switch err := eng.RestoreFromDir(o.ckptDir); {
+		case err == nil:
+			h := eng.Health()
+			fmt.Fprintf(out, "restored snapshot generation %d (%d lines re-retired)\n",
+				h.SnapshotGeneration, h.RestoredLines)
+		case sudoku.IsSnapshotNotExist(err):
+			fmt.Fprintf(out, "no snapshot in %s, cold start\n", o.ckptDir)
+		default:
+			return fmt.Errorf("restore: %w", err)
+		}
+	}
+
 	// Storm control first so the scrub daemon's interval policy sees
 	// the ladder; then the daemon, with uniform storm injection only
 	// when no campaign supplies the faults.
@@ -129,6 +153,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := eng.StartScrub(scrubCfg); err != nil {
 		return err
+	}
+	if o.ckptDir != "" {
+		if err := eng.StartCheckpoints(sudoku.CheckpointConfig{
+			Dir:      o.ckptDir,
+			Interval: o.ckptEvery,
+			Watchdog: 10 * o.scrub,
+		}); err != nil {
+			return err
+		}
 	}
 
 	var stopCampaign func()
@@ -164,6 +197,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	drains := lifecycle.EngineDrain(eng, notRunning)
+	// Checkpoint drain last: the final cut captures the post-drain
+	// state (completed scrub pass, settled storm ladder).
+	drains = append(drains, lifecycle.CheckpointDrain(eng, notRunning)...)
 	if stopCampaign != nil {
 		drains = append([]lifecycle.Step{{
 			Name: "campaign-stop",
@@ -197,7 +233,10 @@ func newH2CServer(h http.Handler) *http.Server {
 }
 
 func notRunning(err error) bool {
-	return errors.Is(err, sudoku.ErrScrubNotRunning) || errors.Is(err, sudoku.ErrStormNotRunning)
+	return errors.Is(err, sudoku.ErrScrubNotRunning) ||
+		errors.Is(err, sudoku.ErrStormNotRunning) ||
+		errors.Is(err, sudoku.ErrCheckpointNotRunning) ||
+		errors.Is(err, sudoku.ErrNoCheckpointDir)
 }
 
 // buildConfig mirrors the other daemons: shrink parity groups until
@@ -338,16 +377,17 @@ func startCampaignStepper(eng *sudoku.Concurrent, plan *sudoku.FaultPlan, period
 }
 
 // healthz serves the engine Health JSON, 503 while the scrub watchdog
-// flags a stalled pass.
+// flags a stalled pass or the checkpoint daemon has gone stale.
 func healthz(health func() sudoku.Health) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := health()
 		w.Header().Set("Content-Type", "application/json")
-		if h.ScrubStalled {
+		if h.ScrubStalled || h.CheckpointStale {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintf(w, `{"storm":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d}`+"\n",
-			h.Storm.State.String(), h.ScrubRunning, h.RetiredLines, h.EventsDropped)
+		fmt.Fprintf(w, `{"storm":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d,"snapshot_generation":%d,"checkpoint_writes":%d}`+"\n",
+			h.Storm.State.String(), h.ScrubRunning, h.RetiredLines, h.EventsDropped,
+			h.SnapshotGeneration, h.CheckpointWrites)
 	}
 }
 

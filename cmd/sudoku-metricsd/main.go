@@ -58,6 +58,9 @@ type options struct {
 	readfrac  float64
 	events    bool
 	selfcheck bool
+	ckptDir   string
+	ckptEvery time.Duration
+	restore   bool
 }
 
 func run(args []string, out io.Writer) error {
@@ -73,8 +76,14 @@ func run(args []string, out io.Writer) error {
 	fs.Float64Var(&o.readfrac, "readfrac", 0.7, "fraction of synthetic operations that are reads")
 	fs.BoolVar(&o.events, "events", false, "stream RAS events to stdout via a live tap")
 	fs.BoolVar(&o.selfcheck, "selfcheck", false, "bind an ephemeral port, scrape /metrics twice under load, verify, and exit")
+	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "snapshot directory for crash-consistent RAS checkpoints (empty = off)")
+	fs.DurationVar(&o.ckptEvery, "checkpoint", 0, "checkpoint interval (0 = default when -checkpoint-dir is set)")
+	fs.BoolVar(&o.restore, "restore", false, "warm-restart from -checkpoint-dir before serving (cold start if no snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.restore && o.ckptDir == "" {
+		return errors.New("-restore requires -checkpoint-dir")
 	}
 	if o.cachemb <= 0 {
 		return fmt.Errorf("cachemb %d", o.cachemb)
@@ -96,6 +105,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.restore {
+		// Before any daemon starts: the restore wants a fresh engine,
+		// and the scrub/storm starts below then pick up the persisted
+		// cursor and ladder level.
+		switch err := c.RestoreFromDir(o.ckptDir); {
+		case err == nil:
+			h := c.Health()
+			fmt.Fprintf(out, "restored snapshot generation %d (%d lines re-retired)\n",
+				h.SnapshotGeneration, h.RestoredLines)
+		case sudoku.IsSnapshotNotExist(err):
+			fmt.Fprintf(out, "no snapshot in %s, cold start\n", o.ckptDir)
+		default:
+			return fmt.Errorf("restore: %w", err)
+		}
+	}
 	// Storm control starts before the scrub daemon so the daemon's
 	// interval policy picks up the storm override; default thresholds
 	// are fine for the demo load, but never let the ladder shrink the
@@ -112,6 +136,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer func() { _ = c.StopScrub() }()
+	if o.ckptDir != "" {
+		if err := c.StartCheckpoints(sudoku.CheckpointConfig{
+			Dir:      o.ckptDir,
+			Interval: o.ckptEvery,
+			Watchdog: 10 * o.scrub,
+		}); err != nil {
+			return err
+		}
+		defer func() { _ = c.StopCheckpoints() }()
+	}
 
 	reg := c.NewRegistry()
 	publishExpvar(reg)
@@ -245,13 +279,15 @@ func newMux(reg *sudoku.Registry, health func() sudoku.Health) *http.ServeMux {
 }
 
 // healthzHandler serves the Health snapshot as indented JSON. A pass
-// the scrub watchdog has flagged as stalled turns the endpoint 503 so
-// ordinary HTTP health checks see the wedge without parsing the body.
+// the scrub watchdog has flagged as stalled — or a checkpoint daemon
+// gone stale (no completed write within three intervals) — turns the
+// endpoint 503 so ordinary HTTP health checks see the wedge without
+// parsing the body.
 func healthzHandler(health func() sudoku.Health) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := health()
 		w.Header().Set("Content-Type", "application/json")
-		if h.ScrubStalled {
+		if h.ScrubStalled || h.CheckpointStale {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		enc := json.NewEncoder(w)
@@ -267,10 +303,14 @@ func serve(addr string, mux *http.ServeMux, c *sudoku.Concurrent, out io.Writer)
 		return err
 	}
 	fmt.Fprintf(out, "routes: /metrics /healthz /debug/vars /debug/pprof/\n")
+	drain := lifecycle.EngineDrain(c, notRunning)
+	// Checkpoint drain last: the final cut captures the post-drain
+	// state (completed scrub pass, settled storm ladder).
+	drain = append(drain, lifecycle.CheckpointDrain(c, notRunning)...)
 	return lifecycle.Run(context.Background(), lifecycle.Config{
 		Server:   &http.Server{Handler: mux},
 		Listener: ln,
-		Drain:    lifecycle.EngineDrain(c, notRunning),
+		Drain:    drain,
 		Out:      out,
 	})
 }
@@ -278,7 +318,10 @@ func serve(addr string, mux *http.ServeMux, c *sudoku.Concurrent, out io.Writer)
 // notRunning classifies the engine sentinels that mean "that machinery
 // was never started" — a clean drain outcome, not a failure.
 func notRunning(err error) bool {
-	return errors.Is(err, sudoku.ErrScrubNotRunning) || errors.Is(err, sudoku.ErrStormNotRunning)
+	return errors.Is(err, sudoku.ErrScrubNotRunning) ||
+		errors.Is(err, sudoku.ErrStormNotRunning) ||
+		errors.Is(err, sudoku.ErrCheckpointNotRunning) ||
+		errors.Is(err, sudoku.ErrNoCheckpointDir)
 }
 
 // selfcheck is the CI metrics-smoke mode: scrape twice under load and

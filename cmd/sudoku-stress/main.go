@@ -64,6 +64,7 @@ type options struct {
 	seed       uint64
 	quiet      bool
 	chaos      bool
+	restore    bool
 	campaign   string
 
 	// Server swarm mode (-server): drive a remote sudoku-cached
@@ -94,6 +95,7 @@ func run(args []string, out io.Writer) error {
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the per-bucket histogram")
 	fs.BoolVar(&o.chaos, "chaos", false, "chaos mode: RAS soak on the sharded engine (10x paper BER, daemon churn, retirement, quarantine; fails on any SDC)")
+	fs.BoolVar(&o.restore, "restore-cycle", false, "kill/restore cycle: checkpoint under a campaign, tear the snapshot mid-write, restore a fresh engine from the previous generation, and gate on preserved RAS state with zero SDC")
 	fs.StringVar(&o.campaign, "campaign", "", "correlated-fault campaign: a preset name ("+presetList()+") or a JSON file path; replaces the uniform -storm scatter, with -storm as the per-interval base budget")
 	fs.StringVar(&o.server, "server", "", "swarm mode: drive a running sudoku-cached at this host:port instead of an in-process engine")
 	fs.StringVar(&o.tenant, "tenant", "alpha", "swarm mode: tenant to drive")
@@ -129,6 +131,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("batchfrac %g outside [0, 1]", o.batchfrac)
 		}
 		return runServerSwarm(o, out)
+	}
+	if o.restore {
+		return runRestoreCycle(o, out)
 	}
 	if o.chaos {
 		return runChaos(o, out)

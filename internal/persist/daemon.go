@@ -1,0 +1,311 @@
+// The checkpoint daemon: a paced background loop that writes one
+// snapshot per interval through a caller-supplied Save closure,
+// modeled on the scrub daemon's shape — watchdog for stuck writes,
+// panic recovery so a failing encode path never kills the loop, and
+// backpressure accounting when a write outruns its interval.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDaemonRunning is returned by Start on a running daemon.
+var ErrDaemonRunning = errors.New("persist: checkpoint daemon already running")
+
+// ErrDaemonNotRunning is returned by Stop on a stopped daemon.
+var ErrDaemonNotRunning = errors.New("persist: checkpoint daemon not running")
+
+// DaemonConfig parameterizes the checkpoint loop.
+type DaemonConfig struct {
+	// Interval is the target checkpoint period.
+	Interval time.Duration
+	// Save writes one checkpoint and returns the bytes written. It runs
+	// on the daemon goroutine.
+	Save func() (int64, error)
+	// Watchdog, when positive, bounds how long one Save may run before
+	// the daemon flags it as stalled (OnStall fires, Stats().Stalls
+	// increments, once per stalled write). Zero disables the watchdog.
+	// The write is not killed — a stall is an observability signal.
+	Watchdog time.Duration
+	// OnStall, when non-nil, receives the elapsed time of each write the
+	// watchdog flags. Runs on the watchdog goroutine; keep it fast.
+	OnStall func(elapsed time.Duration)
+	// OnPanic, when non-nil, receives the recovered value of a panicking
+	// Save. Runs on the daemon goroutine.
+	OnPanic func(recovered any)
+	// OnError, when non-nil, receives each failed write's error. Runs on
+	// the daemon goroutine.
+	OnError func(err error)
+}
+
+// DaemonStats aggregates checkpoint-daemon activity.
+type DaemonStats struct {
+	// Writes / Failures count completed and failed checkpoint writes.
+	Writes   int64
+	Failures int64
+	// Panics counts panics recovered inside Save.
+	Panics int64
+	// Stalls counts writes the watchdog flagged.
+	Stalls int64
+	// Backpressure counts writes that outran the interval, forcing the
+	// next one to start immediately instead of pacing.
+	Backpressure int64
+	// LastBytes is the size of the most recent successful write.
+	LastBytes int64
+	// LastWrite is the completion time of the most recent successful
+	// write (zero before the first).
+	LastWrite time.Time
+	// Interval is the configured checkpoint period.
+	Interval time.Duration
+}
+
+// Add folds another snapshot into s: counters sum, the newer
+// LastWrite (with its LastBytes) wins, and a set Interval wins.
+// Callers use it to keep lifetime totals across daemon stop/start
+// cycles.
+func (s *DaemonStats) Add(o DaemonStats) {
+	s.Writes += o.Writes
+	s.Failures += o.Failures
+	s.Panics += o.Panics
+	s.Stalls += o.Stalls
+	s.Backpressure += o.Backpressure
+	if o.LastWrite.After(s.LastWrite) {
+		s.LastWrite = o.LastWrite
+		s.LastBytes = o.LastBytes
+	}
+	if o.Interval > 0 {
+		s.Interval = o.Interval
+	}
+}
+
+// Daemon is the background checkpoint loop. All methods are safe for
+// concurrent use.
+type Daemon struct {
+	cfg DaemonConfig
+
+	mu      sync.Mutex
+	running bool
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	stats   DaemonStats
+
+	// beat is the UnixNano start time of the write in flight (0 between
+	// writes); lastWrite / startedAt mirror the stats for lock-free
+	// health reads.
+	beat      atomic.Int64
+	lastWrite atomic.Int64
+	startedAt atomic.Int64
+}
+
+// NewDaemon validates the config and builds a daemon.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("persist: daemon interval %v", cfg.Interval)
+	}
+	if cfg.Save == nil {
+		return nil, errors.New("persist: daemon needs a Save")
+	}
+	if cfg.Watchdog < 0 {
+		return nil, fmt.Errorf("persist: daemon watchdog %v", cfg.Watchdog)
+	}
+	d := &Daemon{cfg: cfg}
+	d.stats.Interval = cfg.Interval
+	return d, nil
+}
+
+// Start launches the background loop.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return ErrDaemonRunning
+	}
+	d.stopCh = make(chan struct{})
+	d.doneCh = make(chan struct{})
+	d.running = true
+	d.startedAt.Store(time.Now().UnixNano())
+	go d.loop(d.stopCh, d.doneCh)
+	if d.cfg.Watchdog > 0 {
+		go d.watchdog(d.stopCh)
+	}
+	return nil
+}
+
+// Stop signals the loop to finish any write in flight and waits for it
+// to exit.
+func (d *Daemon) Stop() error {
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return ErrDaemonNotRunning
+	}
+	stop, done := d.stopCh, d.doneCh
+	d.mu.Unlock()
+	close(stop)
+	<-done
+	d.mu.Lock()
+	d.running = false
+	d.mu.Unlock()
+	return nil
+}
+
+// Running reports whether the loop is live.
+func (d *Daemon) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running
+}
+
+// Stats returns a snapshot of the counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// LastWrite returns the completion time of the most recent successful
+// checkpoint (zero before the first). Lock-free.
+func (d *Daemon) LastWrite() time.Time {
+	ns := d.lastWrite.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Stalled reports whether the write currently in flight has exceeded
+// the watchdog budget. Always false with the watchdog disabled.
+// Lock-free.
+func (d *Daemon) Stalled() bool {
+	if d.cfg.Watchdog <= 0 {
+		return false
+	}
+	beat := d.beat.Load()
+	return beat != 0 && time.Now().UnixNano()-beat >= int64(d.cfg.Watchdog)
+}
+
+// Stale reports whether the daemon is running but has not completed a
+// checkpoint within three intervals — the 503-on-stale condition the
+// health endpoints key on. Before the first write the daemon's start
+// time anchors the age, so a loop that never manages a write still
+// goes stale. Lock-free.
+func (d *Daemon) Stale() bool {
+	d.mu.Lock()
+	running := d.running
+	d.mu.Unlock()
+	if !running {
+		return false
+	}
+	anchor := d.lastWrite.Load()
+	if started := d.startedAt.Load(); anchor < started {
+		anchor = started
+	}
+	return time.Now().UnixNano()-anchor > 3*int64(d.cfg.Interval)
+}
+
+// loop is the daemon goroutine body: wait an interval, write, repeat.
+// The first write lands one interval after Start (a restore path that
+// wants an immediate checkpoint calls Save directly).
+func (d *Daemon) loop(stop, done chan struct{}) {
+	defer close(done)
+	wait := d.cfg.Interval
+	for {
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-stop:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		} else {
+			// Backpressure: the previous write consumed the whole
+			// interval; start the next one immediately but stay
+			// stoppable.
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		took := d.checkpoint()
+		wait = d.cfg.Interval - took
+		if wait <= 0 {
+			d.mu.Lock()
+			d.stats.Backpressure++
+			d.mu.Unlock()
+			wait = 0
+		}
+	}
+}
+
+// checkpoint runs one guarded write and returns its duration.
+func (d *Daemon) checkpoint() (took time.Duration) {
+	start := time.Now()
+	defer func() {
+		d.beat.Store(0)
+		took = time.Since(start)
+		if r := recover(); r != nil {
+			d.mu.Lock()
+			d.stats.Panics++
+			d.mu.Unlock()
+			if d.cfg.OnPanic != nil {
+				d.cfg.OnPanic(r)
+			}
+		}
+	}()
+	d.beat.Store(start.UnixNano())
+	n, err := d.cfg.Save()
+	d.mu.Lock()
+	if err != nil {
+		d.stats.Failures++
+	} else {
+		d.stats.Writes++
+		d.stats.LastBytes = n
+		d.stats.LastWrite = time.Now()
+		d.lastWrite.Store(d.stats.LastWrite.UnixNano())
+	}
+	d.mu.Unlock()
+	if err != nil && d.cfg.OnError != nil {
+		d.cfg.OnError(err)
+	}
+	return 0 // overwritten by the deferred measurement
+}
+
+// watchdog flags writes that exceed the stall budget, once each.
+func (d *Daemon) watchdog(stop chan struct{}) {
+	period := d.cfg.Watchdog / 4
+	if period <= 0 {
+		period = d.cfg.Watchdog
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	var flagged int64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		beat := d.beat.Load()
+		if beat == 0 {
+			flagged = 0
+			continue
+		}
+		elapsed := time.Now().UnixNano() - beat
+		if elapsed < int64(d.cfg.Watchdog) || beat == flagged {
+			continue
+		}
+		flagged = beat
+		d.mu.Lock()
+		d.stats.Stalls++
+		d.mu.Unlock()
+		if d.cfg.OnStall != nil {
+			d.cfg.OnStall(time.Duration(elapsed))
+		}
+	}
+}

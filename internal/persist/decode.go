@@ -1,0 +1,355 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Decode parses a snapshot from its serialized form. It never panics
+// on hostile input and never allocates more than the input's own size
+// justifies: every count is validated against the bytes remaining
+// before a slice is sized from it. Structural damage returns
+// ErrCorrupt; a foreign major version returns ErrVersion.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) > MaxSnapshotBytes {
+		return nil, corrupt("snapshot %d bytes exceeds cap %d", len(data), MaxSnapshotBytes)
+	}
+	if len(data) < headerSize {
+		return nil, corrupt("short header: %d bytes", len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, corrupt("bad magic")
+	}
+	major := binary.LittleEndian.Uint16(data[8:])
+	if major != MajorVersion {
+		return nil, fmt.Errorf("%w: major %d (decoder implements %d)", ErrVersion, major, MajorVersion)
+	}
+	nSections := binary.LittleEndian.Uint32(data[12:])
+	if nSections == 0 || nSections > maxSections {
+		return nil, corrupt("section count %d", nSections)
+	}
+
+	s := &Snapshot{}
+	rest := data[headerSize:]
+	var shardSeen []bool
+	haveMeta := false
+	for k := uint32(0); k < nSections; k++ {
+		if len(rest) < 12 {
+			return nil, corrupt("section %d truncated: %d bytes left", k, len(rest))
+		}
+		typ := binary.LittleEndian.Uint32(rest[0:])
+		length := binary.LittleEndian.Uint32(rest[4:])
+		if length > MaxSectionBytes {
+			return nil, corrupt("section %d length %d exceeds cap", k, length)
+		}
+		if uint64(len(rest)) < 12+uint64(length) {
+			return nil, corrupt("section %d claims %d bytes, %d left", k, length, len(rest)-12)
+		}
+		payload := rest[8 : 8+length]
+		want := binary.LittleEndian.Uint32(rest[8+length:])
+		crc := crc32.ChecksumIEEE(rest[:8])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != want {
+			return nil, corrupt("section %d (type %d) CRC mismatch", k, typ)
+		}
+		rest = rest[12+length:]
+
+		// The meta section must lead: every later section's bounds are
+		// validated against its geometry.
+		if !haveMeta && typ != secMeta {
+			return nil, corrupt("section %d (type %d) precedes meta", k, typ)
+		}
+		switch typ {
+		case secMeta:
+			if haveMeta {
+				return nil, corrupt("duplicate meta section")
+			}
+			if err := parseMeta(payload, s); err != nil {
+				return nil, err
+			}
+			haveMeta = true
+			shardSeen = make([]bool, s.Geometry.Shards)
+			s.Shards = make([]ShardState, 0, s.Geometry.Shards)
+		case secShard:
+			st, err := parseShard(payload, s.Geometry)
+			if err != nil {
+				return nil, err
+			}
+			if shardSeen[st.Index] {
+				return nil, corrupt("duplicate shard %d", st.Index)
+			}
+			shardSeen[st.Index] = true
+			s.Shards = append(s.Shards, st)
+		case secStorm:
+			if s.Storm != nil {
+				return nil, corrupt("duplicate storm section")
+			}
+			st, err := parseStorm(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.Storm = st
+		case secScrub:
+			if s.Scrub != nil {
+				return nil, corrupt("duplicate scrub section")
+			}
+			st, err := parseScrub(payload, s.Geometry)
+			if err != nil {
+				return nil, err
+			}
+			s.Scrub = st
+		default:
+			// Unknown section from a newer minor version: CRC verified,
+			// content skipped.
+		}
+	}
+	if len(rest) != 0 {
+		return nil, corrupt("%d trailing bytes after last section", len(rest))
+	}
+	if len(s.Shards) != int(s.Geometry.Shards) {
+		return nil, corrupt("%d shard sections for %d shards", len(s.Shards), s.Geometry.Shards)
+	}
+	return s, nil
+}
+
+// DecodeFrom reads a whole snapshot from r (at most MaxSnapshotBytes)
+// and decodes it.
+func DecodeFrom(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxSnapshotBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	return Decode(data)
+}
+
+// reader is a bounds-checked little-endian cursor over one payload.
+// Reads past the end latch the failed flag instead of panicking.
+type reader struct {
+	b      []byte
+	off    int
+	failed bool
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u32() uint32 {
+	if r.failed || r.off+4 > len(r.b) {
+		r.failed = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.failed || r.off+8 > len(r.b) {
+		r.failed = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// counters reads a count-prefixed i64 block, validating the count
+// against both the cap and the bytes remaining before allocating.
+func (r *reader) counters(what string) ([]int64, error) {
+	n := r.u32()
+	if r.failed {
+		return nil, corrupt("%s counters truncated", what)
+	}
+	if n > maxCounters {
+		return nil, corrupt("%s counter count %d exceeds cap %d", what, n, maxCounters)
+	}
+	if uint64(n)*8 > uint64(r.remaining()) {
+		return nil, corrupt("%s counters: %d entries exceed %d bytes left", what, n, r.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.i64()
+	}
+	return vals, nil
+}
+
+func parseMeta(p []byte, s *Snapshot) error {
+	r := &reader{b: p}
+	s.Generation = r.u64()
+	s.CreatedAt = r.i64()
+	s.Geometry.Lines = r.u64()
+	s.Geometry.Shards = r.u32()
+	s.Geometry.Ways = r.u32()
+	s.Geometry.GroupSize = r.u32()
+	s.Geometry.Protection = r.u32()
+	s.Geometry.ECCStrength = r.u32()
+	s.Geometry.RetireThreshold = r.u32()
+	s.Geometry.SpareLines = r.u32()
+	s.Geometry.QuarantinePasses = r.u32()
+	if r.failed {
+		return corrupt("meta section truncated")
+	}
+	return s.Geometry.validate()
+}
+
+func parseShard(p []byte, g Geometry) (ShardState, error) {
+	var st ShardState
+	r := &reader{b: p}
+	idx := r.u32()
+	spareUsed := r.u32()
+	decayTick := r.u32()
+	auditTick := r.u32()
+	if r.failed {
+		return st, corrupt("shard section truncated")
+	}
+	if idx >= g.Shards {
+		return st, corrupt("shard index %d of %d", idx, g.Shards)
+	}
+	if spareUsed > g.SpareLines {
+		return st, corrupt("shard %d: %d spares used of %d", idx, spareUsed, g.SpareLines)
+	}
+	if decayTick > maxTicks || auditTick > maxTicks {
+		return st, corrupt("shard %d: ticks %d/%d", idx, decayTick, auditTick)
+	}
+	st.Index = int(idx)
+	st.SpareUsed = int(spareUsed)
+	st.DecayTick = int(decayTick)
+	st.AuditTick = int(auditTick)
+	lines := g.linesPerShard()
+
+	nRet := r.u32()
+	if r.failed {
+		return st, corrupt("shard %d retired count truncated", idx)
+	}
+	if uint64(nRet) > uint64(spareUsed) {
+		return st, corrupt("shard %d: %d retired exceed %d spares used", idx, nRet, spareUsed)
+	}
+	if uint64(nRet)*8 > uint64(r.remaining()) {
+		return st, corrupt("shard %d retired: %d entries exceed %d bytes left", idx, nRet, r.remaining())
+	}
+	if nRet > 0 {
+		st.Retired = make([]RetirePair, nRet)
+		spareTaken := make([]bool, spareUsed)
+		for i := range st.Retired {
+			st.Retired[i] = RetirePair{Phys: r.u32(), Spare: r.u32()}
+			p := st.Retired[i]
+			if uint64(p.Phys) >= lines {
+				return st, corrupt("shard %d retired phys %d of %d lines", idx, p.Phys, lines)
+			}
+			if i > 0 && p.Phys <= st.Retired[i-1].Phys {
+				return st, corrupt("shard %d retired entries not ascending at %d", idx, i)
+			}
+			if p.Spare >= spareUsed || spareTaken[p.Spare] {
+				return st, corrupt("shard %d retired spare %d invalid", idx, p.Spare)
+			}
+			spareTaken[p.Spare] = true
+		}
+	}
+
+	nCE := r.u32()
+	if r.failed {
+		return st, corrupt("shard %d CE count truncated", idx)
+	}
+	if uint64(nCE) > lines {
+		return st, corrupt("shard %d: %d CE buckets for %d lines", idx, nCE, lines)
+	}
+	if uint64(nCE)*8 > uint64(r.remaining()) {
+		return st, corrupt("shard %d CE buckets: %d entries exceed %d bytes left", idx, nCE, r.remaining())
+	}
+	if nCE > 0 {
+		st.CEBuckets = make([]CEPair, nCE)
+		for i := range st.CEBuckets {
+			st.CEBuckets[i] = CEPair{Phys: r.u32(), Count: r.u32()}
+			p := st.CEBuckets[i]
+			if uint64(p.Phys) >= lines {
+				return st, corrupt("shard %d CE phys %d of %d lines", idx, p.Phys, lines)
+			}
+			if i > 0 && p.Phys <= st.CEBuckets[i-1].Phys {
+				return st, corrupt("shard %d CE entries not ascending at %d", idx, i)
+			}
+			if p.Count == 0 || p.Count > maxCECount {
+				return st, corrupt("shard %d CE count %d", idx, p.Count)
+			}
+		}
+	}
+
+	nQuar := r.u32()
+	if r.failed {
+		return st, corrupt("shard %d quarantine count truncated", idx)
+	}
+	groups := g.groups()
+	if uint64(nQuar) > groups {
+		return st, corrupt("shard %d: %d quarantined of %d groups", idx, nQuar, groups)
+	}
+	if uint64(nQuar)*4 > uint64(r.remaining()) {
+		return st, corrupt("shard %d quarantine: %d entries exceed %d bytes left", idx, nQuar, r.remaining())
+	}
+	if nQuar > 0 {
+		st.Quarantined = make([]uint32, nQuar)
+		for i := range st.Quarantined {
+			st.Quarantined[i] = r.u32()
+			if uint64(st.Quarantined[i]) >= groups {
+				return st, corrupt("shard %d quarantined group %d of %d", idx, st.Quarantined[i], groups)
+			}
+			if i > 0 && st.Quarantined[i] <= st.Quarantined[i-1] {
+				return st, corrupt("shard %d quarantine entries not ascending at %d", idx, i)
+			}
+		}
+	}
+
+	ctrs, err := r.counters(fmt.Sprintf("shard %d", idx))
+	if err != nil {
+		return st, err
+	}
+	st.Counters = ctrs
+	if r.failed {
+		return st, corrupt("shard %d section truncated", idx)
+	}
+	return st, nil
+}
+
+func parseStorm(p []byte) (*StormState, error) {
+	r := &reader{b: p}
+	st := &StormState{State: r.u32(), Peak: r.u32(), ElevatedFill: r.f64(), CriticalFill: r.f64()}
+	if r.failed {
+		return nil, corrupt("storm section truncated")
+	}
+	if st.State > 16 || st.Peak > 16 {
+		return nil, corrupt("storm state %d peak %d", st.State, st.Peak)
+	}
+	for _, f := range [...]float64{st.ElevatedFill, st.CriticalFill} {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return nil, corrupt("storm detector fill %v", f)
+		}
+	}
+	return st, nil
+}
+
+func parseScrub(p []byte, g Geometry) (*ScrubState, error) {
+	r := &reader{b: p}
+	cursor := r.u32()
+	if r.failed {
+		return nil, corrupt("scrub section truncated")
+	}
+	if cursor >= g.Shards {
+		return nil, corrupt("scrub cursor %d of %d shards", cursor, g.Shards)
+	}
+	ctrs, err := r.counters("scrub")
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range ctrs {
+		if v < 0 {
+			return nil, corrupt("scrub counter %d negative (%d)", i, v)
+		}
+	}
+	return &ScrubState{Cursor: int(cursor), Counters: ctrs}, nil
+}

@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Encode serializes the snapshot. Output is deterministic for a given
+// Snapshot value: the per-shard entry slices are sorted in place
+// (ascending physical slot / group number) before writing, which is
+// also what the decoder's strictly-ascending check pins.
+func Encode(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("persist: nil snapshot")
+	}
+	if err := s.Geometry.validate(); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	if len(s.Shards) != int(s.Geometry.Shards) {
+		return fmt.Errorf("persist: encode: %d shard states for %d shards", len(s.Shards), s.Geometry.Shards)
+	}
+	sections := 1 + len(s.Shards)
+	if s.Storm != nil {
+		sections++
+	}
+	if s.Scrub != nil {
+		sections++
+	}
+
+	out := make([]byte, 0, 1024)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, MajorVersion)
+	out = binary.LittleEndian.AppendUint16(out, MinorVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(sections))
+
+	out = appendSection(out, secMeta, encodeMeta(s))
+	for i := range s.Shards {
+		out = appendSection(out, secShard, encodeShard(&s.Shards[i]))
+	}
+	if s.Storm != nil {
+		out = appendSection(out, secStorm, encodeStorm(s.Storm))
+	}
+	if s.Scrub != nil {
+		out = appendSection(out, secScrub, encodeScrub(s.Scrub))
+	}
+	_, err := w.Write(out)
+	return err
+}
+
+// appendSection frames one section: header, payload, CRC over both.
+func appendSection(out []byte, typ uint32, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], typ)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	out = append(out, hdr[:]...)
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+func encodeMeta(s *Snapshot) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint64(b, s.Generation)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.CreatedAt))
+	g := s.Geometry
+	b = binary.LittleEndian.AppendUint64(b, g.Lines)
+	for _, v := range [...]uint32{
+		g.Shards, g.Ways, g.GroupSize, g.Protection, g.ECCStrength,
+		g.RetireThreshold, g.SpareLines, g.QuarantinePasses,
+	} {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return b
+}
+
+func encodeShard(st *ShardState) []byte {
+	sort.Slice(st.Retired, func(i, j int) bool { return st.Retired[i].Phys < st.Retired[j].Phys })
+	sort.Slice(st.CEBuckets, func(i, j int) bool { return st.CEBuckets[i].Phys < st.CEBuckets[j].Phys })
+	sort.Slice(st.Quarantined, func(i, j int) bool { return st.Quarantined[i] < st.Quarantined[j] })
+
+	b := make([]byte, 0, 32+8*len(st.Retired)+8*len(st.CEBuckets)+4*len(st.Quarantined)+8*len(st.Counters))
+	for _, v := range [...]uint32{
+		uint32(st.Index), uint32(st.SpareUsed), uint32(st.DecayTick), uint32(st.AuditTick),
+	} {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Retired)))
+	for _, p := range st.Retired {
+		b = binary.LittleEndian.AppendUint32(b, p.Phys)
+		b = binary.LittleEndian.AppendUint32(b, p.Spare)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.CEBuckets)))
+	for _, p := range st.CEBuckets {
+		b = binary.LittleEndian.AppendUint32(b, p.Phys)
+		b = binary.LittleEndian.AppendUint32(b, p.Count)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Quarantined)))
+	for _, g := range st.Quarantined {
+		b = binary.LittleEndian.AppendUint32(b, g)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Counters)))
+	for _, v := range st.Counters {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+func encodeStorm(st *StormState) []byte {
+	b := make([]byte, 0, 24)
+	b = binary.LittleEndian.AppendUint32(b, st.State)
+	b = binary.LittleEndian.AppendUint32(b, st.Peak)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(st.ElevatedFill))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(st.CriticalFill))
+	return b
+}
+
+func encodeScrub(st *ScrubState) []byte {
+	b := make([]byte, 0, 8+8*len(st.Counters))
+	b = binary.LittleEndian.AppendUint32(b, uint32(st.Cursor))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Counters)))
+	for _, v := range st.Counters {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package persist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSnapshot drives hostile bytes through the snapshot decoder.
+// Invariants under fuzzing:
+//
+//   - Decode never panics and never allocates more than the input's own
+//     size justifies (the validate-before-allocate discipline; a
+//     violation shows up as the fuzzer OOMing).
+//   - Any snapshot that decodes re-encodes canonically and decodes
+//     again to the same value (idempotent round trip).
+//   - Errors are always typed: ErrCorrupt or ErrVersion, nothing bare.
+func FuzzDecodeSnapshot(f *testing.F) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := Encode(&buf, testSnapshot()); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(magic[:])
+	for _, off := range []int{1, headerSize, headerSize + 9, len(good) / 2, len(good) - 1} {
+		f.Add(bytes.Clone(good[:off]))
+	}
+	for _, off := range []int{9, 13, headerSize + 4, len(good) / 3, len(good) - 5} {
+		mut := bytes.Clone(good)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A decoded snapshot must survive a canonical round trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+		s2, err := Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip not idempotent:\n first %+v\nsecond %+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+// Package persist implements the versioned, crash-consistent snapshot
+// format for the engine's RAS state: per-shard retirement maps and
+// spare assignments, leaky-bucket CE counters, quarantine sets,
+// cumulative counters, the storm controller's ladder level and
+// detector fills, and the scrub daemon's cursor and lifetime totals.
+//
+// The format is deliberately engine-neutral — a Snapshot is plain data
+// the cache/shard layers export into and import out of — so the
+// decoder can be fuzzed and the golden fixture pinned without
+// constructing an engine.
+//
+// # Wire format
+//
+// A snapshot is a 16-byte header followed by CRC-guarded sections:
+//
+//	header:  magic[8] | u16 major | u16 minor | u32 sectionCount
+//	section: u32 type | u32 length | payload[length] | u32 crc32
+//
+// All integers are little-endian; the CRC is IEEE over the 8-byte
+// section header plus the payload. A decoder for major version M
+// rejects any other major (ErrVersion), skips unknown section types
+// (minor-version additions), and tolerates trailing bytes inside a
+// known section's payload (minor-version field additions). Everything
+// else — bad magic, short frames, CRC mismatches, out-of-range counts
+// or indices, missing required sections — is ErrCorrupt.
+//
+// The decoder follows the same validate-before-allocate discipline as
+// internal/server/wire: every count is checked against both a hard cap
+// and the bytes actually remaining before any slice is sized from it,
+// so a length-bomb input can never force a large allocation.
+//
+// # What is deliberately not persisted
+//
+// Cached user data (tags, stored codewords, backing store, spare-row
+// contents) is refetchable from the next level and is not captured: a
+// restored engine is cold, and re-retired lines point at zeroed spare
+// rows. Stuck-at fault injections are test fixtures, latency
+// histograms are monitoring-window state, and per-region storm
+// detectors are cheap to re-learn; none of them is RAS knowledge, so
+// none of them is persisted.
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Format version. The major version gates decoding outright; the minor
+// version records additive changes an older same-major decoder can
+// safely skip.
+const (
+	MajorVersion = 1
+	MinorVersion = 0
+)
+
+// Size caps: a snapshot file larger than MaxSnapshotBytes, or any
+// single section larger than MaxSectionBytes, is rejected before the
+// bytes are even read into a section buffer.
+const (
+	MaxSnapshotBytes = 64 << 20
+	MaxSectionBytes  = 16 << 20
+)
+
+// magic opens every snapshot file.
+var magic = [8]byte{'S', 'U', 'D', 'O', 'K', 'S', 'N', 'P'}
+
+// headerSize is magic + major + minor + sectionCount.
+const headerSize = 8 + 2 + 2 + 4
+
+// Section types. Unknown types are skipped (CRC still verified) so a
+// minor-version writer can add sections without breaking old readers.
+const (
+	secMeta  = 1
+	secShard = 2
+	secStorm = 3
+	secScrub = 4
+)
+
+// Internal sanity caps for decoder arithmetic.
+const (
+	maxSections = 1 << 16
+	maxCounters = 256
+	maxShards   = 1 << 16
+	maxLines    = 1 << 40
+	maxSpares   = 1 << 24
+	maxTicks    = 1 << 30
+	maxCECount  = 1 << 20
+)
+
+// ErrVersion is returned when the snapshot's major version is not the
+// one this decoder implements.
+var ErrVersion = errors.New("persist: unsupported snapshot version")
+
+// ErrCorrupt is returned for any structural damage: bad magic, short
+// frames, CRC mismatches, impossible counts or indices.
+var ErrCorrupt = errors.New("persist: snapshot corrupt")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Snapshot is the decoded (or to-be-encoded) form of one checkpoint.
+type Snapshot struct {
+	// Generation is the monotonically increasing checkpoint number.
+	Generation uint64
+	// CreatedAt is the wall-clock creation time in Unix nanoseconds.
+	CreatedAt int64
+	// Geometry fingerprints the engine the snapshot was cut from; a
+	// restore target must match exactly.
+	Geometry Geometry
+	// Shards holds one entry per shard, every shard present exactly once.
+	Shards []ShardState
+	// Storm is the storm controller's resumable state; nil when no
+	// controller existed at the cut.
+	Storm *StormState
+	// Scrub is the scrub daemon's cursor and lifetime totals; nil when
+	// no daemon ever ran.
+	Scrub *ScrubState
+}
+
+// Geometry is the engine fingerprint a snapshot binds to. All fields
+// are the resolved (post-default) values, so the same logical config
+// always produces the same fingerprint.
+type Geometry struct {
+	// Lines is the whole-cache line count.
+	Lines uint64
+	// Shards is the resolved shard count.
+	Shards uint32
+	// Ways is the set associativity.
+	Ways uint32
+	// GroupSize is the resolved per-shard parity group size (0 when
+	// protection is off).
+	GroupSize uint32
+	// Protection is the SuDoku variant.
+	Protection uint32
+	// ECCStrength is the resolved inner-code strength (1 when
+	// protection is on and the config left it 0).
+	ECCStrength uint32
+	// RetireThreshold is the CE retirement threshold (0 = disabled).
+	RetireThreshold uint32
+	// SpareLines is the resolved per-shard spare pool size (0 when
+	// retirement is disabled).
+	SpareLines uint32
+	// QuarantinePasses is the quarantine audit period (0 = disabled).
+	QuarantinePasses uint32
+}
+
+// linesPerShard returns the per-shard line count (0 on nonsense).
+func (g Geometry) linesPerShard() uint64 {
+	if g.Shards == 0 {
+		return 0
+	}
+	return g.Lines / uint64(g.Shards)
+}
+
+// groups returns the per-shard parity group count (0 when protection
+// is off).
+func (g Geometry) groups() uint64 {
+	if g.GroupSize == 0 {
+		return 0
+	}
+	return g.linesPerShard() / uint64(g.GroupSize)
+}
+
+// validate applies the decoder's sanity bounds.
+func (g Geometry) validate() error {
+	switch {
+	case g.Lines == 0 || g.Lines > maxLines:
+		return corrupt("geometry lines %d", g.Lines)
+	case g.Shards == 0 || g.Shards > maxShards:
+		return corrupt("geometry shards %d", g.Shards)
+	case g.Lines%uint64(g.Shards) != 0:
+		return corrupt("geometry %d lines not divisible by %d shards", g.Lines, g.Shards)
+	case g.Ways == 0 || uint64(g.Ways) > g.linesPerShard():
+		return corrupt("geometry ways %d", g.Ways)
+	case g.SpareLines > maxSpares:
+		return corrupt("geometry spare lines %d", g.SpareLines)
+	case g.GroupSize != 0 && uint64(g.GroupSize) > g.linesPerShard():
+		return corrupt("geometry group size %d", g.GroupSize)
+	}
+	return nil
+}
+
+// RetirePair is one retired line: shard-local physical slot → spare
+// row index.
+type RetirePair struct {
+	Phys  uint32
+	Spare uint32
+}
+
+// CEPair is one line's leaky-bucket correctable-error count.
+type CEPair struct {
+	Phys  uint32
+	Count uint32
+}
+
+// ShardState is one shard's persisted RAS residue.
+type ShardState struct {
+	// Index is the shard number.
+	Index int
+	// SpareUsed is the number of spare rows consumed.
+	SpareUsed int
+	// DecayTick is the CE leaky-bucket drain phase.
+	DecayTick int
+	// AuditTick is the quarantine audit phase.
+	AuditTick int
+	// Retired maps physical slots to spare rows, ascending by Phys.
+	Retired []RetirePair
+	// CEBuckets holds the nonzero CE counters, ascending by Phys.
+	CEBuckets []CEPair
+	// Quarantined lists the quarantined Hash-1 groups, ascending.
+	Quarantined []uint32
+	// Counters is the cumulative activity counter block in the cache
+	// package's canonical order. A decoder for a newer minor version may
+	// see fewer entries than it knows (missing read as zero) or more
+	// (extras preserved but unused).
+	Counters []int64
+}
+
+// StormState is the storm controller's resumable state: the ladder
+// level plus the global detector fills at the cut, rebased onto the
+// restoring process's clock by RateDetector.Prime.
+type StormState struct {
+	// State and Peak are the ladder levels (0 normal, 1 elevated,
+	// 2 critical).
+	State uint32
+	Peak  uint32
+	// ElevatedFill / CriticalFill are the global leaky-bucket levels at
+	// the cut.
+	ElevatedFill float64
+	CriticalFill float64
+}
+
+// Canonical ScrubState.Counters indices.
+const (
+	ScrubRotations = iota
+	ScrubShardPasses
+	ScrubBackpressure
+	ScrubStalls
+	ScrubPanics
+	ScrubIntervalNs
+	ScrubPasses
+	ScrubSingleRepairs
+	ScrubSDRRepairs
+	ScrubRAIDRepairs
+	ScrubHash2Repairs
+	ScrubDUELines
+	ScrubErrors
+	// NumScrubCounters is the canonical counter block length.
+	NumScrubCounters
+)
+
+// ScrubState is the scrub daemon's persisted cursor and lifetime
+// totals.
+type ScrubState struct {
+	// Cursor is the next shard the rotation walk would scrub — the
+	// restart point for the first rotation after a warm restart.
+	Cursor int
+	// Counters is the daemon's lifetime totals in the canonical
+	// Scrub* index order above.
+	Counters []int64
+}
+
+// ScrubCounter reads one canonical counter, zero when the block is
+// shorter than the index (older-minor snapshots).
+func (s *ScrubState) ScrubCounter(idx int) int64 {
+	if s == nil || idx < 0 || idx >= len(s.Counters) {
+		return 0
+	}
+	return s.Counters[idx]
+}

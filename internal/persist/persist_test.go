@@ -1,0 +1,434 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot fixture")
+
+// testGeometry is a small but fully featured fingerprint: protection,
+// retirement, and quarantine all enabled.
+func testGeometry() Geometry {
+	return Geometry{
+		Lines: 1024, Shards: 4, Ways: 8, GroupSize: 64,
+		Protection: 2, ECCStrength: 1,
+		RetireThreshold: 3, SpareLines: 4, QuarantinePasses: 2,
+	}
+}
+
+// testSnapshot builds a rich, deterministic snapshot: every section
+// present, every per-shard slice non-empty somewhere.
+func testSnapshot() *Snapshot {
+	s := &Snapshot{
+		Generation: 42,
+		CreatedAt:  1700000000000000000,
+		Geometry:   testGeometry(),
+		Storm:      &StormState{State: 1, Peak: 2, ElevatedFill: 12.5, CriticalFill: 3.25},
+		Scrub:      &ScrubState{Cursor: 2, Counters: make([]int64, NumScrubCounters)},
+	}
+	for i := 0; i < NumScrubCounters; i++ {
+		s.Scrub.Counters[i] = int64(100 + i)
+	}
+	for i := 0; i < int(s.Geometry.Shards); i++ {
+		st := ShardState{
+			Index: i, DecayTick: 7 + i, AuditTick: 3 + i,
+			Counters: []int64{int64(1000 * (i + 1)), 2, 3},
+		}
+		if i%2 == 0 {
+			st.SpareUsed = 2
+			st.Retired = []RetirePair{{Phys: 5, Spare: 1}, {Phys: 200, Spare: 0}}
+			st.CEBuckets = []CEPair{{Phys: 9, Count: 2}, {Phys: 255, Count: 1}}
+			st.Quarantined = []uint32{0, 3}
+		}
+		s.Shards = append(s.Shards, st)
+	}
+	return s
+}
+
+func encodeT(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	data := encodeT(t, want)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// DecodeFrom must agree with Decode.
+	got2, err := DecodeFrom(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("DecodeFrom disagrees with Decode")
+	}
+}
+
+// TestEncodeSorts: the encoder canonicalizes unsorted input, so two
+// semantically equal snapshots serialize identically.
+func TestEncodeSorts(t *testing.T) {
+	s := testSnapshot()
+	st := &s.Shards[0]
+	st.Retired[0], st.Retired[1] = st.Retired[1], st.Retired[0]
+	st.CEBuckets[0], st.CEBuckets[1] = st.CEBuckets[1], st.CEBuckets[0]
+	st.Quarantined[0], st.Quarantined[1] = st.Quarantined[1], st.Quarantined[0]
+	if !bytes.Equal(encodeT(t, s), encodeT(t, testSnapshot())) {
+		t.Fatal("unsorted input did not canonicalize")
+	}
+}
+
+// TestTruncationEveryOffset: a snapshot cut short at ANY byte offset is
+// rejected as corrupt — the property the two-generation store's
+// crash-recovery fallback rests on.
+func TestTruncationEveryOffset(t *testing.T) {
+	data := encodeT(t, testSnapshot())
+	for off := 0; off < len(data); off++ {
+		_, err := Decode(data[:off])
+		if err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded successfully", off, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at byte %d: %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+// TestBitFlipEveryByte: flipping one bit anywhere in the file must
+// surface as a typed error — except in the two minor-version bytes,
+// which are additive-compatibility metadata outside any CRC.
+func TestBitFlipEveryByte(t *testing.T) {
+	data := encodeT(t, testSnapshot())
+	for off := 0; off < len(data); off++ {
+		if off == 10 || off == 11 {
+			continue // minor version: deliberately not integrity-checked
+		}
+		mut := bytes.Clone(data)
+		mut[off] ^= 0x10
+		_, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", off)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", off, err)
+		}
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	data := encodeT(t, testSnapshot())
+	// A foreign major version is ErrVersion, not ErrCorrupt.
+	mut := bytes.Clone(data)
+	binary.LittleEndian.PutUint16(mut[8:], MajorVersion+1)
+	if _, err := Decode(mut); !errors.Is(err, ErrVersion) {
+		t.Fatalf("major skew = %v, want ErrVersion", err)
+	}
+	// A newer minor version decodes fine.
+	mut = bytes.Clone(data)
+	binary.LittleEndian.PutUint16(mut[10:], MinorVersion+9)
+	if _, err := Decode(mut); err != nil {
+		t.Fatalf("newer minor rejected: %v", err)
+	}
+}
+
+// appendRawSection mirrors the encoder's framing for hand-built tests.
+func appendRawSection(out []byte, typ uint32, payload []byte) []byte {
+	return appendSection(out, typ, payload)
+}
+
+// TestUnknownSectionSkipped: a section type from a newer minor version
+// is CRC-checked but otherwise ignored.
+func TestUnknownSectionSkipped(t *testing.T) {
+	s := testSnapshot()
+	data := encodeT(t, s)
+	// Splice an unknown section at the end and bump the count.
+	mut := appendRawSection(bytes.Clone(data), 99, []byte("future section payload"))
+	n := binary.LittleEndian.Uint32(mut[12:])
+	binary.LittleEndian.PutUint32(mut[12:], n+1)
+	got, err := Decode(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatal("unknown section changed the decoded snapshot")
+	}
+	// But its CRC is still enforced.
+	mut[len(mut)-6] ^= 1
+	if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt unknown section = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTrailingPayloadTolerated: extra bytes INSIDE a known section (a
+// newer minor version appending fields) decode fine; extra bytes AFTER
+// the last section do not.
+func TestTrailingPayloadTolerated(t *testing.T) {
+	s := testSnapshot()
+	s.Shards = nil
+	s.Geometry.Shards = 1
+	s.Geometry.Lines = 256
+	s.Scrub.Cursor = 0
+	s.Shards = []ShardState{{Index: 0}}
+	base := encodeT(t, s)
+
+	// Rebuild the storm section with trailing payload bytes.
+	var grown []byte
+	grown = append(grown, base[:headerSize]...)
+	rest := base[headerSize:]
+	for len(rest) > 0 {
+		typ := binary.LittleEndian.Uint32(rest[0:])
+		length := binary.LittleEndian.Uint32(rest[4:])
+		payload := rest[8 : 8+length]
+		if typ == secStorm {
+			payload = append(bytes.Clone(payload), 0xAA, 0xBB, 0xCC)
+		}
+		grown = appendRawSection(grown, typ, payload)
+		rest = rest[12+length:]
+	}
+	got, err := Decode(grown)
+	if err != nil {
+		t.Fatalf("grown storm section rejected: %v", err)
+	}
+	if *got.Storm != *s.Storm {
+		t.Fatal("grown storm section decoded differently")
+	}
+
+	if _, err := Decode(append(bytes.Clone(base), 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing file bytes = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDecodeRejectsStructuralDamage: semantic violations that frame and
+// CRC correctly must still be rejected.
+func TestDecodeRejectsStructuralDamage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(s *Snapshot)
+	}{
+		{"retired-phys-out-of-range", func(s *Snapshot) { s.Shards[0].Retired[0].Phys = 1 << 20 }},
+		{"retired-duplicate-phys", func(s *Snapshot) { s.Shards[0].Retired[1].Phys = s.Shards[0].Retired[0].Phys }},
+		{"retired-spare-reused", func(s *Snapshot) { s.Shards[0].Retired[1].Spare = s.Shards[0].Retired[0].Spare }},
+		{"retired-spare-out-of-range", func(s *Snapshot) { s.Shards[0].Retired[0].Spare = 99 }},
+		{"retired-exceeds-spare-used", func(s *Snapshot) { s.Shards[0].SpareUsed = 1 }},
+		{"spare-used-exceeds-pool", func(s *Snapshot) { s.Shards[0].SpareUsed = 99 }},
+		{"ce-count-zero", func(s *Snapshot) { s.Shards[0].CEBuckets[0].Count = 0 }},
+		{"ce-phys-out-of-range", func(s *Snapshot) { s.Shards[0].CEBuckets[1].Phys = 1 << 20 }},
+		{"quarantine-group-out-of-range", func(s *Snapshot) { s.Shards[0].Quarantined[1] = 99 }},
+		{"scrub-cursor-out-of-range", func(s *Snapshot) { s.Scrub.Cursor = 99 }},
+		{"scrub-counter-negative", func(s *Snapshot) { s.Scrub.Counters[0] = -1 }},
+		{"storm-fill-negative", func(s *Snapshot) { s.Storm.ElevatedFill = -1 }},
+		{"storm-state-wild", func(s *Snapshot) { s.Storm.State = 99 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSnapshot()
+			tc.mut(s)
+			var buf bytes.Buffer
+			if err := Encode(&buf, s); err != nil {
+				return // encoder itself refused: also fine
+			}
+			if _, err := Decode(buf.Bytes()); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsFraming: hand-built framing violations.
+func TestDecodeRejectsFraming(t *testing.T) {
+	good := encodeT(t, testSnapshot())
+
+	header := func(sections uint32) []byte {
+		b := append([]byte{}, magic[:]...)
+		b = binary.LittleEndian.AppendUint16(b, MajorVersion)
+		b = binary.LittleEndian.AppendUint16(b, MinorVersion)
+		return binary.LittleEndian.AppendUint32(b, sections)
+	}
+	metaPayload := func() []byte {
+		// Lift the meta payload straight out of a good encoding.
+		length := binary.LittleEndian.Uint32(good[headerSize+4:])
+		return good[headerSize+8 : headerSize+8+int(length)]
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"zero-sections", header(0)},
+		{"shard-before-meta", appendRawSection(header(1), secShard, make([]byte, 16))},
+		{"duplicate-meta", appendRawSection(appendRawSection(header(2), secMeta, metaPayload()), secMeta, metaPayload())},
+		{"missing-shards", appendRawSection(header(1), secMeta, metaPayload())},
+	} {
+		if _, err := Decode(tc.data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: decode = %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+
+	// Duplicate shard: re-append shard 0's section and bump the count.
+	var shardSec []byte
+	rest := good[headerSize:]
+	for len(rest) > 0 {
+		typ := binary.LittleEndian.Uint32(rest[0:])
+		length := binary.LittleEndian.Uint32(rest[4:])
+		frame := rest[:12+length]
+		if typ == secShard && shardSec == nil {
+			shardSec = bytes.Clone(frame)
+		}
+		rest = rest[12+length:]
+	}
+	dup := append(bytes.Clone(good), shardSec...)
+	n := binary.LittleEndian.Uint32(dup[12:])
+	binary.LittleEndian.PutUint32(dup[12:], n+1)
+	if _, err := Decode(dup); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate shard = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLengthBomb: a section claiming a huge payload, or a counter block
+// claiming a huge count, must be rejected before any allocation.
+func TestLengthBomb(t *testing.T) {
+	b := append([]byte{}, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, MajorVersion)
+	b = binary.LittleEndian.AppendUint16(b, MinorVersion)
+	b = binary.LittleEndian.AppendUint32(b, 1)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], secMeta)
+	binary.LittleEndian.PutUint32(hdr[4:], MaxSectionBytes+1)
+	b = append(b, hdr[:]...)
+	crc := crc32.ChecksumIEEE(hdr[:])
+	b = binary.LittleEndian.AppendUint32(b, crc)
+	if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized section = %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(make([]byte, MaxSnapshotBytes+1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("oversized snapshot accepted")
+	}
+}
+
+// TestStoreRotationAndFallback: Save keeps two generations; a current
+// file truncated at ANY offset falls back to prev.
+func TestStoreRotationAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	save := func(gen uint64) {
+		t.Helper()
+		s := testSnapshot()
+		s.Generation = gen
+		n, err := st.Save(func(w io.Writer) error { return Encode(w, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("Save reported %d bytes", n)
+		}
+	}
+	save(1)
+	save(2)
+
+	snap, gen, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != "current" || snap.Generation != 2 {
+		t.Fatalf("Load = gen %q generation %d, want current/2", gen, snap.Generation)
+	}
+
+	cur, err := os.ReadFile(st.CurrentPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(cur); off++ {
+		if err := os.WriteFile(st.CurrentPath(), cur[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		snap, gen, err := st.Load()
+		if err != nil {
+			t.Fatalf("truncated current at %d: Load failed outright: %v", off, err)
+		}
+		if gen != "prev" || snap.Generation != 1 {
+			t.Fatalf("truncated current at %d: loaded %q generation %d, want prev/1", off, gen, snap.Generation)
+		}
+	}
+	// Restored current wins again.
+	if err := os.WriteFile(st.CurrentPath(), cur, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if snap, gen, err := st.Load(); err != nil || gen != "current" || snap.Generation != 2 {
+		t.Fatalf("restored current: %v %q %+v", err, gen, snap)
+	}
+}
+
+// TestStoreNotExist: cold start vs damage classification.
+func TestStoreNotExist(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Load()
+	if err == nil || !IsNotExist(err) {
+		t.Fatalf("empty dir Load = %v, want not-exist", err)
+	}
+	// A corrupt current with no prev is damage, not a cold start.
+	if err := os.WriteFile(st.CurrentPath(), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = st.Load()
+	if err == nil || IsNotExist(err) {
+		t.Fatalf("corrupt-only Load = %v, want damage", err)
+	}
+	if _, err := NewStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestGoldenFixture pins the v1 wire format byte-for-byte. If this
+// fails after an intentional format change, bump the version constants
+// and regenerate with -update.
+func TestGoldenFixture(t *testing.T) {
+	path := filepath.Join("testdata", "snapshot_v1.golden")
+	data := encodeT(t, testSnapshot())
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("encoding diverged from the golden fixture (%d vs %d bytes); if intentional, bump the format version and regenerate with -update", len(data), len(want))
+	}
+	snap, err := Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, testSnapshot()) {
+		t.Fatal("golden fixture decodes to a different snapshot")
+	}
+}

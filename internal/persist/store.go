@@ -1,0 +1,178 @@
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Snapshot file names inside a checkpoint directory. Save always
+// leaves the previous current generation behind as prev, so a crash at
+// any byte offset of an in-flight write — or a truncated/corrupted
+// current file — still leaves one loadable snapshot on disk.
+const (
+	CurrentName = "snapshot.current"
+	PrevName    = "snapshot.prev"
+	tmpName     = "snapshot.tmp"
+)
+
+// Store manages the two-generation snapshot files in one directory.
+// Save and Load are serialized by an internal mutex, so a background
+// checkpoint daemon and a foreground CheckpointNow can share one Store.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: checkpoint dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (s *Store) Dir() string { return s.dir }
+
+// CurrentPath returns the current-generation snapshot path.
+func (s *Store) CurrentPath() string { return filepath.Join(s.dir, CurrentName) }
+
+// PrevPath returns the previous-generation snapshot path.
+func (s *Store) PrevPath() string { return filepath.Join(s.dir, PrevName) }
+
+// Save writes one snapshot crash-consistently: the write callback
+// streams into a temp file, which is fsynced and then promoted by two
+// renames (current→prev, tmp→current) followed by a directory fsync.
+// Every crash window leaves at least one complete generation:
+//
+//   - before the first rename: current (and prev) untouched;
+//   - between the renames: current missing, prev complete — Load
+//     falls back;
+//   - after the second: the new current is complete.
+//
+// Returns the number of bytes written.
+func (s *Store) Save(write func(io.Writer) error) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	tmp := filepath.Join(s.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("persist: save: %w", err)
+	}
+	cw := &countWriter{w: bufio.NewWriter(f)}
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: save: %w", err)
+	}
+	if err := write(cw); err != nil {
+		return fail(err)
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: save: %w", err)
+	}
+	cur := s.CurrentPath()
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, s.PrevPath()); err != nil {
+			os.Remove(tmp)
+			return 0, fmt.Errorf("persist: save: rotate: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("persist: save: promote: %w", err)
+	}
+	syncDir(s.dir)
+	return cw.n, nil
+}
+
+// Load decodes the newest loadable generation: current first, then the
+// retained prev. It returns which generation loaded ("current" or
+// "prev"). When neither file exists the error wraps fs.ErrNotExist (a
+// cold start, not corruption).
+func (s *Store) Load() (*Snapshot, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for _, gen := range [...]struct{ name, path string }{
+		{"current", s.CurrentPath()},
+		{"prev", s.PrevPath()},
+	} {
+		snap, err := loadFile(gen.path)
+		if err == nil {
+			return snap, gen.name, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", gen.name, err))
+	}
+	return nil, "", fmt.Errorf("persist: load: %w", errors.Join(errs...))
+}
+
+// loadFile reads and decodes one snapshot file, size-capped before the
+// read.
+func loadFile(path string) (*Snapshot, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > MaxSnapshotBytes {
+		return nil, corrupt("%d-byte file exceeds cap %d", fi.Size(), MaxSnapshotBytes)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// IsNotExist reports whether a Load error means "no snapshot yet"
+// rather than corruption: both generations missing.
+func IsNotExist(err error) bool {
+	if err == nil {
+		return false
+	}
+	// errors.Is on a joined error matches when ANY branch matches, so a
+	// missing-prev branch alone must not mask a corrupt current: require
+	// that no branch failed with a decode error.
+	return errors.Is(err, fs.ErrNotExist) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion)
+}
+
+// syncDir fsyncs the directory so the renames are durable. Best
+// effort: some filesystems reject directory fsync, and the renames are
+// already ordered.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// countWriter counts the bytes a Save streamed.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -81,3 +81,19 @@ func (d *RateDetector) Reset(now time.Time) {
 	d.level = 0
 	d.last = now
 }
+
+// Prime sets the bucket level directly and rebases the drain clock to
+// `now` — the warm-restart path: a persisted fill from a previous
+// process is re-anchored onto this process's clock instead of draining
+// away the entire downtime in one step. Non-finite levels are ignored;
+// finite ones are clamped to the detector's [0, 2×capacity] range.
+func (d *RateDetector) Prime(level float64, now time.Time) {
+	if level != level || level < 0 { // NaN or negative
+		level = 0
+	}
+	if max := 2 * d.capacity; level > max {
+		level = max
+	}
+	d.level = level
+	d.last = now
+}

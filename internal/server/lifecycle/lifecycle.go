@@ -159,3 +159,36 @@ func EngineDrain(eng EngineDrainer, notRunning func(error) bool) []Step {
 		}},
 	}
 }
+
+// Checkpointer is the checkpoint machinery a drain can quiesce: stop
+// the paced background daemon, then cut one final snapshot so the next
+// start restores the very last pre-shutdown state.
+type Checkpointer interface {
+	StopCheckpoints() error
+	CheckpointNow() (int64, error)
+}
+
+// CheckpointDrain returns the checkpoint shutdown steps: daemon stop
+// FIRST (so the final explicit cut below is guaranteed to be the
+// newest generation on disk), then one last checkpoint. notRunning
+// reports the sentinel errors that mean "checkpointing was never
+// configured" and are therefore clean outcomes. Append these after
+// EngineDrain: the final cut should capture the post-drain state (the
+// completed scrub pass, the stopped storm ladder's level).
+func CheckpointDrain(ck Checkpointer, notRunning func(error) bool) []Step {
+	ignore := func(err error) error {
+		if err == nil || (notRunning != nil && notRunning(err)) {
+			return nil
+		}
+		return err
+	}
+	return []Step{
+		{Name: "checkpoint-stop", Run: func(ctx context.Context) error {
+			return ignore(ck.StopCheckpoints())
+		}},
+		{Name: "checkpoint-final", Run: func(ctx context.Context) error {
+			_, err := ck.CheckpointNow()
+			return ignore(err)
+		}},
+	}
+}

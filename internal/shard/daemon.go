@@ -56,6 +56,12 @@ type DaemonConfig struct {
 	// the watchdog. The pass is not killed — a stall is an observability
 	// signal, not an abort.
 	Watchdog time.Duration
+	// StartShard, when positive, makes the FIRST rotation begin at that
+	// shard instead of 0 (subsequent rotations are always full walks
+	// from 0). A warm restart sets it from the persisted scrub cursor so
+	// the shards the dead process had already scrubbed this rotation are
+	// not the ones that wait longest for their next pass.
+	StartShard int
 }
 
 // Pass describes one completed per-shard scrub pass.
@@ -136,6 +142,10 @@ type ScrubDaemon struct {
 	// per-shard pass (0 until the first one finishes). Health endpoints
 	// read it lock-free to expose scrub-pass age.
 	lastPass atomic.Int64
+	// cursor is the next shard the rotation walk will scrub — the value
+	// a checkpoint persists so a warm restart resumes the walk where the
+	// dead process left off.
+	cursor atomic.Int64
 }
 
 // NewScrubDaemon builds a daemon over the engine.
@@ -152,9 +162,15 @@ func NewScrubDaemon(eng *Engine, cfg DaemonConfig) (*ScrubDaemon, error) {
 	if cfg.Watchdog < 0 {
 		return nil, fmt.Errorf("shard: Watchdog %v", cfg.Watchdog)
 	}
+	if cfg.StartShard < 0 || cfg.StartShard >= eng.Shards() {
+		if cfg.StartShard != 0 {
+			return nil, fmt.Errorf("shard: StartShard %d outside [0,%d)", cfg.StartShard, eng.Shards())
+		}
+	}
 	d := &ScrubDaemon{eng: eng, cfg: cfg}
 	d.cond = sync.NewCond(&d.mu)
 	d.stats.Interval = cfg.Interval
+	d.cursor.Store(int64(cfg.StartShard))
 	return d, nil
 }
 
@@ -270,6 +286,10 @@ func (d *ScrubDaemon) LastPass() time.Time {
 // Watchdog returns the configured per-pass stall budget (0 = disabled).
 func (d *ScrubDaemon) Watchdog() time.Duration { return d.cfg.Watchdog }
 
+// Cursor returns the next shard the rotation walk will scrub — the
+// warm-restart resume point a checkpoint persists. Lock-free.
+func (d *ScrubDaemon) Cursor() int { return int(d.cursor.Load()) }
+
 // Stalled reports whether the pass currently in flight has exceeded the
 // watchdog budget — the live form of the KindScrubStall event, for
 // health endpoints. Always false with the watchdog disabled. Lock-free.
@@ -320,7 +340,13 @@ func (d *ScrubDaemon) rotation(rotation int, interval *time.Duration, stop chan 
 	var agg cache.ScrubReport
 	var firstErr error
 	slot := *interval / time.Duration(shards)
-	for i := 0; i < shards; i++ {
+	start := 0
+	if rotation == 1 && d.cfg.StartShard > 0 && d.cfg.StartShard < shards {
+		// Warm restart: the first rotation resumes where the persisted
+		// cursor left off; every later rotation is a full walk.
+		start = d.cfg.StartShard
+	}
+	for i := start; i < shards; i++ {
 		select {
 		case <-stop:
 			return true
@@ -338,6 +364,7 @@ func (d *ScrubDaemon) rotation(rotation int, interval *time.Duration, stop chan 
 		}
 		d.beat.Store(0) // pacing idle is not a stall
 		d.lastPass.Store(time.Now().UnixNano())
+		d.cursor.Store(int64((i + 1) % shards))
 		// Pace: every shard gets an equal slice of the rotation
 		// interval. A pass that outran its slice has a repair
 		// backlog — start the next one immediately (backpressure)

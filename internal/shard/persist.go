@@ -1,0 +1,76 @@
+// Checkpoint plumbing for the sharded engine: geometry fingerprinting
+// plus per-shard export/import of the RAS state the persist package
+// serializes.
+package shard
+
+import (
+	"fmt"
+
+	"sudoku/internal/cache"
+	"sudoku/internal/persist"
+)
+
+// PersistGeometry returns the engine's snapshot fingerprint — the
+// RESOLVED geometry (defaults applied), so two engines built from the
+// same logical config always fingerprint identically.
+func (e *Engine) PersistGeometry() persist.Geometry {
+	g := persist.Geometry{
+		Lines:  uint64(e.cfg.Cache.Lines),
+		Shards: uint32(len(e.shards)),
+		Ways:   uint32(e.sub.Ways),
+	}
+	if e.sub.Protection != 0 {
+		g.Protection = uint32(e.sub.Protection)
+		g.GroupSize = uint32(e.sub.GroupSize)
+		strength := e.sub.ECCStrength
+		if strength == 0 {
+			strength = 1
+		}
+		g.ECCStrength = uint32(strength)
+		if e.sub.RetireCEThreshold > 0 {
+			g.RetireThreshold = uint32(e.sub.RetireCEThreshold)
+			spares := e.sub.SpareLines
+			if spares == 0 {
+				spares = cache.DefaultSpareLines
+			}
+			g.SpareLines = uint32(spares)
+		}
+		g.QuarantinePasses = uint32(e.sub.QuarantineAuditPasses)
+	}
+	return g
+}
+
+// ExportShards cuts every shard's persistable state, ascending shard
+// order. Each shard is cut under its own mutex — per-shard consistent,
+// which is the same consistency the engine's cross-shard operations
+// already provide.
+func (e *Engine) ExportShards() []persist.ShardState {
+	out := make([]persist.ShardState, len(e.shards))
+	for i, st := range e.shards {
+		out[i] = st.llc.ExportPersist()
+		out[i].Index = i
+	}
+	return out
+}
+
+// ImportShards applies decoded shard records to a freshly built
+// engine. Records must cover every shard exactly once (the decoder
+// guarantees count and uniqueness; the index range is re-checked
+// here). Returns the total number of lines re-retired.
+func (e *Engine) ImportShards(states []persist.ShardState) (int, error) {
+	if len(states) != len(e.shards) {
+		return 0, fmt.Errorf("shard: %d persisted shards for %d-shard engine", len(states), len(e.shards))
+	}
+	total := 0
+	for _, st := range states {
+		if st.Index < 0 || st.Index >= len(e.shards) {
+			return 0, fmt.Errorf("shard: persisted shard index %d out of range", st.Index)
+		}
+		n, err := e.shards[st.Index].llc.ImportPersist(st)
+		if err != nil {
+			return total, fmt.Errorf("shard %d: %w", st.Index, err)
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -205,6 +205,14 @@ type StormController struct {
 	sub     *ras.Subscription
 	stopCh  chan struct{}
 	doneCh  chan struct{}
+
+	// The two global detectors live on the struct (not in the loop) so
+	// checkpoint/restore can read and prime their fills. detMu guards
+	// them: the consumer goroutine owns almost every touch, but
+	// PersistState/Resume run from checkpoint and restore paths.
+	detMu    sync.Mutex
+	elevated *ras.RateDetector
+	critical *ras.RateDetector
 }
 
 // NewStormController validates the config and binds a controller to an
@@ -217,7 +225,11 @@ func NewStormController(eng *Engine, cfg StormConfig) (*StormController, error) 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &StormController{eng: eng, cfg: cfg}, nil
+	// validate() guarantees positive rates and window, so detector
+	// construction cannot fail.
+	elevated, _ := ras.NewRateDetector(cfg.ElevatedRate, cfg.Window)
+	critical, _ := ras.NewRateDetector(cfg.CriticalRate, cfg.Window)
+	return &StormController{eng: eng, cfg: cfg, elevated: elevated, critical: critical}, nil
 }
 
 // Config returns the resolved (defaulted) configuration.
@@ -286,8 +298,6 @@ func (s *StormController) Stop() error {
 // a ticker drives additive-slow de-escalation.
 func (s *StormController) loop(stop <-chan struct{}, done chan<- struct{}, sub *ras.Subscription) {
 	defer close(done)
-	elevated, _ := ras.NewRateDetector(s.cfg.ElevatedRate, s.cfg.Window)
-	critical, _ := ras.NewRateDetector(s.cfg.CriticalRate, s.cfg.Window)
 	regions := make(map[int]*ras.RateDetector)
 	groups := s.eng.ParityGroups()
 
@@ -324,9 +334,7 @@ func (s *StormController) loop(stop <-chan struct{}, done chan<- struct{}, sub *
 			}
 			now := time.Now()
 			s.seen.Add(1)
-			// Both global detectors see every weighted event.
-			critTripped := critical.Observe(w, now)
-			elevTripped := elevated.Observe(w, now)
+			critTripped, elevTripped := s.observe(w, now)
 			if critTripped {
 				if s.escalateTo(StormCritical) {
 					quietMark = now
@@ -358,8 +366,7 @@ func (s *StormController) loop(stop <-chan struct{}, done chan<- struct{}, sub *
 			}
 			// De-escalate only once both buckets have drained low and
 			// stayed that way for a full Quiet window.
-			if elevated.Level(now) > 0.25*elevated.Capacity() ||
-				critical.Level(now) > 0.25*critical.Capacity() {
+			if !s.drained(now) {
 				quietMark = now
 				continue
 			}
@@ -369,6 +376,76 @@ func (s *StormController) loop(stop <-chan struct{}, done chan<- struct{}, sub *
 			}
 		}
 	}
+}
+
+// observe feeds one weighted event to both global detectors and
+// reports their trip states.
+func (s *StormController) observe(w float64, now time.Time) (critTripped, elevTripped bool) {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	critTripped = s.critical.Observe(w, now)
+	elevTripped = s.elevated.Observe(w, now)
+	return critTripped, elevTripped
+}
+
+// drained reports whether both global buckets have leaked below a
+// quarter of their trip capacity — the de-escalation precondition.
+func (s *StormController) drained(now time.Time) bool {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return s.elevated.Level(now) <= 0.25*s.elevated.Capacity() &&
+		s.critical.Level(now) <= 0.25*s.critical.Capacity()
+}
+
+// StormResume is the controller state a checkpoint carries across a
+// restart: the ladder levels plus the global detector fills.
+type StormResume struct {
+	State        StormState
+	Peak         StormState
+	ElevatedFill float64
+	CriticalFill float64
+}
+
+// PersistState cuts the controller's resumable state, with the
+// detector fills drained to `now`.
+func (s *StormController) PersistState(now time.Time) StormResume {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return StormResume{
+		State:        s.State(),
+		Peak:         StormState(s.peak.Load()),
+		ElevatedFill: s.elevated.Level(now),
+		CriticalFill: s.critical.Level(now),
+	}
+}
+
+// Resume primes the controller from a persisted cut: the ladder level
+// and peak are restored directly (provenance, not an escalation — no
+// events are emitted and no counters move) and the detector fills are
+// rebased onto this process's clock, so a controller restored
+// mid-storm de-escalates on the same leaky-bucket schedule the dead
+// process would have followed. Call before Start.
+func (s *StormController) Resume(r StormResume, now time.Time) {
+	state := r.State
+	if state < StormNormal {
+		state = StormNormal
+	}
+	if state > StormCritical {
+		state = StormCritical
+	}
+	peak := r.Peak
+	if peak < state {
+		peak = state
+	}
+	if peak > StormCritical {
+		peak = StormCritical
+	}
+	s.state.Store(int32(state))
+	s.peak.Store(int32(peak))
+	s.detMu.Lock()
+	s.elevated.Prime(r.ElevatedFill, now)
+	s.critical.Prime(r.CriticalFill, now)
+	s.detMu.Unlock()
 }
 
 // escalateTo raises the ladder to at least target, reporting whether a

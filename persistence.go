@@ -1,0 +1,365 @@
+// Persistence: crash-consistent checkpoint/restore of the concurrent
+// engine's RAS state, and the background checkpoint daemon that keeps
+// a two-generation snapshot directory fresh.
+//
+// A snapshot captures what a restart cannot re-learn cheaply: per-shard
+// retirement maps and spare assignments, CE leaky buckets, quarantine
+// sets, cumulative counters, the storm controller's ladder level and
+// detector fills, and the scrub daemon's rotation cursor and lifetime
+// totals. Cached user data is deliberately NOT captured — it is
+// refetchable from the backing memory, so a restored engine is cold but
+// remembers every fault it had mapped out. See internal/persist for the
+// wire format and the crash-consistency argument.
+package sudoku
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sudoku/internal/persist"
+	"sudoku/internal/ras"
+	"sudoku/internal/shard"
+)
+
+// Snapshot format/compatibility errors, surfaced from the decoder.
+var (
+	// ErrSnapshotVersion: the snapshot's major format version is not the
+	// one this build implements.
+	ErrSnapshotVersion = persist.ErrVersion
+	// ErrSnapshotCorrupt: structural damage — bad magic, short frames,
+	// CRC mismatches, impossible counts or indices.
+	ErrSnapshotCorrupt = persist.ErrCorrupt
+)
+
+// Checkpoint lifecycle errors.
+var (
+	ErrCheckpointRunning    = persist.ErrDaemonRunning
+	ErrCheckpointNotRunning = persist.ErrDaemonNotRunning
+	// ErrNoCheckpointDir is returned by CheckpointNow when no checkpoint
+	// directory was ever configured.
+	ErrNoCheckpointDir = errors.New("sudoku: no checkpoint directory configured")
+	// ErrGeometryMismatch is returned by a restore whose snapshot was cut
+	// from a differently shaped engine.
+	ErrGeometryMismatch = errors.New("sudoku: snapshot geometry does not match engine")
+	// ErrRestoreNotFresh is returned by a restore into an engine that has
+	// already seen traffic or grown RAS state.
+	ErrRestoreNotFresh = errors.New("sudoku: restore target must be freshly constructed")
+)
+
+// CheckpointStats is the checkpoint daemon's counter snapshot.
+type CheckpointStats = persist.DaemonStats
+
+// DefaultCheckpointInterval paces the checkpoint daemon when the config
+// leaves Interval zero.
+const DefaultCheckpointInterval = time.Minute
+
+// CheckpointConfig parameterizes StartCheckpoints.
+type CheckpointConfig struct {
+	// Dir is the snapshot directory (created if missing). Two
+	// generations are kept: snapshot.current and snapshot.prev.
+	Dir string
+	// Interval is the checkpoint period. Zero selects
+	// DefaultCheckpointInterval.
+	Interval time.Duration
+	// Watchdog, when positive, flags checkpoint writes that exceed it
+	// (a KindScrubStall RAS event, once per stalled write). Zero
+	// disables the watchdog.
+	Watchdog time.Duration
+}
+
+// IsSnapshotNotExist reports whether a RestoreFromDir error means "no
+// snapshot yet" (a cold start) rather than corruption or version skew.
+func IsSnapshotNotExist(err error) bool { return persist.IsNotExist(err) }
+
+// Snapshot cuts the engine's persistable state and writes one encoded
+// snapshot to w. Each shard is cut under its own mutex (per-shard
+// consistent, the same granularity every cross-shard operation has);
+// the fast-path seqlock readers are untouched — a snapshot never
+// mutates, so nothing needs invalidating. Safe to call while traffic,
+// scrub, and storm control are running.
+func (c *Concurrent) Snapshot(w io.Writer) error {
+	c.mu.Lock()
+	c.snapGen++
+	gen := c.snapGen
+	daemon := c.daemon
+	storm := c.storm
+	scrub := c.scrubBase
+	// A restored-but-unconsumed cursor survives re-snapshotting: without
+	// this, checkpointing between a restore and the next StartScrub would
+	// silently rewind the persisted rotation cursor to zero.
+	cursor := c.restoredCursor
+	c.mu.Unlock()
+
+	snap := &persist.Snapshot{
+		Generation: gen,
+		CreatedAt:  time.Now().UnixNano(),
+		Geometry:   c.eng.PersistGeometry(),
+		Shards:     c.eng.ExportShards(),
+	}
+	if storm != nil {
+		r := storm.PersistState(time.Now())
+		snap.Storm = &persist.StormState{
+			State: uint32(r.State), Peak: uint32(r.Peak),
+			ElevatedFill: r.ElevatedFill, CriticalFill: r.CriticalFill,
+		}
+	}
+	if daemon != nil {
+		scrub.Add(daemon.Stats())
+		cursor = daemon.Cursor()
+	}
+	if daemon != nil || scrub != (ScrubDaemonStats{}) {
+		snap.Scrub = &persist.ScrubState{Cursor: cursor, Counters: scrubToCounters(scrub)}
+	}
+	return persist.Encode(w, snap)
+}
+
+// Restore decodes one snapshot from r and applies it to this engine.
+// The engine must be freshly constructed (no traffic, no RAS state)
+// and geometrically identical to the snapshot's source; the scrub
+// daemon must not be running yet. On success the engine is cold but
+// warm-started: every persisted retirement is re-mapped onto a zeroed
+// spare row, quarantines and CE buckets are back, the storm controller
+// (running or started later) resumes at the persisted ladder level,
+// and the next StartScrub begins its first rotation at the persisted
+// cursor.
+func (c *Concurrent) Restore(r io.Reader) error {
+	snap, err := persist.DecodeFrom(r)
+	if err != nil {
+		return err
+	}
+	return c.applySnapshot(snap)
+}
+
+// RestoreFromDir restores from a checkpoint directory, preferring the
+// current generation and falling back to the retained previous one if
+// current is missing, truncated, or corrupt — the crash-recovery path.
+// Use IsSnapshotNotExist to distinguish a cold start (no snapshot ever
+// written) from real damage. The directory is remembered, so a later
+// CheckpointNow or StartCheckpoints with the same directory continues
+// the generation chain.
+func (c *Concurrent) RestoreFromDir(dir string) error {
+	store, err := persist.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	snap, genName, err := store.Load()
+	if err != nil {
+		return err
+	}
+	if err := c.applySnapshot(snap); err != nil {
+		return fmt.Errorf("restore (%s generation): %w", genName, err)
+	}
+	c.mu.Lock()
+	if c.ckptStore == nil {
+		c.ckptStore = store
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// applySnapshot validates and applies a decoded snapshot.
+func (c *Concurrent) applySnapshot(snap *persist.Snapshot) error {
+	if got := c.eng.PersistGeometry(); got != snap.Geometry {
+		return fmt.Errorf("%w: snapshot %+v, engine %+v", ErrGeometryMismatch, snap.Geometry, got)
+	}
+	c.mu.Lock()
+	if c.daemon != nil && c.daemon.Running() {
+		c.mu.Unlock()
+		return errors.New("sudoku: stop the scrub daemon before restoring")
+	}
+	if !c.restoredAt.IsZero() {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: already restored", ErrRestoreNotFresh)
+	}
+	storm := c.storm
+	c.mu.Unlock()
+
+	n, err := c.eng.ImportShards(snap.Shards)
+	if err != nil {
+		return err
+	}
+
+	now := time.Now()
+	var resume *shard.StormResume
+	if snap.Storm != nil {
+		resume = &shard.StormResume{
+			State: StormState(snap.Storm.State), Peak: StormState(snap.Storm.Peak),
+			ElevatedFill: snap.Storm.ElevatedFill, CriticalFill: snap.Storm.CriticalFill,
+		}
+	}
+	if resume != nil && storm != nil {
+		// Controller already constructed: prime it directly.
+		storm.Resume(*resume, now)
+		resume = nil
+	}
+
+	c.mu.Lock()
+	c.snapGen = snap.Generation
+	c.restoredAt = now
+	c.restoredGen = snap.Generation
+	c.restoredLines = n
+	if snap.Scrub != nil {
+		c.scrubBase.Add(countersToScrub(snap.Scrub))
+		c.restoredCursor = snap.Scrub.Cursor
+	}
+	if resume != nil {
+		// No controller yet: StartStormControl picks this up.
+		c.stormResume = resume
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// CheckpointTo writes one snapshot into dir with the two-generation
+// rotation (current demoted to prev), remembering the directory for
+// subsequent CheckpointNow calls. Returns the bytes written.
+func (c *Concurrent) CheckpointTo(dir string) (int64, error) {
+	store, err := persist.NewStore(dir)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.ckptStore = store
+	c.mu.Unlock()
+	return store.Save(c.Snapshot)
+}
+
+// CheckpointNow writes one snapshot through the configured checkpoint
+// directory (set by StartCheckpoints, CheckpointTo, or RestoreFromDir),
+// serialized with any background checkpoint in flight. Returns the
+// bytes written.
+func (c *Concurrent) CheckpointNow() (int64, error) {
+	c.mu.Lock()
+	store := c.ckptStore
+	c.mu.Unlock()
+	if store == nil {
+		return 0, ErrNoCheckpointDir
+	}
+	return store.Save(c.Snapshot)
+}
+
+// StartCheckpoints launches the background checkpoint daemon: one
+// snapshot per interval into cfg.Dir, crash-consistently, with panic
+// recovery (a failing encode path lands a KindDaemonPanic RAS event,
+// never kills the loop) and an optional stall watchdog.
+func (c *Concurrent) StartCheckpoints(cfg CheckpointConfig) error {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultCheckpointInterval
+	}
+	store, err := persist.NewStore(cfg.Dir)
+	if err != nil {
+		return err
+	}
+	d, err := persist.NewDaemon(persist.DaemonConfig{
+		Interval: cfg.Interval,
+		Watchdog: cfg.Watchdog,
+		Save:     func() (int64, error) { return store.Save(c.Snapshot) },
+		OnPanic: func(r any) {
+			c.eng.RecordEvent(ras.Event{
+				Kind: ras.KindDaemonPanic, Line: ras.NoLine, Addr: ras.NoAddr,
+				Detail: fmt.Sprintf("checkpoint: %v", r),
+			})
+		},
+		OnStall: func(elapsed time.Duration) {
+			c.eng.RecordEvent(ras.Event{
+				Kind: ras.KindScrubStall, Line: ras.NoLine, Addr: ras.NoAddr,
+				Detail: fmt.Sprintf("checkpoint write exceeded %v (running %v)", cfg.Watchdog, elapsed.Round(time.Millisecond)),
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.ckpt != nil {
+		if c.ckpt.Running() {
+			c.mu.Unlock()
+			return ErrCheckpointRunning
+		}
+		// Fold the stopped daemon's totals so CheckpointStats stays
+		// cumulative across stop/start cycles, like ScrubStats.
+		c.ckptBase.Add(c.ckpt.Stats())
+		c.ckpt = nil
+	}
+	c.ckptStore = store
+	c.ckpt = d
+	c.mu.Unlock()
+	return d.Start()
+}
+
+// StopCheckpoints stops the background checkpoint daemon after any
+// write in flight completes. The checkpoint directory stays configured,
+// so CheckpointNow still works afterwards — the shutdown path takes a
+// final explicit cut after stopping the daemon.
+func (c *Concurrent) StopCheckpoints() error {
+	// Copy the pointer first: Stop waits for a Save in flight, and Save
+	// calls Snapshot, which takes c.mu — holding it here would deadlock.
+	c.mu.Lock()
+	d := c.ckpt
+	c.mu.Unlock()
+	if d == nil {
+		return ErrCheckpointNotRunning
+	}
+	return d.Stop()
+}
+
+// CheckpointStats returns the checkpoint daemon's counters, cumulative
+// across stop/start cycles (zero value if a daemon never started).
+func (c *Concurrent) CheckpointStats() CheckpointStats {
+	c.mu.Lock()
+	total := c.ckptBase
+	d := c.ckpt
+	c.mu.Unlock()
+	if d != nil {
+		total.Add(d.Stats())
+	}
+	return total
+}
+
+func (c *Concurrent) checkpointDaemon() *persist.Daemon {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckpt
+}
+
+// scrubToCounters flattens cumulative scrub-daemon stats into the
+// canonical persisted block (persist.Scrub* index order).
+func scrubToCounters(s ScrubDaemonStats) []int64 {
+	cnt := make([]int64, persist.NumScrubCounters)
+	cnt[persist.ScrubRotations] = int64(s.Rotations)
+	cnt[persist.ScrubShardPasses] = int64(s.ShardPasses)
+	cnt[persist.ScrubBackpressure] = int64(s.Backpressure)
+	cnt[persist.ScrubStalls] = int64(s.Stalls)
+	cnt[persist.ScrubPanics] = int64(s.Panics)
+	cnt[persist.ScrubIntervalNs] = int64(s.Interval)
+	cnt[persist.ScrubPasses] = int64(s.Scrub.Passes)
+	cnt[persist.ScrubSingleRepairs] = int64(s.Scrub.SingleRepairs)
+	cnt[persist.ScrubSDRRepairs] = int64(s.Scrub.SDRRepairs)
+	cnt[persist.ScrubRAIDRepairs] = int64(s.Scrub.RAIDRepairs)
+	cnt[persist.ScrubHash2Repairs] = int64(s.Scrub.Hash2Repairs)
+	cnt[persist.ScrubDUELines] = int64(s.Scrub.DUELines)
+	cnt[persist.ScrubErrors] = int64(s.Scrub.Errors)
+	return cnt
+}
+
+// countersToScrub is the inverse, tolerant of shorter (older-minor)
+// blocks via ScrubCounter's zero default.
+func countersToScrub(st *persist.ScrubState) ScrubDaemonStats {
+	var s ScrubDaemonStats
+	s.Rotations = int(st.ScrubCounter(persist.ScrubRotations))
+	s.ShardPasses = int(st.ScrubCounter(persist.ScrubShardPasses))
+	s.Backpressure = int(st.ScrubCounter(persist.ScrubBackpressure))
+	s.Stalls = int(st.ScrubCounter(persist.ScrubStalls))
+	s.Panics = int(st.ScrubCounter(persist.ScrubPanics))
+	s.Interval = time.Duration(st.ScrubCounter(persist.ScrubIntervalNs))
+	s.Scrub.Passes = int(st.ScrubCounter(persist.ScrubPasses))
+	s.Scrub.SingleRepairs = int(st.ScrubCounter(persist.ScrubSingleRepairs))
+	s.Scrub.SDRRepairs = int(st.ScrubCounter(persist.ScrubSDRRepairs))
+	s.Scrub.RAIDRepairs = int(st.ScrubCounter(persist.ScrubRAIDRepairs))
+	s.Scrub.Hash2Repairs = int(st.ScrubCounter(persist.ScrubHash2Repairs))
+	s.Scrub.DUELines = int(st.ScrubCounter(persist.ScrubDUELines))
+	s.Scrub.Errors = int(st.ScrubCounter(persist.ScrubErrors))
+	return s
+}

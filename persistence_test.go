@@ -1,0 +1,337 @@
+package sudoku
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sudoku/internal/persist"
+)
+
+// persistConfig arms retirement and quarantine with low thresholds so a
+// few scrub passes grow real RAS state to persist.
+func persistConfig() Config {
+	cfg := smallConfig(SuDokuZ)
+	cfg.Shards = 4
+	cfg.Seed = 7
+	cfg.RetireCEThreshold = 2
+	cfg.SpareLines = 2
+	cfg.QuarantineAuditPasses = 1
+	return cfg
+}
+
+// growRASState plants a stuck-at cell and a parity fault, then scrubs
+// until both a retirement and a quarantine exist.
+func growRASState(t *testing.T, c *Concurrent) {
+	t.Helper()
+	buf := make([]byte, 64)
+	if err := c.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectStuckAt(0, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	// Global line 1 interleaves to shard 1, sub-line 0, Hash-1 group 0;
+	// the audit only quarantines groups with resident members.
+	if err := c.Write(64, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectParityFault(1, 0, 17); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Scrub(); err != nil {
+			t.Fatal(err)
+		}
+		h := c.Health()
+		if h.RetiredLines > 0 && h.QuarantinedRegions > 0 {
+			return
+		}
+	}
+	t.Fatalf("RAS state did not grow: %+v", c.Health())
+}
+
+// TestSnapshotRestoreWarmStart is the end-to-end warm restart: engine A
+// grows retirement, quarantine, scrub totals, and an escalated storm
+// ladder; engine B restores the snapshot and must carry all of it.
+func TestSnapshotRestoreWarmStart(t *testing.T) {
+	cfg := persistConfig()
+	a, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growRASState(t, a)
+
+	// A hair-trigger elevated bar (critical unreachable, quiet far away)
+	// pins the ladder up so the snapshot carries a non-normal state.
+	stormCfg := StormConfig{
+		ElevatedRate: 0.001, CriticalRate: 1 << 20,
+		Window: 50 * time.Millisecond, Quiet: time.Hour,
+	}
+	if err := a.StartStormControl(stormCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectRandomFaults(3, 500); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.StormState() == StormNormal && time.Now().Before(deadline) {
+		if _, err := a.Scrub(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.StormState() == StormNormal {
+		t.Fatal("storm ladder never escalated")
+	}
+	// Let the daemon run briefly so scrub totals and a cursor exist.
+	if err := a.StartScrub(ScrubDaemonConfig{Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	for a.ScrubStats().ShardPasses == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.StopScrub(); err != nil {
+		t.Fatal(err)
+	}
+
+	ha, aStats, aScrub := a.Health(), a.Stats(), a.ScrubStats()
+	var snap bytes.Buffer
+	if err := a.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	wire := bytes.Clone(snap.Bytes())
+
+	b, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	hb := b.Health()
+	if hb.RestoredAt.IsZero() || hb.SnapshotGeneration == 0 {
+		t.Fatalf("restore provenance missing: %+v", hb)
+	}
+	if hb.RestoredLines != ha.RetiredLines {
+		t.Fatalf("restored %d lines, source retired %d", hb.RestoredLines, ha.RetiredLines)
+	}
+	if hb.RetiredLines != ha.RetiredLines || hb.QuarantinedRegions != ha.QuarantinedRegions ||
+		hb.SparesFree != ha.SparesFree {
+		t.Fatalf("RAS state not carried: restored %+v, source %+v", hb, ha)
+	}
+	if got := b.Stats(); got != aStats {
+		t.Fatalf("counters not carried:\n got %+v\nwant %+v", got, aStats)
+	}
+	if got := b.ScrubStats(); got != aScrub {
+		t.Fatalf("scrub totals not carried:\n got %+v\nwant %+v", got, aScrub)
+	}
+
+	// The storm ladder resumes at the persisted level the moment the
+	// controller starts.
+	if err := b.StartStormControl(stormCfg); err != nil {
+		t.Fatal(err)
+	}
+	defer b.StopStormControl()
+	if got, want := b.StormState(), a.StormState(); got != want {
+		t.Fatalf("storm resumed at %v, source was %v", got, want)
+	}
+
+	// A restored engine is cold: reading a retired line succeeds (zeroed
+	// spare / backing refetch), it does not fault.
+	rbuf := make([]byte, 64)
+	if err := b.ReadInto(0, rbuf); err != nil {
+		t.Fatalf("read of restored retired line: %v", err)
+	}
+
+	// Re-snapshotting B before its daemons start must preserve the
+	// scrub cursor and per-shard state bit-for-bit comparable.
+	var resnap bytes.Buffer
+	if err := b.Snapshot(&resnap); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := persist.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := persist.Decode(resnap.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Scrub == nil || re.Scrub == nil || re.Scrub.Cursor != orig.Scrub.Cursor {
+		t.Fatalf("scrub cursor lost across restore: %+v vs %+v", re.Scrub, orig.Scrub)
+	}
+	for i := range orig.Shards {
+		if len(re.Shards[i].Retired) != len(orig.Shards[i].Retired) ||
+			len(re.Shards[i].Quarantined) != len(orig.Shards[i].Quarantined) ||
+			re.Shards[i].SpareUsed != orig.Shards[i].SpareUsed {
+			t.Fatalf("shard %d diverged after restore", i)
+		}
+	}
+	_ = a.StopStormControl()
+}
+
+// TestRestoreRejections: every way a restore must refuse.
+func TestRestoreRejections(t *testing.T) {
+	cfg := persistConfig()
+	a, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growRASState(t, a)
+	var snap bytes.Buffer
+	if err := a.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	wire := snap.Bytes()
+
+	// Geometry mismatch.
+	other := cfg
+	other.Shards = 8
+	m, err := NewConcurrent(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(bytes.NewReader(wire)); !errors.Is(err, ErrGeometryMismatch) {
+		t.Fatalf("mismatched restore = %v, want ErrGeometryMismatch", err)
+	}
+
+	// Not fresh: the target has already seen traffic.
+	dirty, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.Write(64, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.Restore(bytes.NewReader(wire)); err == nil {
+		t.Fatal("restore into a dirty engine accepted")
+	}
+
+	// Running scrub daemon.
+	busy, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := busy.StartScrub(ScrubDaemonConfig{Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := busy.Restore(bytes.NewReader(wire)); err == nil {
+		t.Fatal("restore with a running scrub daemon accepted")
+	}
+	_ = busy.StopScrub()
+
+	// Double restore.
+	b, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(bytes.NewReader(wire)); !errors.Is(err, ErrRestoreNotFresh) {
+		t.Fatalf("second restore = %v, want ErrRestoreNotFresh", err)
+	}
+
+	// Corrupt wire surfaces the typed decoder error.
+	c2, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Restore(bytes.NewReader(wire[:len(wire)/2])); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated restore = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestCheckpointLifecycle: the background daemon, the manual cut, the
+// two-generation fallback, and the health surface.
+func TestCheckpointLifecycle(t *testing.T) {
+	cfg := persistConfig()
+	c, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckpointNow(); !errors.Is(err, ErrNoCheckpointDir) {
+		t.Fatalf("CheckpointNow without dir = %v, want ErrNoCheckpointDir", err)
+	}
+	if err := c.StopCheckpoints(); !errors.Is(err, ErrCheckpointNotRunning) {
+		t.Fatalf("StopCheckpoints before start = %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := c.StartCheckpoints(CheckpointConfig{Dir: dir, Interval: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartCheckpoints(CheckpointConfig{Dir: dir}); !errors.Is(err, ErrCheckpointRunning) {
+		t.Fatalf("double start = %v, want ErrCheckpointRunning", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.CheckpointStats().Writes < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.CheckpointStats().Writes < 2 {
+		t.Fatalf("daemon wrote %d checkpoints", c.CheckpointStats().Writes)
+	}
+	h := c.Health()
+	if !h.CheckpointRunning || h.LastCheckpoint.IsZero() || h.CheckpointStale {
+		t.Fatalf("checkpoint health: %+v", h)
+	}
+	if err := c.StopCheckpoints(); err != nil {
+		t.Fatal(err)
+	}
+	base := c.CheckpointStats().Writes
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow state, cut a generation, then one more so prev holds the
+	// first; truncating current must fall back.
+	growRASState(t, c)
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	marker := c.Health().RetiredLines
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, persist.CurrentName)
+	raw, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreFromDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Health().RetiredLines; got != marker {
+		t.Fatalf("prev-generation restore carried %d retirements, want %d", got, marker)
+	}
+	// The restored engine remembers the directory: a new cut continues
+	// the generation chain.
+	if _, err := b.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative stats survived the stop/start cycle.
+	if c.CheckpointStats().Writes < base {
+		t.Fatal("checkpoint stats regressed after stop")
+	}
+
+	// Cold start classification.
+	cold, err := NewConcurrent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cold.RestoreFromDir(t.TempDir())
+	if err == nil || !IsSnapshotNotExist(err) {
+		t.Fatalf("cold RestoreFromDir = %v, want not-exist", err)
+	}
+}

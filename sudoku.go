@@ -34,6 +34,7 @@ import (
 	"sudoku/internal/dram"
 	"sudoku/internal/faultmodel"
 	"sudoku/internal/faultsim"
+	"sudoku/internal/persist"
 	"sudoku/internal/ras"
 	"sudoku/internal/rng"
 	"sudoku/internal/scrubber"
@@ -261,6 +262,31 @@ type Health struct {
 	// headline: anything above StormNormal means the engine is actively
 	// compensating for clustered-fault pressure.
 	Storm StormStats
+	// RestoredAt is when this engine warm-started from a snapshot (zero
+	// for a cold start; Concurrent only).
+	RestoredAt time.Time
+	// SnapshotGeneration is the generation of the most recent snapshot
+	// cut or restored (0 before either).
+	SnapshotGeneration uint64
+	// RestoredLines is the number of lines re-retired onto spares during
+	// the restore.
+	RestoredLines int
+	// CheckpointRunning reports whether the background checkpoint daemon
+	// is live.
+	CheckpointRunning bool
+	// LastCheckpoint is the completion time of the most recent
+	// background checkpoint write (zero before the first).
+	LastCheckpoint time.Time
+	// CheckpointAge is the time since LastCheckpoint (0 when none yet).
+	CheckpointAge time.Duration
+	// CheckpointStale reports a running checkpoint daemon that has not
+	// completed a write within three intervals — the 503 condition for
+	// health endpoints, mirroring ScrubStalled.
+	CheckpointStale bool
+	// CheckpointWrites / CheckpointFailures are the daemon's cumulative
+	// write outcomes.
+	CheckpointWrites   int64
+	CheckpointFailures int64
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -606,6 +632,23 @@ type Concurrent struct {
 	// StartStormControl. A daemon started afterwards gets its policy
 	// wrapped with the storm interval override.
 	storm *shard.StormController
+
+	// Checkpoint/restore state (persistence.go). ckpt is the background
+	// checkpoint daemon, ckptStore the two-generation snapshot store it
+	// writes through, ckptBase the folded totals of stopped daemons, and
+	// snapGen the monotone snapshot generation counter.
+	ckpt      *persist.Daemon
+	ckptStore *persist.Store
+	ckptBase  CheckpointStats
+	snapGen   uint64
+	// Restore provenance (Health) and warm-restart hand-offs: the scrub
+	// cursor consumed by the next StartScrub, the storm resume consumed
+	// by the next StartStormControl.
+	restoredAt     time.Time
+	restoredGen    uint64
+	restoredLines  int
+	restoredCursor int
+	stormResume    *shard.StormResume
 }
 
 // NewConcurrent builds the sharded engine. cfg.Shards selects the
@@ -753,6 +796,12 @@ func (c *Concurrent) StartScrub(cfg ScrubDaemonConfig) error {
 		// policy (possibly nil) still governs Normal operation.
 		cfg.Policy = c.storm.Policy(cfg.Policy)
 	}
+	if cfg.StartShard == 0 && c.restoredCursor > 0 {
+		// One-shot warm-restart hand-off: the first rotation resumes
+		// where the persisted scrub cursor left off.
+		cfg.StartShard = c.restoredCursor
+		c.restoredCursor = 0
+	}
 	d, err := shard.NewScrubDaemon(c.eng, cfg)
 	if err != nil {
 		return err
@@ -819,6 +868,22 @@ func (c *Concurrent) Health() Health {
 	if ctl := c.stormController(); ctl != nil {
 		h.Storm = ctl.Stats()
 	}
+	c.mu.Lock()
+	h.RestoredAt = c.restoredAt
+	h.SnapshotGeneration = c.snapGen
+	h.RestoredLines = c.restoredLines
+	c.mu.Unlock()
+	if d := c.checkpointDaemon(); d != nil {
+		h.CheckpointRunning = d.Running()
+		h.CheckpointStale = d.Stale()
+		if last := d.LastWrite(); !last.IsZero() {
+			h.LastCheckpoint = last
+			h.CheckpointAge = time.Since(last)
+		}
+		ck := c.CheckpointStats()
+		h.CheckpointWrites = ck.Writes
+		h.CheckpointFailures = ck.Failures
+	}
 	return h
 }
 
@@ -840,6 +905,7 @@ func (c *Concurrent) NewRegistry() *Registry {
 	registerShards(r, c.eng)
 	registerScrubDaemon(r, c)
 	registerStorm(r, c)
+	registerCheckpoint(r, c)
 	return r
 }
 
@@ -921,6 +987,12 @@ func (c *Concurrent) StartStormControl(cfg StormConfig) error {
 	ctl, err := shard.NewStormController(c.eng, cfg)
 	if err != nil {
 		return err
+	}
+	if c.stormResume != nil {
+		// One-shot warm-restart hand-off: re-arm the ladder level and
+		// detector fills persisted by the dead process.
+		ctl.Resume(*c.stormResume, time.Now())
+		c.stormResume = nil
 	}
 	if err := ctl.Start(); err != nil {
 		return err

@@ -212,3 +212,41 @@ func registerStorm(r *Registry, c *Concurrent) {
 	r.Counter("sudoku_storm_events_total", "Weighted RAS events the controller consumed.",
 		sstat(func(s StormStats) int64 { return s.EventsSeen }))
 }
+
+// registerCheckpoint registers the checkpoint daemon's series. The
+// closures go through Concurrent.CheckpointStats, so they survive
+// daemon restarts and read zero before the first StartCheckpoints.
+func registerCheckpoint(r *Registry, c *Concurrent) {
+	kstat := func(pick func(CheckpointStats) int64) func() int64 {
+		return func() int64 { return pick(c.CheckpointStats()) }
+	}
+	r.Counter("sudoku_checkpoint_writes_total", "Completed background checkpoint writes.",
+		kstat(func(s CheckpointStats) int64 { return s.Writes }))
+	r.Counter("sudoku_checkpoint_failures_total", "Failed background checkpoint writes.",
+		kstat(func(s CheckpointStats) int64 { return s.Failures }))
+	r.Counter("sudoku_checkpoint_panics_total", "Panics recovered inside the checkpoint loop.",
+		kstat(func(s CheckpointStats) int64 { return s.Panics }))
+	r.Counter("sudoku_checkpoint_stalls_total", "Checkpoint writes the watchdog flagged as stalled.",
+		kstat(func(s CheckpointStats) int64 { return s.Stalls }))
+	r.Gauge("sudoku_checkpoint_bytes", "Size of the most recent successful checkpoint.",
+		func() float64 { return float64(c.CheckpointStats().LastBytes) })
+	r.Gauge("sudoku_checkpoint_running", "1 while the checkpoint daemon loop is live.",
+		func() float64 {
+			if d := c.checkpointDaemon(); d != nil && d.Running() {
+				return 1
+			}
+			return 0
+		})
+	r.Gauge("sudoku_checkpoint_age_seconds", "Seconds since the most recent background checkpoint completed (0 before the first).",
+		func() float64 {
+			d := c.checkpointDaemon()
+			if d == nil {
+				return 0
+			}
+			last := d.LastWrite()
+			if last.IsZero() {
+				return 0
+			}
+			return time.Since(last).Seconds()
+		})
+}
