@@ -131,6 +131,43 @@ func BenchmarkScrubPass(b *testing.B) {
 	}
 }
 
+// BenchmarkReadHitUntraced measures the engine-level resident read hit
+// with no trace attached — the default path every untraced request
+// takes. reqtrace costs this path exactly one nil check per potential
+// span site; the gate below holds it at 0 allocs/op.
+func BenchmarkReadHitUntraced(b *testing.B) {
+	c, addrs := contendedFixture(b, false)
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ReadInto(addrs[i%len(addrs)], buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadHitTraced measures the same read with the full trace
+// bracket (Begin, ReadIntoTraced, Finish): span notes into a pooled
+// fixed-capacity buffer, tail-sampling verdict at Finish. A clean hit
+// never publishes, so the traced steady state must also stay at
+// 0 allocs/op; the ns/op delta against BenchmarkReadHitUntraced is the
+// reqtrace_overhead entry in BENCH_hotpath.json.
+func BenchmarkReadHitTraced(b *testing.B) {
+	c, addrs := contendedFixture(b, false)
+	tp := c.Tracer()
+	buf := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tp.Begin(uint64(i)+1, 'R')
+		if err := c.ReadIntoTraced(addrs[i%len(addrs)], buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		tp.Finish(tr)
+	}
+}
+
 // contendedFixture builds a sharded engine with 64 resident lines, the
 // seqlock fast path on or off (DisableFastReads=true is the locked
 // baseline the contended gate compares against).

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"sudoku/internal/server/wire"
@@ -35,23 +36,32 @@ type Options struct {
 	// Zero means no client-side bound (the server still applies its
 	// batch-scaled deadline).
 	HTTPTimeout time.Duration
+	// NextTraceID overrides per-request trace-id generation (tests pin
+	// ids with this). Default is an atomic counter seeded from the
+	// wall clock at New, so ids are unique within a process and
+	// distinct across restarts.
+	NextTraceID func() uint64
 }
 
 // Client is safe for concurrent use; all requests share one h2c
 // connection pool.
 type Client struct {
-	base  string
-	codec uint8
-	hc    *http.Client
+	base   string
+	codec  uint8
+	nextID func() uint64
+	hc     *http.Client
 	// evhc has no timeout: event streams are open-ended.
 	evhc *http.Client
 }
 
 // ShedError is a server rejection from admission control or rate
-// limiting. RetryAfter is the server's backoff hint.
+// limiting. RetryAfter is the server's backoff hint; TraceID is the
+// request's trace id as echoed by the server, so a shed request can be
+// found in the server's flight recorder.
 type ShedError struct {
 	Detail     string
 	RetryAfter time.Duration
+	TraceID    uint64
 }
 
 func (e *ShedError) Error() string {
@@ -94,11 +104,18 @@ func New(opts Options) *Client {
 		tr.Protocols.SetUnencryptedHTTP2(true)
 		return tr
 	}
+	nextID := opts.NextTraceID
+	if nextID == nil {
+		ctr := new(atomic.Uint64)
+		ctr.Store(uint64(time.Now().UnixNano()))
+		nextID = func() uint64 { return ctr.Add(1) }
+	}
 	return &Client{
-		base:  "http://" + opts.Addr,
-		codec: opts.Codec,
-		hc:    &http.Client{Transport: h2c(), Timeout: opts.HTTPTimeout},
-		evhc:  &http.Client{Transport: h2c()},
+		base:   "http://" + opts.Addr,
+		codec:  opts.Codec,
+		nextID: nextID,
+		hc:     &http.Client{Transport: h2c(), Timeout: opts.HTTPTimeout},
+		evhc:   &http.Client{Transport: h2c()},
 	}
 }
 
@@ -109,8 +126,12 @@ func (c *Client) do(ctx context.Context, op uint8, req *wire.Request) (*wire.Res
 	if err != nil {
 		return nil, err
 	}
+	id := c.nextID()
 	var body bytes.Buffer
-	if err := wire.WriteFrame(&body, wire.Header{Version: wire.Version, Codec: c.codec, Op: op}, payload); err != nil {
+	if err := wire.WriteFrame(&body, wire.Header{
+		Version: wire.Version, Codec: c.codec, Op: op,
+		Flags: wire.FlagTrace, TraceID: id,
+	}, payload); err != nil {
 		return nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/op", &body)
@@ -131,14 +152,25 @@ func (c *Client) do(ctx context.Context, op uint8, req *wire.Request) (*wire.Res
 	if err != nil {
 		return nil, err
 	}
+	// The server echoes the trace id on every response to a frame it
+	// managed to parse; a mismatched echo means crossed frames. A
+	// structural error keeps its own detail — the server may have
+	// rejected the frame before it saw the id.
+	if h.Flags&wire.FlagTrace != 0 && h.TraceID != id {
+		return nil, fmt.Errorf("client: trace id mismatch: sent %016x, echoed %016x", id, h.TraceID)
+	}
 	switch resp.Status {
 	case wire.StatusShed:
 		return nil, &ShedError{
 			Detail:     resp.Detail,
 			RetryAfter: time.Duration(resp.RetryAfterMillis) * time.Millisecond,
+			TraceID:    h.TraceID,
 		}
 	case wire.StatusError:
 		return nil, fmt.Errorf("client: server error (HTTP %d): %s", hresp.StatusCode, resp.Detail)
+	}
+	if h.Flags&wire.FlagTrace == 0 {
+		return nil, fmt.Errorf("client: response dropped trace context (sent %016x)", id)
 	}
 	return resp, nil
 }

@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +42,7 @@ import (
 
 	"sudoku"
 	"sudoku/client"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/server"
 	"sudoku/internal/server/lifecycle"
 	"sudoku/internal/server/tenant"
@@ -191,6 +193,7 @@ func run(args []string, out io.Writer) error {
 	mux.Handle("/v1/", srv.Handler())
 	mux.Handle("/metrics", metrics)
 	mux.Handle("/healthz", healthz(eng.Health))
+	mux.Handle("/debug/flightrec", reqtrace.Handler(eng.Tracer()))
 	for _, t := range reg.Tenants() {
 		fmt.Fprintf(out, "tenant %s: lines [%d, %d) priority %v\n",
 			t.Name(), t.BaseLine(), t.BaseLine()+t.Lines(), t.Priority())
@@ -377,7 +380,10 @@ func startCampaignStepper(eng *sudoku.Concurrent, plan *sudoku.FaultPlan, period
 }
 
 // healthz serves the engine Health JSON, 503 while the scrub watchdog
-// flags a stalled pass or the checkpoint daemon has gone stale.
+// flags a stalled pass or the checkpoint daemon has gone stale. The
+// trace fields are informational only: flight-recorder drops mean
+// sampler contention, never unhealthy, and last_anomaly_age_ns is -1
+// when nothing anomalous was ever recorded.
 func healthz(health func() sudoku.Health) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := health()
@@ -385,9 +391,10 @@ func healthz(health func() sudoku.Health) http.HandlerFunc {
 		if h.ScrubStalled || h.CheckpointStale {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintf(w, `{"storm":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d,"snapshot_generation":%d,"checkpoint_writes":%d}`+"\n",
+		fmt.Fprintf(w, `{"storm":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d,"snapshot_generation":%d,"checkpoint_writes":%d,"traces_published":%d,"trace_drops":%d,"last_anomaly_age_ns":%d}`+"\n",
 			h.Storm.State.String(), h.ScrubRunning, h.RetiredLines, h.EventsDropped,
-			h.SnapshotGeneration, h.CheckpointWrites)
+			h.SnapshotGeneration, h.CheckpointWrites,
+			h.TracesPublished, h.TraceDrops, int64(h.LastAnomalyAge))
 	}
 }
 
@@ -500,6 +507,22 @@ func selfcheck(mux *http.ServeMux, drains []lifecycle.Step, out io.Writer) error
 	}
 	if series[`sudoku_server_requests_total{outcome="ok",tenant="alpha"}`] < 8 {
 		return fmt.Errorf("selfcheck metrics: request counter did not advance")
+	}
+	if series["sudoku_traces_begun_total"] < 8 {
+		return fmt.Errorf("selfcheck metrics: traces_begun did not advance — wire trace context lost")
+	}
+
+	frResp, err := http.Get("http://" + addr + "/debug/flightrec")
+	if err != nil {
+		return fmt.Errorf("selfcheck flightrec: %w", err)
+	}
+	defer frResp.Body.Close()
+	var rec sudoku.FlightRecord
+	if err := json.NewDecoder(frResp.Body).Decode(&rec); err != nil {
+		return fmt.Errorf("selfcheck flightrec JSON: %w", err)
+	}
+	if rec.Begun < 8 {
+		return fmt.Errorf("selfcheck flightrec: begun_total = %d, want the client ops traced", rec.Begun)
 	}
 
 	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -10,10 +10,22 @@
 // expositions with the strict checker, and fails unless every counter
 // is monotone and the traffic counters actually advanced.
 //
+// The daemon also exposes the request-tracing flight recorder at
+// /debug/flightrec: the synthetic fleet stamps every ~64th operation
+// with a trace id, the engine records its repair-ladder rung sequence,
+// and the tail sampler keeps the anomalous ones. With -campaign the
+// scrub-period fault source is a compiled correlated campaign (burst,
+// hotspot, ...) instead of uniform storm scatter, which reliably
+// drives traced operations through the deep rungs; -selfcheck then
+// also gates the flight recorder (non-empty, monotone span
+// timestamps, ladder-ordered rungs) via a deterministic deep-repair
+// probe.
+//
 // Usage:
 //
 //	sudoku-metricsd [-addr :9090] [-cachemb 1] [-shards 0] [-seed 1]
-//	                [-scrub 20ms] [-storm 50] [-load 4] [-readfrac 0.7]
+//	                [-scrub 20ms] [-storm 50] [-campaign name|file.json]
+//	                [-campintervals 64] [-load 4] [-readfrac 0.7]
 //	                [-events] [-selfcheck]
 package main
 
@@ -35,6 +47,7 @@ import (
 	"time"
 
 	"sudoku"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/rng"
 	"sudoku/internal/server/lifecycle"
 	"sudoku/internal/telemetry"
@@ -48,19 +61,21 @@ func main() {
 }
 
 type options struct {
-	addr      string
-	cachemb   int
-	shards    int
-	seed      uint64
-	scrub     time.Duration
-	storm     int
-	load      int
-	readfrac  float64
-	events    bool
-	selfcheck bool
-	ckptDir   string
-	ckptEvery time.Duration
-	restore   bool
+	addr          string
+	cachemb       int
+	shards        int
+	seed          uint64
+	scrub         time.Duration
+	storm         int
+	campaign      string
+	campintervals int
+	load          int
+	readfrac      float64
+	events        bool
+	selfcheck     bool
+	ckptDir       string
+	ckptEvery     time.Duration
+	restore       bool
 }
 
 func run(args []string, out io.Writer) error {
@@ -71,7 +86,9 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = auto)")
 	fs.Uint64Var(&o.seed, "seed", 1, "random seed")
 	fs.DurationVar(&o.scrub, "scrub", 20*time.Millisecond, "scrub interval")
-	fs.IntVar(&o.storm, "storm", 50, "faults injected per scrub interval (0 = off)")
+	fs.IntVar(&o.storm, "storm", 50, "faults injected per scrub interval (0 = off), or campaign base budget")
+	fs.StringVar(&o.campaign, "campaign", "", "correlated-fault campaign: preset name or JSON file (replaces uniform storm)")
+	fs.IntVar(&o.campintervals, "campintervals", 64, "intervals a preset campaign is sized to before wrapping")
 	fs.IntVar(&o.load, "load", 4, "synthetic load goroutines (0 = serve an idle engine)")
 	fs.Float64Var(&o.readfrac, "readfrac", 0.7, "fraction of synthetic operations that are reads")
 	fs.BoolVar(&o.events, "events", false, "stream RAS events to stdout via a live tap")
@@ -128,14 +145,24 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer func() { _ = c.StopStormControl() }()
-	if err := c.StartScrub(sudoku.ScrubDaemonConfig{
-		Interval:     o.scrub,
-		StormPerPass: storms(o.storm, c.Shards()),
-		Watchdog:     10 * o.scrub,
-	}); err != nil {
+	scrubCfg := sudoku.ScrubDaemonConfig{Interval: o.scrub, Watchdog: 10 * o.scrub}
+	if o.campaign == "" {
+		scrubCfg.StormPerPass = storms(o.storm, c.Shards())
+	}
+	if err := c.StartScrub(scrubCfg); err != nil {
 		return err
 	}
 	defer func() { _ = c.StopScrub() }()
+	if o.campaign != "" {
+		plan, err := compileCampaign(o, c.Geometry())
+		if err != nil {
+			return err
+		}
+		stopCampaign := startCampaignStepper(c, plan, o.scrub)
+		defer stopCampaign()
+		fmt.Fprintf(out, "campaign %s: %d intervals, stepping every %v\n",
+			o.campaign, plan.Intervals(), o.scrub)
+	}
 	if o.ckptDir != "" {
 		if err := c.StartCheckpoints(sudoku.CheckpointConfig{
 			Dir:      o.ckptDir,
@@ -149,7 +176,7 @@ func run(args []string, out io.Writer) error {
 
 	reg := c.NewRegistry()
 	publishExpvar(reg)
-	mux := newMux(reg, c.Health)
+	mux := newMux(reg, c.Health, c.Tracer())
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -160,7 +187,7 @@ func run(args []string, out io.Writer) error {
 	}()
 
 	if o.selfcheck {
-		return selfcheck(mux, out)
+		return selfcheck(mux, c, out)
 	}
 
 	if o.events {
@@ -227,13 +254,97 @@ func startLoad(o options, c *sudoku.Concurrent, stop <-chan struct{}, wg *sync.W
 					}
 				}
 				addr := src.Uint64n(lines) * 64
+				// Every ~64th operation carries trace context, so the
+				// flight recorder and the latency exemplars see a steady
+				// sampled slice of the synthetic traffic.
+				traced := n%64 == 0
+				id := uint64(g+1)<<32 | uint64(n)
 				if src.Float64() < o.readfrac {
-					_ = c.ReadInto(addr, rbuf)
+					if traced {
+						_, _ = c.TraceRead(id, addr, rbuf)
+					} else {
+						_ = c.ReadInto(addr, rbuf)
+					}
 				} else {
-					_ = c.Write(addr, buf)
+					if traced {
+						_, _ = c.TraceWrite(id, addr, buf)
+					} else {
+						_ = c.Write(addr, buf)
+					}
 				}
 			}
 		}(g, src)
+	}
+}
+
+// compileCampaign resolves -campaign: preset names are sized to
+// -campintervals with -storm as base budget; anything else is read as
+// campaign JSON.
+func compileCampaign(o options, geom sudoku.FaultGeometry) (*sudoku.FaultPlan, error) {
+	var cam sudoku.FaultCampaign
+	isPreset := false
+	for _, p := range sudoku.CampaignPresetNames() {
+		if p == o.campaign {
+			isPreset = true
+			break
+		}
+	}
+	if isPreset {
+		base := o.storm
+		if base <= 0 {
+			base = 1
+		}
+		var err error
+		cam, err = sudoku.CampaignPreset(o.campaign, o.campintervals, base)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		data, err := os.ReadFile(o.campaign)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %q: %w", o.campaign, err)
+		}
+		cam, err = sudoku.ParseCampaign(data)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %q: %w", o.campaign, err)
+		}
+	}
+	return sudoku.CompileCampaign(cam, geom, o.seed)
+}
+
+// startCampaignStepper fires plan interval i at wall-clock i×period,
+// wrapping for as long as the daemon runs; clock-anchored so lock
+// contention cannot dilate a bounded burst window.
+func startCampaignStepper(c *sudoku.Concurrent, plan *sudoku.FaultPlan, period time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(doneCh)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		last := -1
+		for {
+			select {
+			case <-stopCh:
+				return
+			case now := <-ticker.C:
+				i := int(now.Sub(start) / period)
+				if i <= last {
+					continue
+				}
+				last = i
+				ip, err := plan.At(i % plan.Intervals())
+				if err != nil {
+					return
+				}
+				_, _ = c.ApplyFaults(ip)
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
 	}
 }
 
@@ -264,11 +375,12 @@ func publishExpvar(reg *sudoku.Registry) {
 }
 
 // newMux wires the observability surface: Prometheus exposition,
-// health JSON, expvar, and pprof.
-func newMux(reg *sudoku.Registry, health func() sudoku.Health) *http.ServeMux {
+// health JSON, the flight recorder, expvar, and pprof.
+func newMux(reg *sudoku.Registry, health func() sudoku.Health, tp *sudoku.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg)
 	mux.Handle("/healthz", healthzHandler(health))
+	mux.Handle("/debug/flightrec", reqtrace.Handler(tp))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -302,7 +414,7 @@ func serve(addr string, mux *http.ServeMux, c *sudoku.Concurrent, out io.Writer)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "routes: /metrics /healthz /debug/vars /debug/pprof/\n")
+	fmt.Fprintf(out, "routes: /metrics /healthz /debug/flightrec /debug/vars /debug/pprof/\n")
 	drain := lifecycle.EngineDrain(c, notRunning)
 	// Checkpoint drain last: the final cut captures the post-drain
 	// state (completed scrub pass, settled storm ladder).
@@ -325,8 +437,9 @@ func notRunning(err error) bool {
 }
 
 // selfcheck is the CI metrics-smoke mode: scrape twice under load and
-// prove the exposition parses and the counters behave like counters.
-func selfcheck(mux *http.ServeMux, out io.Writer) error {
+// prove the exposition parses and the counters behave like counters,
+// then gate the flight recorder on a deterministic deep-repair probe.
+func selfcheck(mux *http.ServeMux, c *sudoku.Concurrent, out io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -389,8 +502,107 @@ func selfcheck(mux *http.ServeMux, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "selfcheck: PASS (%d counter series monotone, reads %v -> %v)\n",
-		checked, first["sudoku_reads_total"], second["sudoku_reads_total"])
+	rec, err := traceProbe(base, c)
+	if err != nil {
+		return fmt.Errorf("trace probe: %w", err)
+	}
+	fmt.Fprintf(out, "selfcheck: PASS (%d counter series monotone, reads %v -> %v, "+
+		"%d anomalous traces, %d begun, %d drops)\n",
+		checked, first["sudoku_reads_total"], second["sudoku_reads_total"],
+		len(rec.Traces), rec.Begun, rec.Dropped)
+	return nil
+}
+
+// traceProbe drives deterministic deep repairs through the traced read
+// path and gates /debug/flightrec on the result: the record must hold
+// anomalous traces whose span timestamps are monotone and whose repair
+// rungs appear in ladder order, and at least one trace must have gone
+// past ECC-1. Each round first touches a window of addresses so they
+// are resident, then flips three bits in every physical line — past
+// ECC-1's reach, and landing on the just-read lines wherever they
+// reside — and immediately re-reads the window, beating the scrub
+// daemon to at least one faulted line. Multiple rounds absorb the
+// races with scrub and the load fleet.
+func traceProbe(base string, c *sudoku.Concurrent) (*sudoku.FlightRecord, error) {
+	g := c.Geometry()
+	lines := g.Lines
+	window := uint64(1024)
+	if window > uint64(lines) {
+		window = uint64(lines)
+	}
+	flips := make([]int, 0, 3*lines)
+	for l := 0; l < lines; l++ {
+		flips = append(flips, l*g.LineBits+1, l*g.LineBits+7, l*g.LineBits+13)
+	}
+	rbuf := make([]byte, 64)
+	for round := 0; round < 5; round++ {
+		for a := uint64(0); a < window; a++ {
+			_, _ = c.TraceRead(uint64(0xf111)<<32|a, a*64, rbuf)
+		}
+		if _, err := c.ApplyFaults(sudoku.FaultIntervalPlan{Flips: flips}); err != nil {
+			return nil, err
+		}
+		for a := uint64(0); a < window; a++ {
+			// Read errors are acceptable here: with every line faulted a
+			// read can reach DUE data loss, which is itself an anomalous
+			// (published) trace.
+			_, _ = c.TraceRead(uint64(0xb10b)<<32|a, a*64, rbuf)
+		}
+		rec, err := fetchFlightRecord(base + "/debug/flightrec")
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFlightRecord(rec); err != nil {
+			return nil, err
+		}
+		for _, tj := range rec.Traces {
+			for _, s := range tj.Spans {
+				switch s.Kind {
+				case "raid_reconstruct", "sdr", "hash2_retry", "due_refetch", "due_data_loss":
+					return rec, nil
+				}
+			}
+		}
+	}
+	return nil, errors.New("no deep-repair trace after 5 probe rounds")
+}
+
+// fetchFlightRecord scrapes and decodes one /debug/flightrec snapshot.
+func fetchFlightRecord(url string) (*sudoku.FlightRecord, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	rec := new(sudoku.FlightRecord)
+	if err := json.NewDecoder(resp.Body).Decode(rec); err != nil {
+		return nil, fmt.Errorf("flightrec JSON: %w", err)
+	}
+	return rec, nil
+}
+
+// checkFlightRecord applies the structural gates every snapshot must
+// pass: non-empty, consistent counters, monotone span timestamps, and
+// ladder-ordered repair rungs in every trace.
+func checkFlightRecord(rec *sudoku.FlightRecord) error {
+	if len(rec.Traces) == 0 {
+		return errors.New("flight recorder is empty")
+	}
+	if rec.Published < int64(len(rec.Traces)) {
+		return fmt.Errorf("published_total %d below %d recorded traces",
+			rec.Published, len(rec.Traces))
+	}
+	for _, tj := range rec.Traces {
+		if _, err := reqtrace.ParseID(tj.ID); err != nil {
+			return fmt.Errorf("trace id %q: %w", tj.ID, err)
+		}
+		if !reqtrace.RungOrderOK(tj.SpansDecoded()) {
+			return fmt.Errorf("trace %s violates rung order: %+v", tj.ID, tj.Spans)
+		}
+	}
 	return nil
 }
 

@@ -55,7 +55,7 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 	reg := c.NewRegistry()
 	publishExpvar(reg)
-	mux := newMux(reg, c.Health)
+	mux := newMux(reg, c.Health, c.Tracer())
 
 	get := func(path string) *httptest.ResponseRecorder {
 		t.Helper()
@@ -82,6 +82,14 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 	if rec := get("/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Fatalf("/debug/pprof/: %d", rec.Code)
+	}
+	rec = get("/debug/flightrec")
+	var fr sudoku.FlightRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &fr); err != nil {
+		t.Fatalf("/debug/flightrec: %v", err)
+	}
+	if fr.Traces == nil {
+		t.Fatal("/debug/flightrec traces should be [] on an idle engine, not null")
 	}
 }
 

@@ -78,6 +78,7 @@ type options struct {
 	p99gate      time.Duration
 	requireshed  bool
 	requirestorm bool
+	tracegate    bool
 	settle       time.Duration
 }
 
@@ -106,6 +107,7 @@ func run(args []string, out io.Writer) error {
 	fs.DurationVar(&o.p99gate, "p99gate", 0, "swarm mode: fail if client-observed p99 exceeds this (0 = no gate)")
 	fs.BoolVar(&o.requireshed, "requireshed", false, "swarm mode: fail unless the server shed at least one request")
 	fs.BoolVar(&o.requirestorm, "requirestorm", false, "swarm mode: fail unless the storm ladder escalated and recovered, with tap events delivered")
+	fs.BoolVar(&o.tracegate, "tracegate", false, "swarm mode: fail unless the server's /debug/flightrec holds anomalous traces with ladder-ordered rungs, at least one past ECC-1")
 	fs.DurationVar(&o.settle, "settle", 10*time.Second, "swarm mode: how long to wait for the storm ladder to return to normal after load stops")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"sudoku/client"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/rng"
 	"sudoku/internal/server/wire"
 	"sudoku/internal/telemetry"
@@ -130,6 +132,39 @@ func runServerSwarm(o options, out io.Writer) error {
 			}
 		}
 	}()
+
+	// Flight-recorder poller (-tracegate only). The ring keeps just the
+	// last N published traces, and a shed flood during a storm window
+	// can evict an earlier deep-repair trace before the run ends — so
+	// the gate folds periodic snapshots into one merged view instead of
+	// trusting a single final scrape.
+	var recMu sync.Mutex
+	recMerged := make(map[string]reqtrace.TraceJSON)
+	mergeRec := func(rec *reqtrace.FlightRecord) {
+		recMu.Lock()
+		for _, tj := range rec.Traces {
+			recMerged[tj.ID] = tj
+		}
+		recMu.Unlock()
+	}
+	if o.tracegate {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pollCtx.Done():
+					return
+				case <-tick.C:
+					if rec, err := scrapeFlightRecord("http://" + o.server + "/debug/flightrec"); err == nil {
+						mergeRec(rec)
+					}
+				}
+			}
+		}()
+	}
 
 	// The fleet. Goroutine g owns lines {l : l mod G == g} of the
 	// first o.lines lines — disjoint stripes, so shadow state needs no
@@ -357,6 +392,21 @@ func runServerSwarm(o options, out io.Writer) error {
 			fails = append(fails, "no RAS events delivered on the tap")
 		}
 	}
+	if o.tracegate {
+		rec, err := scrapeFlightRecord("http://" + o.server + "/debug/flightrec")
+		if err != nil {
+			return fmt.Errorf("flightrec scrape: %w", err)
+		}
+		mergeRec(rec)
+		rec.Traces = rec.Traces[:0]
+		for _, tj := range recMerged {
+			rec.Traces = append(rec.Traces, tj)
+		}
+		gateFails, deep := traceGateFails(rec)
+		fmt.Fprintf(out, "flightrec: traces=%d (merged over run, %d past ECC-1) begun=%d published=%d dropped=%d\n",
+			len(rec.Traces), deep, rec.Begun, rec.Published, rec.Dropped)
+		fails = append(fails, gateFails...)
+	}
 	if len(fails) > 0 {
 		return fmt.Errorf("swarm gates failed: %s", strings.Join(fails, "; "))
 	}
@@ -367,6 +417,60 @@ func runServerSwarm(o options, out io.Writer) error {
 func isItemError(err error) bool {
 	var ie *client.ItemError
 	return errors.As(err, &ie)
+}
+
+// scrapeFlightRecord pulls the server's /debug/flightrec snapshot.
+func scrapeFlightRecord(url string) (*reqtrace.FlightRecord, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	rec := new(reqtrace.FlightRecord)
+	if err := json.NewDecoder(resp.Body).Decode(rec); err != nil {
+		return nil, fmt.Errorf("flightrec JSON: %w", err)
+	}
+	return rec, nil
+}
+
+// traceGateFails applies the -tracegate checks to a flight-recorder
+// snapshot: the server must have sampled anomalous traces under the
+// swarm, every trace's spans must be timestamp-monotone with repair
+// rungs in ladder order, and at least one trace must have walked past
+// ECC-1 — the depth the fault storm is supposed to produce.
+func traceGateFails(rec *reqtrace.FlightRecord) (fails []string, deep int) {
+	if rec.Begun == 0 {
+		fails = append(fails, "no traces begun server-side (wire trace context lost)")
+	}
+	if len(rec.Traces) == 0 {
+		return append(fails, "flight recorder empty (tail sampler never published)"), 0
+	}
+	for _, tj := range rec.Traces {
+		spans := tj.SpansDecoded()
+		if !reqtrace.RungOrderOK(spans) {
+			fails = append(fails, fmt.Sprintf("trace %s violates rung order: %+v", tj.ID, tj.Spans))
+			continue
+		}
+		isDeep := false
+		for _, s := range spans {
+			switch s.Kind {
+			case reqtrace.KindRAIDReconstruct, reqtrace.KindSDR,
+				reqtrace.KindHash2Retry, reqtrace.KindDUERefetch,
+				reqtrace.KindDUEDataLoss:
+				isDeep = true
+			}
+		}
+		if isDeep {
+			deep++
+		}
+	}
+	if deep == 0 {
+		fails = append(fails, fmt.Sprintf("no trace went past ECC-1 (%d recorded)", len(rec.Traces)))
+	}
+	return fails, deep
 }
 
 // scrapeServerMetrics pulls the daemon's exposition and folds the

@@ -59,7 +59,7 @@ func (c *STTRAM) ReadBatchInto(now time.Duration, addrs []uint64, idx []int, dst
 		if idx != nil {
 			j = idx[i]
 		}
-		l, rerr := c.readIntoLocked(cur, addr, dst[j*lb:(j+1)*lb])
+		l, rerr := c.readIntoLocked(cur, addr, dst[j*lb:(j+1)*lb], nil)
 		cur += l
 		errs[j] = rerr
 		if rerr != nil {
@@ -88,7 +88,7 @@ func (c *STTRAM) WriteBatch(now time.Duration, addrs []uint64, idx []int, data [
 		if idx != nil {
 			j = idx[i]
 		}
-		l, werr := c.writeLocked(cur, addr, data[j*lb:(j+1)*lb])
+		l, werr := c.writeLocked(cur, addr, data[j*lb:(j+1)*lb], nil)
 		cur += l
 		errs[j] = werr
 		if werr != nil {

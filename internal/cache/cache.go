@@ -351,6 +351,13 @@ type STTRAM struct {
 	scr      scratch
 	stats    counters
 
+	// scrubbing is set for the duration of a full scrub pass or a
+	// targeted region scrub (before the mutex is taken, cleared after it
+	// is released): a traced operation that arrives while it is set will
+	// queue behind the scrubber, and notes that interference on its
+	// trace before blocking.
+	scrubbing atomic.Bool
+
 	// fp is the seqlock read fast path (fastpath.go); nil when disabled.
 	fp *fastPath
 

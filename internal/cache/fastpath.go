@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"sudoku/internal/bitvec"
+	"sudoku/internal/reqtrace"
 )
 
 // mirrorWords is the stack-snapshot capacity in 64-bit words. The
@@ -203,6 +204,13 @@ func (c *STTRAM) touchWay(set, w int) {
 // locked repair ladder. The sharded engine's batch pre-pass calls this
 // per item; ReadInto calls it first on every single read.
 func (c *STTRAM) TryReadInto(now time.Duration, addr uint64, dst []byte) (time.Duration, bool) {
+	return c.tryReadInto(now, addr, dst, nil)
+}
+
+// tryReadInto is TryReadInto with an optional request trace: each
+// fallback reason is noted on tr (nil-safe, one branch untraced) so a
+// traced request records WHY it lost the lock-free path.
+func (c *STTRAM) tryReadInto(now time.Duration, addr uint64, dst []byte, tr *reqtrace.Trace) (time.Duration, bool) {
 	fp := c.fp
 	if fp == nil || len(dst) != c.cfg.LineBytes {
 		return 0, false
@@ -226,12 +234,14 @@ func (c *STTRAM) TryReadInto(now time.Duration, addr uint64, dst []byte) (time.D
 	m := fp.lines[phys].Load()
 	if m == nil {
 		c.stats.seqlockFallbacks.Add(1)
+		tr.Note(reqtrace.KindSeqlockFallback, addr, reqtrace.SeqlockNoMirror)
 		return 0, false
 	}
 	gen := fp.gen.Load()
 	s1 := m.seq.Load()
 	if s1&1 != 0 || m.gen.Load() != gen {
 		c.stats.seqlockFallbacks.Add(1)
+		tr.Note(reqtrace.KindSeqlockFallback, addr, reqtrace.SeqlockSeqOdd)
 		return 0, false
 	}
 	if hook := fp.readHook; hook != nil {
@@ -248,11 +258,13 @@ func (c *STTRAM) TryReadInto(now time.Duration, addr uint64, dst []byte) (time.D
 		// re-checks the real codeword and owns crcDetects/repair
 		// accounting, so the ladder's counters never double-fire.
 		c.stats.seqlockFallbacks.Add(1)
+		tr.Note(reqtrace.KindSeqlockFallback, addr, reqtrace.SeqlockTorn)
 		return 0, false
 	}
 	if m.seq.Load() != s1 || fp.tags[phys].Load() != enc {
 		// Torn: a publish overlapped the copy, or the slot was recycled.
 		c.stats.seqlockFallbacks.Add(1)
+		tr.Note(reqtrace.KindSeqlockFallback, addr, reqtrace.SeqlockRecheck)
 		return 0, false
 	}
 	// The snapshot is validated and provably untorn; only now may dst

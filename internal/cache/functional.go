@@ -10,6 +10,7 @@ import (
 	"sudoku/internal/bitvec"
 	"sudoku/internal/core"
 	"sudoku/internal/ras"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/rng"
 )
 
@@ -59,20 +60,30 @@ func (c *STTRAM) Read(now time.Duration, addr uint64) ([]byte, time.Duration, er
 // the allocation-free form for callers that reuse a line buffer across
 // accesses. On error the buffer contents are unspecified.
 func (c *STTRAM) ReadInto(now time.Duration, addr uint64, dst []byte) (time.Duration, error) {
+	return c.ReadIntoTraced(now, addr, dst, nil)
+}
+
+// ReadIntoTraced is ReadInto with a request trace attached: every rung
+// of the repair ladder the access traverses is noted on tr. A nil tr
+// is the untraced case and costs one branch per instrumentation point.
+func (c *STTRAM) ReadIntoTraced(now time.Duration, addr uint64, dst []byte, tr *reqtrace.Trace) (time.Duration, error) {
 	if len(dst) != c.cfg.LineBytes {
 		return 0, fmt.Errorf("cache: read buffer of %d bytes, want %d", len(dst), c.cfg.LineBytes)
 	}
-	if lat, ok := c.TryReadInto(now, addr, dst); ok {
+	if lat, ok := c.tryReadInto(now, addr, dst, tr); ok {
 		return lat, nil
+	}
+	if tr != nil && c.scrubbing.Load() {
+		tr.Note(reqtrace.KindScrubInterference, addr, 0)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.readIntoLocked(now, addr, dst)
+	return c.readIntoLocked(now, addr, dst, tr)
 }
 
 // readIntoLocked is the body of ReadInto; callers hold c.mu and have
 // validated len(dst).
-func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (time.Duration, error) {
+func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte, tr *reqtrace.Trace) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.stats.reads.Add(1)
@@ -88,7 +99,7 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 		c.stats.misses.Add(1)
 		var memLat time.Duration
 		var err error
-		w, memLat, err = c.fill(now, set, addr, false)
+		w, memLat, err = c.fill(now, set, addr, false, tr)
 		lat = memLat
 		if err != nil {
 			return lat, err
@@ -99,11 +110,11 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 	} else {
 		c.hist.readMiss.ObserveNs(int64(lat))
 	}
-	if err := c.readLineInto(c.physIndex(set, w), dst); err != nil {
+	if err := c.readLineInto(c.physIndex(set, w), dst, tr); err != nil {
 		if !errors.Is(err, ErrUncorrectable) {
 			return lat, err
 		}
-		recLat, rerr := c.recoverReadDUE(now, set, w, addr, dst)
+		recLat, rerr := c.recoverReadDUE(now, set, w, addr, dst, tr)
 		return lat + recLat, rerr
 	}
 	// Republish the mirror: a locked read is where a mirror left odd by
@@ -119,10 +130,11 @@ func (c *STTRAM) readIntoLocked(now time.Duration, addr uint64, dst []byte) (tim
 // line is discarded (its slot is wiped, parity rebuilt around it) and
 // the read fails with an unrecoverable-data-loss event. Callers hold
 // c.mu; the returned latency is added to the access's.
-func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst []byte) (time.Duration, error) {
+func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst []byte, tr *reqtrace.Trace) (time.Duration, error) {
 	phys := c.physIndex(set, w)
 	if c.sets[set][w].dirty {
 		c.stats.dueDataLoss.Add(1)
+		tr.Note(reqtrace.KindDUEDataLoss, uint64(phys), 0)
 		c.emit(ras.KindDUEDataLoss, phys, c.lineAddr(addr), "dirty line discarded")
 		if err := c.discardLine(set, w); err != nil {
 			return 0, err
@@ -140,7 +152,7 @@ func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst 
 		return memLat, err
 	}
 	lat := memLat + dur(c.bankServe(ns(now+memLat), set, ns(c.cfg.WriteLatency))+c.crcCheckNs())
-	if err := c.readLineInto(phys, dst); err != nil {
+	if err := c.readLineInto(phys, dst, tr); err != nil {
 		if errors.Is(err, ErrUncorrectable) {
 			// The rewritten line is still bad: permanent damage beyond
 			// per-line repair (e.g. multiple stuck cells in a
@@ -154,6 +166,7 @@ func (c *STTRAM) recoverReadDUE(now time.Duration, set, w int, addr uint64, dst 
 		return lat, err
 	}
 	c.stats.dueRecovered.Add(1)
+	tr.Note(reqtrace.KindDUERefetch, uint64(phys), 0)
 	c.hist.dueRefetch.ObserveNs(int64(lat))
 	c.emit(ras.KindDUERecovered, phys, c.lineAddr(addr), "clean line refetched")
 	// A recovered DUE is strong evidence of a weak line: feed the
@@ -221,17 +234,26 @@ func (c *STTRAM) discardLine(set, w int) error {
 // computed, and both parity tables are updated with exactly those
 // positions.
 func (c *STTRAM) Write(now time.Duration, addr uint64, data []byte) (time.Duration, error) {
+	return c.WriteTraced(now, addr, data, nil)
+}
+
+// WriteTraced is Write with a request trace attached; a nil tr is the
+// untraced case.
+func (c *STTRAM) WriteTraced(now time.Duration, addr uint64, data []byte, tr *reqtrace.Trace) (time.Duration, error) {
 	if len(data) != c.cfg.LineBytes {
 		return 0, fmt.Errorf("cache: write of %d bytes, want %d", len(data), c.cfg.LineBytes)
 	}
+	if tr != nil && c.scrubbing.Load() {
+		tr.Note(reqtrace.KindScrubInterference, addr, 0)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.writeLocked(now, addr, data)
+	return c.writeLocked(now, addr, data, tr)
 }
 
 // writeLocked is the body of Write; callers hold c.mu and have
 // validated len(data).
-func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.Duration, error) {
+func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte, tr *reqtrace.Trace) (time.Duration, error) {
 	set := c.setIndex(addr)
 	tag := c.tagOf(addr)
 	c.stats.writes.Add(1)
@@ -247,7 +269,7 @@ func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.
 		c.stats.misses.Add(1)
 		var memLat time.Duration
 		var err error
-		w, memLat, err = c.fill(now, set, addr, true)
+		w, memLat, err = c.fill(now, set, addr, true, tr)
 		lat = memLat
 		if err != nil {
 			return lat, err
@@ -256,7 +278,7 @@ func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.
 	}
 	c.sets[set][w].dirty = true
 	phys := c.physIndex(set, w)
-	if err := c.writeLine(phys, data); err != nil {
+	if err := c.writeLine(phys, data, tr); err != nil {
 		return lat, err
 	}
 	return lat, nil
@@ -267,7 +289,7 @@ func (c *STTRAM) writeLocked(now time.Duration, addr uint64, data []byte) (time.
 // the chosen way, the miss latency, and any substrate error from the
 // fill write (previously swallowed; now surfaced as a RAS event and
 // propagated).
-func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (int, time.Duration, error) {
+func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool, tr *reqtrace.Trace) (int, time.Duration, error) {
 	v := c.victim(set)
 	entry := &c.sets[set][v]
 	if entry.valid {
@@ -304,7 +326,7 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 	// uncorrectable).
 	fillLat := c.bankServe(ns(now+memLat), set, ns(c.cfg.WriteLatency))
 	lat := memLat + dur(fillLat+c.crcCheckNs())
-	if err := c.writeLine(phys, line); err != nil {
+	if err := c.writeLine(phys, line, tr); err != nil {
 		c.emit(ras.KindWriteLineError, phys, c.lineAddr(addr), err.Error())
 		c.setWay(set, v, 0, false, false, 0) // the slot never received the line
 		return v, lat, fmt.Errorf("cache: fill of line %d: %w", phys, err)
@@ -316,7 +338,7 @@ func (c *STTRAM) fill(now time.Duration, set int, addr uint64, forWrite bool) (i
 // line into a fresh buffer.
 func (c *STTRAM) readLine(phys int) ([]byte, error) {
 	buf := make([]byte, c.cfg.LineBytes)
-	if err := c.readLineInto(phys, buf); err != nil {
+	if err := c.readLineInto(phys, buf, nil); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -326,8 +348,9 @@ func (c *STTRAM) readLine(phys int) ([]byte, error) {
 // physical line into dst, which must hold exactly LineBytes bytes. It
 // performs no allocation on the clean-line path. Retired lines are
 // served from their hardened spare row.
-func (c *STTRAM) readLineInto(phys int, dst []byte) error {
+func (c *STTRAM) readLineInto(phys int, dst []byte, tr *reqtrace.Trace) error {
 	if sp, ok := c.retired[phys]; ok {
+		tr.Note(reqtrace.KindRetiredLine, uint64(phys), 0)
 		copy(dst, c.spareData[sp])
 		return nil
 	}
@@ -355,7 +378,8 @@ func (c *STTRAM) readLineInto(phys int, dst []byte) error {
 	}
 	if !ok {
 		c.stats.crcDetects.Add(1)
-		if err := c.repairLine(phys); err != nil {
+		tr.Note(reqtrace.KindCRCDetect, uint64(phys), 0)
+		if err := c.repairLine(phys, tr); err != nil {
 			return err
 		}
 	}
@@ -372,8 +396,9 @@ func (c *STTRAM) readLineInto(phys int, dst []byte) error {
 // repaired first so the parity delta reflects true contents; if it is
 // unrepairable the write proceeds and the affected parities are
 // rebuilt from scratch.
-func (c *STTRAM) writeLine(phys int, data []byte) error {
+func (c *STTRAM) writeLine(phys int, data []byte, tr *reqtrace.Trace) error {
 	if sp, ok := c.retired[phys]; ok {
+		tr.Note(reqtrace.KindRetiredLine, uint64(phys), 0)
 		copy(c.spareData[sp], data)
 		return nil
 	}
@@ -398,7 +423,8 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 		return err
 	} else if !ok {
 		c.stats.crcDetects.Add(1)
-		if err := c.repairLine(phys); err != nil {
+		tr.Note(reqtrace.KindCRCDetect, uint64(phys), 0)
+		if err := c.repairLine(phys, tr); err != nil {
 			if !errors.Is(err, ErrUncorrectable) {
 				return err
 			}
@@ -441,6 +467,7 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 	// would launder garbage, so writes bypass that table until the
 	// region is rebuilt. The Hash-2 parity stays fully maintained.
 	if len(c.quarantined) > 0 && c.quarantined[c.params.Hash1Of(phys)] {
+		tr.Note(reqtrace.KindQuarantine, uint64(phys), 1)
 		if err := c.plt2.Update(c.params.Hash2Of(phys), c.scr.delta); err != nil {
 			return err
 		}
@@ -468,7 +495,7 @@ func (c *STTRAM) writeLine(phys int, data []byte) error {
 // repairLine runs the full repair ladder on one faulty line: per-line
 // ECC-1, then (for multi-bit faults) the group repair at the
 // configured protection level.
-func (c *STTRAM) repairLine(phys int) error {
+func (c *STTRAM) repairLine(phys int, tr *reqtrace.Trace) error {
 	stored, err := c.lineVec(phys)
 	if err != nil {
 		return err
@@ -486,6 +513,7 @@ func (c *STTRAM) repairLine(phys int) error {
 		return nil
 	case core.StatusCorrected:
 		c.stats.singleRepairs.Add(1)
+		tr.Note(reqtrace.KindECC1, uint64(phys), 0)
 		c.noteCE(phys)
 		return nil
 	}
@@ -494,6 +522,7 @@ func (c *STTRAM) repairLine(phys int) error {
 	// rebuilt — the read path's refetch recovery takes over.
 	if len(c.quarantined) > 0 && c.quarantined[c.params.Hash1Of(phys)] {
 		c.stats.uncorrectableDUEs.Add(1)
+		tr.Note(reqtrace.KindQuarantine, uint64(phys), 0)
 		return fmt.Errorf("%w: line %d (region quarantined)", ErrUncorrectable, phys)
 	}
 	report, err := c.zeng.RepairHash1Group(&cacheView{c}, c.params.Hash1Of(phys))
@@ -508,6 +537,21 @@ func (c *STTRAM) repairLine(phys int) error {
 	c.stats.sdrRepairs.Add(int64(report.Hash1.SDRRepairs))
 	c.stats.raidRepairs.Add(int64(report.Hash1.RAIDRepairs))
 	c.stats.hash2Repairs.Add(int64(report.Hash2Repairs))
+	// Rung notes follow ladder order (ECC-1 within the group, RAID
+	// reconstruction, SDR, Hash-2 retries) so a trace's rung sequence
+	// stays monotone in depth; Code carries the clamped repair count.
+	if report.Hash1.SinglesCorrected > 0 {
+		tr.Note(reqtrace.KindECC1, uint64(phys), clampCount(report.Hash1.SinglesCorrected))
+	}
+	if report.Hash1.RAIDRepairs > 0 {
+		tr.Note(reqtrace.KindRAIDReconstruct, uint64(phys), clampCount(report.Hash1.RAIDRepairs))
+	}
+	if report.Hash1.SDRRepairs > 0 {
+		tr.Note(reqtrace.KindSDR, uint64(phys), clampCount(report.Hash1.SDRRepairs))
+	}
+	if report.Hash2Repairs > 0 {
+		tr.Note(reqtrace.KindHash2Retry, uint64(phys), clampCount(report.Hash2Repairs))
+	}
 	c.emitGroupRepair(c.params.Hash1Of(phys), report)
 	// Other lines touched by the group repair regain their permanent
 	// faults immediately; the target line's are reapplied by the
@@ -527,6 +571,14 @@ func (c *STTRAM) repairLine(phys int) error {
 		}
 	}
 	return nil
+}
+
+// clampCount narrows a repair count into a span's uint8 Code field.
+func clampCount(n int) uint8 {
+	if n > 255 {
+		return 255
+	}
+	return uint8(n)
 }
 
 // emitGroupRepair records one invocation of the group repair ladder —
@@ -805,6 +857,10 @@ func (c *STTRAM) ScrubRegion(group int) (ScrubReport, error) {
 	if c.cfg.Protection == 0 {
 		return ScrubReport{}, ErrNotProtected
 	}
+	// Declared before the lock defers so it clears only after the mutex
+	// is released: traced ops that queued behind this scrub observe it.
+	c.scrubbing.Store(true)
+	defer c.scrubbing.Store(false)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if group < 0 || group >= c.params.NumGroups() {
@@ -901,6 +957,8 @@ func (c *STTRAM) Scrub() (ScrubReport, error) {
 	if c.cfg.Protection == 0 {
 		return ScrubReport{}, ErrNotProtected
 	}
+	c.scrubbing.Store(true)
+	defer c.scrubbing.Store(false)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	start := time.Now()

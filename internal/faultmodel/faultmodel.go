@@ -346,7 +346,7 @@ func dedupeSorted(xs []int) []int {
 
 // PresetNames lists the built-in campaigns.
 func PresetNames() []string {
-	return []string{"uniform", "hotspot", "burst", "weakcells"}
+	return []string{"uniform", "hotspot", "burst", "pulse", "weakcells"}
 }
 
 // Preset returns a built-in campaign. intervals is the timeline length;
@@ -388,6 +388,25 @@ func Preset(name string, intervals, baseFaults int) (Campaign, error) {
 			End:        intervals / 2,
 			Multiplier: 8,
 		}}
+		return base, nil
+	case "pulse":
+		// A train of four one-interval ×25 global storms with quiet
+		// gaps. Each pulse lands its whole fault mass in one injection
+		// — multi-bit lines appear faster than the scrub rotation or
+		// the storm ladder can react — and the gaps let the ladder
+		// de-escalate, so demand accesses (not just scrub passes) get
+		// to climb the repair ladder. This is the repeated-transient
+		// pattern (successive temperature excursions) and the stress
+		// case for request-level repair-depth observability.
+		for k := 0; k < 4; k++ {
+			at := (2*k + 1) * intervals / 8
+			base.Events = append(base.Events, Event{
+				Kind:       KindBurst,
+				Start:      at,
+				End:        at + 1,
+				Multiplier: 25,
+			})
+		}
 		return base, nil
 	case "weakcells":
 		// 64 weak cells flipping with p=0.25 per interval, on top of the

@@ -1,0 +1,102 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// FlightRecord is the /debug/flightrec JSON payload. The same structs
+// decode it on the consumer side (sudoku-stress -tracegate), so the
+// schema round-trips by construction.
+type FlightRecord struct {
+	// Published / Dropped mirror the ring counters.
+	Published int64 `json:"published_total"`
+	Dropped   int64 `json:"dropped_total"`
+	// Begun is the total traces started (sampling denominator).
+	Begun int64 `json:"begun_total"`
+	// LastPublishUnixNano is 0 when nothing was ever published.
+	LastPublishUnixNano int64 `json:"last_publish_unix_ns"`
+	// Traces holds the recorded anomalous traces, newest first.
+	Traces []TraceJSON `json:"traces"`
+}
+
+// TraceJSON is one recorded trace in wire form.
+type TraceJSON struct {
+	ID            string     `json:"id"` // hex, as propagated on the wire
+	Op            uint8      `json:"op"`
+	StartUnixNano int64      `json:"start_unix_ns"`
+	DurNs         int64      `json:"dur_ns"`
+	DroppedSpans  int32      `json:"dropped_spans,omitempty"`
+	Spans         []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span in wire form; Kind uses the stable names from
+// Kind.String.
+type SpanJSON struct {
+	Kind string `json:"kind"`
+	Addr uint64 `json:"addr"`
+	Code uint8  `json:"code,omitempty"`
+	AtNs int64  `json:"at_ns"`
+}
+
+// Record builds the FlightRecord snapshot of the tracer's ring.
+func (tp *Tracer) Record() FlightRecord {
+	rec := FlightRecord{Traces: []TraceJSON{}}
+	if tp == nil {
+		return rec
+	}
+	r := tp.ring
+	rec.Published = r.Published()
+	rec.Dropped = r.Dropped()
+	rec.Begun = tp.Begun()
+	rec.LastPublishUnixNano = r.LastPublishUnixNano()
+	for _, t := range r.Snapshot(nil) {
+		tj := TraceJSON{
+			ID:            FormatID(t.ID),
+			Op:            t.Op,
+			StartUnixNano: t.StartUnixNano,
+			DurNs:         t.DurNs,
+			DroppedSpans:  t.DroppedSpans,
+			Spans:         make([]SpanJSON, 0, t.N),
+		}
+		for i := int32(0); i < t.N; i++ {
+			s := t.Spans[i]
+			tj.Spans = append(tj.Spans, SpanJSON{
+				Kind: s.Kind.String(),
+				Addr: s.Addr,
+				Code: s.Code,
+				AtNs: s.AtNs,
+			})
+		}
+		rec.Traces = append(rec.Traces, tj)
+	}
+	return rec
+}
+
+// Handler serves the flight recorder as /debug/flightrec JSON.
+func Handler(tp *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tp.Record())
+	})
+}
+
+// FormatID renders a trace ID the way it appears in exemplars and
+// /debug/flightrec: lower-case hex, no 0x prefix.
+func FormatID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// ParseID inverts FormatID.
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// Spans converts wire-form spans back to their in-memory form for
+// validation (RungOrderOK) on the consumer side.
+func (t TraceJSON) SpansDecoded() []Span {
+	out := make([]Span, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		out = append(out, Span{Kind: KindFromString(s.Kind), Addr: s.Addr, Code: s.Code, AtNs: s.AtNs})
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package reqtrace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ring is the flight recorder: a fixed ring of the most recent
+// anomalous traces. Publishing never blocks — a writer that cannot
+// take the slot mutex immediately (a concurrent publish or an active
+// snapshot) counts a drop and walks away, so the tail sampler can
+// never stall a request's completion path. Readers (the
+// /debug/flightrec handler, healthz, exemplar lookups) are rare and
+// take the lock.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+
+	published atomic.Int64
+	dropped   atomic.Int64
+	lastNs    atomic.Int64 // wall unix-nanos of the latest publish
+}
+
+func newRing(size int) *Ring {
+	return &Ring{buf: make([]Trace, size)}
+}
+
+// publish copies t into the next slot. Non-blocking: contention is
+// recorded in the drop counter instead of waited out.
+func (r *Ring) publish(t *Trace) bool {
+	if !r.mu.TryLock() {
+		r.dropped.Add(1)
+		return false
+	}
+	r.buf[r.next] = *t
+	r.next = (r.next + 1) % len(r.buf)
+	r.mu.Unlock()
+	r.published.Add(1)
+	r.lastNs.Store(time.Now().UnixNano())
+	return true
+}
+
+// Snapshot appends every recorded trace to dst, newest first.
+func (r *Ring) Snapshot(dst []Trace) []Trace {
+	if r == nil {
+		return dst
+	}
+	r.mu.Lock()
+	for i := range r.buf {
+		if r.buf[i].StartUnixNano != 0 {
+			dst = append(dst, r.buf[i])
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(dst, func(i, j int) bool {
+		return dst[i].StartUnixNano > dst[j].StartUnixNano
+	})
+	return dst
+}
+
+// Published is the cumulative count of traces the sampler kept.
+func (r *Ring) Published() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.published.Load()
+}
+
+// Dropped is the cumulative count of interesting traces lost to
+// publish contention — the "silent sampler wedge" signal /healthz
+// surfaces.
+func (r *Ring) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// LastPublishUnixNano is the wall time of the latest publish (0 when
+// nothing was ever published).
+func (r *Ring) LastPublishUnixNano() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.lastNs.Load()
+}
+
+// LastAnomalyAge is the age of the latest published trace, or -1 when
+// the ring is empty — the /healthz freshness field.
+func (r *Ring) LastAnomalyAge(now time.Time) time.Duration {
+	if r == nil {
+		return -1
+	}
+	last := r.lastNs.Load()
+	if last == 0 {
+		return -1
+	}
+	return now.Sub(time.Unix(0, last))
+}
+
+// Exemplar returns the most recent recorded trace whose total
+// duration falls in [loNs, hiNs) — the Prometheus exemplar source
+// linking a latency-histogram bucket to a trace ID.
+func (r *Ring) Exemplar(loNs, hiNs int64) (id uint64, durNs, tsUnixNano int64, ok bool) {
+	if r == nil {
+		return 0, 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := -1
+	for i := range r.buf {
+		t := &r.buf[i]
+		if t.StartUnixNano == 0 || t.DurNs < loNs || t.DurNs >= hiNs {
+			continue
+		}
+		if best < 0 || t.StartUnixNano > r.buf[best].StartUnixNano {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, 0, false
+	}
+	t := &r.buf[best]
+	return t.ID, t.DurNs, t.StartUnixNano + t.DurNs, true
+}

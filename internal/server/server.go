@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sudoku"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/server/tenant"
 	"sudoku/internal/server/wire"
 )
@@ -48,6 +49,7 @@ type Options struct {
 type Server struct {
 	engine  *sudoku.Concurrent
 	tenants *tenant.Registry
+	tracer  *sudoku.Tracer
 	adm     *admission
 	storm   func() sudoku.StormState
 	evBuf   int
@@ -75,6 +77,7 @@ func New(opts Options) (*Server, error) {
 	s := &Server{
 		engine:  opts.Engine,
 		tenants: opts.Tenants,
+		tracer:  opts.Engine.Tracer(),
 		storm:   storm,
 		adm:     newAdmission(opts.MaxInflight, opts.Headroom, storm),
 		evBuf:   opts.EventBuffer,
@@ -95,29 +98,41 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// echoHeader builds the response frame header for a request header:
+// same codec and op, trace context echoed verbatim when the request
+// carried it.
+func echoHeader(reqh wire.Header) wire.Header {
+	h := wire.Header{Version: wire.Version, Codec: reqh.Codec, Op: reqh.Op}
+	if reqh.Flags&wire.FlagTrace != 0 {
+		h.Flags = wire.FlagTrace
+		h.TraceID = reqh.TraceID
+	}
+	return h
+}
+
 // writeError sends an error frame with the given HTTP status.
-func writeError(w http.ResponseWriter, codec uint8, httpStatus int, op uint8, detail string) {
+func writeError(w http.ResponseWriter, reqh wire.Header, httpStatus int, detail string) {
 	resp := &wire.Response{Status: wire.StatusError, Detail: detail}
-	writeResponse(w, codec, httpStatus, op, resp)
+	writeResponse(w, reqh, httpStatus, resp)
 }
 
 // writeShed sends a 429 with Retry-After (whole seconds, minimum 1,
 // per the HTTP header's granularity; the frame carries milliseconds).
-func writeShed(w http.ResponseWriter, codec uint8, op uint8, d Decision) {
+func writeShed(w http.ResponseWriter, reqh wire.Header, d Decision) {
 	secs := int(d.RetryAfter.Seconds())
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeResponse(w, codec, http.StatusTooManyRequests, op, &wire.Response{
+	writeResponse(w, reqh, http.StatusTooManyRequests, &wire.Response{
 		Status:           wire.StatusShed,
 		RetryAfterMillis: uint32(d.RetryAfter.Milliseconds()),
 		Detail:           "shed: " + d.Reason,
 	})
 }
 
-func writeResponse(w http.ResponseWriter, codec uint8, httpStatus int, op uint8, resp *wire.Response) {
-	payload, err := wire.EncodeResponse(codec, resp)
+func writeResponse(w http.ResponseWriter, reqh wire.Header, httpStatus int, resp *wire.Response) {
+	payload, err := wire.EncodeResponse(reqh.Codec, resp)
 	if err != nil {
 		// Response built by this package; encode failure is a bug.
 		http.Error(w, "response encoding failed", http.StatusInternalServerError)
@@ -125,7 +140,20 @@ func writeResponse(w http.ResponseWriter, codec uint8, httpStatus int, op uint8,
 	}
 	w.Header().Set("Content-Type", "application/x-sudoku-frame")
 	w.WriteHeader(httpStatus)
-	_ = wire.WriteFrame(w, wire.Header{Version: wire.Version, Codec: codec, Op: op}, payload)
+	_ = wire.WriteFrame(w, echoHeader(reqh), payload)
+}
+
+// shedCode maps an admission Decision.Reason to its trace span code.
+func shedCode(reason string) uint8 {
+	switch reason {
+	case ShedInflight:
+		return reqtrace.AdmissionInflight
+	case ShedStorm:
+		return reqtrace.AdmissionStorm
+	case ShedRate:
+		return reqtrace.AdmissionRate
+	}
+	return 0
 }
 
 func isBatch(op uint8) bool { return op == wire.OpReadBatch || op == wire.OpWriteBatch }
@@ -136,17 +164,26 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	h, payload, err := wire.ReadFrame(http.MaxBytesReader(w, r.Body, wire.MaxFrame+4))
 	if err != nil {
-		writeError(w, wire.CodecJSON, http.StatusBadRequest, 0, err.Error())
+		writeError(w, wire.Header{Codec: wire.CodecJSON}, http.StatusBadRequest, err.Error())
 		return
+	}
+	// A request carrying trace context gets a request-scoped trace for
+	// its whole server residency; the engine threads it down the repair
+	// ladder and the tail sampler decides at Finish whether it lands in
+	// the flight recorder.
+	var tr *sudoku.Trace
+	if h.Flags&wire.FlagTrace != 0 {
+		tr = s.tracer.Begin(h.TraceID, h.Op)
+		defer s.tracer.Finish(tr)
 	}
 	req, err := wire.DecodeRequest(h, payload)
 	if err != nil {
-		writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+		writeError(w, h, http.StatusBadRequest, err.Error())
 		return
 	}
 	tn, err := s.tenants.Lookup(req.Tenant)
 	if err != nil {
-		writeError(w, h.Codec, http.StatusNotFound, h.Op, err.Error())
+		writeError(w, h, http.StatusNotFound, err.Error())
 		return
 	}
 	tm := s.metrics[req.Tenant]
@@ -161,14 +198,15 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	items := len(req.Addrs)
 	if err := validateShape(h.Op, req); err != nil {
 		tm.requests[outcomeError].Add(1)
-		writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+		writeError(w, h, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	release, decision := s.adm.admit(tn.Priority(), isBatch(h.Op))
 	if !decision.Allow {
+		tr.Note(reqtrace.KindAdmission, 0, shedCode(decision.Reason))
 		tm.shed[decision.Reason].Add(1)
-		writeShed(w, h.Codec, h.Op, decision)
+		writeShed(w, h, decision)
 		return
 	}
 	defer release()
@@ -176,12 +214,13 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	if err := tn.TakeTokens(items); err != nil {
 		var re *tenant.RateError
 		if errors.As(err, &re) {
+			tr.Note(reqtrace.KindAdmission, 0, reqtrace.AdmissionRate)
 			tm.shed[ShedRate].Add(1)
-			writeShed(w, h.Codec, h.Op, Decision{Reason: ShedRate, RetryAfter: re.RetryAfter})
+			writeShed(w, h, Decision{Reason: ShedRate, RetryAfter: re.RetryAfter})
 			return
 		}
 		tm.requests[outcomeError].Add(1)
-		writeError(w, h.Codec, http.StatusInternalServerError, h.Op, err.Error())
+		writeError(w, h, http.StatusInternalServerError, err.Error())
 		return
 	}
 
@@ -196,7 +235,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			rel()
 			tm.requests[outcomeTimeout].Add(1)
-			writeError(w, h.Codec, http.StatusGatewayTimeout, h.Op,
+			writeError(w, h, http.StatusGatewayTimeout,
 				fmt.Sprintf("session acquire: %v", err))
 			return
 		}
@@ -208,13 +247,13 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		ea, err := tn.MapAddr(a)
 		if err != nil {
 			tm.requests[outcomeError].Add(1)
-			writeError(w, h.Codec, http.StatusBadRequest, h.Op, err.Error())
+			writeError(w, h, http.StatusBadRequest, err.Error())
 			return
 		}
 		engineAddrs[i] = ea
 	}
 
-	resp := s.execute(h.Op, engineAddrs, req.Data)
+	resp := s.execute(h.Op, engineAddrs, req.Data, tr)
 	outcome := outcomeOK
 	if resp.Status == wire.StatusPartial {
 		outcome = outcomePartial
@@ -223,7 +262,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 	}
 	tm.requests[outcome].Add(1)
 	tm.latency.Observe(time.Since(start))
-	writeResponse(w, h.Codec, http.StatusOK, h.Op, resp)
+	writeResponse(w, h, http.StatusOK, resp)
 }
 
 // validateShape checks op-specific request invariants before any
@@ -257,23 +296,23 @@ func validateShape(op uint8, req *wire.Request) error {
 // Per-item repair failures are data, not transport errors: they come
 // back as StatusPartial with the errs vector, and successful items'
 // data is still delivered.
-func (s *Server) execute(op uint8, addrs []uint64, data []byte) *wire.Response {
+func (s *Server) execute(op uint8, addrs []uint64, data []byte, tr *sudoku.Trace) *wire.Response {
 	items := len(addrs)
 	switch op {
 	case wire.OpRead:
 		buf := make([]byte, tenant.LineBytes)
-		if err := s.engine.ReadInto(addrs[0], buf); err != nil {
+		if err := s.engine.ReadIntoTraced(addrs[0], buf, tr); err != nil {
 			return &wire.Response{Status: wire.StatusPartial, Errs: []string{err.Error()}}
 		}
 		return &wire.Response{Status: wire.StatusOK, Data: buf}
 	case wire.OpWrite:
-		if err := s.engine.Write(addrs[0], data); err != nil {
+		if err := s.engine.WriteTraced(addrs[0], data, tr); err != nil {
 			return &wire.Response{Status: wire.StatusPartial, Errs: []string{err.Error()}}
 		}
 		return &wire.Response{Status: wire.StatusOK}
 	case wire.OpReadBatch:
 		buf := make([]byte, items*tenant.LineBytes)
-		errs, err := s.engine.ReadBatch(addrs, buf)
+		errs, err := s.engine.ReadBatchTraced(addrs, buf, tr)
 		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
 		}
@@ -282,7 +321,7 @@ func (s *Server) execute(op uint8, addrs []uint64, data []byte) *wire.Response {
 		}
 		return &wire.Response{Status: wire.StatusPartial, Errs: errStrings(errs), Data: buf}
 	case wire.OpWriteBatch:
-		errs, err := s.engine.WriteBatch(addrs, data)
+		errs, err := s.engine.WriteBatchTraced(addrs, data, tr)
 		if err != nil {
 			return &wire.Response{Status: wire.StatusError, Detail: err.Error()}
 		}
@@ -330,10 +369,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, h wire.Header, tm *tenantMe
 	}
 	payload, err := encodeJSON(sum)
 	if err != nil {
-		writeError(w, h.Codec, http.StatusInternalServerError, h.Op, err.Error())
+		writeError(w, h, http.StatusInternalServerError, err.Error())
 		return
 	}
 	tm.requests[outcomeOK].Add(1)
 	tm.latency.Observe(time.Since(start))
-	writeResponse(w, h.Codec, http.StatusOK, h.Op, &wire.Response{Status: wire.StatusOK, Data: payload})
+	writeResponse(w, h, http.StatusOK, &wire.Response{Status: wire.StatusOK, Data: payload})
 }

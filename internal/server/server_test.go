@@ -287,6 +287,72 @@ func TestEventTapScopedAndRebased(t *testing.T) {
 	}
 }
 
+// TestTraceIDEchoedOverWire pins wire trace propagation end to end:
+// the client stamps every frame with a trace id, the server's
+// responses echo it (the client errors on a mismatch, so a clean round
+// trip IS the assertion), shed responses surface the id on ShedError,
+// and server-side traces of shed requests land in the flight recorder
+// under the client's id.
+func TestTraceIDEchoedOverWire(t *testing.T) {
+	ts := startServer(t, []tenant.Config{{Name: "a", Lines: 1024}}, 64)
+	defer ts.finish()
+	ctx := context.Background()
+
+	var lastID atomic.Uint64
+	next := func() uint64 { return 0x7700 + lastID.Add(1) }
+	for _, codec := range []uint8{wire.CodecJSON, wire.CodecBinary} {
+		cl := client.New(client.Options{Addr: ts.addr, Codec: codec, NextTraceID: next})
+		line := bytes.Repeat([]byte{0xC3}, 64)
+		// Write, read, batch, health: each verifies its echo internally.
+		if err := cl.Write(ctx, "a", 0, line); err != nil {
+			t.Fatalf("codec %d write: %v", codec, err)
+		}
+		if _, err := cl.Read(ctx, "a", 0); err != nil {
+			t.Fatalf("codec %d read: %v", codec, err)
+		}
+		if _, err := cl.ReadBatch(ctx, "a", []uint64{0, 64}); err != nil {
+			t.Fatalf("codec %d batch: %v", codec, err)
+		}
+		if _, err := cl.Health(ctx, "a"); err != nil {
+			t.Fatalf("codec %d health: %v", codec, err)
+		}
+		// Error frames echo too: the client surfaces the server's
+		// detail, not a trace mismatch.
+		if _, err := cl.Read(ctx, "ghost", 0); err == nil ||
+			!strings.Contains(err.Error(), "unknown tenant") {
+			t.Fatalf("codec %d error echo: %v", codec, err)
+		}
+	}
+
+	// The shed path: a storm rejection carries the trace id on the
+	// typed error AND publishes the shed trace server-side.
+	cl := client.New(client.Options{Addr: ts.addr, Codec: wire.CodecBinary, NextTraceID: next})
+	ts.storm.Store(int32(sudoku.StormCritical))
+	defer ts.storm.Store(int32(sudoku.StormNormal))
+	err := cl.WriteBatch(ctx, "a", []uint64{0}, bytes.Repeat([]byte{1}, 64))
+	var se *client.ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("critical batch: %v, want ShedError", err)
+	}
+	wantID := 0x7700 + lastID.Load()
+	if se.TraceID != wantID {
+		t.Fatalf("ShedError.TraceID = %#x, want %#x", se.TraceID, wantID)
+	}
+	found := false
+	for _, tr := range ts.eng.Tracer().Ring().Snapshot(nil) {
+		if tr.ID != wantID {
+			continue
+		}
+		found = true
+		if tr.N < 1 || tr.Spans[0].Kind.String() != "admission_shed" {
+			t.Fatalf("shed trace spans: %+v", tr.Spans[:tr.N])
+		}
+	}
+	if !found {
+		t.Fatal("shed request's trace not in the server flight recorder")
+	}
+}
+
 func TestAdmissionInflightHeadroom(t *testing.T) {
 	// Unit-level: soft cap = 4×(1−0.5) = 2 admitted, third shed.
 	storm := func() sudoku.StormState { return sudoku.StormNormal }

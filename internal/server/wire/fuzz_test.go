@@ -29,10 +29,22 @@ func FuzzReadFrame(f *testing.F) {
 				f.Fatal(err)
 			}
 			f.Add(buf.Bytes())
+			// The same frame with trace context attached.
+			buf.Reset()
+			if err := WriteFrame(&buf, Header{
+				Version: Version, Codec: codec, Op: OpReadBatch,
+				Flags: FlagTrace, TraceID: 0xfeedfacecafebeef,
+			}, p); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
 		}
 	}
 	f.Add([]byte{0, 0, 0, 4, 1, 1, 1, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// FlagTrace set but no room for the 8-byte id: must be ErrShortFrame,
+	// not a slice panic.
+	f.Add([]byte{0, 0, 0, 6, 1, 1, 1, 1, 0xAA, 0xBB})
 	bomb := []byte{0, 0, 0, 14, 1, 1, 3, 0, 1, 'a'}
 	bomb = binary.BigEndian.AppendUint32(bomb, 0xFFFFFFF0)
 	f.Add(bomb)
@@ -62,6 +74,22 @@ func FuzzReadFrame(f *testing.F) {
 		if back.Tenant != req.Tenant || !reflect.DeepEqual(back.Addrs, req.Addrs) || !bytes.Equal(back.Data, req.Data) {
 			t.Fatalf("round trip drifted: %+v vs %+v", req, back)
 		}
+		// Re-frame through the writer: the header — trace id included,
+		// when present — must survive a full WriteFrame/ReadFrame cycle.
+		var fr bytes.Buffer
+		if err := WriteFrame(&fr, h, re); err != nil {
+			t.Fatalf("decoded frame failed to re-frame: %v", err)
+		}
+		h2, p2, err := ReadFrame(&fr)
+		if err != nil {
+			t.Fatalf("re-framed request failed to read: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("frame header drifted: %+v vs %+v", h, h2)
+		}
+		if !bytes.Equal(p2, re) {
+			t.Fatal("frame payload drifted through re-framing")
+		}
 	})
 }
 
@@ -82,8 +110,36 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if _, err := EncodeResponse(codec, resp); err != nil && codec == CodecJSON {
-			t.Fatalf("decoded response failed to re-encode: %v", err)
+		re, err := EncodeResponse(codec, resp)
+		if err != nil {
+			if codec == CodecJSON {
+				t.Fatalf("decoded response failed to re-encode: %v", err)
+			}
+			return
+		}
+		// The response echo path: frame it with a trace id derived from
+		// the input and check the id survives the round trip untouched.
+		var id uint64
+		for _, b := range raw {
+			id = id<<8 | uint64(b)
+		}
+		var fr bytes.Buffer
+		h := Header{Version: Version, Codec: codec, Op: OpRead, Flags: FlagTrace, TraceID: id}
+		if err := WriteFrame(&fr, h, re); err != nil {
+			if err == ErrFrameTooLarge {
+				return
+			}
+			t.Fatalf("response failed to frame: %v", err)
+		}
+		h2, p2, err := ReadFrame(&fr)
+		if err != nil {
+			t.Fatalf("framed response failed to read: %v", err)
+		}
+		if h2.TraceID != id || h2.Flags&FlagTrace == 0 {
+			t.Fatalf("trace id drifted: sent %#x, got %+v", id, h2)
+		}
+		if !bytes.Equal(p2, re) {
+			t.Fatal("response payload drifted through framing")
 		}
 	})
 }

@@ -4,10 +4,13 @@
 //
 // Frame layout, all integers big-endian:
 //
-//	[4B length][1B version][1B codec][1B op][1B flags][payload]
+//	[4B length][1B version][1B codec][1B op][1B flags][8B trace id]?[payload]
 //
 // where length counts everything after the length prefix (the 4 header
-// bytes plus the payload). The codec byte selects the payload encoding
+// bytes, the optional trace id, plus the payload). The 8-byte trace id
+// is present exactly when FlagTrace is set in the flags byte; requests
+// carry the client-generated id and responses echo it, which is how
+// trace context crosses the wire without a new protocol version. The codec byte selects the payload encoding
 // (JSON for debuggability, binary for the hot path); the op byte names
 // the operation so the payload can omit it. The decoder is the trust
 // boundary of the server: every length field is checked against the
@@ -32,6 +35,17 @@ const (
 	// headerLen is the fixed post-length header (version, codec, op,
 	// flags).
 	headerLen = 4
+	// traceIDLen is the optional trace-id extension after the fixed
+	// header, present when FlagTrace is set.
+	traceIDLen = 8
+)
+
+// Frame flags.
+const (
+	// FlagTrace marks a frame carrying an 8-byte trace id after the
+	// flags byte. Clients set it on requests; the server echoes it
+	// (with the same id) on every response to a frame that carried it.
+	FlagTrace uint8 = 1 << 0
 )
 
 // Codecs.
@@ -74,11 +88,14 @@ var (
 )
 
 // Header is the fixed per-frame header after the length prefix.
+// TraceID is meaningful only when Flags&FlagTrace != 0; WriteFrame
+// serializes it exactly then, and ReadFrame populates it exactly then.
 type Header struct {
 	Version uint8
 	Codec   uint8
 	Op      uint8
 	Flags   uint8
+	TraceID uint64
 }
 
 // Request is the client→server payload. Addrs are tenant-relative byte
@@ -116,17 +133,25 @@ type Event struct {
 	Futile   bool   `json:"futile,omitempty"`
 }
 
-// WriteFrame writes one frame: length prefix, header, payload.
+// WriteFrame writes one frame: length prefix, header, optional trace
+// id, payload.
 func WriteFrame(w io.Writer, h Header, payload []byte) error {
-	if len(payload) > MaxFrame-headerLen {
+	ext := 0
+	if h.Flags&FlagTrace != 0 {
+		ext = traceIDLen
+	}
+	if len(payload) > MaxFrame-headerLen-ext {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+headerLen, 4+headerLen+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(headerLen+len(payload)))
+	buf := make([]byte, 4+headerLen, 4+headerLen+ext+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(headerLen+ext+len(payload)))
 	buf[4] = h.Version
 	buf[5] = h.Codec
 	buf[6] = h.Op
 	buf[7] = h.Flags
+	if ext != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, h.TraceID)
+	}
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
 	return err
@@ -162,7 +187,15 @@ func ReadFrame(r io.Reader) (Header, []byte, error) {
 	if h.Codec != CodecJSON && h.Codec != CodecBinary {
 		return h, nil, ErrBadCodec
 	}
-	return h, body[headerLen:], nil
+	rest := body[headerLen:]
+	if h.Flags&FlagTrace != 0 {
+		if len(rest) < traceIDLen {
+			return h, nil, ErrShortFrame
+		}
+		h.TraceID = binary.BigEndian.Uint64(rest)
+		rest = rest[traceIDLen:]
+	}
+	return h, rest, nil
 }
 
 // Binary request layout (after the frame header):

@@ -3,6 +3,8 @@ package shard
 import (
 	"fmt"
 	"sync"
+
+	"sudoku/internal/reqtrace"
 )
 
 // batchScratch holds one batch's grouped view: item indices reordered
@@ -138,6 +140,47 @@ func (e *Engine) ReadBatch(addrs []uint64, dst []byte, errs []error) (failed int
 		}
 	}
 	return failed, nil
+}
+
+// batchPlanNote records the batch-planning decision on tr: Addr is the
+// item count and Code the number of distinct shard groups the batch
+// splits into. Per-item batch internals deliberately stay untraced —
+// one span per batch, not per line, keeps a 64-item batch from eating
+// the whole span budget.
+func (e *Engine) batchPlanNote(tr *reqtrace.Trace, addrs []uint64) {
+	if tr == nil {
+		return
+	}
+	var mask uint64
+	groups := 0
+	for _, a := range addrs {
+		s, _ := e.locate(a)
+		if s > 63 {
+			s = 63 // >64 shards never happens in practice; clamp the mask
+		}
+		if mask&(1<<uint(s)) == 0 {
+			mask |= 1 << uint(s)
+			groups++
+		}
+	}
+	if groups > 255 {
+		groups = 255
+	}
+	tr.Note(reqtrace.KindBatchPlan, uint64(len(addrs)), uint8(groups))
+}
+
+// ReadBatchTraced is ReadBatch with a request trace attached: the
+// shard-grouping plan is noted once on tr, then the untraced batch
+// machinery runs unchanged.
+func (e *Engine) ReadBatchTraced(addrs []uint64, dst []byte, errs []error, tr *reqtrace.Trace) (failed int, err error) {
+	e.batchPlanNote(tr, addrs)
+	return e.ReadBatch(addrs, dst, errs)
+}
+
+// WriteBatchTraced is WriteBatch with a request trace attached.
+func (e *Engine) WriteBatchTraced(addrs []uint64, data []byte, errs []error, tr *reqtrace.Trace) (failed int, err error) {
+	e.batchPlanNote(tr, addrs)
+	return e.WriteBatch(addrs, data, errs)
 }
 
 // WriteBatch writes len(addrs) lines from data (item i at

@@ -51,6 +51,7 @@ import (
 	"sudoku/internal/cache"
 	"sudoku/internal/faultmodel"
 	"sudoku/internal/ras"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/rng"
 )
 
@@ -269,6 +270,28 @@ func (e *Engine) Write(addr uint64, data []byte) error {
 	s, sub := e.locate(addr)
 	st := e.shards[s]
 	lat, err := st.llc.Write(st.now(), sub, data)
+	st.advance(lat)
+	return err
+}
+
+// ReadIntoTraced is ReadInto with a request trace attached: the shard
+// routing decision and every repair rung the access traverses are
+// noted on tr (nil tr = untraced, one branch per point).
+func (e *Engine) ReadIntoTraced(addr uint64, dst []byte, tr *reqtrace.Trace) error {
+	s, sub := e.locate(addr)
+	tr.Note(reqtrace.KindShardPlan, addr, uint8(s))
+	st := e.shards[s]
+	lat, err := st.llc.ReadIntoTraced(st.now(), sub, dst, tr)
+	st.advance(lat)
+	return err
+}
+
+// WriteTraced is Write with a request trace attached.
+func (e *Engine) WriteTraced(addr uint64, data []byte, tr *reqtrace.Trace) error {
+	s, sub := e.locate(addr)
+	tr.Note(reqtrace.KindShardPlan, addr, uint8(s))
+	st := e.shards[s]
+	lat, err := st.llc.WriteTraced(st.now(), sub, data, tr)
 	st.advance(lat)
 	return err
 }

@@ -46,7 +46,7 @@ func ParseExposition(r io.Reader) (map[string]float64, error) {
 			}
 			continue
 		}
-		name, labels, value, err := parseSample(line)
+		name, labels, value, err := parseSample(stripExemplar(line))
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineno, err)
 		}
@@ -137,6 +137,29 @@ func parseComment(line string, typed map[string]MetricType, seen map[string]bool
 		typed[name] = t
 	}
 	return nil
+}
+
+// stripExemplar drops an OpenMetrics exemplar suffix (` # {...} value
+// [ts]`) from a sample line. The 0.0.4 text format has no in-line
+// comments, so an unquoted '#' inside a sample line can only introduce
+// an exemplar annotation.
+func stripExemplar(line string) string {
+	inq := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inq {
+				i++
+			}
+		case '"':
+			inq = !inq
+		case '#':
+			if !inq {
+				return strings.TrimRight(line[:i], " \t")
+			}
+		}
+	}
+	return line
 }
 
 // parseSample splits `name[{labels}] value [timestamp]` and validates

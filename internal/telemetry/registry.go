@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -33,13 +34,30 @@ func (t MetricType) String() string {
 	}
 }
 
+// ExemplarFunc resolves an OpenMetrics-style exemplar for one histogram
+// bucket: given the bucket's value range [loNs, hiNs) it returns a
+// trace ID, the exemplified observation's value in nanoseconds, and
+// that observation's wall timestamp, or ok=false when no exemplar is
+// available for the range. Exemplars render only on `_bucket` lines and
+// only when ok — a registry without exemplar sources produces exactly
+// the plain 0.0.4 exposition.
+type ExemplarFunc func(loNs, hiNs int64) (traceID uint64, valueNs, tsUnixNano int64, ok bool)
+
 // series is one labeled instance of a family. Exactly one of the fns is
-// set, matching the family type.
+// set, matching the family type. The render prefixes are precomputed at
+// registration so a scrape is pure append+strconv over pooled bytes —
+// no fmt, no per-sample string building.
 type series struct {
 	labels string // pre-rendered `a="b",c="d"` (sorted keys), "" if none
 	intFn  func() int64
 	fltFn  func() float64
 	histFn func() HistogramSnapshot
+	exFn   ExemplarFunc
+
+	samplePrefix string   // `name{labels} ` (counters and gauges)
+	bucketPrefix []string // `name_bucket{labels,le="..."} `, NumBuckets+1 entries (+Inf last)
+	sumPrefix    string   // `name_sum{labels} `
+	countPrefix  string   // `name_count{labels} `
 }
 
 // family is one metric name: HELP/TYPE plus its labeled series.
@@ -47,6 +65,7 @@ type family struct {
 	name   string
 	help   string
 	typ    MetricType
+	header string // pre-rendered `# HELP ...\n# TYPE ...\n`
 	series []series
 }
 
@@ -61,6 +80,7 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	sorted   []*family // render-order cache, invalidated by register
 }
 
 // NewRegistry builds an empty registry.
@@ -87,16 +107,36 @@ func (r *Registry) Histogram(name, help string, fn func() HistogramSnapshot, lab
 	r.register(name, help, TypeHistogram, series{histFn: fn}, labels)
 }
 
+// HistogramWithExemplars is Histogram with an exemplar source: each
+// rendered `_bucket` line is annotated with the trace exemplar ex
+// resolves for that bucket's value range (when one exists).
+func (r *Registry) HistogramWithExemplars(name, help string, fn func() HistogramSnapshot, ex ExemplarFunc, labels ...string) {
+	r.register(name, help, TypeHistogram, series{histFn: fn, exFn: ex}, labels)
+}
+
 func (r *Registry) register(name, help string, typ MetricType, s series, labels []string) {
 	if !validName(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
 	}
 	s.labels = renderLabels(labels)
+	s.samplePrefix = name + wrapLabels(s.labels) + " "
+	if typ == TypeHistogram {
+		s.bucketPrefix = make([]string, NumBuckets+1)
+		for i := 0; i < NumBuckets; i++ {
+			s.bucketPrefix[i] = name + "_bucket" + leLabels(s.labels, strconv.FormatInt(int64(BucketUpper(i)), 10)) + " "
+		}
+		s.bucketPrefix[NumBuckets] = name + "_bucket" + leLabels(s.labels, "+Inf") + " "
+		s.sumPrefix = name + "_sum" + wrapLabels(s.labels) + " "
+		s.countPrefix = name + "_count" + wrapLabels(s.labels) + " "
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[name]
 	if f == nil {
-		f = &family{name: name, help: help, typ: typ}
+		f = &family{
+			name: name, help: help, typ: typ,
+			header: "# HELP " + name + " " + escapeHelp(help) + "\n# TYPE " + name + " " + typ.String() + "\n",
+		}
 		r.families[name] = f
 	}
 	if f.typ != typ {
@@ -111,6 +151,7 @@ func (r *Registry) register(name, help string, typ MetricType, s series, labels 
 		}
 	}
 	f.series = append(f.series, s)
+	r.sorted = nil
 }
 
 // validName checks the Prometheus metric-name grammar
@@ -180,40 +221,130 @@ func escapeHelp(h string) string {
 }
 
 // sortedFamilies returns the families sorted by name — the render order
-// is deterministic so golden-file tests break on renames, not dashboards.
+// is deterministic so golden-file tests break on renames, not
+// dashboards. The sorted slice is cached between registrations so a
+// steady-state scrape does not re-sort (or allocate) per render.
 func (r *Registry) sortedFamilies() []*family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		out = append(out, f)
+	if r.sorted == nil {
+		out := make([]*family, 0, len(r.families))
+		for _, f := range r.families {
+			out = append(out, f)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		r.sorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
+	return r.sorted
 }
+
+// renderBufPool recycles the exposition encode buffer: a scrape renders
+// into a pooled []byte and issues one Write, so steady-state renders
+// allocate nothing (the buffer reaches its high-water mark once).
+var renderBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // WritePrometheus renders the registry in Prometheus text exposition
 // format 0.0.4: `# HELP` / `# TYPE` lines per family, then one sample
 // line per series (histograms expand to cumulative `_bucket{le=...}`
-// lines plus `_sum` and `_count`).
+// lines plus `_sum` and `_count`). The whole exposition is encoded into
+// a pooled buffer and written with a single Write.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	bw := &errWriter{w: w}
+	bp := renderBufPool.Get().(*[]byte)
+	buf := r.AppendPrometheus((*bp)[:0])
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	renderBufPool.Put(bp)
+	return err
+}
+
+// AppendPrometheus appends the text exposition to buf and returns the
+// extended slice — the allocation-free core of WritePrometheus.
+func (r *Registry) AppendPrometheus(buf []byte) []byte {
 	for _, f := range r.sortedFamilies() {
-		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
-		for _, s := range f.series {
+		buf = append(buf, f.header...)
+		for i := range f.series {
+			s := &f.series[i]
 			switch f.typ {
 			case TypeCounter:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, wrapLabels(s.labels), s.intFn())
+				buf = append(buf, s.samplePrefix...)
+				buf = strconv.AppendInt(buf, s.intFn(), 10)
+				buf = append(buf, '\n')
 			case TypeGauge:
-				fmt.Fprintf(bw, "%s%s %s\n", f.name, wrapLabels(s.labels),
-					strconv.FormatFloat(s.fltFn(), 'g', -1, 64))
+				buf = append(buf, s.samplePrefix...)
+				buf = strconv.AppendFloat(buf, s.fltFn(), 'g', -1, 64)
+				buf = append(buf, '\n')
 			case TypeHistogram:
-				writeHistogram(bw, f.name, s.labels, s.histFn())
+				buf = appendHistogram(buf, s)
 			}
 		}
 	}
-	return bw.err
+	return buf
+}
+
+func appendHistogram(buf []byte, s *series) []byte {
+	snap := s.histFn()
+	var cum int64
+	for i, n := range snap.Buckets {
+		cum += n
+		buf = append(buf, s.bucketPrefix[i]...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		if s.exFn != nil {
+			lo := int64(BucketLower(i))
+			if i == 0 {
+				lo = 0 // observations clamp up to 1ns; cover 0-duration traces too
+			}
+			buf = appendExemplar(buf, s.exFn, lo, int64(BucketUpper(i)))
+		}
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, s.bucketPrefix[NumBuckets]...)
+	buf = strconv.AppendInt(buf, snap.Count, 10)
+	if s.exFn != nil {
+		buf = appendExemplar(buf, s.exFn, int64(BucketUpper(NumBuckets-1)), math.MaxInt64)
+	}
+	buf = append(buf, '\n')
+	buf = append(buf, s.sumPrefix...)
+	buf = strconv.AppendInt(buf, snap.SumNs, 10)
+	buf = append(buf, '\n')
+	buf = append(buf, s.countPrefix...)
+	buf = strconv.AppendInt(buf, snap.Count, 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendExemplar renders ` # {trace_id="<16-hex>"} <valueNs> <ts>` —
+// the OpenMetrics exemplar syntax, with the timestamp in seconds at
+// millisecond precision. The trace ID is zero-padded to 16 hex digits
+// to match the flight recorder's JSON form.
+func appendExemplar(buf []byte, ex ExemplarFunc, loNs, hiNs int64) []byte {
+	id, val, ts, ok := ex(loNs, hiNs)
+	if !ok {
+		return buf
+	}
+	buf = append(buf, ` # {trace_id="`...)
+	var hex [16]byte
+	h := strconv.AppendUint(hex[:0], id, 16)
+	for i := len(h); i < 16; i++ {
+		buf = append(buf, '0')
+	}
+	buf = append(buf, h...)
+	buf = append(buf, `"} `...)
+	buf = strconv.AppendInt(buf, val, 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, ts/1e9, 10)
+	buf = append(buf, '.')
+	ms := (ts % 1e9) / 1e6
+	if ms < 0 {
+		ms = 0
+	}
+	if ms < 100 {
+		buf = append(buf, '0')
+	}
+	if ms < 10 {
+		buf = append(buf, '0')
+	}
+	buf = strconv.AppendInt(buf, ms, 10)
+	return buf
 }
 
 // wrapLabels renders a pre-joined label body as `{...}` or nothing.
@@ -230,34 +361,6 @@ func leLabels(body, le string) string {
 		return `{le="` + le + `"}`
 	}
 	return "{" + body + `,le="` + le + `"}`
-}
-
-func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
-	var cum int64
-	for i, n := range s.Buckets {
-		cum += n
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
-			leLabels(labels, strconv.FormatInt(int64(BucketUpper(i)), 10)), cum)
-	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabels(labels, "+Inf"), s.Count)
-	fmt.Fprintf(w, "%s_sum%s %d\n", name, wrapLabels(labels), s.SumNs)
-	fmt.Fprintf(w, "%s_count%s %d\n", name, wrapLabels(labels), s.Count)
-}
-
-// errWriter latches the first write error so the render loop stays
-// uncluttered.
-type errWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (e *errWriter) Write(p []byte) (int, error) {
-	if e.err != nil {
-		return len(p), nil
-	}
-	n, err := e.w.Write(p)
-	e.err = err
-	return n, nil
 }
 
 // ServeHTTP serves the Prometheus exposition — mount the registry at

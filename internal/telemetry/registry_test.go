@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -156,6 +157,66 @@ func TestRegisterPanics(t *testing.T) {
 			}()
 			fn(NewRegistry())
 		})
+	}
+}
+
+// TestHistogramExemplars pins the exemplar annotation: only buckets
+// whose range resolves an exemplar carry the ` # {trace_id=...}`
+// suffix, the ID is zero-padded 16-hex, and the package's own parser
+// tolerates the annotated exposition.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	var h Histogram
+	h.ObserveNs(1500)
+	ex := func(loNs, hiNs int64) (uint64, int64, int64, bool) {
+		if loNs <= 1500 && 1500 < hiNs {
+			return 0xabc, 1500, 1700000000_123456789, true
+		}
+		return 0, 0, 0, false
+	}
+	r.HistogramWithExemplars("ex_latency_ns", "h", h.Snapshot, ex)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `ex_latency_ns_bucket{le="2048"} 1 # {trace_id="0000000000000abc"} 1500 1700000000.123`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar line %q in:\n%s", want, out)
+	}
+	if strings.Count(out, "trace_id") != 1 {
+		t.Fatalf("exemplar leaked onto other buckets:\n%s", out)
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("parser rejected exemplar exposition: %v", err)
+	}
+}
+
+// BenchmarkRegistryRender is the scrape-path allocation gate: a
+// steady-state render into a pooled buffer must not allocate (the CI
+// bench-smoke job greps for ` 0 allocs/op`).
+func BenchmarkRegistryRender(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		n := string(rune('a' + i))
+		r.Counter("bench_"+n+"_total", "h", func() int64 { return 42 })
+		r.Gauge("bench_"+n+"_gauge", "h", func() float64 { return 0.5 })
+	}
+	var h Histogram
+	h.ObserveNs(1)
+	h.ObserveNs(20)
+	h.ObserveNs(1500)
+	r.Histogram("bench_latency_ns", "h", h.Snapshot)
+	r.Histogram("bench_latency2_ns", "h", h.Snapshot, "shard", "0")
+	if err := r.WritePrometheus(io.Discard); err != nil { // warm the pool and sort cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

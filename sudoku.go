@@ -36,6 +36,7 @@ import (
 	"sudoku/internal/faultsim"
 	"sudoku/internal/persist"
 	"sudoku/internal/ras"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/rng"
 	"sudoku/internal/scrubber"
 	"sudoku/internal/shard"
@@ -70,6 +71,24 @@ type HistogramSnapshot = telemetry.HistogramSnapshot
 // text exposition (it implements http.Handler — mount it at /metrics)
 // and expvar-style JSON (it implements expvar.Var).
 type Registry = telemetry.Registry
+
+// Trace is one operation's request-scoped span record: which repair
+// rungs, fallbacks, and planning decisions the operation actually hit,
+// in causal order. A nil *Trace is the untraced case; every
+// instrumentation point is nil-safe, so passing nil costs one branch.
+type Trace = reqtrace.Trace
+
+// Tracer owns the trace pool, the tail-sampling policy, and the
+// flight-recorder ring of recent anomalous traces.
+type Tracer = reqtrace.Tracer
+
+// TracerConfig parameterizes the tracer (flight-recorder capacity and
+// the tail-sampling latency threshold).
+type TracerConfig = reqtrace.Config
+
+// FlightRecord is the JSON snapshot of the flight recorder served at
+// /debug/flightrec.
+type FlightRecord = reqtrace.FlightRecord
 
 // RASSubscription is a live RAS event tap: receive from Events();
 // a full buffer drops events (counted by Dropped) rather than ever
@@ -287,6 +306,17 @@ type Health struct {
 	// write outcomes.
 	CheckpointWrites   int64
 	CheckpointFailures int64
+	// TracesPublished / TraceDrops are the flight recorder's lifetime
+	// publish and drop counters. Drops mean anomalous traces were lost
+	// to publish contention — a sampler-pressure signal, never a 503
+	// condition. Always zero for the synchronous Cache (no tracer).
+	TracesPublished int64
+	TraceDrops      int64
+	// LastAnomalyAge is the time since the most recent anomalous trace
+	// was published to the flight recorder: -1 when none ever was (or
+	// for the synchronous Cache). A small value during fault pressure
+	// means the tail sampler is live.
+	LastAnomalyAge time.Duration
 }
 
 // ErrUncorrectable is returned when a read hits a line whose fault
@@ -474,6 +504,7 @@ func (c *Cache) Health() Health {
 		StuckCells:         c.inner.StuckCells(),
 		Uptime:             time.Since(c.start),
 		EventsDropped:      c.ras.Dropped(),
+		LastAnomalyAge:     -1, // no tracer on the synchronous Cache
 	}
 }
 
@@ -482,7 +513,8 @@ func (c *Cache) Health() Health {
 // per-kind RAS event census, all pulled live at scrape time.
 func (c *Cache) NewRegistry() *Registry {
 	r := telemetry.NewRegistry()
-	registerEngine(r, c.Metrics, c.ras)
+	registerEngine(r, c.Metrics, c.ras, nil)
+	registerRuntime(r)
 	registerServiceability(r, serviceability{
 		retired:     c.inner.RetiredLines,
 		sparesFree:  c.inner.SparesFree,
@@ -621,6 +653,11 @@ var (
 type Concurrent struct {
 	eng   *shard.Engine
 	start time.Time
+	// tracer is the always-on request tracer: traced operations draw a
+	// pooled span buffer from it, and its flight-recorder ring keeps the
+	// recent anomalous traces. Untraced operations pass a nil *Trace and
+	// pay one branch per instrumentation point.
+	tracer *reqtrace.Tracer
 
 	mu     sync.Mutex
 	daemon *shard.ScrubDaemon
@@ -670,7 +707,11 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{eng: eng, start: time.Now()}, nil
+	return &Concurrent{
+		eng:    eng,
+		start:  time.Now(),
+		tracer: reqtrace.NewTracer(reqtrace.Config{}),
+	}, nil
 }
 
 // Shards returns the resolved shard count.
@@ -687,6 +728,43 @@ func (c *Concurrent) ReadInto(addr uint64, dst []byte) error { return c.eng.Read
 
 // Write stores a 64-byte line at addr.
 func (c *Concurrent) Write(addr uint64, data []byte) error { return c.eng.Write(addr, data) }
+
+// Tracer returns the engine's always-on request tracer. Its Ring is the
+// flight recorder behind /debug/flightrec, /healthz trace fields, and
+// the latency-histogram exemplars.
+func (c *Concurrent) Tracer() *Tracer { return c.tracer }
+
+// ReadIntoTraced is ReadInto with a request trace attached: the shard
+// routing, seqlock fallback reasons, scrub interference, and every
+// repair-ladder rung the read hits are noted on tr. tr may be nil (the
+// untraced case). Begin/Finish bracketing is the caller's — the server
+// owns the trace across the whole request, this method only threads it.
+func (c *Concurrent) ReadIntoTraced(addr uint64, dst []byte, tr *Trace) error {
+	return c.eng.ReadIntoTraced(addr, dst, tr)
+}
+
+// WriteTraced is Write with a request trace attached; see ReadIntoTraced.
+func (c *Concurrent) WriteTraced(addr uint64, data []byte, tr *Trace) error {
+	return c.eng.WriteTraced(addr, data, tr)
+}
+
+// TraceRead is the self-bracketing traced read: it draws a trace from
+// the tracer's pool, runs the read with it, and Finishes it through the
+// tail sampler. published reports whether the trace was anomalous
+// enough to land in the flight recorder. Op 'R' tags in-process reads
+// apart from server traffic (which uses the wire op byte).
+func (c *Concurrent) TraceRead(id uint64, addr uint64, dst []byte) (published bool, err error) {
+	tr := c.tracer.Begin(id, 'R')
+	err = c.eng.ReadIntoTraced(addr, dst, tr)
+	return c.tracer.Finish(tr), err
+}
+
+// TraceWrite is the self-bracketing traced write; see TraceRead.
+func (c *Concurrent) TraceWrite(id uint64, addr uint64, data []byte) (published bool, err error) {
+	tr := c.tracer.Begin(id, 'W')
+	err = c.eng.WriteTraced(addr, data, tr)
+	return c.tracer.Finish(tr), err
+}
 
 // ReadBatch reads len(addrs) lines into dst (64×len(addrs) bytes, item
 // i at dst[i*64:]), grouping items by shard so each shard's lock is
@@ -713,6 +791,31 @@ func (c *Concurrent) ReadBatch(addrs []uint64, dst []byte) ([]error, error) {
 func (c *Concurrent) WriteBatch(addrs []uint64, data []byte) ([]error, error) {
 	ep := getBatchErrs(len(addrs))
 	failed, err := c.eng.WriteBatch(addrs, data, *ep)
+	if err != nil || failed == 0 {
+		putBatchErrs(ep)
+		return nil, err
+	}
+	return *ep, nil
+}
+
+// ReadBatchTraced is ReadBatch with a request trace attached: the batch
+// planner's shard-grouping decision is noted once on tr (per-item
+// internals stay untraced). Return contract as in ReadBatch.
+func (c *Concurrent) ReadBatchTraced(addrs []uint64, dst []byte, tr *Trace) ([]error, error) {
+	ep := getBatchErrs(len(addrs))
+	failed, err := c.eng.ReadBatchTraced(addrs, dst, *ep, tr)
+	if err != nil || failed == 0 {
+		putBatchErrs(ep)
+		return nil, err
+	}
+	return *ep, nil
+}
+
+// WriteBatchTraced is WriteBatch with a request trace attached; see
+// ReadBatchTraced.
+func (c *Concurrent) WriteBatchTraced(addrs []uint64, data []byte, tr *Trace) ([]error, error) {
+	ep := getBatchErrs(len(addrs))
+	failed, err := c.eng.WriteBatchTraced(addrs, data, *ep, tr)
 	if err != nil || failed == 0 {
 		putBatchErrs(ep)
 		return nil, err
@@ -856,6 +959,10 @@ func (c *Concurrent) Health() Health {
 		Uptime:             time.Since(c.start),
 		EventsDropped:      log.Dropped(),
 	}
+	ring := c.tracer.Ring()
+	h.TracesPublished = ring.Published()
+	h.TraceDrops = ring.Dropped()
+	h.LastAnomalyAge = ring.LastAnomalyAge(time.Now())
 	if d := c.scrubDaemon(); d != nil {
 		h.ScrubRunning = d.Running()
 		h.ScrubStalled = d.Stalled()
@@ -894,7 +1001,9 @@ func (c *Concurrent) Health() Health {
 // at /metrics (it implements http.Handler) or expvar.Publish it.
 func (c *Concurrent) NewRegistry() *Registry {
 	r := telemetry.NewRegistry()
-	registerEngine(r, c.Metrics, c.eng.Events())
+	registerEngine(r, c.Metrics, c.eng.Events(), c.tracer.Ring())
+	registerRuntime(r)
+	registerTracer(r, c.tracer)
 	registerServiceability(r, serviceability{
 		retired:     c.eng.RetiredLines,
 		sparesFree:  c.eng.SparesFree,

@@ -154,6 +154,12 @@ func expositionSkeleton(exposition string) string {
 		if i := strings.LastIndexByte(line, ' '); i >= 0 {
 			line = line[:i]
 		}
+		// build_info label values carry the toolchain version and VCS
+		// revision — environment-dependent, so the skeleton keeps only
+		// the family name.
+		if strings.HasPrefix(line, "sudoku_build_info{") {
+			line = "sudoku_build_info"
+		}
 		b.WriteString(line)
 		b.WriteByte('\n')
 	}

@@ -6,18 +6,23 @@
 package sudoku
 
 import (
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"sudoku/internal/ras"
+	"sudoku/internal/reqtrace"
 	"sudoku/internal/shard"
 	"sudoku/internal/telemetry"
 )
 
 // registerEngine registers the families every engine flavor shares:
 // traffic and repair-ladder counters, the six latency histograms, and
-// the per-kind RAS event census.
-func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
+// the per-kind RAS event census. ring, when non-nil, is the flight
+// recorder used as the exemplar source for the read-hit and DUE-refetch
+// latency histograms — the buckets most directly tied to repair depth.
+func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log, ring *reqtrace.Ring) {
 	stat := func(pick func(Stats) int64) func() int64 {
 		return func() int64 { return pick(metrics().Stats) }
 	}
@@ -71,16 +76,27 @@ func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
 	hist := func(pick func(Metrics) HistogramSnapshot) func() telemetry.HistogramSnapshot {
 		return func() telemetry.HistogramSnapshot { return pick(metrics()) }
 	}
-	r.Histogram("sudoku_read_hit_latency_ns", "Modeled latency of read hits.",
-		hist(func(m Metrics) HistogramSnapshot { return m.ReadHit }))
+	// The exemplar source matches a bucket's value range against recent
+	// anomalous traces' wall durations, linking the latency distribution
+	// to the specific rung sequence a slow request actually walked
+	// (DESIGN.md appendix 16 documents the modeled-vs-wall caveat).
+	histE := func(name, help string, pick func(Metrics) HistogramSnapshot) {
+		if ring != nil {
+			r.HistogramWithExemplars(name, help, hist(pick), ring.Exemplar)
+		} else {
+			r.Histogram(name, help, hist(pick))
+		}
+	}
+	histE("sudoku_read_hit_latency_ns", "Modeled latency of read hits.",
+		func(m Metrics) HistogramSnapshot { return m.ReadHit })
 	r.Histogram("sudoku_read_miss_latency_ns", "Modeled latency of read misses (fill included).",
 		hist(func(m Metrics) HistogramSnapshot { return m.ReadMiss }))
 	r.Histogram("sudoku_write_hit_latency_ns", "Modeled latency of write hits (read-modify-write).",
 		hist(func(m Metrics) HistogramSnapshot { return m.WriteHit }))
 	r.Histogram("sudoku_write_miss_latency_ns", "Modeled latency of write misses (fill included).",
 		hist(func(m Metrics) HistogramSnapshot { return m.WriteMiss }))
-	r.Histogram("sudoku_due_refetch_latency_ns", "Extra recovery latency of clean-line DUE refetches.",
-		hist(func(m Metrics) HistogramSnapshot { return m.DUERefetch }))
+	histE("sudoku_due_refetch_latency_ns", "Extra recovery latency of clean-line DUE refetches.",
+		func(m Metrics) HistogramSnapshot { return m.DUERefetch })
 	r.Histogram("sudoku_scrub_pass_duration_ns", "Wall-clock duration of scrub passes.",
 		hist(func(m Metrics) HistogramSnapshot { return m.ScrubPass }))
 
@@ -93,6 +109,56 @@ func registerEngine(r *Registry, metrics func() Metrics, log *ras.Log) {
 		log.Dropped)
 	r.Gauge("sudoku_ras_subscribers", "Attached live RAS event taps.",
 		func() float64 { return float64(log.Subscribers()) })
+}
+
+// buildInfo resolves the process's Go toolchain version and VCS
+// revision from the embedded build info, with "unknown" fallbacks for
+// test binaries and non-VCS builds.
+func buildInfo() (goversion, revision string) {
+	goversion, revision = runtime.Version(), "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	return goversion, revision
+}
+
+// registerRuntime registers the process-level families shared by both
+// engine flavors: build provenance (the constant-1 gauge Prometheus
+// joins on), live goroutine count, and cumulative GC pause time —
+// the context a latency regression is read against.
+func registerRuntime(r *Registry) {
+	goversion, revision := buildInfo()
+	r.Gauge("sudoku_build_info", "Build metadata as labels; the value is always 1.",
+		func() float64 { return 1 }, "goversion", goversion, "revision", revision)
+	r.Gauge("sudoku_goroutines", "Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Counter("sudoku_gc_pauses_total", "Completed GC cycles.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.NumGC)
+		})
+	r.Counter("sudoku_gc_pause_ns_total", "Cumulative stop-the-world GC pause time.",
+		func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.PauseTotalNs)
+		})
+}
+
+// registerTracer registers the flight recorder's own series: how many
+// operations were traced, how many traces the tail sampler kept, and
+// how many were lost to publish contention (the sampler-pressure
+// signal /healthz also surfaces).
+func registerTracer(r *Registry, tp *reqtrace.Tracer) {
+	ring := tp.Ring()
+	r.Counter("sudoku_traces_begun_total", "Traced operations begun.", tp.Begun)
+	r.Counter("sudoku_traces_published_total", "Anomalous traces published to the flight recorder.", ring.Published)
+	r.Counter("sudoku_traces_dropped_total", "Anomalous traces dropped at the flight recorder under publish contention.", ring.Dropped)
 }
 
 // serviceability is the degradation-state source for the gauges shared
