@@ -1,0 +1,143 @@
+package client
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sudoku/internal/telemetry"
+)
+
+// Breaker states, exported as the sudoku_client_breaker_state gauge
+// value per endpoint.
+const (
+	BreakerClosed   int32 = 0
+	BreakerOpen     int32 = 1
+	BreakerHalfOpen int32 = 2
+)
+
+// BreakerOptions tunes one per-endpoint circuit breaker. Each op kind
+// (read, write, read_batch, write_batch, health) gets an independent
+// breaker, so a stalling batch path cannot blind single-line reads.
+type BreakerOptions struct {
+	// Disabled turns the breaker off (every request admitted).
+	Disabled bool
+	// FailureThreshold is the consecutive transport-failure count that
+	// trips a closed breaker open. Default 8.
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before admitting
+	// half-open probes. Default 1s.
+	Cooldown time.Duration
+	// HalfOpenProbes is both the concurrent-probe cap in half-open and
+	// the consecutive probe successes required to close. Default 2.
+	HalfOpenProbes int
+}
+
+func (o *BreakerOptions) withDefaults() BreakerOptions {
+	b := *o
+	if b.FailureThreshold <= 0 {
+		b.FailureThreshold = 8
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = time.Second
+	}
+	if b.HalfOpenProbes <= 0 {
+		b.HalfOpenProbes = 2
+	}
+	return b
+}
+
+// breaker is one endpoint's circuit breaker: closed → open on
+// FailureThreshold consecutive transport failures, open → half-open
+// after Cooldown, half-open → closed after HalfOpenProbes consecutive
+// probe successes (or back to open on any probe failure). Everything
+// is atomics; the admitted fast path is one state load and, on the
+// result side, one or two atomic ops — no locks, no allocation.
+//
+// Only transport-level failures count against the breaker: a shed or a
+// structural rejection means the server answered, which is exactly the
+// signal that the path is healthy.
+type breaker struct {
+	state      atomic.Int32
+	fails      atomic.Int32 // consecutive failures while closed
+	probeOK    atomic.Int32 // consecutive successes while half-open
+	probes     atomic.Int32 // in-flight half-open probes
+	openedAtNs atomic.Int64
+
+	opens, halfOpens, closes telemetry.Counter
+}
+
+// allow gates one attempt. nowNs is monotonic-enough wall nanos from
+// the policy clock.
+func (b *breaker) allow(nowNs int64, opts *BreakerOptions) bool {
+	switch b.state.Load() {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if nowNs-b.openedAtNs.Load() < opts.Cooldown.Nanoseconds() {
+			return false
+		}
+		if b.state.CompareAndSwap(BreakerOpen, BreakerHalfOpen) {
+			b.probeOK.Store(0)
+			b.probes.Store(0)
+			b.halfOpens.Inc()
+		}
+		// Fall through to half-open probe admission (whichever racer
+		// performed the transition, this attempt competes for a probe
+		// slot like any other).
+	}
+	if b.state.Load() != BreakerHalfOpen {
+		return b.state.Load() == BreakerClosed
+	}
+	if b.probes.Add(1) <= int32(opts.HalfOpenProbes) {
+		return true
+	}
+	b.probes.Add(-1)
+	return false
+}
+
+// retryAfter is the hint carried by BreakerOpenError: time until the
+// cooldown elapses (zero if it already has — the next attempt will be
+// admitted as a probe).
+func (b *breaker) retryAfter(nowNs int64, opts *BreakerOptions) time.Duration {
+	d := time.Duration(b.openedAtNs.Load() + opts.Cooldown.Nanoseconds() - nowNs)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// onSuccess records a server-answered attempt (including sheds and
+// structural rejections — the transport worked).
+func (b *breaker) onSuccess(opts *BreakerOptions) {
+	switch b.state.Load() {
+	case BreakerClosed:
+		b.fails.Store(0)
+	case BreakerHalfOpen:
+		b.probes.Add(-1)
+		if b.probeOK.Add(1) >= int32(opts.HalfOpenProbes) {
+			if b.state.CompareAndSwap(BreakerHalfOpen, BreakerClosed) {
+				b.fails.Store(0)
+				b.closes.Inc()
+			}
+		}
+	}
+}
+
+// onFailure records a transport-level failure.
+func (b *breaker) onFailure(nowNs int64, opts *BreakerOptions) {
+	switch b.state.Load() {
+	case BreakerClosed:
+		if b.fails.Add(1) >= int32(opts.FailureThreshold) {
+			if b.state.CompareAndSwap(BreakerClosed, BreakerOpen) {
+				b.openedAtNs.Store(nowNs)
+				b.opens.Inc()
+			}
+		}
+	case BreakerHalfOpen:
+		b.probes.Add(-1)
+		if b.state.CompareAndSwap(BreakerHalfOpen, BreakerOpen) {
+			b.openedAtNs.Store(nowNs)
+			b.opens.Inc()
+		}
+	}
+}

@@ -6,6 +6,15 @@
 // implementation of good citizenship: it surfaces shed responses as
 // typed errors carrying the server's Retry-After so callers can back
 // off instead of hammering a storm-mode engine.
+//
+// With Options.Resilience set, every operation runs under a
+// policy-driven resilience layer: jittered exponential backoff that
+// honors the server's Retry-After hints, per-attempt and end-to-end
+// deadlines, optional hedged reads, and a per-endpoint circuit
+// breaker. The layer guarantees typed errors — no raw net/io error
+// escapes to callers (see Typed) — and stamps each framed request
+// with the remaining context budget (wire.FlagDeadline) so the server
+// can shed work that cannot finish in time.
 package client
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,10 +51,15 @@ type Options struct {
 	// wall clock at New, so ids are unique within a process and
 	// distinct across restarts.
 	NextTraceID func() uint64
+	// Resilience enables the retry/hedge/breaker layer. Nil keeps the
+	// legacy single-shot behavior (one attempt, typed errors only).
+	// DefaultResilience() is the recommended production policy.
+	Resilience *ResilienceOptions
 }
 
 // Client is safe for concurrent use; all requests share one h2c
-// connection pool.
+// connection pool. Close cancels open event streams and releases idle
+// connections; it is safe to call more than once.
 type Client struct {
 	base   string
 	codec  uint8
@@ -52,12 +67,21 @@ type Client struct {
 	hc     *http.Client
 	// evhc has no timeout: event streams are open-ended.
 	evhc *http.Client
+
+	// policy is the resilience engine, nil when Options.Resilience was
+	// nil.
+	policy *policy
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	streamMu  sync.Mutex
+	streams   map[*EventStream]struct{}
 }
 
-// ShedError is a server rejection from admission control or rate
-// limiting. RetryAfter is the server's backoff hint; TraceID is the
-// request's trace id as echoed by the server, so a shed request can be
-// found in the server's flight recorder.
+// ShedError is a server rejection from admission control, rate
+// limiting, or degraded mode. RetryAfter is the server's backoff hint;
+// TraceID is the request's trace id as echoed by the server, so a shed
+// request can be found in the server's flight recorder.
 type ShedError struct {
 	Detail     string
 	RetryAfter time.Duration
@@ -66,6 +90,25 @@ type ShedError struct {
 
 func (e *ShedError) Error() string {
 	return fmt.Sprintf("client: %s (retry after %v)", e.Detail, e.RetryAfter)
+}
+
+// Reason extracts the server's shed reason ("inflight", "storm",
+// "rate", "deadline", "degraded", ...) from the detail the server
+// renders as "shed: <reason>[: extra]". Empty when the detail doesn't
+// carry one.
+func (e *ShedError) Reason() string {
+	const prefix = "shed: "
+	d := e.Detail
+	if len(d) < len(prefix) || d[:len(prefix)] != prefix {
+		return ""
+	}
+	d = d[len(prefix):]
+	for i := 0; i < len(d); i++ {
+		if d[i] == ':' || d[i] == ' ' {
+			return d[:i]
+		}
+	}
+	return d
 }
 
 // ItemError reports per-item failures of a partial batch: Errs[i] is
@@ -87,6 +130,8 @@ func (e *ItemError) Error() string {
 // Health mirrors the server's OpHealth summary payload.
 type Health struct {
 	Storm              string  `json:"storm"`
+	Degraded           bool    `json:"degraded"`
+	DegradedReason     string  `json:"degraded_reason,omitempty"`
 	ScrubRunning       bool    `json:"scrub_running"`
 	ScrubStalled       bool    `json:"scrub_stalled"`
 	RetiredLines       int     `json:"retired_lines"`
@@ -110,67 +155,138 @@ func New(opts Options) *Client {
 		ctr.Store(uint64(time.Now().UnixNano()))
 		nextID = func() uint64 { return ctr.Add(1) }
 	}
-	return &Client{
-		base:   "http://" + opts.Addr,
-		codec:  opts.Codec,
-		nextID: nextID,
-		hc:     &http.Client{Transport: h2c(), Timeout: opts.HTTPTimeout},
-		evhc:   &http.Client{Transport: h2c()},
+	c := &Client{
+		base:    "http://" + opts.Addr,
+		codec:   opts.Codec,
+		nextID:  nextID,
+		hc:      &http.Client{Transport: h2c(), Timeout: opts.HTTPTimeout},
+		evhc:    &http.Client{Transport: h2c()},
+		streams: make(map[*EventStream]struct{}),
 	}
+	if opts.Resilience != nil {
+		c.policy = newPolicy(*opts.Resilience)
+		c.policy.attempt = c.doOnce
+	}
+	return c
 }
 
-// do sends one framed request and decodes the framed response,
-// mapping protocol-level rejections to typed errors.
+// Close cancels all open event streams, releases idle connections, and
+// fails subsequent operations with ErrClosed. Safe to call more than
+// once; in-flight requests are not interrupted.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.streamMu.Lock()
+		streams := make([]*EventStream, 0, len(c.streams))
+		for s := range c.streams {
+			streams = append(streams, s)
+		}
+		c.streams = nil
+		c.streamMu.Unlock()
+		for _, s := range streams {
+			s.shutdown()
+		}
+		c.hc.CloseIdleConnections()
+		c.evhc.CloseIdleConnections()
+	})
+	return nil
+}
+
+// do routes one operation through the resilience policy when
+// configured, or a single typed attempt otherwise.
 func (c *Client) do(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if c.policy != nil {
+		return c.policy.run(ctx, op, req)
+	}
+	return c.doOnce(ctx, op, req)
+}
+
+// doOnce sends one framed request and decodes the framed response —
+// exactly one network attempt, every failure typed. When the context
+// carries a deadline, the remaining budget is stamped onto the frame
+// (wire.FlagDeadline, relative millis) so the server can shed work
+// that cannot finish in time.
+func (c *Client) doOnce(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error) {
 	payload, err := wire.EncodeRequest(c.codec, req)
 	if err != nil {
-		return nil, err
+		return nil, &ProtocolError{Detail: "encoding request", Err: err}
 	}
 	id := c.nextID()
-	var body bytes.Buffer
-	if err := wire.WriteFrame(&body, wire.Header{
+	h := wire.Header{
 		Version: wire.Version, Codec: c.codec, Op: op,
 		Flags: wire.FlagTrace, TraceID: id,
-	}, payload); err != nil {
-		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // expired budgets still ship: the server sheds them with reason "deadline"
+		}
+		if ms > int64(^uint32(0)) {
+			ms = int64(^uint32(0))
+		}
+		h.Flags |= wire.FlagDeadline
+		h.DeadlineMillis = uint32(ms)
+	}
+	var body bytes.Buffer
+	if err := wire.WriteFrame(&body, h, payload); err != nil {
+		return nil, &ProtocolError{Detail: "framing request", Err: err}
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/op", &body)
 	if err != nil {
-		return nil, err
+		return nil, &ProtocolError{Detail: "building request", Err: err}
 	}
 	hreq.Header.Set("Content-Type", "application/x-sudoku-frame")
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &TransportError{Detail: "posting frame", Err: err}
 	}
 	defer hresp.Body.Close()
-	h, rp, err := wire.ReadFrame(hresp.Body)
+	rh, rp, err := wire.ReadFrame(hresp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: reading response frame (HTTP %d): %w", hresp.StatusCode, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &TransportError{
+			Detail: fmt.Sprintf("reading response frame (HTTP %d)", hresp.StatusCode), Err: err,
+		}
 	}
-	resp, err := wire.DecodeResponse(h.Codec, rp)
+	resp, err := wire.DecodeResponse(rh.Codec, rp)
 	if err != nil {
-		return nil, err
+		// A payload that frames but doesn't decode is a damaged byte
+		// stream (truncation, torn write), not a server rejection.
+		return nil, &TransportError{Detail: "decoding response", Err: err}
 	}
 	// The server echoes the trace id on every response to a frame it
 	// managed to parse; a mismatched echo means crossed frames. A
 	// structural error keeps its own detail — the server may have
 	// rejected the frame before it saw the id.
-	if h.Flags&wire.FlagTrace != 0 && h.TraceID != id {
-		return nil, fmt.Errorf("client: trace id mismatch: sent %016x, echoed %016x", id, h.TraceID)
+	if rh.Flags&wire.FlagTrace != 0 && rh.TraceID != id {
+		return nil, &TransportError{
+			Detail: fmt.Sprintf("trace id mismatch: sent %016x, echoed %016x", id, rh.TraceID),
+		}
 	}
 	switch resp.Status {
 	case wire.StatusShed:
 		return nil, &ShedError{
 			Detail:     resp.Detail,
 			RetryAfter: time.Duration(resp.RetryAfterMillis) * time.Millisecond,
-			TraceID:    h.TraceID,
+			TraceID:    rh.TraceID,
 		}
 	case wire.StatusError:
-		return nil, fmt.Errorf("client: server error (HTTP %d): %s", hresp.StatusCode, resp.Detail)
+		return nil, &ProtocolError{
+			Detail: fmt.Sprintf("server error (HTTP %d): %s", hresp.StatusCode, resp.Detail),
+		}
 	}
-	if h.Flags&wire.FlagTrace == 0 {
-		return nil, fmt.Errorf("client: response dropped trace context (sent %016x)", id)
+	if rh.Flags&wire.FlagTrace == 0 {
+		return nil, &TransportError{
+			Detail: fmt.Sprintf("response dropped trace context (sent %016x)", id),
+		}
 	}
 	return resp, nil
 }
@@ -185,7 +301,7 @@ func (c *Client) Read(ctx context.Context, tn string, addr uint64) ([]byte, erro
 		return nil, &ItemError{Errs: resp.Errs}
 	}
 	if len(resp.Data) != LineBytes {
-		return nil, fmt.Errorf("client: read returned %d bytes", len(resp.Data))
+		return nil, &ProtocolError{Detail: fmt.Sprintf("read returned %d bytes", len(resp.Data))}
 	}
 	return resp.Data, nil
 }
@@ -212,7 +328,7 @@ func (c *Client) ReadBatch(ctx context.Context, tn string, addrs []uint64) ([]by
 		return nil, err
 	}
 	if want := len(addrs) * LineBytes; len(resp.Data) != want {
-		return nil, fmt.Errorf("client: batch read returned %d bytes, want %d", len(resp.Data), want)
+		return nil, &ProtocolError{Detail: fmt.Sprintf("batch read returned %d bytes, want %d", len(resp.Data), want)}
 	}
 	if resp.Status == wire.StatusPartial {
 		return resp.Data, &ItemError{Errs: resp.Errs}
@@ -242,34 +358,60 @@ func (c *Client) Health(ctx context.Context, tn string) (*Health, error) {
 	}
 	h := new(Health)
 	if err := json.Unmarshal(resp.Data, h); err != nil {
-		return nil, fmt.Errorf("client: health payload: %w", err)
+		return nil, &ProtocolError{Detail: "health payload", Err: err}
 	}
 	return h, nil
 }
 
 // EventStream is one open tenant tap. Next blocks for the next event;
 // Close tears the stream down (a pending Next returns an error).
+// Client.Close closes every open stream.
 type EventStream struct {
-	body io.ReadCloser
+	body   io.ReadCloser
+	cancel context.CancelFunc
+	c      *Client
+	once   sync.Once
 }
 
 // Events opens the tenant's RAS tap. The stream stays open until
-// Close, ctx cancellation, or server shutdown.
+// Close (its own or the Client's), ctx cancellation, or server
+// shutdown.
 func (c *Client) Events(ctx context.Context, tn string) (*EventStream, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/events?tenant="+tn, nil)
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	// The stream gets its own cancel so Client.Close can sever it even
+	// when the caller's ctx is long-lived.
+	sctx, cancel := context.WithCancel(ctx)
+	hreq, err := http.NewRequestWithContext(sctx, http.MethodGet, c.base+"/v1/events?tenant="+tn, nil)
 	if err != nil {
-		return nil, err
+		cancel()
+		return nil, &ProtocolError{Detail: "building events request", Err: err}
 	}
 	hresp, err := c.evhc.Do(hreq)
 	if err != nil {
-		return nil, err
+		cancel()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &TransportError{Detail: "opening events stream", Err: err}
 	}
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
 		hresp.Body.Close()
-		return nil, fmt.Errorf("client: events stream: HTTP %d: %s", hresp.StatusCode, bytes.TrimSpace(msg))
+		cancel()
+		return nil, &ProtocolError{Detail: fmt.Sprintf("events stream: HTTP %d: %s", hresp.StatusCode, bytes.TrimSpace(msg))}
 	}
-	return &EventStream{body: hresp.Body}, nil
+	s := &EventStream{body: hresp.Body, cancel: cancel, c: c}
+	c.streamMu.Lock()
+	if c.closed.Load() { // lost the race with Close
+		c.streamMu.Unlock()
+		s.shutdown()
+		return nil, ErrClosed
+	}
+	c.streams[s] = struct{}{}
+	c.streamMu.Unlock()
+	return s, nil
 }
 
 // Next returns the next event. io.EOF means the server closed the
@@ -289,11 +431,28 @@ func (s *EventStream) Next() (*wire.Event, error) {
 	return ev, nil
 }
 
-// Close tears down the stream.
-func (s *EventStream) Close() error { return s.body.Close() }
+// Close tears down the stream and unregisters it from its Client.
+// Safe to call more than once, and concurrently with Client.Close.
+func (s *EventStream) Close() error {
+	s.c.streamMu.Lock()
+	if s.c.streams != nil {
+		delete(s.c.streams, s)
+	}
+	s.c.streamMu.Unlock()
+	s.shutdown()
+	return nil
+}
 
-// IsShed reports whether err is a shed/rate rejection and returns the
-// server's backoff hint.
+// shutdown severs the stream without touching the client registry.
+func (s *EventStream) shutdown() {
+	s.once.Do(func() {
+		s.cancel()
+		s.body.Close()
+	})
+}
+
+// IsShed reports whether err is (or wraps) a shed/rate rejection and
+// returns the server's backoff hint.
 func IsShed(err error) (time.Duration, bool) {
 	var se *ShedError
 	if errors.As(err, &se) {

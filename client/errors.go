@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrClosed is returned by operations on a Client after Close.
+var ErrClosed = errors.New("client: closed")
+
+// TransportError is a transport-level failure: connection reset, torn
+// or truncated frame, hung request, HTTP transport error. It is the
+// typed wrapper that keeps raw net/io errors from escaping the client,
+// and the class of error the retry loop and the circuit breaker treat
+// as "the path to the server is damaged" (as opposed to the server
+// answering with a rejection).
+type TransportError struct {
+	Detail string
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("client: transport: %s: %v", e.Detail, e.Err)
+	}
+	return "client: transport: " + e.Detail
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// ProtocolError is a structural rejection: the server answered, but
+// with a StatusError (bad tenant, bad address, malformed frame), or
+// the response itself violated the protocol. Not retryable — the same
+// request would fail the same way.
+type ProtocolError struct {
+	Detail string
+	Err    error
+}
+
+func (e *ProtocolError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("client: protocol: %s: %v", e.Detail, e.Err)
+	}
+	return "client: protocol: " + e.Detail
+}
+
+func (e *ProtocolError) Unwrap() error { return e.Err }
+
+// BreakerOpenError is a local fast-fail: the per-endpoint circuit
+// breaker is open, so the request was rejected without touching the
+// network. RetryAfter is the time until the breaker will admit a
+// half-open probe.
+type BreakerOpenError struct {
+	Op         string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("client: circuit breaker open for %s (probe in %v)", e.Op, e.RetryAfter)
+}
+
+// OpError is the final error of a resilient operation: it names the
+// op, how many attempts ran, and wraps the last underlying cause —
+// errors.As through it reaches the final *ShedError, *TransportError,
+// *BreakerOpenError, or context error, so callers can still read the
+// server's Retry-After after the retry budget is exhausted.
+type OpError struct {
+	Op       string
+	Attempts int
+	Hedged   bool
+	Err      error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("client: %s failed after %d attempt(s): %v", e.Op, e.Attempts, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Typed reports whether err is one of the client's typed errors (or a
+// context error) — i.e. whether the resilience layer kept its promise
+// that no raw net/io error escapes to callers. The netchaos gate
+// fails the run on any error for which Typed is false.
+func Typed(err error) bool {
+	if err == nil {
+		return false
+	}
+	var (
+		oe *OpError
+		se *ShedError
+		ie *ItemError
+		te *TransportError
+		pe *ProtocolError
+		be *BreakerOpenError
+	)
+	switch {
+	case errors.As(err, &oe), errors.As(err, &se), errors.As(err, &ie),
+		errors.As(err, &te), errors.As(err, &pe), errors.As(err, &be):
+		return true
+	case errors.Is(err, ErrClosed):
+		return true
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller's own context expiring is their signal, not a leak.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package client
+
+import "sudoku/internal/telemetry"
+
+// ResilienceStats is a point-in-time snapshot of the policy engine's
+// counters — the in-process view the netchaos gate asserts on (the
+// same numbers RegisterMetrics exposes as sudoku_client_*).
+type ResilienceStats struct {
+	Attempts         int64 // network attempts (hedge lanes included)
+	RetriesShed      int64 // retries caused by server sheds
+	RetriesTransport int64 // retries caused by transport failures
+	Hedges           int64 // hedge lanes launched
+	HedgeWins        int64 // operations won by the hedge lane
+	BreakerRejects   int64 // attempts rejected locally by an open breaker
+	BreakerOpens     int64 // closed/half-open -> open transitions (all endpoints)
+	BreakerHalfOpens int64 // open -> half-open transitions
+	BreakerCloses    int64 // half-open -> closed transitions
+}
+
+// ResilienceStats snapshots the policy counters. Zero-valued when the
+// client was built without a resilience policy.
+func (c *Client) ResilienceStats() ResilienceStats {
+	p := c.policy
+	if p == nil {
+		return ResilienceStats{}
+	}
+	s := ResilienceStats{
+		Attempts:         p.attempts.Value(),
+		RetriesShed:      p.retriesShed.Value(),
+		RetriesTransport: p.retriesTransport.Value(),
+		Hedges:           p.hedges.Value(),
+		HedgeWins:        p.hedgeWins.Value(),
+		BreakerRejects:   p.breakerRejects.Value(),
+	}
+	for i := range p.breakers {
+		s.BreakerOpens += p.breakers[i].opens.Value()
+		s.BreakerHalfOpens += p.breakers[i].halfOpens.Value()
+		s.BreakerCloses += p.breakers[i].closes.Value()
+	}
+	return s
+}
+
+// RegisterMetrics publishes the client's resilience counters on a
+// telemetry registry under the sudoku_client_* namespace. No-op for a
+// client without a resilience policy. Call at most once per registry
+// per client (the registry rejects duplicate series).
+func (c *Client) RegisterMetrics(reg *telemetry.Registry) {
+	p := c.policy
+	if p == nil {
+		return
+	}
+	reg.Counter("sudoku_client_attempts_total",
+		"Network attempts issued by the client, hedge lanes included.",
+		p.attempts.Value)
+	reg.Counter("sudoku_client_retries_total",
+		"Retries by cause: a server shed (Retry-After honored) or a transport failure.",
+		p.retriesShed.Value, "cause", "shed")
+	reg.Counter("sudoku_client_retries_total",
+		"Retries by cause: a server shed (Retry-After honored) or a transport failure.",
+		p.retriesTransport.Value, "cause", "transport")
+	reg.Counter("sudoku_client_hedges_total",
+		"Hedge lanes launched (idempotent ops only, latency-percentile armed).",
+		p.hedges.Value)
+	reg.Counter("sudoku_client_hedge_wins_total",
+		"Operations whose hedge lane answered first.",
+		p.hedgeWins.Value)
+	reg.Counter("sudoku_client_breaker_rejects_total",
+		"Attempts rejected locally by an open circuit breaker.",
+		p.breakerRejects.Value)
+	reg.Histogram("sudoku_client_attempt_latency",
+		"Successful attempt latency (feeds the hedge delay percentile).",
+		p.lat.Snapshot)
+	for i := range p.breakers {
+		b := &p.breakers[i]
+		reg.Counter("sudoku_client_breaker_transitions_total",
+			"Circuit breaker state transitions by endpoint and destination state.",
+			b.opens.Value, "op", opNames[i], "to", "open")
+		reg.Counter("sudoku_client_breaker_transitions_total",
+			"Circuit breaker state transitions by endpoint and destination state.",
+			b.halfOpens.Value, "op", opNames[i], "to", "half_open")
+		reg.Counter("sudoku_client_breaker_transitions_total",
+			"Circuit breaker state transitions by endpoint and destination state.",
+			b.closes.Value, "op", opNames[i], "to", "closed")
+		reg.Gauge("sudoku_client_breaker_state",
+			"Current breaker state per endpoint (0 closed, 1 open, 2 half-open).",
+			func() float64 { return float64(b.state.Load()) }, "op", opNames[i])
+	}
+}

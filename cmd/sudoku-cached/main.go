@@ -36,8 +36,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sudoku"
@@ -192,8 +195,11 @@ func run(args []string, out io.Writer) error {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv.Handler())
 	mux.Handle("/metrics", metrics)
-	mux.Handle("/healthz", healthz(eng.Health))
+	mux.Handle("/healthz", healthz(eng.Health, srv.Degraded))
+	mux.Handle("/admin/degrade", degradeHandler(srv))
 	mux.Handle("/debug/flightrec", reqtrace.Handler(eng.Tracer()))
+	stopSig := watchDegradeSignal(srv, out)
+	defer stopSig()
 	for _, t := range reg.Tenants() {
 		fmt.Fprintf(out, "tenant %s: lines [%d, %d) priority %v\n",
 			t.Name(), t.BaseLine(), t.BaseLine()+t.Lines(), t.Priority())
@@ -383,18 +389,68 @@ func startCampaignStepper(eng *sudoku.Concurrent, plan *sudoku.FaultPlan, period
 // flags a stalled pass or the checkpoint daemon has gone stale. The
 // trace fields are informational only: flight-recorder drops mean
 // sampler contention, never unhealthy, and last_anomaly_age_ns is -1
-// when nothing anomalous was ever recorded.
-func healthz(health func() sudoku.Health) http.HandlerFunc {
+// when nothing anomalous was ever recorded. Degraded mode is likewise
+// NOT a 503: a degraded server is still serving reads by design —
+// orchestrators must not kill a replica for shedding writes.
+func healthz(health func() sudoku.Health, degraded func() (bool, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h := health()
+		deg, reason := degraded()
 		w.Header().Set("Content-Type", "application/json")
 		if h.ScrubStalled || h.CheckpointStale {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintf(w, `{"storm":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d,"snapshot_generation":%d,"checkpoint_writes":%d,"traces_published":%d,"trace_drops":%d,"last_anomaly_age_ns":%d}`+"\n",
-			h.Storm.State.String(), h.ScrubRunning, h.RetiredLines, h.EventsDropped,
+		fmt.Fprintf(w, `{"storm":%q,"degraded":%v,"degraded_reason":%q,"scrub_running":%v,"retired_lines":%d,"events_dropped":%d,"snapshot_generation":%d,"checkpoint_writes":%d,"traces_published":%d,"trace_drops":%d,"last_anomaly_age_ns":%d}`+"\n",
+			h.Storm.State.String(), deg, reason, h.ScrubRunning, h.RetiredLines, h.EventsDropped,
 			h.SnapshotGeneration, h.CheckpointWrites,
 			h.TracesPublished, h.TraceDrops, int64(h.LastAnomalyAge))
+	}
+}
+
+// degradeHandler is the operator's brownout switch: POST ?on=true|false
+// flips the operator source; GET (or any POST) reports the verdict.
+func degradeHandler(srv *server.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			switch on := r.URL.Query().Get("on"); on {
+			case "true", "1":
+				srv.SetDegraded(true)
+			case "false", "0":
+				srv.SetDegraded(false)
+			default:
+				http.Error(w, "want ?on=true|false", http.StatusBadRequest)
+				return
+			}
+		}
+		deg, reason := srv.Degraded()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"degraded":%v,"reason":%q}`+"\n", deg, reason)
+	}
+}
+
+// watchDegradeSignal toggles operator degraded mode on SIGUSR1 — the
+// no-HTTP path for draining writes from a box under incident response.
+func watchDegradeSignal(srv *server.Server, out io.Writer) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	var on atomic.Bool
+	go func() {
+		for {
+			select {
+			case <-ch:
+				now := !on.Load()
+				on.Store(now)
+				srv.SetDegraded(now)
+				fmt.Fprintf(out, "SIGUSR1: operator degraded mode %v\n", now)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
 	}
 }
 
@@ -456,6 +512,36 @@ func selfcheck(mux *http.ServeMux, drains []lifecycle.Step, out io.Writer) error
 		return fmt.Errorf("selfcheck health: %w", err)
 	}
 	fmt.Fprintf(out, "selfcheck: health storm=%s scrub_running=%v\n", h.Storm, h.ScrubRunning)
+
+	// Degraded-mode round trip through the admin endpoint: writes shed
+	// with the typed reason, reads keep flowing, recovery restores
+	// writes.
+	if resp, err := http.Post("http://"+addr+"/admin/degrade?on=true", "", nil); err != nil {
+		return fmt.Errorf("selfcheck degrade on: %w", err)
+	} else {
+		resp.Body.Close()
+	}
+	var shed *client.ShedError
+	if err := cl.Write(ctx, "alpha", 0, make([]byte, 64)); !errors.As(err, &shed) {
+		return fmt.Errorf("selfcheck degraded write returned %v, want shed", err)
+	} else if shed.Reason() != "degraded" {
+		return fmt.Errorf("selfcheck degraded write shed reason %q", shed.Reason())
+	}
+	if _, err := cl.Read(ctx, "alpha", 0); err != nil {
+		return fmt.Errorf("selfcheck degraded read: %w", err)
+	}
+	if h, err = cl.Health(ctx, "alpha"); err != nil || !h.Degraded {
+		return fmt.Errorf("selfcheck degraded health = %+v, %v", h, err)
+	}
+	if resp, err := http.Post("http://"+addr+"/admin/degrade?on=false", "", nil); err != nil {
+		return fmt.Errorf("selfcheck degrade off: %w", err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := cl.Write(ctx, "alpha", 0, make([]byte, 64)); err != nil {
+		return fmt.Errorf("selfcheck write after degrade recovery: %w", err)
+	}
+	fmt.Fprintln(out, "selfcheck: degraded mode shed writes, served reads, recovered")
 
 	// The tap must deliver an in-window event end to end.
 	stream, err := cl.Events(ctx, "alpha")

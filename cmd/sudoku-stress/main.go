@@ -80,6 +80,7 @@ type options struct {
 	requirestorm bool
 	tracegate    bool
 	settle       time.Duration
+	netchaos     string
 }
 
 func run(args []string, out io.Writer) error {
@@ -109,6 +110,7 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.requirestorm, "requirestorm", false, "swarm mode: fail unless the storm ladder escalated and recovered, with tap events delivered")
 	fs.BoolVar(&o.tracegate, "tracegate", false, "swarm mode: fail unless the server's /debug/flightrec holds anomalous traces with ladder-ordered rungs, at least one past ECC-1")
 	fs.DurationVar(&o.settle, "settle", 10*time.Second, "swarm mode: how long to wait for the storm ladder to return to normal after load stops")
+	fs.StringVar(&o.netchaos, "netchaos", "", "swarm mode: route the fleet through an in-process fault-injecting proxy running this plan (a preset: "+chaosPresetList()+"; or a JSON file) and gate on typed errors, a full breaker cycle, bounded hedges, and zero SDC")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,7 +134,13 @@ func run(args []string, out io.Writer) error {
 		if o.batchfrac < 0 || o.batchfrac > 1 {
 			return fmt.Errorf("batchfrac %g outside [0, 1]", o.batchfrac)
 		}
+		if o.netchaos != "" {
+			return runNetchaosGate(o, out)
+		}
 		return runServerSwarm(o, out)
+	}
+	if o.netchaos != "" {
+		return errors.New("-netchaos requires -server (it proxies a running daemon)")
 	}
 	if o.restore {
 		return runRestoreCycle(o, out)

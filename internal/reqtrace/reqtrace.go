@@ -83,6 +83,8 @@ const (
 	AdmissionInflight = 1
 	AdmissionStorm    = 2
 	AdmissionRate     = 3
+	AdmissionDeadline = 4 // request's wire deadline budget cannot be met
+	AdmissionDegraded = 5 // server in degraded mode, write/batch shed
 )
 
 var kindNames = [kindMax]string{

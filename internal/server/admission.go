@@ -14,6 +14,12 @@ const (
 	ShedInflight = "inflight"
 	ShedStorm    = "storm"
 	ShedRate     = "rate"
+	// ShedDeadline rejects a request whose wire deadline budget is
+	// already below the floor the engine could meet.
+	ShedDeadline = "deadline"
+	// ShedDegraded rejects writes and batches while the server is in
+	// degraded mode (reads keep flowing — see degrade.go).
+	ShedDegraded = "degraded"
 )
 
 // Decision is one admission verdict.
@@ -64,7 +70,18 @@ const (
 	retryInflight = 100 * time.Millisecond
 	retryElevated = 500 * time.Millisecond
 	retryCritical = 2 * time.Second
+	// A deadline shed means the client's own budget is nearly spent;
+	// the hint only matters to a retry with a fresh budget.
+	retryDeadline = 50 * time.Millisecond
+	// Degraded mode clears on an operator action or a detector window,
+	// both of which take the better part of a second.
+	retryDegraded = time.Second
 )
+
+// deadlineFloor is the minimum wire deadline budget worth admitting:
+// below this the queueing plus engine time cannot beat the client's
+// clock even on an idle server.
+const deadlineFloor = 2 * time.Millisecond
 
 // admit gates one request. When admitted, the returned release must be
 // called when the request completes; when shed, release is nil.

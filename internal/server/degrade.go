@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sudoku"
+)
+
+// Degraded-mode reasons, reported in HealthSummary.DegradedReason and
+// the sudoku_server_degraded gauge (0 normal, then in this order).
+const (
+	DegradeOperator    = "operator"         // forced via SetDegraded (admin endpoint / SIGUSR1)
+	DegradeCheckpoint  = "checkpoint_stale" // checkpoint daemon running but stale: restarting now loses too much
+	DegradeTapOverload = "tap_overload"     // event taps shedding faster than consumers drain
+)
+
+// degradeReasons orders the sources by precedence: an operator's
+// explicit brownout outranks the automatic detectors.
+var degradeReasons = []string{DegradeOperator, DegradeCheckpoint, DegradeTapOverload}
+
+// DegradeOptions tunes degraded-mode detection.
+type DegradeOptions struct {
+	// EvalEvery rate-limits source re-evaluation: between evaluations
+	// the cached verdict serves every request, so the hot path pays one
+	// atomic load. Default 250ms.
+	EvalEvery time.Duration
+	// TapDropThreshold is the tap-drop delta per evaluation window that
+	// flags tap overload. 0 keeps the default 256; negative disables
+	// the source.
+	TapDropThreshold int64
+}
+
+func (o DegradeOptions) withDefaults() DegradeOptions {
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 250 * time.Millisecond
+	}
+	if o.TapDropThreshold == 0 {
+		o.TapDropThreshold = 256
+	}
+	return o
+}
+
+// degrade is the server's brownout controller. Degraded is a deliberate
+// middle state between healthy and dead: the engine can still serve,
+// but the service's recovery machinery is compromised (stale
+// checkpoints, overloaded taps) or an operator wants traffic drained —
+// so reads keep flowing while writes and batches shed with a typed
+// reason, the same contract storm admission applies, instead of the
+// binary choice between full service and a 503.
+//
+// There is no goroutine: state re-evaluates lazily behind an atomic
+// time gate, so an idle server performs zero work and a loaded one
+// evaluates at most once per EvalEvery.
+type degrade struct {
+	opts DegradeOptions
+
+	// health and drops are the automatic sources, swappable in tests.
+	health func() sudoku.Health
+	drops  func() int64
+
+	operator   atomic.Bool
+	state      atomic.Int32 // 0 normal; else 1+index into degradeReasons
+	nextEvalNs atomic.Int64
+	lastDrops  atomic.Int64
+	now        func() time.Time
+}
+
+func newDegrade(opts DegradeOptions, health func() sudoku.Health, drops func() int64) *degrade {
+	return &degrade{
+		opts:   opts.withDefaults(),
+		health: health,
+		drops:  drops,
+		now:    time.Now,
+	}
+}
+
+// current returns the active verdict, re-evaluating the sources when
+// the gate has expired. Exactly one caller wins the CAS per window;
+// losers serve the previous verdict, which is at most EvalEvery stale.
+func (d *degrade) current() (degraded bool, reason string) {
+	nowNs := d.now().UnixNano()
+	next := d.nextEvalNs.Load()
+	if nowNs >= next && d.nextEvalNs.CompareAndSwap(next, nowNs+d.opts.EvalEvery.Nanoseconds()) {
+		d.state.Store(d.evaluate())
+	}
+	st := d.state.Load()
+	if st == 0 {
+		return false, ""
+	}
+	return true, degradeReasons[st-1]
+}
+
+// evaluate polls every source in precedence order. The operator flag
+// is checked first so SetDegraded(false) cannot be masked into a
+// no-op by a concurrent automatic source only to flip back silently —
+// automatic sources re-trip on their own evidence each window.
+func (d *degrade) evaluate() int32 {
+	if d.operator.Load() {
+		return 1
+	}
+	if h := d.health(); h.CheckpointRunning && h.CheckpointStale {
+		return 2
+	}
+	if d.opts.TapDropThreshold > 0 {
+		total := d.drops()
+		delta := total - d.lastDrops.Swap(total)
+		if delta >= d.opts.TapDropThreshold {
+			return 3
+		}
+	}
+	return 0
+}
+
+// force flips the operator source and applies it immediately, skipping
+// the evaluation gate — an admin action must be visible on the very
+// next request, not up to EvalEvery later.
+func (d *degrade) force(on bool) {
+	d.operator.Store(on)
+	d.state.Store(d.evaluate())
+	d.nextEvalNs.Store(d.now().UnixNano() + d.opts.EvalEvery.Nanoseconds())
+}
+
+// SetDegraded forces degraded mode on or off at the operator's request
+// (the daemon wires this to /admin/degrade and SIGUSR1). Turning the
+// operator source off does not mask the automatic sources: a stale
+// checkpoint or overloaded tap re-enters degraded mode on the next
+// evaluation window.
+func (s *Server) SetDegraded(on bool) { s.deg.force(on) }
+
+// Degraded reports the current degraded verdict and its reason.
+func (s *Server) Degraded() (bool, string) { return s.deg.current() }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"sudoku"
+	"sudoku/client"
+	"sudoku/internal/server/tenant"
+	"sudoku/internal/server/wire"
+)
+
+// TestDegradedShedsWritesKeepsReads is the brownout contract end to
+// end: operator-forced degraded mode sheds writes and batches with the
+// typed "degraded" reason while single reads and health keep flowing,
+// and clearing the flag restores full service.
+func TestDegradedShedsWritesKeepsReads(t *testing.T) {
+	ts := startServer(t, []tenant.Config{{Name: "a", Lines: 1024}}, 64)
+	defer ts.finish()
+	ctx := context.Background()
+	cl := client.New(client.Options{Addr: ts.addr})
+
+	line := bytes.Repeat([]byte{0x5A}, 64)
+	if err := cl.Write(ctx, "a", 0, line); err != nil {
+		t.Fatal(err)
+	}
+
+	ts.srv.SetDegraded(true)
+
+	err := cl.Write(ctx, "a", 64, line)
+	var se *client.ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("degraded write returned %v, want ShedError", err)
+	}
+	if se.Reason() != ShedDegraded {
+		t.Fatalf("shed reason %q (detail %q), want %q", se.Reason(), se.Detail, ShedDegraded)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatal("degraded shed carries no Retry-After")
+	}
+	// Batches shed in both directions: a batch read holds the session
+	// and engine locks the brownout is trying to protect.
+	if _, err := cl.ReadBatch(ctx, "a", []uint64{0, 64}); !errors.As(err, &se) {
+		t.Fatalf("degraded batch read returned %v, want ShedError", err)
+	}
+	if err := cl.WriteBatch(ctx, "a", []uint64{0, 64}, append(bytes.Clone(line), line...)); !errors.As(err, &se) {
+		t.Fatalf("degraded batch write returned %v, want ShedError", err)
+	}
+
+	// Reads and health flow.
+	got, err := cl.Read(ctx, "a", 0)
+	if err != nil {
+		t.Fatalf("degraded read failed: %v", err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Fatal("degraded read returned wrong data")
+	}
+	h, err := cl.Health(ctx, "a")
+	if err != nil {
+		t.Fatalf("degraded health failed: %v", err)
+	}
+	if !h.Degraded || h.DegradedReason != DegradeOperator {
+		t.Fatalf("health = %+v, want degraded by operator", h)
+	}
+
+	ts.srv.SetDegraded(false)
+	if err := cl.Write(ctx, "a", 64, line); err != nil {
+		t.Fatalf("write after recovery failed: %v", err)
+	}
+	if h, err = cl.Health(ctx, "a"); err != nil || h.Degraded {
+		t.Fatalf("health after recovery = %+v, %v", h, err)
+	}
+}
+
+// TestDegradeAutomaticSources drives the detector directly: checkpoint
+// staleness and tap-drop overload trip degraded mode on their own, the
+// operator flag outranks both, and a quiet tap window clears the
+// overload verdict.
+func TestDegradeAutomaticSources(t *testing.T) {
+	health := sudoku.Health{}
+	var drops int64
+	d := newDegrade(DegradeOptions{TapDropThreshold: 100},
+		func() sudoku.Health { return health },
+		func() int64 { return drops })
+	// Pin the clock so every current() call may re-evaluate.
+	now := time.Unix(0, 0)
+	d.now = func() time.Time { now = now.Add(time.Second); return now }
+
+	if deg, _ := d.current(); deg {
+		t.Fatal("fresh controller degraded")
+	}
+
+	health.CheckpointRunning = true
+	health.CheckpointStale = true
+	if deg, reason := d.current(); !deg || reason != DegradeCheckpoint {
+		t.Fatalf("stale checkpoint: degraded=%v reason=%q", deg, reason)
+	}
+	// Staleness on a *stopped* checkpoint daemon is a cold start, not a
+	// brownout.
+	health.CheckpointRunning = false
+	if deg, _ := d.current(); deg {
+		t.Fatal("stopped checkpoint daemon held degraded mode")
+	}
+
+	// Tap overload: a window whose drop delta crosses the threshold
+	// trips the source; a quiet window clears it.
+	drops = 500
+	if deg, reason := d.current(); !deg || reason != DegradeTapOverload {
+		t.Fatalf("tap overload: degraded=%v reason=%q", deg, reason)
+	}
+	if deg, _ := d.current(); deg {
+		t.Fatal("quiet tap window did not clear overload")
+	}
+
+	// Operator outranks the automatic sources and applies immediately.
+	health.CheckpointRunning = true
+	health.CheckpointStale = true
+	d.force(true)
+	if deg, reason := d.current(); !deg || reason != DegradeOperator {
+		t.Fatalf("operator precedence: degraded=%v reason=%q", deg, reason)
+	}
+	// Clearing the operator flag re-exposes the automatic verdict.
+	d.force(false)
+	if deg, reason := d.current(); !deg || reason != DegradeCheckpoint {
+		t.Fatalf("after operator clear: degraded=%v reason=%q", deg, reason)
+	}
+}
+
+// postFrame sends one raw frame to /v1/op and decodes the response.
+func postFrame(t *testing.T, addr string, h wire.Header, req *wire.Request) (*wire.Response, wire.Header) {
+	t.Helper()
+	payload, err := wire.EncodeRequest(h.Codec, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := wire.WriteFrame(&body, h, payload); err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := http.Post("http://"+addr+"/v1/op", "application/x-sudoku-frame", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	rh, rp, err := wire.ReadFrame(hresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(rh.Codec, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, rh
+}
+
+// TestWireDeadlineShed pins the server half of deadline propagation: a
+// frame stamped with a budget below the floor is shed with the typed
+// "deadline" reason before taking an inflight slot, a workable budget
+// is served, and an unstamped frame is untouched.
+func TestWireDeadlineShed(t *testing.T) {
+	ts := startServer(t, []tenant.Config{{Name: "a", Lines: 1024}}, 64)
+	defer ts.finish()
+
+	read := &wire.Request{Tenant: "a", Addrs: []uint64{0}}
+	base := wire.Header{Version: wire.Version, Codec: wire.CodecBinary, Op: wire.OpRead}
+
+	// Budget below the floor: shed.
+	h := base
+	h.Flags = wire.FlagDeadline
+	h.DeadlineMillis = 1
+	resp, _ := postFrame(t, ts.addr, h, read)
+	if resp.Status != wire.StatusShed {
+		t.Fatalf("1ms budget: status %d detail %q", resp.Status, resp.Detail)
+	}
+	if resp.Detail != "shed: "+ShedDeadline {
+		t.Fatalf("detail %q", resp.Detail)
+	}
+	if resp.RetryAfterMillis == 0 {
+		t.Fatal("deadline shed carries no retry hint")
+	}
+
+	// A workable budget is served (trace flag too, exercising both
+	// extensions together server-side).
+	h = base
+	h.Flags = wire.FlagTrace | wire.FlagDeadline
+	h.TraceID = 0xfeed
+	h.DeadlineMillis = 5000
+	resp, rh := postFrame(t, ts.addr, h, read)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("5s budget: status %d detail %q errs %v", resp.Status, resp.Detail, resp.Errs)
+	}
+	if rh.Flags&wire.FlagTrace == 0 || rh.TraceID != 0xfeed {
+		t.Fatalf("trace echo lost alongside deadline: %+v", rh)
+	}
+
+	// No deadline flag: served under the tenant timeout alone.
+	resp, _ = postFrame(t, ts.addr, base, read)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("unstamped: status %d detail %q", resp.Status, resp.Detail)
+	}
+}

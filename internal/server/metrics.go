@@ -19,7 +19,7 @@ const (
 )
 
 var outcomes = []string{outcomeOK, outcomePartial, outcomeError, outcomeTimeout}
-var shedReasons = []string{ShedInflight, ShedStorm, ShedRate}
+var shedReasons = []string{ShedInflight, ShedStorm, ShedRate, ShedDeadline, ShedDegraded}
 
 // tenantMetrics is one tenant's slice of the sudoku_server_* families.
 // All fields are atomics or internally synchronized; handlers update
@@ -88,6 +88,12 @@ func (s *Server) Register(r *sudoku.Registry) {
 	r.Gauge("sudoku_server_storm_state",
 		"Defense-ladder level the admission controller is keyed to (0 normal, 1 elevated, 2 critical).",
 		func() float64 { return float64(s.storm()) })
+	r.Gauge("sudoku_server_degraded",
+		"Degraded-mode state (0 normal, 1 operator, 2 checkpoint_stale, 3 tap_overload).",
+		func() float64 {
+			s.deg.current()
+			return float64(s.deg.state.Load())
+		})
 	for name, tm := range s.metrics {
 		for _, o := range outcomes {
 			c := tm.requests[o]

@@ -41,6 +41,8 @@ type Options struct {
 	// source; default is Engine.StormState. Tests use this to force
 	// ladder levels.
 	StormFn func() sudoku.StormState
+	// Degrade tunes degraded-mode (brownout) detection.
+	Degrade DegradeOptions
 }
 
 // Server serves the sudoku-cached protocol. Construct with New, mount
@@ -52,6 +54,7 @@ type Server struct {
 	tracer  *sudoku.Tracer
 	adm     *admission
 	storm   func() sudoku.StormState
+	deg     *degrade
 	evBuf   int
 	metrics map[string]*tenantMetrics
 }
@@ -86,7 +89,18 @@ func New(opts Options) (*Server, error) {
 	for _, t := range opts.Tenants.Tenants() {
 		s.metrics[t.Name()] = newTenantMetrics()
 	}
+	s.deg = newDegrade(opts.Degrade, opts.Engine.Health, s.tapDropsTotal)
 	return s, nil
+}
+
+// tapDropsTotal sums tap drops across every tenant — the degraded-mode
+// tap-overload source.
+func (s *Server) tapDropsTotal() int64 {
+	var total int64
+	for _, tm := range s.metrics {
+		total += tm.droppedTotal()
+	}
+	return total
 }
 
 // Handler returns the server's route table: POST /v1/op (one frame in,
@@ -118,16 +132,23 @@ func writeError(w http.ResponseWriter, reqh wire.Header, httpStatus int, detail 
 
 // writeShed sends a 429 with Retry-After (whole seconds, minimum 1,
 // per the HTTP header's granularity; the frame carries milliseconds).
-func writeShed(w http.ResponseWriter, reqh wire.Header, d Decision) {
+// extra, when non-empty, is appended to the detail after the reason
+// ("shed: degraded: checkpoint_stale") — the client's Reason() parser
+// still extracts the leading reason token.
+func writeShed(w http.ResponseWriter, reqh wire.Header, d Decision, extra string) {
 	secs := int(d.RetryAfter.Seconds())
 	if secs < 1 {
 		secs = 1
+	}
+	detail := "shed: " + d.Reason
+	if extra != "" {
+		detail += ": " + extra
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeResponse(w, reqh, http.StatusTooManyRequests, &wire.Response{
 		Status:           wire.StatusShed,
 		RetryAfterMillis: uint32(d.RetryAfter.Milliseconds()),
-		Detail:           "shed: " + d.Reason,
+		Detail:           detail,
 	})
 }
 
@@ -152,6 +173,10 @@ func shedCode(reason string) uint8 {
 		return reqtrace.AdmissionStorm
 	case ShedRate:
 		return reqtrace.AdmissionRate
+	case ShedDeadline:
+		return reqtrace.AdmissionDeadline
+	case ShedDegraded:
+		return reqtrace.AdmissionDegraded
 	}
 	return 0
 }
@@ -202,11 +227,40 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A wire deadline caps the service timeout; a budget already too
+	// small to finish is shed before it takes an inflight slot — doing
+	// the work would only burn engine-lock bandwidth on an answer the
+	// client will have stopped waiting for.
+	timeout := tn.Timeout(items)
+	if h.Flags&wire.FlagDeadline != 0 {
+		budget := time.Duration(h.DeadlineMillis) * time.Millisecond
+		if budget < deadlineFloor {
+			tr.Note(reqtrace.KindAdmission, 0, reqtrace.AdmissionDeadline)
+			tm.shed[ShedDeadline].Add(1)
+			writeShed(w, h, Decision{Reason: ShedDeadline, RetryAfter: retryDeadline}, "")
+			return
+		}
+		if budget < timeout {
+			timeout = budget
+		}
+	}
+
+	// Degraded mode: reads keep flowing, writes and batches shed with
+	// a typed reason — the brownout contract (see degrade.go).
+	if isWrite(h.Op) || isBatch(h.Op) {
+		if degraded, reason := s.deg.current(); degraded {
+			tr.Note(reqtrace.KindAdmission, 0, reqtrace.AdmissionDegraded)
+			tm.shed[ShedDegraded].Add(1)
+			writeShed(w, h, Decision{Reason: ShedDegraded, RetryAfter: retryDegraded}, reason)
+			return
+		}
+	}
+
 	release, decision := s.adm.admit(tn.Priority(), isBatch(h.Op))
 	if !decision.Allow {
 		tr.Note(reqtrace.KindAdmission, 0, shedCode(decision.Reason))
 		tm.shed[decision.Reason].Add(1)
-		writeShed(w, h, decision)
+		writeShed(w, h, decision, "")
 		return
 	}
 	defer release()
@@ -216,7 +270,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &re) {
 			tr.Note(reqtrace.KindAdmission, 0, reqtrace.AdmissionRate)
 			tm.shed[ShedRate].Add(1)
-			writeShed(w, h, Decision{Reason: ShedRate, RetryAfter: re.RetryAfter})
+			writeShed(w, h, Decision{Reason: ShedRate, RetryAfter: re.RetryAfter}, "")
 			return
 		}
 		tm.requests[outcomeError].Add(1)
@@ -224,7 +278,7 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), tn.Timeout(items))
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
 	// Batch ops are syncs: one at a time per tenant session, spaced
@@ -346,6 +400,8 @@ func errStrings(errs []error) []string {
 // HealthSummary is the OpHealth payload (JSON in Response.Data).
 type HealthSummary struct {
 	Storm              string  `json:"storm"`
+	Degraded           bool    `json:"degraded"`
+	DegradedReason     string  `json:"degraded_reason,omitempty"`
 	ScrubRunning       bool    `json:"scrub_running"`
 	ScrubStalled       bool    `json:"scrub_stalled"`
 	RetiredLines       int     `json:"retired_lines"`
@@ -357,8 +413,11 @@ type HealthSummary struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, h wire.Header, tm *tenantMetrics, start time.Time) {
 	hr := s.engine.Health()
+	degraded, reason := s.deg.current()
 	sum := HealthSummary{
 		Storm:              s.storm().String(),
+		Degraded:           degraded,
+		DegradedReason:     reason,
 		ScrubRunning:       hr.ScrubRunning,
 		ScrubStalled:       hr.ScrubStalled,
 		RetiredLines:       hr.RetiredLines,

@@ -38,6 +38,25 @@ func FuzzReadFrame(f *testing.F) {
 				f.Fatal(err)
 			}
 			f.Add(buf.Bytes())
+			// And with both extensions: trace id then deadline budget.
+			buf.Reset()
+			if err := WriteFrame(&buf, Header{
+				Version: Version, Codec: codec, Op: OpReadBatch,
+				Flags: FlagTrace | FlagDeadline, TraceID: 0xfeedfacecafebeef,
+				DeadlineMillis: 1500,
+			}, p); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+			// Deadline without trace.
+			buf.Reset()
+			if err := WriteFrame(&buf, Header{
+				Version: Version, Codec: codec, Op: OpRead,
+				Flags: FlagDeadline, DeadlineMillis: 25,
+			}, p); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
 		}
 	}
 	f.Add([]byte{0, 0, 0, 4, 1, 1, 1, 0})
@@ -45,6 +64,10 @@ func FuzzReadFrame(f *testing.F) {
 	// FlagTrace set but no room for the 8-byte id: must be ErrShortFrame,
 	// not a slice panic.
 	f.Add([]byte{0, 0, 0, 6, 1, 1, 1, 1, 0xAA, 0xBB})
+	// FlagDeadline set but no room for the 4-byte budget: ErrShortFrame.
+	f.Add([]byte{0, 0, 0, 6, 1, 1, 1, 2, 0xAA, 0xBB})
+	// Both flags, room for the trace id only.
+	f.Add([]byte{0, 0, 0, 14, 1, 1, 1, 3, 1, 2, 3, 4, 5, 6, 7, 8, 0xAA, 0xBB})
 	bomb := []byte{0, 0, 0, 14, 1, 1, 3, 0, 1, 'a'}
 	bomb = binary.BigEndian.AppendUint32(bomb, 0xFFFFFFF0)
 	f.Add(bomb)

@@ -38,6 +38,10 @@ const (
 	// traceIDLen is the optional trace-id extension after the fixed
 	// header, present when FlagTrace is set.
 	traceIDLen = 8
+	// deadlineLen is the optional deadline extension after the trace
+	// id (or the fixed header when FlagTrace is unset), present when
+	// FlagDeadline is set.
+	deadlineLen = 4
 )
 
 // Frame flags.
@@ -46,6 +50,14 @@ const (
 	// flags byte. Clients set it on requests; the server echoes it
 	// (with the same id) on every response to a frame that carried it.
 	FlagTrace uint8 = 1 << 0
+	// FlagDeadline marks a request frame carrying a 4-byte big-endian
+	// deadline budget in milliseconds after the trace id (extensions
+	// appear in flag-bit order). The budget is relative — "this much
+	// service time remains before my caller gives up" — so it survives
+	// clock skew between client and server. The server converts it to
+	// a context deadline and sheds work it cannot finish in time;
+	// responses do not carry it.
+	FlagDeadline uint8 = 1 << 1
 )
 
 // Codecs.
@@ -88,14 +100,20 @@ var (
 )
 
 // Header is the fixed per-frame header after the length prefix.
-// TraceID is meaningful only when Flags&FlagTrace != 0; WriteFrame
-// serializes it exactly then, and ReadFrame populates it exactly then.
+// TraceID is meaningful only when Flags&FlagTrace != 0, and
+// DeadlineMillis only when Flags&FlagDeadline != 0; WriteFrame
+// serializes each exactly then, and ReadFrame populates each exactly
+// then.
 type Header struct {
 	Version uint8
 	Codec   uint8
 	Op      uint8
 	Flags   uint8
 	TraceID uint64
+	// DeadlineMillis is the remaining end-to-end budget the client is
+	// willing to wait, in milliseconds (relative, not a wall-clock
+	// instant).
+	DeadlineMillis uint32
 }
 
 // Request is the client→server payload. Addrs are tenant-relative byte
@@ -133,12 +151,15 @@ type Event struct {
 	Futile   bool   `json:"futile,omitempty"`
 }
 
-// WriteFrame writes one frame: length prefix, header, optional trace
-// id, payload.
+// WriteFrame writes one frame: length prefix, header, optional
+// extensions in flag-bit order (trace id, then deadline), payload.
 func WriteFrame(w io.Writer, h Header, payload []byte) error {
 	ext := 0
 	if h.Flags&FlagTrace != 0 {
-		ext = traceIDLen
+		ext += traceIDLen
+	}
+	if h.Flags&FlagDeadline != 0 {
+		ext += deadlineLen
 	}
 	if len(payload) > MaxFrame-headerLen-ext {
 		return ErrFrameTooLarge
@@ -149,8 +170,11 @@ func WriteFrame(w io.Writer, h Header, payload []byte) error {
 	buf[5] = h.Codec
 	buf[6] = h.Op
 	buf[7] = h.Flags
-	if ext != 0 {
+	if h.Flags&FlagTrace != 0 {
 		buf = binary.BigEndian.AppendUint64(buf, h.TraceID)
+	}
+	if h.Flags&FlagDeadline != 0 {
+		buf = binary.BigEndian.AppendUint32(buf, h.DeadlineMillis)
 	}
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
@@ -194,6 +218,13 @@ func ReadFrame(r io.Reader) (Header, []byte, error) {
 		}
 		h.TraceID = binary.BigEndian.Uint64(rest)
 		rest = rest[traceIDLen:]
+	}
+	if h.Flags&FlagDeadline != 0 {
+		if len(rest) < deadlineLen {
+			return h, nil, ErrShortFrame
+		}
+		h.DeadlineMillis = binary.BigEndian.Uint32(rest)
+		rest = rest[deadlineLen:]
 	}
 	return h, rest, nil
 }

@@ -31,6 +31,46 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeadlineExtensionRoundTrip(t *testing.T) {
+	for _, h := range []Header{
+		{Version: Version, Codec: CodecBinary, Op: OpRead,
+			Flags: FlagDeadline, DeadlineMillis: 1},
+		{Version: Version, Codec: CodecJSON, Op: OpWriteBatch,
+			Flags: FlagTrace | FlagDeadline, TraceID: 0x0123456789abcdef,
+			DeadlineMillis: 0xFFFFFFFF},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, h, []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+		gh, gp, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gh != h || !bytes.Equal(gp, []byte("p")) {
+			t.Fatalf("flags %#x: got %+v %q, want %+v", h.Flags, gh, gp, h)
+		}
+	}
+	// A frame without FlagDeadline must leave DeadlineMillis zero even
+	// when the payload starts with plausible budget bytes.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Header{Version: Version, Codec: CodecBinary, Op: OpRead},
+		[]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	gh, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.DeadlineMillis != 0 {
+		t.Fatalf("DeadlineMillis = %d without FlagDeadline", gh.DeadlineMillis)
+	}
+	// FlagDeadline with a truncated budget is ErrShortFrame.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 6, 1, 1, 1, 2, 0xAA, 0xBB})); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("truncated deadline: err=%v, want ErrShortFrame", err)
+	}
+}
+
 func TestFrameRejectsGarbage(t *testing.T) {
 	huge := make([]byte, 8)
 	binary.BigEndian.PutUint32(huge, MaxFrame+1)
