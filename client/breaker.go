@@ -57,42 +57,77 @@ func (o *BreakerOptions) withDefaults() BreakerOptions {
 // structural rejection means the server answered, which is exactly the
 // signal that the path is healthy.
 type breaker struct {
-	state      atomic.Int32
-	fails      atomic.Int32 // consecutive failures while closed
-	probeOK    atomic.Int32 // consecutive successes while half-open
-	probes     atomic.Int32 // in-flight half-open probes
+	state atomic.Int32
+	fails atomic.Int32 // consecutive failures while closed
+	// probeWord packs one half-open probe session's accounting into a
+	// single atomic: [32b generation][16b consecutive successes]
+	// [16b in-flight probes]. Every transition into Open bumps the
+	// generation and zeroes both counters in one CAS, and every probe
+	// admission carries its generation as a token, so a probe whose
+	// session ended while it was in flight (the breaker reopened, or a
+	// racer straddled a state transition) is ignored at completion
+	// instead of corrupting the new session's counters — with separate
+	// counters, a late decrement could drive the in-flight count
+	// negative and admit more than HalfOpenProbes concurrent probes.
+	probeWord  atomic.Uint64
 	openedAtNs atomic.Int64
 
 	opens, halfOpens, closes telemetry.Counter
 }
 
+const (
+	probeCountMask = 0xFFFF
+	probeOKShift   = 16
+	probeGenShift  = 32
+)
+
+// resetProbes opens a fresh probe session: generation+1, both counters
+// zero. Called only by the single CAS winner of a transition into
+// Open, but as a CAS loop because a prober that observed half-open
+// just before the state flipped may still be acquiring a slot.
+func (b *breaker) resetProbes() {
+	for {
+		w := b.probeWord.Load()
+		if b.probeWord.CompareAndSwap(w, ((w>>probeGenShift)+1)<<probeGenShift) {
+			return
+		}
+	}
+}
+
 // allow gates one attempt. nowNs is monotonic-enough wall nanos from
-// the policy clock.
-func (b *breaker) allow(nowNs int64, opts *BreakerOptions) bool {
+// the policy clock. The token is nonzero exactly when the attempt was
+// admitted as a half-open probe; the caller must hand it back through
+// onSuccess/onFailure/release so the result lands in the session that
+// admitted it.
+func (b *breaker) allow(nowNs int64, opts *BreakerOptions) (bool, uint64) {
 	switch b.state.Load() {
 	case BreakerClosed:
-		return true
+		return true, 0
 	case BreakerOpen:
 		if nowNs-b.openedAtNs.Load() < opts.Cooldown.Nanoseconds() {
-			return false
+			return false, 0
 		}
 		if b.state.CompareAndSwap(BreakerOpen, BreakerHalfOpen) {
-			b.probeOK.Store(0)
-			b.probes.Store(0)
 			b.halfOpens.Inc()
 		}
 		// Fall through to half-open probe admission (whichever racer
 		// performed the transition, this attempt competes for a probe
-		// slot like any other).
+		// slot like any other). The probe session was already reset
+		// when the breaker opened, so there is nothing to initialize
+		// here — and no reset racing the admissions below.
 	}
 	if b.state.Load() != BreakerHalfOpen {
-		return b.state.Load() == BreakerClosed
+		return b.state.Load() == BreakerClosed, 0
 	}
-	if b.probes.Add(1) <= int32(opts.HalfOpenProbes) {
-		return true
+	for {
+		w := b.probeWord.Load()
+		if int64(w&probeCountMask) >= int64(opts.HalfOpenProbes) {
+			return false, 0
+		}
+		if b.probeWord.CompareAndSwap(w, w+1) {
+			return true, w >> probeGenShift
+		}
 	}
-	b.probes.Add(-1)
-	return false
 }
 
 // retryAfter is the hint carried by BreakerOpenError: time until the
@@ -107,37 +142,80 @@ func (b *breaker) retryAfter(nowNs int64, opts *BreakerOptions) time.Duration {
 }
 
 // onSuccess records a server-answered attempt (including sheds and
-// structural rejections — the transport worked).
-func (b *breaker) onSuccess(opts *BreakerOptions) {
-	switch b.state.Load() {
-	case BreakerClosed:
-		b.fails.Store(0)
-	case BreakerHalfOpen:
-		b.probes.Add(-1)
-		if b.probeOK.Add(1) >= int32(opts.HalfOpenProbes) {
-			if b.state.CompareAndSwap(BreakerHalfOpen, BreakerClosed) {
-				b.fails.Store(0)
-				b.closes.Inc()
+// structural rejections — the transport worked). token is the probe
+// token from allow, zero for a non-probe admission.
+func (b *breaker) onSuccess(token uint64, opts *BreakerOptions) {
+	if token == 0 {
+		if b.state.Load() == BreakerClosed {
+			b.fails.Store(0)
+		}
+		return
+	}
+	for {
+		w := b.probeWord.Load()
+		if w>>probeGenShift != token {
+			return // session ended while the probe was in flight
+		}
+		ok := ((w >> probeOKShift) & probeCountMask) + 1
+		if ok > probeCountMask {
+			ok = probeCountMask
+		}
+		nw := token<<probeGenShift | ok<<probeOKShift | ((w & probeCountMask) - 1)
+		if b.probeWord.CompareAndSwap(w, nw) {
+			if ok >= uint64(opts.HalfOpenProbes) {
+				if b.state.CompareAndSwap(BreakerHalfOpen, BreakerClosed) {
+					b.fails.Store(0)
+					b.closes.Inc()
+				}
 			}
+			return
 		}
 	}
 }
 
 // onFailure records a transport-level failure.
-func (b *breaker) onFailure(nowNs int64, opts *BreakerOptions) {
-	switch b.state.Load() {
-	case BreakerClosed:
+func (b *breaker) onFailure(nowNs int64, token uint64, opts *BreakerOptions) {
+	if token != 0 {
+		// A failed probe reopens the breaker. The winner's resetProbes
+		// bumps the generation, orphaning every other in-flight probe
+		// of this session (their completions see a stale token and do
+		// nothing); on a lost race the slot is just released.
+		if b.state.CompareAndSwap(BreakerHalfOpen, BreakerOpen) {
+			b.openedAtNs.Store(nowNs)
+			b.resetProbes()
+			b.opens.Inc()
+		} else {
+			b.release(token)
+		}
+		return
+	}
+	if b.state.Load() == BreakerClosed {
 		if b.fails.Add(1) >= int32(opts.FailureThreshold) {
 			if b.state.CompareAndSwap(BreakerClosed, BreakerOpen) {
 				b.openedAtNs.Store(nowNs)
+				b.resetProbes()
 				b.opens.Inc()
 			}
 		}
-	case BreakerHalfOpen:
-		b.probes.Add(-1)
-		if b.state.CompareAndSwap(BreakerHalfOpen, BreakerOpen) {
-			b.openedAtNs.Store(nowNs)
-			b.opens.Inc()
+	}
+}
+
+// release returns a probe slot without recording an outcome — used
+// when an attempt's result must not count (the caller canceled
+// mid-probe) and when a probe failure loses the reopen race.
+// Generation-guarded: if the session already ended, the slot no
+// longer exists and there is nothing to return.
+func (b *breaker) release(token uint64) {
+	if token == 0 {
+		return
+	}
+	for {
+		w := b.probeWord.Load()
+		if w>>probeGenShift != token || w&probeCountMask == 0 {
+			return
+		}
+		if b.probeWord.CompareAndSwap(w, w-1) {
+			return
 		}
 	}
 }

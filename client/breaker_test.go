@@ -1,0 +1,126 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerProbeSessionAccounting pins the packed probe-word
+// semantics: stale probes from an ended half-open session are ignored
+// at completion, canceled probes hand their slot back, and the
+// concurrent-probe cap is exact across sessions. With twin counters a
+// stale completion could drive the in-flight count negative and admit
+// unbounded probes — the regression this test guards.
+func TestBreakerProbeSessionAccounting(t *testing.T) {
+	opts := (&BreakerOptions{FailureThreshold: 1, Cooldown: time.Second, HalfOpenProbes: 2}).withDefaults()
+	b := &breaker{}
+	now := int64(0)
+
+	// Trip open.
+	b.onFailure(now, 0, &opts)
+	if got := b.state.Load(); got != BreakerOpen {
+		t.Fatalf("state after threshold failure = %d, want open", got)
+	}
+	now += opts.Cooldown.Nanoseconds() + 1
+
+	// Half-open admits exactly HalfOpenProbes concurrent probes.
+	ok1, tok1 := b.allow(now, &opts)
+	ok2, tok2 := b.allow(now, &opts)
+	ok3, _ := b.allow(now, &opts)
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("probe admissions = %v %v %v, want true true false", ok1, ok2, ok3)
+	}
+	if tok1 == 0 || tok1 != tok2 {
+		t.Fatalf("probe tokens %d %d, want equal nonzero session", tok1, tok2)
+	}
+
+	// Probe 1 fails: the breaker reopens and the session ends.
+	b.onFailure(now, tok1, &opts)
+	if got := b.state.Load(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	// Probe 2 completes late with a success: its token is stale, so it
+	// must neither close the reopened breaker nor touch the counters.
+	b.onSuccess(tok2, &opts)
+	if got := b.state.Load(); got != BreakerOpen {
+		t.Fatalf("stale probe success moved state to %d", got)
+	}
+
+	// The next session still admits exactly the cap (no leaked or
+	// negative slots) under a fresh generation.
+	now += opts.Cooldown.Nanoseconds() + 1
+	okA, tokA := b.allow(now, &opts)
+	okB, tokB := b.allow(now, &opts)
+	if !okA || !okB {
+		t.Fatal("second session did not admit a full probe set")
+	}
+	if tokA == tok1 {
+		t.Fatal("probe session generation not advanced across reopen")
+	}
+	if ok, _ := b.allow(now, &opts); ok {
+		t.Fatal("second session exceeded the concurrent-probe cap")
+	}
+
+	// A canceled probe releases its slot without recording an outcome.
+	b.release(tokA)
+	okC, tokC := b.allow(now, &opts)
+	if !okC {
+		t.Fatal("released slot not re-admittable")
+	}
+	// Stale release (wrong generation) is a no-op.
+	b.release(tok1)
+	if ok, _ := b.allow(now, &opts); ok {
+		t.Fatal("stale release freed a slot in the live session")
+	}
+
+	// HalfOpenProbes consecutive successes close the breaker.
+	b.onSuccess(tokB, &opts)
+	if got := b.state.Load(); got != BreakerHalfOpen {
+		t.Fatalf("state after first probe success = %d, want half-open", got)
+	}
+	b.onSuccess(tokC, &opts)
+	if got := b.state.Load(); got != BreakerClosed {
+		t.Fatalf("state after %d probe successes = %d, want closed", opts.HalfOpenProbes, got)
+	}
+}
+
+// TestBreakerProbeCapUnderRace hammers the breaker state machine from
+// many goroutines and checks, at every admission, that the packed
+// in-flight count never exceeds the half-open cap. Run with -race this
+// also validates the transitions themselves.
+func TestBreakerProbeCapUnderRace(t *testing.T) {
+	opts := (&BreakerOptions{FailureThreshold: 2, Cooldown: time.Nanosecond, HalfOpenProbes: 2}).withDefaults()
+	b := &breaker{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < 3000; i++ {
+				now := int64(i + 2)
+				ok, tok := b.allow(now, &opts)
+				if n := b.probeWord.Load() & probeCountMask; int(n) > opts.HalfOpenProbes {
+					t.Errorf("in-flight probes %d exceed cap %d", n, opts.HalfOpenProbes)
+					return
+				}
+				if !ok {
+					continue
+				}
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				switch rng % 3 {
+				case 0:
+					b.onFailure(now, tok, &opts)
+				case 1:
+					b.onSuccess(tok, &opts)
+				default:
+					b.release(tok)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+}

@@ -166,6 +166,11 @@ func New(opts Options) *Client {
 	if opts.Resilience != nil {
 		c.policy = newPolicy(*opts.Resilience)
 		c.policy.attempt = c.doOnce
+		// An attempt that outlives AttemptTimeout likely hung on a dead
+		// pooled connection; evicting idle conns makes the retry dial
+		// fresh (the hung conn becomes idle once its stream is torn
+		// down by the attempt context's cancellation).
+		c.policy.evict = c.hc.CloseIdleConnections
 	}
 	return c
 }

@@ -134,6 +134,13 @@ func hedgeable(op uint8) bool {
 type policy struct {
 	opts    ResilienceOptions
 	attempt func(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error)
+	// evict nudges the transport's idle-connection pool (the Client
+	// wires it to http.Client.CloseIdleConnections). Called when an
+	// attempt times out with the caller still live: the pooled
+	// connection the attempt hung on is likely dead (blackholed,
+	// half-open TCP), and without eviction every retry would queue on
+	// the same corpse until the caller's own deadline fires.
+	evict func()
 
 	// now/sleep are swappable for fake-clock tests. sleep must honor
 	// ctx and return its error when interrupted.
@@ -216,7 +223,9 @@ func (p *policy) backoff(attempt int) time.Duration {
 // transport failures retry on backoff alone. Everything else —
 // structural rejections, per-item batch failures, context expiry — is
 // terminal: the same request would fail the same way, or the caller
-// has given up.
+// has given up. (An AttemptTimeout expiry never reaches here raw:
+// typeAttemptExpiry retypes it as a *TransportError while the caller
+// is still live, so only a genuine caller deadline is terminal.)
 func classifyRetry(err error) (retry bool, hint time.Duration) {
 	switch e := err.(type) {
 	case *ShedError:
@@ -245,7 +254,11 @@ func (p *policy) run(ctx context.Context, op uint8, req *wire.Request) (*wire.Re
 	for attempt := 1; ; attempt++ {
 		var resp *wire.Response
 		var err error
-		if !p.opts.Breaker.Disabled && !p.breakers[idx].allow(p.now().UnixNano(), &p.opts.Breaker) {
+		allowed, token := true, uint64(0)
+		if !p.opts.Breaker.Disabled {
+			allowed, token = p.breakers[idx].allow(p.now().UnixNano(), &p.opts.Breaker)
+		}
+		if !allowed {
 			p.breakerRejects.Inc()
 			err = &BreakerOpenError{
 				Op:         opNames[idx],
@@ -256,7 +269,7 @@ func (p *policy) run(ctx context.Context, op uint8, req *wire.Request) (*wire.Re
 			var didHedge bool
 			resp, didHedge, err = p.attemptOnce(ctx, op, req)
 			hedged = hedged || didHedge
-			p.record(ctx, idx, err)
+			p.record(ctx, idx, token, err)
 		}
 		if err == nil {
 			return resp, nil
@@ -288,22 +301,36 @@ func (p *policy) run(ctx context.Context, op uint8, req *wire.Request) (*wire.Re
 // and only when the caller's context is still live — a hedge loser or
 // a caller-canceled request must not poison the breaker. A shed or
 // structural rejection means the server answered: transport healthy.
-func (p *policy) record(ctx context.Context, idx int, err error) {
+// token is the half-open probe token from allow (zero when the
+// attempt was admitted closed); an attempt whose outcome must not
+// count still releases its probe slot, or a burst of cancellations
+// could drain the half-open admission budget and wedge the breaker.
+func (p *policy) record(ctx context.Context, idx int, token uint64, err error) {
 	if p.opts.Breaker.Disabled {
 		return
 	}
 	if err == nil {
-		p.breakers[idx].onSuccess(&p.opts.Breaker)
+		// Fast path kept ahead of the errors.As target: &te escapes,
+		// so declaring it before this return would cost an allocation
+		// on every fault-free call.
+		p.breakers[idx].onSuccess(token, &p.opts.Breaker)
 		return
 	}
 	var te *TransportError
-	if errors.As(err, &te) {
+	switch {
+	case errors.As(err, &te):
 		if ctx.Err() == nil {
-			p.breakers[idx].onFailure(p.now().UnixNano(), &p.opts.Breaker)
+			p.breakers[idx].onFailure(p.now().UnixNano(), token, &p.opts.Breaker)
+		} else {
+			p.breakers[idx].release(token)
 		}
-		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller gave up mid-attempt: no evidence either way.
+		p.breakers[idx].release(token)
+	default:
+		// Shed, structural, per-item: the server answered.
+		p.breakers[idx].onSuccess(token, &p.opts.Breaker)
 	}
-	p.breakers[idx].onSuccess(&p.opts.Breaker)
 }
 
 // attemptOnce runs one attempt, hedged when armed. It reports whether
@@ -316,24 +343,50 @@ func (p *policy) attemptOnce(ctx context.Context, op uint8, req *wire.Request) (
 		delay, ok = p.hedgeDelay()
 		hedge = ok && p.hedgeBudgetOK()
 	}
+	parent := ctx
 	if p.opts.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.opts.AttemptTimeout)
 		defer cancel()
 	}
 	start := p.now()
+	var resp *wire.Response
+	var launched bool
+	var err error
 	if !hedge {
-		resp, err := p.attempt(ctx, op, req)
-		if err == nil {
-			p.lat.ObserveNs(p.now().Sub(start).Nanoseconds())
-		}
-		return resp, false, err
+		resp, err = p.attempt(ctx, op, req)
+	} else {
+		resp, launched, err = p.hedgedAttempt(ctx, op, req, delay)
 	}
-	resp, launched, err := p.hedgedAttempt(ctx, op, req, delay)
 	if err == nil {
 		p.lat.ObserveNs(p.now().Sub(start).Nanoseconds())
+		return resp, launched, nil
 	}
-	return resp, launched, err
+	return nil, launched, p.typeAttemptExpiry(parent, err)
+}
+
+// typeAttemptExpiry converts an attempt-deadline expiry into a
+// retryable fault. The single-attempt path returns the raw context
+// error on expiry so a caller's own deadline stays terminal — but
+// when the parent context is still live, the deadline that fired was
+// AttemptTimeout's, and the raw error would be misread downstream:
+// terminal to the retry loop and neutral to the breaker. A hung or
+// blackholed connection is exactly the transport fault the
+// per-attempt deadline exists to recover from, so it is typed as one,
+// and the connection pool is nudged so the retry dials fresh instead
+// of queueing on the same dead connection.
+func (p *policy) typeAttemptExpiry(parent context.Context, err error) error {
+	if p.opts.AttemptTimeout <= 0 || parent.Err() != nil || !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return err // already typed by the transport layer
+	}
+	if p.evict != nil {
+		p.evict()
+	}
+	return &TransportError{Detail: "attempt timed out", Err: err}
 }
 
 // hedgeDelay returns the armed hedge delay, refreshing the cached

@@ -369,6 +369,90 @@ func TestHedgeBudget(t *testing.T) {
 	}
 }
 
+// TestAttemptTimeoutIsRetryableTransportFault: an attempt that
+// outlives AttemptTimeout while the caller is still live is a hung
+// connection, not a caller giving up — it must be retried, typed as a
+// transport fault, counted against the breaker, and evict the
+// connection pool so the retry dials fresh.
+func TestAttemptTimeoutIsRetryableTransportFault(t *testing.T) {
+	evicts := 0
+	p := newPolicy(ResilienceOptions{
+		MaxAttempts: 3, Seed: 1,
+		BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+		AttemptTimeout: 10 * time.Millisecond,
+		Breaker:        BreakerOptions{FailureThreshold: 3, Cooldown: time.Hour, HalfOpenProbes: 1},
+	})
+	p.evict = func() { evicts++ }
+	attempts := 0
+	p.attempt = func(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error) {
+		attempts++
+		<-ctx.Done() // a blackholed connection: only the attempt deadline gets out
+		return nil, ctx.Err()
+	}
+	_, err := p.run(context.Background(), wire.OpRead, &wire.Request{})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (attempt timeout not retried)", attempts)
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("attempt timeout not typed as transport fault: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("typed timeout lost the underlying cause: %v", err)
+	}
+	if !Typed(err) {
+		t.Fatalf("final error not typed: %v", err)
+	}
+	if got := p.retriesTransport.Value(); got != 2 {
+		t.Fatalf("retriesTransport = %d, want 2", got)
+	}
+	if got := p.breakers[0].state.Load(); got != BreakerOpen {
+		t.Fatalf("3 hung attempts left breaker state %d, want open", got)
+	}
+	if evicts != 3 {
+		t.Fatalf("evicts = %d, want one per timed-out attempt", evicts)
+	}
+}
+
+// TestCallerDeadlineStaysTerminal: the caller's own deadline expiring
+// mid-attempt is their signal — no retry, no transport typing, no
+// breaker poisoning.
+func TestCallerDeadlineStaysTerminal(t *testing.T) {
+	p := newPolicy(ResilienceOptions{
+		MaxAttempts: 5, Seed: 1,
+		AttemptTimeout: time.Hour,
+		Breaker:        BreakerOptions{FailureThreshold: 1, Cooldown: time.Hour, HalfOpenProbes: 1},
+	})
+	attempts := 0
+	p.attempt = func(ctx context.Context, op uint8, req *wire.Request) (*wire.Response, error) {
+		attempts++
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := p.run(ctx, wire.OpRead, &wire.Request{})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (caller deadline must not retry)", attempts)
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		t.Fatalf("caller deadline mistyped as transport fault: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline lost: %v", err)
+	}
+	if got := p.breakers[0].state.Load(); got != BreakerClosed {
+		t.Fatalf("caller deadline poisoned the breaker (state %d)", got)
+	}
+}
+
 // TestOpTimeout: the end-to-end budget cuts retries short and the
 // final error still wraps the last cause.
 func TestOpTimeout(t *testing.T) {

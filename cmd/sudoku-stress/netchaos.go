@@ -15,9 +15,10 @@
 //     keep reading while the patient is being electrocuted.
 //
 // The phase driver steps the plan's timeline (the "gate" preset is
-// warmup → weather → broken → recovery), holding any violent phase
-// until the breaker has actually opened, then ends in the final phase
-// so half-open probes can close the breaker again.
+// warmup → weather → broken → partition → recovery), holding any
+// violent phase until the breaker has actually opened (and a blackhole
+// phase until a connection has actually been swallowed), then ends in
+// the final phase so half-open probes can close the breaker again.
 //
 // Exit gates, all mandatory:
 //
@@ -209,10 +210,12 @@ func runNetchaosGate(o options, out io.Writer) error {
 			// gate would assert on faults that never happened.
 			needKill := ph.ResetProb+ph.TornProb > 0
 			needTrunc := ph.TruncProb > 0
-			for hold := time.Now().Add(2 * dwell); (needKill || needTrunc) && time.Now().Before(hold); {
+			needHole := ph.BlackholeProb > 0
+			for hold := time.Now().Add(2 * dwell); (needKill || needTrunc || needHole) && time.Now().Before(hold); {
 				st := px.Stats()
 				if (!needKill || cl.ResilienceStats().BreakerOpens > 0) &&
-					(!needTrunc || st.Truncations > prev.Truncations) {
+					(!needTrunc || st.Truncations > prev.Truncations) &&
+					(!needHole || st.Blackholed > prev.Blackholed) {
 					break
 				}
 				time.Sleep(20 * time.Millisecond)

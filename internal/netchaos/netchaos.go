@@ -27,8 +27,9 @@
 // in phase 0 and moves only on SetPhase/Advance, mirroring how
 // sudoku-stress steps compiled fault plans one interval at a time. A
 // typical gate plan is clean warmup → latency+truncation → resets+torn
-// writes (opens the client breaker) → clean recovery (half-open probes
-// close it).
+// writes (opens the client breaker) → partial blackhole (hung
+// connections only the client's attempt timeout escapes) → clean
+// recovery (half-open probes close the breaker).
 package netchaos
 
 import (
@@ -149,7 +150,9 @@ func Parse(data []byte) (Plan, error) {
 
 // Presets, by name. "gate" is the resilience-smoke schedule: clean
 // warmup, degraded weather, a broken window violent enough to open the
-// client breaker, then clean recovery so half-open probes can close it.
+// client breaker, a partial partition (redials blackhole, so only the
+// client's attempt timeout gets an op off a hung connection), then
+// clean recovery so half-open probes can close the breaker.
 func presets() map[string]Plan {
 	return map[string]Plan{
 		"clean": {Name: "clean", Phases: []Phase{{Name: "pass"}}},
@@ -166,6 +169,10 @@ func presets() map[string]Plan {
 			{Name: "warmup"},
 			{Name: "weather", LatencyMs: 1, JitterMs: 3, TruncProb: 0.08},
 			{Name: "broken", ResetProb: 0.35, TornProb: 0.15},
+			// Resets force redials; a blackholed redial hangs until the
+			// attempt timeout converts it into a retryable transport
+			// fault and evicts the dead connection.
+			{Name: "partition", ResetProb: 0.05, BlackholeProb: 0.45},
 			{Name: "recovery"},
 		}},
 	}

@@ -96,18 +96,25 @@ func (d *degrade) current() (degraded bool, reason string) {
 // no-op by a concurrent automatic source only to flip back silently —
 // automatic sources re-trip on their own evidence each window.
 func (d *degrade) evaluate() int32 {
+	// The tap-drop window advances unconditionally, before the
+	// precedence checks: lastDrops must track one window of history
+	// even while a higher-precedence source holds the verdict, or
+	// drops accumulated over many windows would be compared against a
+	// single window's threshold when that source clears, tripping a
+	// spurious tap_overload.
+	tapOverload := false
+	if d.opts.TapDropThreshold > 0 {
+		total := d.drops()
+		tapOverload = total-d.lastDrops.Swap(total) >= d.opts.TapDropThreshold
+	}
 	if d.operator.Load() {
 		return 1
 	}
 	if h := d.health(); h.CheckpointRunning && h.CheckpointStale {
 		return 2
 	}
-	if d.opts.TapDropThreshold > 0 {
-		total := d.drops()
-		delta := total - d.lastDrops.Swap(total)
-		if delta >= d.opts.TapDropThreshold {
-			return 3
-		}
+	if tapOverload {
+		return 3
 	}
 	return 0
 }

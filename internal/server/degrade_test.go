@@ -130,6 +130,41 @@ func TestDegradeAutomaticSources(t *testing.T) {
 	}
 }
 
+// TestDegradeTapWindowAdvancesUnderPrecedence: the tap-drop delta
+// window must advance even while a higher-precedence source holds the
+// verdict. Drops dripped sub-threshold across many windows during a
+// checkpoint brownout must not be summed into one window's delta when
+// the checkpoint recovers — that would trip a spurious tap_overload.
+func TestDegradeTapWindowAdvancesUnderPrecedence(t *testing.T) {
+	health := sudoku.Health{CheckpointRunning: true, CheckpointStale: true}
+	var drops int64
+	d := newDegrade(DegradeOptions{TapDropThreshold: 100},
+		func() sudoku.Health { return health },
+		func() int64 { return drops })
+	now := time.Unix(0, 0)
+	d.now = func() time.Time { now = now.Add(time.Second); return now }
+
+	// Eight windows of sub-threshold dripping (480 total) while the
+	// checkpoint source holds the verdict.
+	for i := 0; i < 8; i++ {
+		drops += 60
+		if deg, reason := d.current(); !deg || reason != DegradeCheckpoint {
+			t.Fatalf("window %d: degraded=%v reason=%q, want checkpoint", i, deg, reason)
+		}
+	}
+	// The checkpoint recovers. No single window crossed the threshold,
+	// so the service must return to normal, not trip on the sum.
+	health.CheckpointStale = false
+	if deg, reason := d.current(); deg {
+		t.Fatalf("accumulated sub-threshold drops tripped %q after checkpoint recovery", reason)
+	}
+	// A genuine single-window burst still trips.
+	drops += 150
+	if deg, reason := d.current(); !deg || reason != DegradeTapOverload {
+		t.Fatalf("real overload missed: degraded=%v reason=%q", deg, reason)
+	}
+}
+
 // postFrame sends one raw frame to /v1/op and decodes the response.
 func postFrame(t *testing.T, addr string, h wire.Header, req *wire.Request) (*wire.Response, wire.Header) {
 	t.Helper()

@@ -68,6 +68,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 6, 1, 1, 1, 2, 0xAA, 0xBB})
 	// Both flags, room for the trace id only.
 	f.Add([]byte{0, 0, 0, 14, 1, 1, 1, 3, 1, 2, 3, 4, 5, 6, 7, 8, 0xAA, 0xBB})
+	// Unknown flag bit: must be ErrBadFlags, never a payload mis-parse.
+	f.Add([]byte{0, 0, 0, 8, 1, 1, 1, 4, 0xAA, 0xBB, 0xCC, 0xDD})
 	bomb := []byte{0, 0, 0, 14, 1, 1, 3, 0, 1, 'a'}
 	bomb = binary.BigEndian.AppendUint32(bomb, 0xFFFFFFF0)
 	f.Add(bomb)

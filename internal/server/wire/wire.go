@@ -58,6 +58,17 @@ const (
 	// a context deadline and sheds work it cannot finish in time;
 	// responses do not carry it.
 	FlagDeadline uint8 = 1 << 1
+
+	// flagsKnown masks the flag bits this build understands. ReadFrame
+	// rejects a frame carrying any other bit (ErrBadFlags): every flag
+	// defined so far introduces a length-bearing extension, so a peer
+	// that silently ignored an unknown bit would misplace the payload
+	// boundary and fail later with a baffling payload-decode error.
+	// Rejecting at the frame layer makes rolling-upgrade skew explicit
+	// instead — a new flag therefore requires deploying receivers that
+	// understand it (or at least this rejection) before senders that
+	// set it.
+	flagsKnown = FlagTrace | FlagDeadline
 )
 
 // Codecs.
@@ -96,6 +107,7 @@ var (
 	ErrShortFrame    = errors.New("wire: truncated frame")
 	ErrBadVersion    = errors.New("wire: unsupported protocol version")
 	ErrBadCodec      = errors.New("wire: unknown codec")
+	ErrBadFlags      = errors.New("wire: unknown flag bits")
 	ErrBadPayload    = errors.New("wire: malformed payload")
 )
 
@@ -182,7 +194,8 @@ func WriteFrame(w io.Writer, h Header, payload []byte) error {
 }
 
 // ReadFrame reads one frame from r, validating the length against
-// MaxFrame before allocating, and the version/codec before returning.
+// MaxFrame before allocating, and the version/codec/flags before
+// returning.
 // io.EOF is returned verbatim when the stream ends cleanly at a frame
 // boundary (zero bytes read); a partial frame is ErrShortFrame.
 func ReadFrame(r io.Reader) (Header, []byte, error) {
@@ -210,6 +223,9 @@ func ReadFrame(r io.Reader) (Header, []byte, error) {
 	}
 	if h.Codec != CodecJSON && h.Codec != CodecBinary {
 		return h, nil, ErrBadCodec
+	}
+	if h.Flags&^flagsKnown != 0 {
+		return h, nil, ErrBadFlags
 	}
 	rest := body[headerLen:]
 	if h.Flags&FlagTrace != 0 {

@@ -12,7 +12,8 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	for _, codec := range []uint8{CodecJSON, CodecBinary} {
 		var buf bytes.Buffer
-		h := Header{Version: Version, Codec: codec, Op: OpReadBatch, Flags: 7}
+		h := Header{Version: Version, Codec: codec, Op: OpReadBatch,
+			Flags: FlagTrace | FlagDeadline, TraceID: 0xdead, DeadlineMillis: 42}
 		payload := []byte("hello frames")
 		if err := WriteFrame(&buf, h, payload); err != nil {
 			t.Fatal(err)
@@ -85,6 +86,11 @@ func TestFrameRejectsGarbage(t *testing.T) {
 		{"partial length prefix", []byte{0, 0}, ErrShortFrame},
 		{"bad version", []byte{0, 0, 0, 4, 99, 0, 1, 0}, ErrBadVersion},
 		{"bad codec", []byte{0, 0, 0, 4, 1, 9, 1, 0}, ErrBadCodec},
+		// An unknown flag bit would carry an extension this build cannot
+		// size, silently shifting the payload boundary — rejected at the
+		// frame layer so version skew fails loudly, not as a decode error.
+		{"unknown flag bits", []byte{0, 0, 0, 4, 1, 0, 1, 4}, ErrBadFlags},
+		{"unknown flag alongside known", []byte{0, 0, 0, 8, 1, 1, 1, 0x82, 0, 0, 0, 1}, ErrBadFlags},
 	}
 	for _, tc := range cases {
 		if _, _, err := ReadFrame(bytes.NewReader(tc.raw)); !errors.Is(err, tc.want) {
